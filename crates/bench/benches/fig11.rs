@@ -1,0 +1,19 @@
+//! Criterion bench for the `fig11` experiment: times one end-to-end
+//! regeneration at Tiny scale (the `experiments` binary runs Full scale).
+
+use cliffguard_bench::experiments::run_experiment;
+use cliffguard_bench::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("regenerate_tiny", |b| {
+        b.iter(|| black_box(run_experiment("fig11", Scale::Tiny, 1).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

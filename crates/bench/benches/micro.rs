@@ -1,0 +1,96 @@
+//! Microbenchmarks for CliffGuard's hot primitives: the workload distance
+//! (the `O(T²·n)` quadratic form of Section 5), the Γ-neighborhood sampler
+//! (Algorithm 4), the engine cost model, the nominal designer, and one
+//! full CliffGuard design call.
+
+use cliffguard_core::{CliffGuard, CliffGuardConfig};
+use cliffguard_designer::{ColumnarCandidates, GreedyDesigner, NominalDesigner};
+use cliffguard_distance::{DeltaEuclidean, NeighborhoodSampler, WorkloadDistance};
+use cliffguard_sim::{ColumnarDesign, ColumnarEngine, Engine, PhysicalDesign};
+use cliffguard_storage::CatalogGenerator;
+use cliffguard_workload::generator::{DriftingGenerator, WorkloadProfile};
+use cliffguard_workload::{Query, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+struct Fixture {
+    engine: ColumnarEngine,
+    w0: Workload,
+    w1: Workload,
+    pool: Vec<Arc<Query>>,
+    n_columns: usize,
+    budget: u64,
+}
+
+fn fixture() -> Fixture {
+    let mut config = WorkloadProfile::R1.config(7).scaled(0.3);
+    config.n_windows = 3;
+    let mut generator = DriftingGenerator::new(config.clone());
+    let shape = generator.shape().clone();
+    let windows = generator.generate().windows_days(config.window_days);
+    let catalog = CatalogGenerator::default().generate(&shape);
+    let engine = ColumnarEngine::new(catalog);
+    let pool: Vec<Arc<Query>> = windows[0]
+        .queries()
+        .chain(windows[1].queries())
+        .cloned()
+        .collect();
+    Fixture {
+        engine,
+        w0: windows[1].clone(),
+        w1: windows[2].clone(),
+        pool,
+        n_columns: shape.column_count(),
+        budget: 40 << 30,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let f = fixture();
+    let metric = DeltaEuclidean::new(f.n_columns);
+
+    c.bench_function("distance/delta_euclidean", |b| {
+        b.iter(|| black_box(metric.distance(&f.w0, &f.w1)))
+    });
+
+    c.bench_function("sampler/sample_at", |b| {
+        let mut sampler = NeighborhoodSampler::new(metric, f.pool.clone(), 3);
+        b.iter(|| black_box(sampler.sample_at(&f.w0, 0.01).ok()))
+    });
+
+    let design = {
+        let nominal = GreedyDesigner::new(&f.engine, ColumnarCandidates, "DBD");
+        nominal.design(&f.w0, f.budget)
+    };
+    c.bench_function("engine/workload_cost", |b| {
+        b.iter(|| black_box(f.engine.workload_cost(&f.w1, &design)))
+    });
+    c.bench_function("engine/query_latency_empty_design", |b| {
+        let q = f.w1.queries().next().unwrap();
+        let empty = ColumnarDesign::empty();
+        b.iter(|| black_box(f.engine.query_latency_ms(q, &empty)))
+    });
+
+    let mut g = c.benchmark_group("designer");
+    g.sample_size(10);
+    g.bench_function("greedy_design", |b| {
+        let nominal = GreedyDesigner::new(&f.engine, ColumnarCandidates, "DBD");
+        b.iter(|| {
+            let d = nominal.design(&f.w0, f.budget);
+            black_box(d.len())
+        })
+    });
+    g.bench_function("cliffguard_design", |b| {
+        let nominal = GreedyDesigner::new(&f.engine, ColumnarCandidates, "DBD");
+        let cg = CliffGuard::new(&f.engine, &nominal, metric, CliffGuardConfig::new(0.01));
+        b.iter(|| {
+            let (d, _) = cg.design(&f.w0, f.budget, &f.pool);
+            black_box(d.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

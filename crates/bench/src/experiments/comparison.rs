@@ -1,0 +1,294 @@
+//! Figures 7, 10, 14, 15: the designer comparisons and the offline-time
+//! analysis.
+
+use crate::scale::Scale;
+use crate::setup::{columnar_setup, row_setup};
+use crate::table::{fnum, Table};
+use cliffguard_core::baselines::{
+    CliffGuardStrategy, ExistingDesigner, FutureKnowingDesigner, MajorityVoteDesigner, NoDesign,
+    OptimalLocalSearchDesigner,
+};
+use cliffguard_core::evaluate::{evaluate_strategy, EvalOptions, EvalSummary};
+use cliffguard_core::gamma::GammaPolicy;
+use cliffguard_core::EngineExt;
+use cliffguard_designer::{CandidateGen, ColumnarCandidates, GreedyDesigner, RowCandidates};
+use cliffguard_distance::DeltaEuclidean;
+use cliffguard_sim::PhysicalDesign;
+use cliffguard_workload::generator::WorkloadProfile;
+use cliffguard_workload::Workload;
+
+/// Runs the paper's six designers over a window sequence on any engine.
+pub fn compare_all<E, G>(
+    engine: &E,
+    generator: G,
+    windows: &[Workload],
+    n_columns: usize,
+    budget: u64,
+    seed: u64,
+) -> Vec<EvalSummary>
+where
+    E: EngineExt,
+    G: CandidateGen<E> + Copy,
+    <E::Design as PhysicalDesign>::Structure: Clone,
+{
+    let metric = DeltaEuclidean::new(n_columns);
+    let nominal = GreedyDesigner::new(engine, generator, "ExistingDesigner");
+    let opts = EvalOptions { budget_bytes: budget, designable_factor: 3.0 };
+    let gamma = GammaPolicy::KMaxPastDeltas(1.5);
+
+    let mut out = vec![evaluate_strategy(engine, &mut NoDesign, windows, &metric, &opts)];
+    out.push(evaluate_strategy(
+        engine,
+        &mut FutureKnowingDesigner::new(&nominal),
+        windows,
+        &metric,
+        &opts,
+    ));
+    out.push(evaluate_strategy(
+        engine,
+        &mut ExistingDesigner::new(&nominal),
+        windows,
+        &metric,
+        &opts,
+    ));
+    out.push(evaluate_strategy(
+        engine,
+        &mut MajorityVoteDesigner::new(&nominal, metric, gamma, seed),
+        windows,
+        &metric,
+        &opts,
+    ));
+    out.push(evaluate_strategy(
+        engine,
+        &mut OptimalLocalSearchDesigner::new(generator, metric, gamma, seed),
+        windows,
+        &metric,
+        &opts,
+    ));
+    out.push(evaluate_strategy(
+        engine,
+        &mut CliffGuardStrategy::new(&nominal, metric, gamma, seed),
+        windows,
+        &metric,
+        &opts,
+    ));
+    out
+}
+
+fn comparison_table(id: &str, title: String, summaries: &[EvalSummary]) -> Table {
+    let mut t = Table::new(id, title, &["Designer", "Avg Latency (ms)", "Max Latency (ms)"]);
+    for s in summaries {
+        t.row(vec![s.strategy.clone(), fnum(s.mean_avg_ms), fnum(s.mean_max_ms)]);
+    }
+    t
+}
+
+/// Figure 7: the six designers on the columnar engine, workloads R1 (a),
+/// S1 (b), and S2 (c).
+pub mod fig07 {
+    use super::*;
+
+    /// Runs the experiment.
+    pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
+        let mut out = Vec::new();
+        for (sub, profile, paper) in [
+            (
+                "fig07a",
+                WorkloadProfile::R1,
+                "paper R1 (avg/max ms): NoDesign 4980/16968, Oracle 153/274, Existing 3977/16867, \
+                 MajorityVote 2896/13350, OptLocalSearch 4252/16968, CliffGuard 279/425",
+            ),
+            (
+                "fig07b",
+                WorkloadProfile::S1,
+                "paper S1: NoDesign 1908/2285, Oracle 299/435, Existing 390/621, \
+                 MajorityVote 384/559, OptLocalSearch 468/840, CliffGuard 331/411",
+            ),
+            (
+                "fig07c",
+                WorkloadProfile::S2,
+                "paper S2: NoDesign 6698/21899, Oracle 797/1646, Existing 5519/21899, \
+                 MajorityVote 5433/21555, OptLocalSearch 4845/18335, CliffGuard 1037/1597",
+            ),
+        ] {
+            let setup = columnar_setup(profile, scale, seed);
+            let summaries = compare_all(
+                &setup.engine,
+                ColumnarCandidates,
+                &setup.windows,
+                setup.n_columns,
+                setup.budget,
+                seed,
+            );
+            let mut t = comparison_table(
+                sub,
+                format!("Designers on the columnar engine, workload {}", profile.name()),
+                &summaries,
+            );
+            t.note(paper);
+            t.note(
+                "expected shape: Oracle best; CliffGuard close behind and well ahead of \
+                 Existing on R1/S2; everyone close on S1",
+            );
+            out.push(t);
+        }
+        out
+    }
+}
+
+/// Figure 10: the six designers on the row-store engine, workload R1.
+pub mod fig10 {
+    use super::*;
+
+    /// Runs the experiment.
+    pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
+        let setup = row_setup(WorkloadProfile::R1, scale, seed);
+        let summaries = compare_all(
+            &setup.engine,
+            RowCandidates,
+            &setup.windows,
+            setup.n_columns,
+            setup.budget,
+            seed,
+        );
+        let mut t = comparison_table(
+            "fig10",
+            "Designers on the row-store engine (DBMS-X), workload R1".into(),
+            &summaries,
+        );
+        t.note(
+            "paper (avg/max ms): NoDesign 881/1705, Oracle 80/151, Existing 607/1705, \
+             MajorityVote 607/1705, OptLocalSearch 715/1705, CliffGuard 268/677",
+        );
+        t.note("expected shape: CliffGuard 2-5x over Existing — smaller margins than columnar");
+        vec![t]
+    }
+}
+
+/// Figure 15: the six designers on the row-store engine, workloads S1 (a)
+/// and S2 (b).
+pub mod fig15 {
+    use super::*;
+
+    /// Runs the experiment.
+    pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
+        let mut out = Vec::new();
+        for (sub, profile, paper) in [
+            (
+                "fig15a",
+                WorkloadProfile::S1,
+                "paper S1: NoDesign 2589/3156, Oracle 640/985, Existing 1233/2446, \
+                 MajorityVote 1233/2446, OptLocalSearch 1790/3156, CliffGuard 596/678",
+            ),
+            (
+                "fig15b",
+                WorkloadProfile::S2,
+                "paper S2: NoDesign 7473/18721, Oracle 1211/2690, Existing 4965/18502, \
+                 MajorityVote 6314/18382, OptLocalSearch 4849/17833, CliffGuard 1516/3558",
+            ),
+        ] {
+            let setup = row_setup(profile, scale, seed);
+            let summaries = compare_all(
+                &setup.engine,
+                RowCandidates,
+                &setup.windows,
+                setup.n_columns,
+                setup.budget,
+                seed,
+            );
+            let mut t = comparison_table(
+                sub,
+                format!("Designers on the row-store engine, workload {}", profile.name()),
+                &summaries,
+            );
+            t.note(paper);
+            out.push(t);
+        }
+        out
+    }
+}
+
+/// Figure 14: offline time — design time per strategy (wall clock of the
+/// simulator runs) vs the modeled deployment time of the produced designs.
+pub mod fig14 {
+    use super::*;
+
+    /// Runs the experiment.
+    pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
+        let setup = columnar_setup(WorkloadProfile::R1, scale, seed);
+        let summaries = compare_all(
+            &setup.engine,
+            ColumnarCandidates,
+            &setup.windows,
+            setup.n_columns,
+            setup.budget,
+            seed,
+        );
+        let mut t = Table::new(
+            "fig14",
+            "Offline time per designer: design (wall) vs deployment (modeled)",
+            &["Designer", "Design time (ms)", "Deployment time (ms)"],
+        );
+        for s in &summaries {
+            t.row(vec![
+                s.strategy.clone(),
+                fnum(s.mean_design_wall_ms),
+                fnum(s.mean_deployment_ms),
+            ]);
+        }
+        let existing = summaries
+            .iter()
+            .find(|s| s.strategy == "ExistingDesigner")
+            .map(|s| s.mean_design_wall_ms)
+            .unwrap_or(0.0);
+        let cliffguard = summaries
+            .iter()
+            .find(|s| s.strategy == "CliffGuard")
+            .map(|s| s.mean_design_wall_ms)
+            .unwrap_or(0.0);
+        if existing > 0.0 {
+            t.note(format!(
+                "CliffGuard / Existing design-time ratio: {:.1}x (paper: ~5x — 2.3h vs 30min; \
+                 CliffGuard makes up to 5 designer calls + its nominal bootstrap)",
+                cliffguard / existing
+            ));
+        }
+        t.note("paper: deployment (~15h) dwarfs design time; the same holds for the model");
+        vec![t]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_all_returns_six_named_strategies() {
+        let setup = columnar_setup(WorkloadProfile::S1, Scale::Tiny, 3);
+        let s = compare_all(
+            &setup.engine,
+            ColumnarCandidates,
+            &setup.windows,
+            setup.n_columns,
+            setup.budget,
+            3,
+        );
+        let names: Vec<&str> = s.iter().map(|x| x.strategy.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "NoDesign",
+                "FutureKnowingDesigner",
+                "ExistingDesigner",
+                "MajorityVoteDesigner",
+                "OptimalLocalSearchDesigner",
+                "CliffGuard"
+            ]
+        );
+        // NoDesign upper-bounds everyone.
+        let no_design = s[0].mean_avg_ms;
+        for x in &s[1..] {
+            assert!(x.mean_avg_ms <= no_design * 1.001, "{} worse than NoDesign", x.strategy);
+        }
+    }
+}

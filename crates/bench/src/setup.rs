@@ -1,0 +1,106 @@
+//! Shared experiment fixtures: engines, windows, budgets.
+
+use crate::scale::Scale;
+use cliffguard_sim::{ColumnarEngine, Engine, RowEngine};
+use cliffguard_storage::CatalogGenerator;
+use cliffguard_workload::generator::{DriftingGenerator, WorkloadProfile};
+use cliffguard_workload::Workload;
+
+/// Columnar (Vertica-like) fixture.
+pub struct ColumnarSetup {
+    /// The engine.
+    pub engine: ColumnarEngine,
+    /// The generated windows (28-day).
+    pub windows: Vec<Workload>,
+    /// Total number of catalog columns (`n` for the distance metrics).
+    pub n_columns: usize,
+    /// Storage budget (≈30% of base data, echoing Vertica's auto-chosen
+    /// 50 GB for the 151 GB dataset).
+    pub budget: u64,
+}
+
+/// Row-store (DBMS-X-like) fixture.
+pub struct RowSetup {
+    /// The engine.
+    pub engine: RowEngine,
+    /// The generated windows (28-day).
+    pub windows: Vec<Workload>,
+    /// Total number of catalog columns.
+    pub n_columns: usize,
+    /// Storage budget ("a maximum budget of 10GB" in the paper, scaled).
+    pub budget: u64,
+}
+
+fn windows_for(profile: WorkloadProfile, scale: Scale, seed: u64) -> (Vec<Workload>, usize) {
+    let mut config = profile.config(seed).scaled(scale.volume_factor());
+    config.n_windows = scale.windows();
+    let mut generator = DriftingGenerator::new(config.clone());
+    let shape = generator.shape().clone();
+    let windows = generator.generate().windows_days(config.window_days);
+    (windows, shape.column_count())
+}
+
+fn data_bytes<E: Engine>(engine: &E) -> u64 {
+    engine
+        .catalog()
+        .tables()
+        .map(|t| engine.catalog().table(t).rows * engine.catalog().table(t).row_width())
+        .sum()
+}
+
+/// Builds the columnar fixture for a profile.
+pub fn columnar_setup(profile: WorkloadProfile, scale: Scale, seed: u64) -> ColumnarSetup {
+    let (windows, n_columns) = windows_for(profile, scale, seed);
+    let shape = cliffguard_workload::generator::SchemaShape::analytic_default();
+    let fact_rows = match scale {
+        Scale::Tiny => 8_000_000,
+        Scale::Quick => 16_000_000,
+        Scale::Full => 40_000_000,
+    };
+    let catalog = CatalogGenerator { fact_rows, ..CatalogGenerator::default() }.generate(&shape);
+    let engine = ColumnarEngine::new(catalog);
+    let budget = (data_bytes(&engine) as f64 * 0.3) as u64;
+    ColumnarSetup { engine, windows, n_columns, budget }
+}
+
+/// Builds the row-store fixture for a profile (smaller dataset, as in the
+/// paper's Azure-based DBMS-X experiments).
+///
+/// The workload volume is capped at the `Quick` factor even for `Full`
+/// runs: the paper's DBMS-X testbed paired its 10 GB budget with a small
+/// designable-query stream (~40/month), i.e. roughly two structure slots
+/// per distinct template. Index-sized structures are expensive relative to
+/// a row-store budget, so matching that slots-per-template regime requires
+/// the reduced volume; at higher volumes every designer is slot-starved
+/// and the comparison degenerates.
+pub fn row_setup(profile: WorkloadProfile, scale: Scale, seed: u64) -> RowSetup {
+    let scale = if scale == Scale::Full { Scale::Quick } else { scale };
+    let (windows, n_columns) = windows_for(profile, scale, seed);
+    let shape = cliffguard_workload::generator::SchemaShape::analytic_default();
+    let fact_rows = match scale {
+        Scale::Tiny => 2_000_000,
+        Scale::Quick => 4_000_000,
+        Scale::Full => 8_000_000,
+    };
+    let catalog = CatalogGenerator { fact_rows, ..CatalogGenerator::default() }.generate(&shape);
+    let engine = RowEngine::new(catalog);
+    // The paper gave DBMS-X a 10 GB budget on a 20 GB dataset.
+    let budget = (data_bytes(&engine) as f64 * 0.5) as u64;
+    RowSetup { engine, windows, n_columns, budget }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setups_build() {
+        let c = columnar_setup(WorkloadProfile::R1, Scale::Tiny, 1);
+        assert_eq!(c.windows.len(), Scale::Tiny.windows());
+        assert!(c.budget > 0);
+        assert!(c.n_columns > 100);
+        let r = row_setup(WorkloadProfile::S1, Scale::Tiny, 1);
+        assert_eq!(r.windows.len(), Scale::Tiny.windows());
+        assert!(r.budget > 0);
+    }
+}

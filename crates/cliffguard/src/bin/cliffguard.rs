@@ -1,0 +1,308 @@
+//! The `cliffguard` command-line designer.
+//!
+//! A small operational frontend over the library, mirroring how the paper's
+//! tool is used "alongside a database system" (Section 2): the DBA supplies
+//! a catalog and a query log, picks a robustness knob Γ, and receives the
+//! DDL of a robust design.
+//!
+//! ```text
+//! cliffguard generate --profile R1 --seed 7 --out log.tsv --catalog-out catalog.json
+//! cliffguard stats    --catalog catalog.json --log log.tsv
+//! cliffguard design   --catalog catalog.json --log log.tsv --gamma auto
+//! cliffguard evaluate --catalog catalog.json --log log.tsv
+//! ```
+
+use cliffguard::prelude::*;
+use cliffguard::sim::ddl;
+use std::collections::HashMap;
+use std::process::exit;
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        exit(2);
+    };
+    let opts = parse_flags(&args[1..]);
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&opts),
+        "stats" => cmd_stats(&opts),
+        "design" => cmd_design(&opts),
+        "evaluate" => cmd_evaluate(&opts),
+        "--help" | "-h" | "help" => {
+            usage();
+            return;
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "cliffguard — robust database designer (CliffGuard, SIGMOD 2015)\n\
+         \n\
+         commands:\n\
+           generate  --profile R1|S1|S2 [--seed N] [--windows N] [--scale F]\n\
+                     --out LOG.tsv --catalog-out CATALOG.json\n\
+           stats     --catalog CATALOG.json --log LOG.tsv [--window-days N]\n\
+           design    --catalog CATALOG.json --log LOG.tsv [--gamma auto|G]\n\
+                     [--budget auto|BYTES] [--window-days N] [--nominal]\n\
+           evaluate  --catalog CATALOG.json --log LOG.tsv [--budget auto|BYTES]\n\
+                     [--window-days N]"
+    );
+}
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Flags {
+    let mut flags = Flags::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            let value = args.get(i + 1).cloned().unwrap_or_default();
+            flags.insert(name.to_string(), value);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn flag<'a>(opts: &'a Flags, name: &str) -> Result<&'a str, String> {
+    opts.get(name)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+fn load_catalog(opts: &Flags) -> Result<Catalog, String> {
+    let path = flag(opts, "catalog")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut cat: Catalog =
+        serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    cat.rebuild_index();
+    Ok(cat)
+}
+
+fn load_log(opts: &Flags, catalog: &Catalog) -> Result<QueryLog, String> {
+    let path = flag(opts, "log")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let (log, report) = cliffguard::workload::logio::import_log(&text, catalog);
+    eprintln!(
+        "log: {} parsed, {} unparseable, {} malformed",
+        report.parsed, report.skipped_sql, report.skipped_malformed
+    );
+    if log.is_empty() {
+        return Err("no parseable queries in the log".into());
+    }
+    Ok(log)
+}
+
+fn window_days(opts: &Flags) -> u64 {
+    opts.get("window-days").and_then(|s| s.parse().ok()).unwrap_or(28)
+}
+
+fn auto_budget(engine: &ColumnarEngine) -> u64 {
+    let data: u64 = engine
+        .catalog()
+        .tables()
+        .map(|t| engine.catalog().table(t).rows * engine.catalog().table(t).row_width())
+        .sum();
+    (data as f64 * 0.3) as u64
+}
+
+fn budget(opts: &Flags, engine: &ColumnarEngine) -> Result<u64, String> {
+    match opts.get("budget").map(|s| s.as_str()) {
+        None | Some("auto") | Some("") => Ok(auto_budget(engine)),
+        Some(s) => s.parse().map_err(|_| format!("bad --budget `{s}`")),
+    }
+}
+
+// ------------------------------------------------------------- generate --
+
+fn cmd_generate(opts: &Flags) -> Result<(), String> {
+    let profile = match flag(opts, "profile")?.to_ascii_uppercase().as_str() {
+        "R1" => WorkloadProfile::R1,
+        "S1" => WorkloadProfile::S1,
+        "S2" => WorkloadProfile::S2,
+        other => return Err(format!("unknown profile `{other}` (want R1|S1|S2)")),
+    };
+    let seed: u64 = opts.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let scale: f64 = opts.get("scale").and_then(|s| s.parse().ok()).unwrap_or(0.45);
+    let mut config = profile.config(seed).scaled(scale);
+    if let Some(w) = opts.get("windows").and_then(|s| s.parse().ok()) {
+        config.n_windows = w;
+    }
+    let mut generator = DriftingGenerator::new(config);
+    let shape = generator.shape().clone();
+    let log = generator.generate();
+    let catalog = CatalogGenerator { seed, ..CatalogGenerator::default() }.generate(&shape);
+
+    let out = flag(opts, "out")?;
+    std::fs::write(out, catalog.export_log(&log)).map_err(|e| format!("write {out}: {e}"))?;
+    let cat_out = flag(opts, "catalog-out")?;
+    let json = serde_json::to_string_pretty(&catalog).map_err(|e| e.to_string())?;
+    std::fs::write(cat_out, json).map_err(|e| format!("write {cat_out}: {e}"))?;
+    eprintln!(
+        "wrote {} queries to {out} and a {}-table catalog to {cat_out}",
+        log.len(),
+        catalog.table_count()
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------- stats --
+
+fn cmd_stats(opts: &Flags) -> Result<(), String> {
+    let catalog = load_catalog(opts)?;
+    let log = load_log(opts, &catalog)?;
+    let windows = log.windows_days(window_days(opts));
+    let metric = DeltaEuclidean::new(catalog.column_count());
+    let deltas = consecutive_deltas(&metric, &windows);
+    let stats = DeltaStats::of(&deltas);
+    println!("windows: {} of {} days", windows.len(), window_days(opts));
+    println!(
+        "inter-window delta: min {:.5}  max {:.5}  avg {:.5}  std {:.5}",
+        stats.min, stats.max, stats.avg, stats.std
+    );
+    println!("suggested gamma (1.5 x max past delta): {:.5}", 1.5 * stats.max);
+    for (i, w) in windows.iter().enumerate() {
+        let overlap = if i > 0 {
+            format!("{:>5.1}%", 100.0 * w.shared_template_fraction(&windows[i - 1]))
+        } else {
+            "    -".into()
+        };
+        println!(
+            "  W{i:<3} {:>6} queries  {:>5} distinct  overlap with prev {overlap}",
+            w.total_weight(),
+            w.len()
+        );
+    }
+    Ok(())
+}
+
+// --------------------------------------------------------------- design --
+
+fn cmd_design(opts: &Flags) -> Result<(), String> {
+    let catalog = load_catalog(opts)?;
+    let log = load_log(opts, &catalog)?;
+    let windows = log.windows_days(window_days(opts));
+    let (w0, history) = windows.split_last().ok_or("log has no windows")?;
+    if w0.is_empty() {
+        return Err("the last window is empty".into());
+    }
+    let engine = ColumnarEngine::new(catalog);
+    let budget = budget(opts, &engine)?;
+    let metric = DeltaEuclidean::new(engine.catalog().column_count());
+    let nominal = GreedyDesigner::new(&engine, ColumnarCandidates, "DBD");
+
+    let design = if opts.contains_key("nominal") {
+        eprintln!("designing nominally for the last window");
+        nominal.design(w0, budget)
+    } else {
+        let deltas = consecutive_deltas(&metric, &windows);
+        let gamma = match opts.get("gamma").map(|s| s.as_str()) {
+            None | Some("auto") | Some("") => GammaPolicy::KMaxPastDeltas(1.5).resolve(&deltas),
+            Some(s) => s.parse().map_err(|_| format!("bad --gamma `{s}`"))?,
+        };
+        let mut pool: Vec<Arc<Query>> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for w in history.iter().rev().take(4) {
+            for q in w.queries() {
+                if seen.insert(q.signature()) {
+                    pool.push(Arc::clone(q));
+                }
+            }
+        }
+        eprintln!(
+            "designing robustly: gamma = {gamma:.5}, pool of {} historical queries",
+            pool.len()
+        );
+        let cg = CliffGuard::new(&engine, &nominal, metric, CliffGuardConfig::new(gamma));
+        let (design, trace) = cg.design(w0, budget, &pool);
+        eprintln!(
+            "cliffguard: {} designer calls, {} samples, worst-case trace {:?}",
+            trace.designer_calls,
+            trace.samples,
+            trace.worst_case_per_iter.iter().map(|x| x.round()).collect::<Vec<_>>()
+        );
+        design
+    };
+
+    eprintln!(
+        "design: {} projections, {:.1} MB of {:.1} MB budget",
+        design.len(),
+        design.price_bytes(engine.catalog()) as f64 / (1 << 20) as f64,
+        budget as f64 / (1 << 20) as f64
+    );
+    print!("{}", ddl::columnar_script(&design, engine.catalog()));
+    Ok(())
+}
+
+// ------------------------------------------------------------- evaluate --
+
+fn cmd_evaluate(opts: &Flags) -> Result<(), String> {
+    let catalog = load_catalog(opts)?;
+    let log = load_log(opts, &catalog)?;
+    let windows = log.windows_days(window_days(opts));
+    if windows.len() < 2 {
+        return Err("need at least two windows to evaluate".into());
+    }
+    let engine = ColumnarEngine::new(catalog);
+    let budget = budget(opts, &engine)?;
+    let metric = DeltaEuclidean::new(engine.catalog().column_count());
+    let nominal = GreedyDesigner::new(&engine, ColumnarCandidates, "DBD");
+    let eval_opts = EvalOptions { budget_bytes: budget, designable_factor: 3.0 };
+
+    println!("{:<24} {:>12} {:>12}", "strategy", "avg ms", "max ms");
+    fn run<S: DesignStrategy<ColumnarEngine>>(
+        engine: &ColumnarEngine,
+        windows: &[Workload],
+        metric: &DeltaEuclidean,
+        eval_opts: &EvalOptions,
+        name: &str,
+        s: &mut S,
+    ) {
+        let r = evaluate_strategy(engine, s, windows, metric, eval_opts);
+        println!("{:<24} {:>12.1} {:>12.1}", name, r.mean_avg_ms, r.mean_max_ms);
+    }
+    run(&engine, &windows, &metric, &eval_opts, "NoDesign", &mut NoDesign);
+    run(
+        &engine,
+        &windows,
+        &metric,
+        &eval_opts,
+        "ExistingDesigner",
+        &mut ExistingDesigner::new(&nominal),
+    );
+    run(
+        &engine,
+        &windows,
+        &metric,
+        &eval_opts,
+        "FutureKnowing (oracle)",
+        &mut FutureKnowingDesigner::new(&nominal),
+    );
+    run(
+        &engine,
+        &windows,
+        &metric,
+        &eval_opts,
+        "AdaptiveIndexing",
+        &mut AdaptiveIndexingStrategy::<cliffguard::sim::Projection>::new(),
+    );
+    run(
+        &engine,
+        &windows,
+        &metric,
+        &eval_opts,
+        "CliffGuard",
+        &mut CliffGuardStrategy::new(&nominal, metric, GammaPolicy::KMaxPastDeltas(1.5), 7),
+    );
+    Ok(())
+}

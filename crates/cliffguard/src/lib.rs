@@ -1,0 +1,89 @@
+//! CliffGuard — a principled framework for finding robust database
+//! designs.
+//!
+//! This is the facade crate of a from-scratch Rust reproduction of
+//! *CliffGuard: A Principled Framework for Finding Robust Database
+//! Designs* (Mozafari, Goh & Yoon, SIGMOD 2015). It re-exports the whole
+//! workspace under one roof:
+//!
+//! * [`workload`] — queries, column sets, SQL parsing, templates, logs,
+//!   and the drifting R1/S1/S2 workload generators.
+//! * [`distance`] — the δ workload metrics and the Γ-neighborhood sampler.
+//! * [`storage`] — catalog, statistics, and cost constants.
+//! * [`sim`] — the columnar (projection) and row-store (index + view)
+//!   engine simulators.
+//! * [`designer`] — the nominal designers CliffGuard wraps.
+//! * [`robust`] — the generic continuous-space BNT robust optimizer.
+//! * [`core`] — CliffGuard itself (Algorithms 2–3), the baselines, and the
+//!   windowed evaluation harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cliffguard::prelude::*;
+//!
+//! // A catalog and engine over a small synthetic schema.
+//! let shape = SchemaShape::new(vec![8, 4]);
+//! let catalog = CatalogGenerator::default().generate(&shape);
+//! let engine = ColumnarEngine::new(catalog);
+//!
+//! // A workload of one selective query.
+//! let q = QueryBuilder::new(TableId(0))
+//!     .select(&[1, 2])
+//!     .filter(3, PredOp::Eq, 0.001)
+//!     .build();
+//! let w0 = Workload::from_queries([(q, 100.0)]);
+//!
+//! // Wrap the nominal designer in CliffGuard and ask for a robust design.
+//! let nominal = GreedyDesigner::new(&engine, ColumnarCandidates, "DBD");
+//! let metric = DeltaEuclidean::new(12);
+//! let cg = CliffGuard::new(&engine, &nominal, metric, CliffGuardConfig::new(0.005));
+//! let (design, trace) = cg.design(&w0, 1 << 33, &[]);
+//! assert!(trace.designer_calls >= 1);
+//! assert!(design.price_bytes(engine.catalog()) <= 1 << 33);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cliffguard_core as core;
+pub use cliffguard_designer as designer;
+pub use cliffguard_distance as distance;
+pub use cliffguard_robust as robust;
+pub use cliffguard_sim as sim;
+pub use cliffguard_storage as storage;
+pub use cliffguard_workload as workload;
+
+/// One-stop imports for examples and applications.
+pub mod prelude {
+    pub use cliffguard_core::baselines::{
+        CliffGuardStrategy, DesignStrategy, ExistingDesigner, FutureKnowingDesigner,
+        GreedyLocalSearchDesigner, MajorityVoteDesigner, NoDesign,
+        OptimalLocalSearchDesigner, WindowCtx,
+    };
+    pub use cliffguard_core::adaptive::AdaptiveIndexingStrategy;
+    pub use cliffguard_core::evaluate::{evaluate_strategy, EvalOptions, EvalSummary};
+    pub use cliffguard_core::gamma::{consecutive_deltas, DeltaStats, GammaPolicy};
+    pub use cliffguard_core::{move_workload, CliffGuard, CliffGuardConfig, EngineExt};
+    pub use cliffguard_designer::{
+        BenefitMatrix, CandidateGen, ColumnarCandidates, CompressingDesigner, GreedyDesigner,
+        IlpSelector, NominalDesigner, RowCandidates,
+    };
+    pub use cliffguard_distance::{
+        ClauseMask, DeltaEuclidean, DeltaLatency, DeltaSeparate, NeighborhoodSampler,
+        WorkloadDistance,
+    };
+    pub use cliffguard_robust::{descent_direction, testfns, BntOptimizer, CostFn};
+    pub use cliffguard_sim::{
+        ColumnarDesign, ColumnarEngine, Engine, Index, MatView, PhysicalDesign, Projection,
+        RowDesign, RowEngine, RowStructure,
+    };
+    pub use cliffguard_storage::{Catalog, CatalogGenerator, ColumnDef, ColumnStats, TableDef};
+    pub use cliffguard_workload::generator::{
+        DriftingGenerator, GeneratorConfig, SchemaShape, WorkloadProfile,
+    };
+    pub use cliffguard_workload::{
+        parser::parse_query, ColumnId, ColumnSet, PredOp, Query, QueryBuilder, QueryLog,
+        TableId, Workload,
+    };
+}

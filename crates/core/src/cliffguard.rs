@@ -1,0 +1,316 @@
+//! Algorithm 2: the CliffGuard robust designer.
+
+use crate::config::CliffGuardConfig;
+use crate::move_workload::move_workload;
+use cliffguard_distance::{NeighborhoodSampler, WorkloadDistance};
+use cliffguard_designer::NominalDesigner;
+use cliffguard_sim::Engine;
+use cliffguard_workload::{Query, Workload};
+use std::sync::Arc;
+
+/// Per-iteration trace of a CliffGuard run (for the Figure 13 experiment
+/// and for debugging).
+#[derive(Debug, Clone)]
+pub struct CliffGuardTrace {
+    /// Worst-case (over the sampled neighborhood) average latency after
+    /// each iteration, starting with the nominal design's.
+    pub worst_case_per_iter: Vec<f64>,
+    /// Number of designer invocations made (1 nominal + 1 per iteration).
+    pub designer_calls: usize,
+    /// Number of neighborhood samples actually obtained.
+    pub samples: usize,
+}
+
+/// The CliffGuard meta-designer: wraps a black-box nominal designer `D` and
+/// a workload distance `δ`, and produces designs robust against workload
+/// changes of up to Γ (the paper's Algorithm 2).
+pub struct CliffGuard<'a, E: Engine, D, M> {
+    engine: &'a E,
+    designer: &'a D,
+    metric: M,
+    config: CliffGuardConfig,
+}
+
+impl<'a, E, D, M> CliffGuard<'a, E, D, M>
+where
+    E: Engine,
+    D: NominalDesigner<E>,
+    M: WorkloadDistance + Copy,
+{
+    /// Creates a CliffGuard instance.
+    pub fn new(engine: &'a E, designer: &'a D, metric: M, config: CliffGuardConfig) -> Self {
+        config.validate();
+        Self { engine, designer, metric, config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CliffGuardConfig {
+        &self.config
+    }
+
+    /// Finds a robust design for `w0` within `budget_bytes`.
+    ///
+    /// `pool` is the candidate-query universe the Γ-neighborhood sampler
+    /// may draw perturbations from (e.g. the queries of all *past*
+    /// windows). Returns the design and a trace.
+    pub fn design(
+        &self,
+        w0: &Workload,
+        budget_bytes: u64,
+        pool: &[Arc<Query>],
+    ) -> (E::Design, CliffGuardTrace) {
+        let cfg = &self.config;
+        // Line 1: nominal design for W0.
+        let mut design = self.designer.design(w0, budget_bytes);
+        let mut trace = CliffGuardTrace {
+            worst_case_per_iter: Vec::new(),
+            designer_calls: 1,
+            samples: 0,
+        };
+        if w0.is_empty() || cfg.gamma <= 0.0 || cfg.max_iters == 0 {
+            // Γ = 0 degenerates to the nominal designer, by construction.
+            return (design, trace);
+        }
+
+        // Line 2: sample perturbed workloads in the Γ-neighborhood of W0.
+        let mut sampler = NeighborhoodSampler::new(self.metric, pool.to_vec(), cfg.seed);
+        let mut neighborhood = sampler.sample_neighborhood(w0, cfg.gamma, cfg.n_samples);
+        trace.samples = neighborhood.len();
+        if neighborhood.is_empty() {
+            // Thin pool: nothing to guard against; behave nominally.
+            return (design, trace);
+        }
+        // W0 itself lies in its own Γ-neighborhood (δ = 0 ≤ Γ), so the
+        // worst-case objective must cover it: a candidate that regresses
+        // the original workload is not a robust improvement.
+        neighborhood.push(w0.clone());
+
+        // Worst-case objective: max over the sampled neighborhood of the
+        // average query latency (workloads differ in total weight, so the
+        // weighted average is the comparable `f`).
+        let worst_case = |d: &E::Design| -> f64 {
+            neighborhood
+                .iter()
+                .map(|w| self.engine.workload_cost(w, d).avg_ms)
+                .fold(0.0, f64::max)
+        };
+        // Robustness is a *priced* trade of nominal optimality (Figure 2):
+        // each accepted move may spend some of W0's cost, but the total
+        // spend is bounded. This cap is what keeps CliffGuard "no worse
+        // than ExistingDesigner" even at extreme Γ (the paper's Section
+        // 6.5 observation): with scarce budget slots, unbounded minimax
+        // moves could cannibalize the original workload's coverage.
+        const MAX_NOMINAL_REGRESSION: f64 = 1.15;
+        let w0_cost = |d: &E::Design| self.engine.workload_cost(w0, d).avg_ms;
+        let w0_cap = w0_cost(&design) * MAX_NOMINAL_REGRESSION;
+
+        let mut alpha = cfg.alpha0;
+        let mut current_worst = worst_case(&design);
+        trace.worst_case_per_iter.push(current_worst);
+        let mut stale = 0usize;
+        // Worst neighbors of every *accepted* iteration so far. Feeding the
+        // accumulated set (not just the current worst) into MoveWorkload
+        // keeps earlier robust gains from being designed away: a fresh
+        // nominal design for "W0 + this iteration's worst only" would
+        // regress on the previously covered neighbors and be rejected,
+        // stalling the descent.
+        let mut accumulated: Vec<usize> = Vec::new();
+
+        for _ in 0..cfg.max_iters {
+            // Line 6: the worst neighbors under the current design (top
+            // worst_fraction, at least one).
+            let mut scored: Vec<(usize, f64)> = neighborhood
+                .iter()
+                .enumerate()
+                .map(|(i, w)| (i, self.engine.workload_cost(w, &design).avg_ms))
+                .collect();
+            scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+            let keep = ((neighborhood.len() as f64 * cfg.worst_fraction).ceil() as usize)
+                .clamp(1, neighborhood.len());
+            let current_worst_idx: Vec<usize> = scored[..keep].iter().map(|&(i, _)| i).collect();
+            let mut merged_idx = accumulated.clone();
+            for &i in &current_worst_idx {
+                if !merged_idx.contains(&i) {
+                    merged_idx.push(i);
+                }
+            }
+            let worst_refs: Vec<&Workload> =
+                merged_idx.iter().map(|&i| &neighborhood[i]).collect();
+
+            // Line 8: move the workload toward the worst neighbors.
+            let design_ref = &design;
+            let moved = move_workload(
+                w0,
+                &worst_refs,
+                |q| self.engine.query_latency_ms(q, design_ref),
+                alpha,
+            );
+
+            // Line 9: nominal design for the moved workload.
+            let candidate = self.designer.design(&moved, budget_bytes);
+            trace.designer_calls += 1;
+
+            // Lines 10–15: accept on worst-case improvement; adapt α.
+            let candidate_worst = worst_case(&candidate);
+            if candidate_worst < current_worst && w0_cost(&candidate) <= w0_cap {
+                design = candidate;
+                current_worst = candidate_worst;
+                alpha = (alpha * cfg.lambda_success)
+                    .clamp(cfg.alpha_range.0, cfg.alpha_range.1);
+                stale = 0;
+                for i in current_worst_idx {
+                    if !accumulated.contains(&i) {
+                        accumulated.push(i);
+                    }
+                }
+            } else {
+                alpha = (alpha * cfg.lambda_failure)
+                    .clamp(cfg.alpha_range.0, cfg.alpha_range.1);
+                stale += 1;
+            }
+            trace.worst_case_per_iter.push(current_worst);
+            if stale >= cfg.patience {
+                break; // Line 17: many iterations with no improvement.
+            }
+        }
+        (design, trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cliffguard_designer::{ColumnarCandidates, GreedyDesigner};
+    use cliffguard_distance::DeltaEuclidean;
+    use cliffguard_sim::{ColumnarEngine, PhysicalDesign};
+    use cliffguard_storage::{Catalog, ColumnDef, ColumnStats, TableDef};
+    use cliffguard_workload::{PredOp, QueryBuilder, TableId};
+
+    fn catalog() -> Catalog {
+        Catalog::new(vec![TableDef {
+            name: "fact".into(),
+            columns: (0..12)
+                .map(|i| ColumnDef {
+                    name: format!("c{i}"),
+                    width_bytes: 8,
+                    stats: ColumnStats::uniform(10_000),
+                })
+                .collect(),
+            rows: 8_000_000,
+        }])
+    }
+
+    fn query(sel: &[u32], filt: u32) -> cliffguard_workload::Query {
+        QueryBuilder::new(TableId(0))
+            .select(sel)
+            .filter(filt, PredOp::Eq, 0.001)
+            .build()
+    }
+
+    #[test]
+    fn gamma_zero_equals_nominal() {
+        let e = ColumnarEngine::new(catalog());
+        let nominal = GreedyDesigner::new(&e, ColumnarCandidates, "DBD");
+        let metric = DeltaEuclidean::new(12);
+        let cg = CliffGuard::new(&e, &nominal, metric, CliffGuardConfig::new(0.0));
+        let w0 = Workload::from_queries([(query(&[1, 2], 3), 10.0)]);
+        let pool: Vec<Arc<cliffguard_workload::Query>> =
+            (4..10).map(|i| Arc::new(query(&[i as u32], 3))).collect();
+        let (robust, trace) = cg.design(&w0, 10_000_000_000, &pool);
+        let nominal_design = nominal.design(&w0, 10_000_000_000);
+        assert_eq!(trace.designer_calls, 1);
+        assert_eq!(
+            robust.price_bytes(e.catalog()),
+            nominal_design.price_bytes(e.catalog())
+        );
+    }
+
+    #[test]
+    fn robust_design_covers_neighborhood_better() {
+        let e = ColumnarEngine::new(catalog());
+        let nominal = GreedyDesigner::new(&e, ColumnarCandidates, "DBD");
+        let metric = DeltaEuclidean::new(12);
+        // W0 uses columns {1,2}; the pool (≈ likely future) uses {5,6}.
+        let w0 = Workload::from_queries([(query(&[1, 2], 3), 100.0)]);
+        let pool: Vec<Arc<cliffguard_workload::Query>> = vec![
+            Arc::new(query(&[5, 6], 7)),
+            Arc::new(query(&[5, 8], 7)),
+            Arc::new(query(&[6, 9], 7)),
+        ];
+        let cfg = CliffGuardConfig::new(0.01);
+        let cg = CliffGuard::new(&e, &nominal, metric, cfg);
+        let (robust, trace) = cg.design(&w0, 10_000_000_000, &pool);
+        assert!(trace.designer_calls >= 2);
+        assert!(trace.samples > 0);
+
+        // The drifted workload: what the pool foreshadowed (the sampler
+        // mixes in a random subset of the pool, so test on all of it).
+        let drifted = Workload::from_queries([
+            (query(&[5, 6], 7), 100.0),
+            (query(&[5, 8], 7), 100.0),
+            (query(&[6, 9], 7), 100.0),
+        ]);
+        let nominal_design = nominal.design(&w0, 10_000_000_000);
+        let robust_cost = e.workload_cost(&drifted, &robust).avg_ms;
+        let nominal_cost = e.workload_cost(&drifted, &nominal_design).avg_ms;
+        assert!(
+            robust_cost < nominal_cost,
+            "robust {robust_cost} should beat nominal {nominal_cost} on drifted workload"
+        );
+    }
+
+    #[test]
+    fn worst_case_trace_is_monotone_nonincreasing() {
+        let e = ColumnarEngine::new(catalog());
+        let nominal = GreedyDesigner::new(&e, ColumnarCandidates, "DBD");
+        let metric = DeltaEuclidean::new(12);
+        let w0 = Workload::from_queries([
+            (query(&[1, 2], 3), 50.0),
+            (query(&[2, 4], 3), 50.0),
+        ]);
+        let pool: Vec<Arc<cliffguard_workload::Query>> =
+            (5..11).map(|i| Arc::new(query(&[i as u32, i as u32 + 1], 3))).collect();
+        let cg = CliffGuard::new(&e, &nominal, metric, CliffGuardConfig::new(0.005));
+        let (_, trace) = cg.design(&w0, 10_000_000_000, &pool);
+        for w in trace.worst_case_per_iter.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "worst case increased: {:?}", trace.worst_case_per_iter);
+        }
+    }
+
+    #[test]
+    fn empty_workload_returns_empty_design() {
+        let e = ColumnarEngine::new(catalog());
+        let nominal = GreedyDesigner::new(&e, ColumnarCandidates, "DBD");
+        let metric = DeltaEuclidean::new(12);
+        let cg = CliffGuard::new(&e, &nominal, metric, CliffGuardConfig::new(0.01));
+        let (d, _) = cg.design(&Workload::new(), 1_000_000, &[]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn empty_pool_degrades_to_nominal() {
+        let e = ColumnarEngine::new(catalog());
+        let nominal = GreedyDesigner::new(&e, ColumnarCandidates, "DBD");
+        let metric = DeltaEuclidean::new(12);
+        let cg = CliffGuard::new(&e, &nominal, metric, CliffGuardConfig::new(0.01));
+        let w0 = Workload::from_queries([(query(&[1, 2], 3), 10.0)]);
+        let (d, trace) = cg.design(&w0, 10_000_000_000, &[]);
+        assert_eq!(trace.designer_calls, 1);
+        assert_eq!(trace.samples, 0);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn budget_respected() {
+        let e = ColumnarEngine::new(catalog());
+        let nominal = GreedyDesigner::new(&e, ColumnarCandidates, "DBD");
+        let metric = DeltaEuclidean::new(12);
+        let w0 = Workload::from_queries([(query(&[1, 2], 3), 10.0)]);
+        let pool: Vec<Arc<cliffguard_workload::Query>> =
+            (4..10).map(|i| Arc::new(query(&[i as u32], 3))).collect();
+        let budget = 400_000_000;
+        let cg = CliffGuard::new(&e, &nominal, metric, CliffGuardConfig::new(0.01));
+        let (d, _) = cg.design(&w0, budget, &pool);
+        assert!(d.price_bytes(e.catalog()) <= budget);
+    }
+}

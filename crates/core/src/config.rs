@@ -1,0 +1,102 @@
+//! CliffGuard configuration.
+
+/// Tuning knobs of [`crate::CliffGuard`] (Algorithm 2).
+///
+/// Defaults follow the paper's Section 6.1: "unless otherwise specified, we
+/// used n=20 samples in all algorithms involving sampling, and 5
+/// iterations, λ_success = 5, and λ_failure = 0.5 in CliffGuard."
+#[derive(Debug, Clone)]
+pub struct CliffGuardConfig {
+    /// The robustness knob Γ: the radius of the uncertainty region around
+    /// the target workload, in units of the workload distance metric.
+    pub gamma: f64,
+    /// Number of perturbed workloads sampled in the Γ-neighborhood (`n`).
+    pub n_samples: usize,
+    /// Maximum robust-move iterations.
+    pub max_iters: usize,
+    /// Initial scaling factor α for the worst-neighbor mixture weights.
+    pub alpha0: f64,
+    /// Step-size growth on a successful move (`λ_success > 1`).
+    pub lambda_success: f64,
+    /// Step-size shrink on a failed move (`0 < λ_failure < 1`).
+    pub lambda_failure: f64,
+    /// Fraction of sampled neighbors treated as "worst" (the paper loosens
+    /// the ArgMax to "top-K or top 20%" to mitigate finite-sample bias).
+    pub worst_fraction: f64,
+    /// Stop after this many consecutive non-improving iterations.
+    pub patience: usize,
+    /// α is clamped to this range to keep the mixture weights finite (the
+    /// paper leaves the numeric range of α unspecified).
+    pub alpha_range: (f64, f64),
+    /// Seed for the neighborhood sampler.
+    pub seed: u64,
+}
+
+impl CliffGuardConfig {
+    /// The paper's defaults for a given Γ.
+    pub fn new(gamma: f64) -> Self {
+        Self {
+            gamma,
+            n_samples: 20,
+            max_iters: 5,
+            alpha0: 1.0,
+            lambda_success: 5.0,
+            lambda_failure: 0.5,
+            worst_fraction: 0.3,
+            patience: 3,
+            alpha_range: (1.0 / 64.0, 4.0),
+            seed: 0,
+        }
+    }
+
+    /// Validates invariants; panics on nonsense parameters.
+    pub fn validate(&self) {
+        assert!(self.gamma >= 0.0, "gamma must be non-negative");
+        assert!(self.lambda_success > 1.0, "lambda_success must exceed 1");
+        assert!(
+            self.lambda_failure > 0.0 && self.lambda_failure < 1.0,
+            "lambda_failure must be in (0,1)"
+        );
+        assert!(
+            self.worst_fraction > 0.0 && self.worst_fraction <= 1.0,
+            "worst_fraction must be in (0,1]"
+        );
+        assert!(self.alpha0 > 0.0, "alpha0 must be positive");
+        assert!(self.alpha_range.0 <= self.alpha_range.1);
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = CliffGuardConfig::new(0.002);
+        assert_eq!(c.n_samples, 20);
+        assert_eq!(c.max_iters, 5);
+        assert_eq!(c.lambda_success, 5.0);
+        assert_eq!(c.lambda_failure, 0.5);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda_failure")]
+    fn bad_lambda_rejected() {
+        let mut c = CliffGuardConfig::new(0.1);
+        c.lambda_failure = 1.5;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn negative_gamma_rejected() {
+        CliffGuardConfig::new(-0.1).validate();
+    }
+}

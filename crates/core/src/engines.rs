@@ -1,0 +1,101 @@
+//! Engine extensions used by the evaluation protocol.
+
+use cliffguard_designer::{ColumnarCandidates, RowCandidates};
+use cliffguard_sim::{ColumnarDesign, ColumnarEngine, Engine, PhysicalDesign, RowDesign, RowEngine};
+use cliffguard_workload::Query;
+
+/// Per-query ideal-design construction.
+///
+/// Section 6.4 keeps "only … queries for which there existed an ideal
+/// design (no matter how expensive) that could improve on their bare
+/// table-scan latency by at least a factor of 3×". The ideal design for a
+/// query is the design tailored to exactly that query.
+pub trait EngineExt: Engine {
+    /// The best design money could buy for this single query.
+    fn ideal_design_for(&self, q: &Query) -> Self::Design;
+
+    /// Latency under the ideal design.
+    fn ideal_latency_ms(&self, q: &Query) -> f64 {
+        self.query_latency_ms(q, &self.ideal_design_for(q))
+    }
+
+    /// Latency under the empty design (bare scan).
+    fn bare_latency_ms(&self, q: &Query) -> f64 {
+        self.query_latency_ms(q, &Self::Design::default())
+    }
+
+    /// Whether a physical design can speed this query up by ≥ `factor`.
+    fn designable(&self, q: &Query, factor: f64) -> bool {
+        self.ideal_latency_ms(q) * factor <= self.bare_latency_ms(q)
+    }
+}
+
+impl EngineExt for ColumnarEngine {
+    fn ideal_design_for(&self, q: &Query) -> ColumnarDesign {
+        let mut tables = vec![q.anchor];
+        tables.extend(q.joins.iter().copied());
+        let projections = tables
+            .into_iter()
+            .filter_map(|t| ColumnarCandidates::tailored(self, q, t))
+            .collect();
+        ColumnarDesign::from_structures(projections)
+    }
+}
+
+impl EngineExt for RowEngine {
+    fn ideal_design_for(&self, q: &Query) -> RowDesign {
+        RowDesign::from_structures(RowCandidates::tailored(self, q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cliffguard_storage::{Catalog, ColumnDef, ColumnStats, TableDef};
+    use cliffguard_workload::{PredOp, QueryBuilder, TableId};
+
+    fn catalog() -> Catalog {
+        Catalog::new(vec![TableDef {
+            name: "fact".into(),
+            columns: (0..6)
+                .map(|i| ColumnDef {
+                    name: format!("c{i}"),
+                    width_bytes: 8,
+                    stats: ColumnStats::uniform(100_000),
+                })
+                .collect(),
+            rows: 20_000_000,
+        }])
+    }
+
+    #[test]
+    fn selective_query_is_designable() {
+        let e = ColumnarEngine::new(catalog());
+        let q = QueryBuilder::new(TableId(0))
+            .select(&[2])
+            .filter(1, PredOp::Eq, 0.0001)
+            .build();
+        assert!(e.designable(&q, 3.0));
+        assert!(e.ideal_latency_ms(&q) < e.bare_latency_ms(&q));
+    }
+
+    #[test]
+    fn full_scan_is_not_designable() {
+        let e = ColumnarEngine::new(catalog());
+        // Selects everything, filters nothing: no design can help 3x.
+        let q = QueryBuilder::new(TableId(0)).select(&[0, 1, 2, 3, 4, 5]).build();
+        assert!(!e.designable(&q, 3.0));
+    }
+
+    #[test]
+    fn row_engine_designability() {
+        let e = RowEngine::new(catalog());
+        let selective = QueryBuilder::new(TableId(0))
+            .select(&[2])
+            .filter(1, PredOp::Eq, 0.00001)
+            .build();
+        assert!(e.designable(&selective, 3.0));
+        let scan = QueryBuilder::new(TableId(0)).select(&[0, 1, 2]).build();
+        assert!(!e.designable(&scan, 3.0));
+    }
+}

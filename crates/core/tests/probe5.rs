@@ -1,0 +1,50 @@
+#[test]
+#[ignore = "diagnostic"]
+fn probe5() {
+    use cliffguard_core::gamma::*;
+    use cliffguard_core::*;
+    use cliffguard_designer::*;
+    use cliffguard_distance::*;
+    use cliffguard_sim::*;
+    use cliffguard_storage::*;
+    use cliffguard_workload::generator::*;
+    use std::sync::Arc;
+
+    let mut config = WorkloadProfile::R1.config(42).scaled(1.0);
+    config.n_windows = 8;
+    let mut generator = DriftingGenerator::new(config.clone());
+    let shape = generator.shape().clone();
+    let windows = generator.generate().windows_days(config.window_days);
+    let catalog = CatalogGenerator { fact_rows: 40_000_000, ..CatalogGenerator::default() }.generate(&shape);
+    let engine = ColumnarEngine::new(catalog);
+    let data: u64 = engine.catalog().tables().map(|t| engine.catalog().table(t).rows * engine.catalog().table(t).row_width()).sum();
+    let budget = (data as f64 * 0.3) as u64;
+    println!("data {} MB budget {} MB", data >> 20, budget >> 20);
+    let metric = DeltaEuclidean::new(shape.column_count());
+    let nominal = GreedyDesigner::new(&engine, ColumnarCandidates, "DBD");
+    let deltas = consecutive_deltas(&metric, &windows);
+
+    let mut pool: Vec<Arc<cliffguard_workload::Query>> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for i in 0..windows.len() - 1 {
+        for q in windows[i].queries() {
+            if seen.insert(q.signature()) { pool.push(Arc::clone(q)); }
+        }
+        if i < 2 { continue; }
+        if i > 4 { break; }
+        let gamma = 1.5 * deltas[..i].iter().cloned().fold(0.0, f64::max);
+        let mut cfg = CliffGuardConfig::new(gamma);
+        cfg.seed = 42 ^ i as u64;
+        let cg = CliffGuard::new(&engine, &nominal, metric, cfg);
+        let (d, trace) = cg.design(&windows[i], budget, &pool);
+        let dn = nominal.design(&windows[i], budget);
+        let test = &windows[i + 1];
+        println!("win {i}: distinct={} pool={} gamma={gamma:.3} samples={} calls={} worst={:?}",
+            windows[i].len(), pool.len(), trace.samples, trace.designer_calls,
+            trace.worst_case_per_iter.iter().map(|x| x.round()).collect::<Vec<_>>());
+        println!("   price cg={}MB nom={}MB structs cg={} nom={} | next avg cg={:.0} nom={:.0}",
+            d.price_bytes(engine.catalog()) >> 20, dn.price_bytes(engine.catalog()) >> 20,
+            d.len(), dn.len(),
+            engine.workload_cost(test, &d).avg_ms, engine.workload_cost(test, &dn).avg_ms);
+    }
+}

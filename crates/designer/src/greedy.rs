@@ -1,0 +1,294 @@
+//! Greedy benefit/price designer — the nominal black box.
+//!
+//! The standard commercial-advisor recipe: evaluate each candidate's
+//! standalone benefit per query once (the *atomic configuration*
+//! approximation: each query is served by its single best structure), then
+//! repeatedly add the candidate with the highest benefit-per-byte until the
+//! budget is exhausted or nothing helps. This is deliberately a *nominal*
+//! designer: it optimizes exactly the workload it is given, overfitting and
+//! all — which is precisely the brittleness CliffGuard exists to fix.
+
+use crate::traits::{CandidateGen, NominalDesigner};
+use cliffguard_sim::{Engine, PhysicalDesign};
+use cliffguard_workload::Workload;
+
+/// Minimum total-ms gain for a structure to be worth adding.
+const MIN_GAIN_MS: f64 = 1e-6;
+
+/// Precomputed per-(query, candidate) standalone latencies.
+///
+/// Shared by the greedy designer and the ILP selector so both optimize the
+/// same objective.
+pub struct BenefitMatrix<S> {
+    /// The candidate structures.
+    pub candidates: Vec<S>,
+    /// Price (bytes) of each candidate.
+    pub prices: Vec<u64>,
+    /// Per distinct query: raw weight and latency under the empty design.
+    weights: Vec<f64>,
+    base: Vec<f64>,
+    /// `lat[c][q]`: latency of query `q` under the design `{candidate c}`.
+    lat: Vec<Vec<f64>>,
+}
+
+impl<S: Clone> BenefitMatrix<S> {
+    /// Builds the matrix: one engine evaluation per (query, candidate).
+    pub fn build<E>(engine: &E, w: &Workload, candidates: Vec<S>) -> Self
+    where
+        E: Engine,
+        E::Design: PhysicalDesign<Structure = S>,
+    {
+        let queries: Vec<_> = w.iter().map(|(q, wt)| (q.clone(), wt)).collect();
+        let empty = E::Design::default();
+        let base: Vec<f64> = queries
+            .iter()
+            .map(|(q, _)| engine.query_latency_ms(q, &empty))
+            .collect();
+        let prices: Vec<u64> = candidates
+            .iter()
+            .map(|c| E::Design::structure_price(c, engine.catalog()))
+            .collect();
+        let lat: Vec<Vec<f64>> = candidates
+            .iter()
+            .map(|c| {
+                let d = E::Design::from_structures(vec![c.clone()]);
+                queries
+                    .iter()
+                    .map(|(q, _)| engine.query_latency_ms(q, &d))
+                    .collect()
+            })
+            .collect();
+        Self {
+            candidates,
+            prices,
+            weights: queries.iter().map(|(_, wt)| *wt).collect(),
+            base,
+            lat,
+        }
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether there are no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// Weighted total latency of the workload when each query picks its
+    /// best structure from `chosen` (or the base design).
+    pub fn cost_of_set(&self, chosen: &[usize]) -> f64 {
+        self.weights
+            .iter()
+            .enumerate()
+            .map(|(q, wt)| {
+                let best = chosen
+                    .iter()
+                    .map(|&c| self.lat[c][q])
+                    .fold(self.base[q], f64::min);
+                wt * best
+            })
+            .sum()
+    }
+
+    /// Marginal gain (total weighted ms saved) of adding candidate `c` when
+    /// queries currently run at `current` latencies.
+    fn gain(&self, current: &[f64], c: usize) -> f64 {
+        self.weights
+            .iter()
+            .enumerate()
+            .map(|(q, wt)| wt * (current[q] - self.lat[c][q]).max(0.0))
+            .sum()
+    }
+
+    /// Standalone gain of a candidate against the base design.
+    pub fn standalone_gain(&self, c: usize) -> f64 {
+        self.gain(&self.base, c)
+    }
+
+    /// Greedy benefit-per-byte selection under a byte budget. Returns the
+    /// chosen candidate indices in selection order.
+    pub fn greedy_select(&self, budget_bytes: u64) -> Vec<usize> {
+        let mut current = self.base.clone();
+        let mut remaining = budget_bytes;
+        let mut chosen: Vec<usize> = Vec::new();
+        let mut available: Vec<usize> = (0..self.candidates.len()).collect();
+        loop {
+            let mut best: Option<(usize, f64)> = None;
+            for (slot, &c) in available.iter().enumerate() {
+                if self.prices[c] > remaining {
+                    continue;
+                }
+                let g = self.gain(&current, c);
+                if g <= MIN_GAIN_MS {
+                    continue;
+                }
+                let density = g / (self.prices[c].max(1) as f64);
+                if best.map_or(true, |(_, bd)| density > bd) {
+                    best = Some((slot, density));
+                }
+            }
+            let Some((slot, _)) = best else { break };
+            let c = available.swap_remove(slot);
+            remaining -= self.prices[c];
+            for (q, cur) in current.iter_mut().enumerate() {
+                *cur = cur.min(self.lat[c][q]);
+            }
+            chosen.push(c);
+        }
+        chosen
+    }
+}
+
+/// The greedy nominal designer: candidate generation + greedy selection.
+pub struct GreedyDesigner<'e, E, G> {
+    engine: &'e E,
+    generator: G,
+    label: String,
+}
+
+impl<'e, E: Engine, G: CandidateGen<E>> GreedyDesigner<'e, E, G> {
+    /// Creates the designer.
+    pub fn new(engine: &'e E, generator: G, label: impl Into<String>) -> Self {
+        Self { engine, generator, label: label.into() }
+    }
+
+    /// The engine this designer targets.
+    pub fn engine(&self) -> &'e E {
+        self.engine
+    }
+
+    /// Builds the benefit matrix for a workload (exposed for the baselines
+    /// that share it).
+    pub fn matrix(&self, w: &Workload) -> BenefitMatrix<<E::Design as PhysicalDesign>::Structure> {
+        let candidates = self.generator.candidates(self.engine, w);
+        BenefitMatrix::build(self.engine, w, candidates)
+    }
+}
+
+impl<E: Engine, G: CandidateGen<E>> NominalDesigner<E> for GreedyDesigner<'_, E, G> {
+    fn design(&self, w: &Workload, budget_bytes: u64) -> E::Design {
+        if w.is_empty() {
+            return E::Design::default();
+        }
+        let m = self.matrix(w);
+        let chosen = m.greedy_select(budget_bytes);
+        E::Design::from_structures(chosen.into_iter().map(|c| m.candidates[c].clone()).collect())
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::ColumnarCandidates;
+    use cliffguard_sim::{ColumnarDesign, ColumnarEngine};
+    use cliffguard_storage::{Catalog, ColumnDef, ColumnStats, TableDef};
+    use cliffguard_workload::{PredOp, QueryBuilder, TableId};
+
+    fn catalog() -> Catalog {
+        Catalog::new(vec![TableDef {
+            name: "fact".into(),
+            columns: (0..8)
+                .map(|i| ColumnDef {
+                    name: format!("c{i}"),
+                    width_bytes: 8,
+                    stats: ColumnStats::uniform(10_000),
+                })
+                .collect(),
+            rows: 8_000_000,
+        }])
+    }
+
+    fn workload() -> Workload {
+        Workload::from_queries([
+            (
+                QueryBuilder::new(TableId(0)).select(&[2]).filter(1, PredOp::Eq, 0.001).build(),
+                10.0,
+            ),
+            (
+                QueryBuilder::new(TableId(0)).select(&[3, 4]).filter(5, PredOp::Eq, 0.001).build(),
+                5.0,
+            ),
+            (
+                QueryBuilder::new(TableId(0)).select(&[6]).build(), // unhelpable scan
+                1.0,
+            ),
+        ])
+    }
+
+    #[test]
+    fn greedy_design_reduces_cost_within_budget() {
+        let e = ColumnarEngine::new(catalog());
+        let d = GreedyDesigner::new(&e, ColumnarCandidates, "DBD");
+        let w = workload();
+        let budget = 2_000_000_000; // 2 GB
+        let design = d.design(&w, budget);
+        assert!(!design.is_empty());
+        assert!(design.price_bytes(e.catalog()) <= budget);
+        let tuned = e.cost_f(&w, &design);
+        let bare = e.cost_f(&w, &ColumnarDesign::empty());
+        assert!(tuned < bare / 2.0, "tuned {tuned} vs bare {bare}");
+    }
+
+    #[test]
+    fn zero_budget_yields_empty_design() {
+        let e = ColumnarEngine::new(catalog());
+        let d = GreedyDesigner::new(&e, ColumnarCandidates, "DBD");
+        let design = d.design(&workload(), 0);
+        assert!(design.is_empty());
+    }
+
+    #[test]
+    fn empty_workload_yields_empty_design() {
+        let e = ColumnarEngine::new(catalog());
+        let d = GreedyDesigner::new(&e, ColumnarCandidates, "DBD");
+        assert!(d.design(&Workload::new(), u64::MAX).is_empty());
+        assert_eq!(d.name(), "DBD");
+    }
+
+    #[test]
+    fn matrix_cost_of_set_matches_greedy_intuition() {
+        let e = ColumnarEngine::new(catalog());
+        let d = GreedyDesigner::new(&e, ColumnarCandidates, "DBD");
+        let w = workload();
+        let m = d.matrix(&w);
+        assert!(!m.is_empty());
+        let all: Vec<usize> = (0..m.len()).collect();
+        // More structures never hurt under the atomic model.
+        assert!(m.cost_of_set(&all) <= m.cost_of_set(&[]) + 1e-9);
+        // Standalone gains are non-negative.
+        for c in 0..m.len() {
+            assert!(m.standalone_gain(c) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn greedy_respects_budget_exactly() {
+        let e = ColumnarEngine::new(catalog());
+        let d = GreedyDesigner::new(&e, ColumnarCandidates, "DBD");
+        let w = workload();
+        let m = d.matrix(&w);
+        // Budget big enough for exactly the cheapest useful candidate.
+        let min_price = *m.prices.iter().min().unwrap();
+        let chosen = m.greedy_select(min_price);
+        let spent: u64 = chosen.iter().map(|&c| m.prices[c]).sum();
+        assert!(spent <= min_price);
+    }
+
+    #[test]
+    fn larger_budget_never_worse() {
+        let e = ColumnarEngine::new(catalog());
+        let d = GreedyDesigner::new(&e, ColumnarCandidates, "DBD");
+        let w = workload();
+        let m = d.matrix(&w);
+        let small = m.cost_of_set(&m.greedy_select(500_000_000));
+        let large = m.cost_of_set(&m.greedy_select(5_000_000_000));
+        assert!(large <= small + 1e-9);
+    }
+}

@@ -1,0 +1,21 @@
+//! Designer abstractions.
+
+use cliffguard_sim::Engine;
+use cliffguard_workload::Workload;
+
+/// A nominal designer `D(W, B)` — formulation (1) of the paper: given a
+/// target workload and a storage budget, produce a design that (greedily /
+/// approximately) minimizes `f(W, D)`.
+pub trait NominalDesigner<E: Engine> {
+    /// Produces a design for the workload within `budget_bytes`.
+    fn design(&self, w: &Workload, budget_bytes: u64) -> E::Design;
+
+    /// Designer name for reports.
+    fn name(&self) -> String;
+}
+
+/// Enumerates candidate structures for a workload on a given engine.
+pub trait CandidateGen<E: Engine> {
+    /// Candidate structures worth considering for `w` (deduplicated).
+    fn candidates(&self, engine: &E, w: &Workload) -> Vec<<E::Design as cliffguard_sim::PhysicalDesign>::Structure>;
+}

@@ -1,0 +1,322 @@
+//! Sampling the workload space (Appendix B, Algorithm 4).
+//!
+//! CliffGuard's neighborhood exploration needs `n` perturbed workloads
+//! `W_1 … W_n` with `δ(W_0, W_i) ≤ Γ`. Algorithm 4 reduces this to: given a
+//! target distance `α`, find a disjoint query set `Q` with
+//! `β = δ(W_0, Q) > α`, set `λ = √(α/β)` and `c = n·λ / (k·(1−λ))`, and
+//! return `W_1 = W_0 ⊎ ⌊c⌋ · Q`.
+//!
+//! Why it works: mixing `c` copies of each of the `k` fresh queries into
+//! `W_0` shifts exactly a `λ' = ck/(n+ck) = λ` fraction of the normalized
+//! mass onto `Q`, so the difference vector is `λ` times the difference
+//! vector between `W_0` and `Q` and the quadratic form scales by `λ²`:
+//! `δ(W_0, W_1) = λ²·β = α`. Flooring `c` can only undershoot, so the
+//! `δ ≤ Γ` guarantee is preserved.
+
+use crate::metric::WorkloadDistance;
+use cliffguard_workload::{Query, Workload};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// Failure modes of the sampler.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleError {
+    /// The candidate pool (minus `W_0`'s own queries) cannot reach the
+    /// requested distance: no subset tried had `δ(W_0, Q) > α`.
+    PoolExhausted {
+        /// The α that could not be met.
+        requested: f64,
+        /// The largest β observed while trying.
+        best_observed: f64,
+    },
+    /// `W_0` has no queries to perturb around.
+    EmptyWorkload,
+}
+
+impl std::fmt::Display for SampleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SampleError::PoolExhausted { requested, best_observed } => write!(
+                f,
+                "candidate pool cannot reach distance {requested} (best β observed: {best_observed})"
+            ),
+            SampleError::EmptyWorkload => write!(f, "cannot sample around an empty workload"),
+        }
+    }
+}
+
+impl std::error::Error for SampleError {}
+
+/// Draws perturbed workloads in the Γ-neighborhood of a given workload.
+pub struct NeighborhoodSampler<D> {
+    metric: D,
+    pool: Vec<Arc<Query>>,
+    rng: ChaCha8Rng,
+    /// Maximum queries per disjoint set `Q` (the paper reports success with
+    /// `k ≤ 5`; we allow a little slack).
+    max_k: usize,
+    /// Preferred `k` tried first: richer perturbations (more fresh queries
+    /// per neighbor) make the neighborhood representative of real drift,
+    /// where whole topics shift at once.
+    preferred_k: usize,
+    /// Random subsets tried per `k` before growing `k`.
+    tries_per_k: usize,
+}
+
+impl<D: WorkloadDistance> NeighborhoodSampler<D> {
+    /// Creates a sampler over a candidate query pool (e.g. the queries of
+    /// all *past* windows — never future ones).
+    pub fn new(metric: D, pool: Vec<Arc<Query>>, seed: u64) -> Self {
+        Self {
+            metric,
+            pool,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            max_k: 8,
+            preferred_k: 5,
+            tries_per_k: 24,
+        }
+    }
+
+    /// The underlying metric.
+    pub fn metric(&self) -> &D {
+        &self.metric
+    }
+
+    /// Algorithm 4: returns `W_1` with `δ(W_0, W_1) ≤ α` and as close to
+    /// `α` as the integer copy count allows.
+    pub fn sample_at(&mut self, w0: &Workload, alpha: f64) -> Result<Workload, SampleError> {
+        if w0.is_empty() {
+            return Err(SampleError::EmptyWorkload);
+        }
+        if alpha <= 0.0 {
+            return Ok(w0.clone());
+        }
+        // Candidates not already contained in W0.
+        let fresh: Vec<Arc<Query>> = self
+            .pool
+            .iter()
+            .filter(|q| w0.weight_of(q) == 0.0)
+            .cloned()
+            .collect();
+        if fresh.is_empty() {
+            return Err(SampleError::PoolExhausted { requested: alpha, best_observed: 0.0 });
+        }
+
+        let mut best_beta = 0.0f64;
+        let max_k = self.max_k.min(fresh.len());
+        let preferred = self.preferred_k.min(max_k).max(1);
+        let ks = std::iter::once(preferred).chain((1..=max_k).filter(|&k| k != preferred));
+        // Fallback with 1 ≤ c < MIN_COPIES (coarse quantization), used only
+        // if no subset allows an accurate copy count.
+        const MIN_COPIES: f64 = 4.0;
+        let mut coarse: Option<(Vec<Arc<Query>>, f64)> = None;
+        for k in ks {
+            for _ in 0..self.tries_per_k {
+                let q_set = self.draw_subset(&fresh, k);
+                let q_workload = Workload::from_queries(
+                    q_set.iter().map(|q| ((**q).clone(), 1.0)),
+                );
+                // Guard against signature collisions shrinking the set.
+                if q_workload.len() != k {
+                    continue;
+                }
+                let beta = self.metric.distance(w0, &q_workload);
+                best_beta = best_beta.max(beta);
+                if beta > alpha {
+                    let lambda = (alpha / beta).sqrt();
+                    let n = w0.total_weight();
+                    let c = (n * lambda / (k as f64 * (1.0 - lambda))).floor();
+                    if c < 1.0 {
+                        // α too small for this k (the integer copy count
+                        // floors to zero); a smaller k gives a larger c,
+                        // so keep trying.
+                        continue;
+                    }
+                    if c < MIN_COPIES {
+                        // Flooring would undershoot α badly; remember as a
+                        // fallback but prefer a finer-grained k.
+                        coarse.get_or_insert((q_set, c));
+                        continue;
+                    }
+                    let mut w1 = w0.clone();
+                    for q in &q_set {
+                        w1.add(Arc::clone(q), c);
+                    }
+                    return Ok(w1);
+                }
+            }
+        }
+        if let Some((q_set, c)) = coarse {
+            let mut w1 = w0.clone();
+            for q in &q_set {
+                w1.add(Arc::clone(q), c);
+            }
+            return Ok(w1);
+        }
+        if best_beta > alpha {
+            // Every subset that cleared α floored to zero copies: the
+            // perturbation is below the integer-copy resolution; W0 itself
+            // is the only point that close.
+            return Ok(w0.clone());
+        }
+        Err(SampleError::PoolExhausted { requested: alpha, best_observed: best_beta })
+    }
+
+    /// Samples `count` perturbed workloads with distances uniform in
+    /// `(0, gamma]` (Algorithm 2, line 2). Unreachable α values are skipped,
+    /// so fewer than `count` samples may be returned when the pool is thin;
+    /// an empty result only happens if *every* draw failed.
+    pub fn sample_neighborhood(
+        &mut self,
+        w0: &Workload,
+        gamma: f64,
+        count: usize,
+    ) -> Vec<Workload> {
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let alpha = self.rng.random::<f64>() * gamma;
+            if let Ok(w) = self.sample_at(w0, alpha) {
+                out.push(w);
+            }
+        }
+        out
+    }
+
+    fn draw_subset(&mut self, fresh: &[Arc<Query>], k: usize) -> Vec<Arc<Query>> {
+        let mut idx: Vec<usize> = (0..fresh.len()).collect();
+        // partial Fisher–Yates
+        for i in 0..k {
+            let j = self.rng.random_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        idx[..k].iter().map(|&i| Arc::clone(&fresh[i])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::euclidean::DeltaEuclidean;
+    use cliffguard_workload::{Query, QueryBuilder, TableId};
+
+    const N: usize = 32;
+
+    fn q(sel: &[u32]) -> Query {
+        QueryBuilder::new(TableId(0)).select(sel).build()
+    }
+
+    fn base_workload() -> Workload {
+        Workload::from_queries([
+            (q(&[1, 2]), 40.0),
+            (q(&[2, 3]), 30.0),
+            (q(&[4]), 30.0),
+        ])
+    }
+
+    fn pool() -> Vec<Arc<Query>> {
+        (5..30u32)
+            .map(|i| Arc::new(q(&[i, i + 1, (i * 7) % 30])))
+            .collect()
+    }
+
+    #[test]
+    fn sampled_distance_close_to_target_and_bounded() {
+        let metric = DeltaEuclidean::new(N);
+        let mut s = NeighborhoodSampler::new(metric, pool(), 7);
+        let w0 = base_workload();
+        for alpha in [0.0005, 0.002, 0.01] {
+            let w1 = s.sample_at(&w0, alpha).unwrap();
+            let d = metric.distance(&w0, &w1);
+            assert!(d <= alpha * 1.0001, "overshoot: {d} > {alpha}");
+            assert!(d >= alpha * 0.5, "undershoot: {d} < half of {alpha}");
+        }
+    }
+
+    #[test]
+    fn zero_alpha_returns_w0() {
+        let metric = DeltaEuclidean::new(N);
+        let mut s = NeighborhoodSampler::new(metric, pool(), 7);
+        let w0 = base_workload();
+        let w1 = s.sample_at(&w0, 0.0).unwrap();
+        assert_eq!(metric.distance(&w0, &w1), 0.0);
+        assert_eq!(w1.len(), w0.len());
+    }
+
+    #[test]
+    fn neighborhood_within_gamma() {
+        let metric = DeltaEuclidean::new(N);
+        let mut s = NeighborhoodSampler::new(metric, pool(), 13);
+        let w0 = base_workload();
+        let gamma = 0.005;
+        let samples = s.sample_neighborhood(&w0, gamma, 20);
+        assert!(!samples.is_empty());
+        for w in &samples {
+            assert!(metric.distance(&w0, w) <= gamma * 1.0001);
+        }
+    }
+
+    #[test]
+    fn sampled_workload_contains_original() {
+        // Per Algorithm 4, W1 ⊇ W0 (queries are only added).
+        let metric = DeltaEuclidean::new(N);
+        let mut s = NeighborhoodSampler::new(metric, pool(), 3);
+        let w0 = base_workload();
+        let w1 = s.sample_at(&w0, 0.003).unwrap();
+        for (query, wt) in w0.iter() {
+            assert!(w1.weight_of(query) >= wt);
+        }
+        assert!(w1.total_weight() > w0.total_weight());
+    }
+
+    #[test]
+    fn empty_workload_rejected() {
+        let metric = DeltaEuclidean::new(N);
+        let mut s = NeighborhoodSampler::new(metric, pool(), 3);
+        assert!(matches!(
+            s.sample_at(&Workload::new(), 0.1),
+            Err(SampleError::EmptyWorkload)
+        ));
+    }
+
+    #[test]
+    fn exhausted_pool_reported() {
+        let metric = DeltaEuclidean::new(N);
+        // Pool = exactly W0's queries → nothing fresh to mix in.
+        let w0 = base_workload();
+        let own: Vec<Arc<Query>> = w0.queries().cloned().collect();
+        let mut s = NeighborhoodSampler::new(metric, own, 3);
+        match s.sample_at(&w0, 0.01) {
+            Err(SampleError::PoolExhausted { .. }) => {}
+            other => panic!("expected PoolExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unreachable_alpha_reported() {
+        let metric = DeltaEuclidean::new(N);
+        let mut s = NeighborhoodSampler::new(metric, pool(), 3);
+        let w0 = base_workload();
+        // α = 0.9 is far beyond what this pool can produce (β ≲ 0.1).
+        match s.sample_at(&w0, 0.9) {
+            Err(SampleError::PoolExhausted { best_observed, .. }) => {
+                assert!(best_observed < 0.9);
+            }
+            other => panic!("expected PoolExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let metric = DeltaEuclidean::new(N);
+        let w0 = base_workload();
+        let mut s1 = NeighborhoodSampler::new(metric, pool(), 99);
+        let mut s2 = NeighborhoodSampler::new(metric, pool(), 99);
+        let a = s1.sample_neighborhood(&w0, 0.004, 5);
+        let b = s2.sample_neighborhood(&w0, 0.004, 5);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(metric.distance(x, y), 0.0);
+        }
+    }
+}

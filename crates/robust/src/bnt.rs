@@ -1,0 +1,163 @@
+//! Algorithm 1: the full BNT robust-optimization loop.
+
+use crate::descent::descent_direction;
+use crate::function::CostFn;
+use crate::neighborhood::WorstNeighborFinder;
+
+/// The BNT optimizer (the paper's Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct BntOptimizer {
+    /// The Γ-ball explorer used for neighborhood exploration.
+    pub finder: WorstNeighborFinder,
+    /// Maximum robust-move iterations.
+    pub max_iters: usize,
+    /// Initial step size `t₁` (subsequent steps follow `t_k = t₁ / k`,
+    /// which satisfies BNT's `t_k > 0`, `t_k → 0`, `Σ t_k = ∞` conditions).
+    pub initial_step: f64,
+    /// Tolerance for declaring "no descent direction".
+    pub direction_tol: f64,
+}
+
+/// Outcome of a BNT run.
+#[derive(Debug, Clone)]
+pub struct BntReport {
+    /// The robust solution `x*`.
+    pub x: Vec<f64>,
+    /// Worst-case cost `g(x*)` at the solution.
+    pub worst_case: f64,
+    /// Nominal cost `f(x*)`.
+    pub nominal: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether the loop ended because no descent direction existed (a
+    /// certified local robust optimum) rather than by iteration budget.
+    pub converged: bool,
+}
+
+impl BntOptimizer {
+    /// Creates an optimizer for uncertainty radius `gamma`.
+    pub fn new(gamma: f64) -> Self {
+        Self {
+            finder: WorstNeighborFinder::new(gamma),
+            max_iters: 60,
+            initial_step: gamma / 2.0,
+            direction_tol: 1e-7,
+        }
+    }
+
+    /// Runs Algorithm 1 from `x0`, returning the robust solution.
+    pub fn minimize(&self, f: &dyn CostFn, x0: &[f64]) -> BntReport {
+        let mut x = x0.to_vec();
+        let mut iterations = 0;
+        let mut converged = false;
+        let mut worst = self.finder.worst_case_cost(f, &x);
+
+        for k in 1..=self.max_iters {
+            iterations = k;
+            // Neighborhood exploration (line 5).
+            let neighbors = self.finder.worst_neighbors(f, &x);
+            let offsets: Vec<Vec<f64>> = neighbors.into_iter().map(|(d, _)| d).collect();
+            // Robust local move (lines 7–16).
+            let Some(dir) = descent_direction(&offsets, self.direction_tol) else {
+                converged = true; // line 9: no direction away from all of U
+                break;
+            };
+            // Diminishing step with backtracking: accept only improvements
+            // in the worst-case cost.
+            let mut t = self.initial_step / k as f64;
+            let mut moved = false;
+            for _ in 0..8 {
+                let cand: Vec<f64> = x.iter().zip(&dir).map(|(a, d)| a + t * d).collect();
+                let cand_worst = self.finder.worst_case_cost(f, &cand);
+                if cand_worst < worst {
+                    x = cand;
+                    worst = cand_worst;
+                    moved = true;
+                    break;
+                }
+                t *= 0.5;
+            }
+            if !moved {
+                // No improving step along a valid descent direction within
+                // tolerance: treat as converged (finite-precision optimum).
+                converged = true;
+                break;
+            }
+        }
+        BntReport {
+            nominal: f.eval(&x),
+            worst_case: worst,
+            x,
+            iterations,
+            converged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::testfns;
+
+    #[test]
+    fn bowl_robust_optimum_stays_at_center() {
+        // Symmetric convex bowl: robust optimum = nominal optimum = center.
+        let f = testfns::bowl(vec![1.0, -1.0]);
+        let opt = BntOptimizer::new(0.5);
+        let r = opt.minimize(&f, &[1.6, -0.4]);
+        assert!((r.x[0] - 1.0).abs() < 0.15, "{:?}", r.x);
+        assert!((r.x[1] + 1.0).abs() < 0.15, "{:?}", r.x);
+        // Worst case in a 0.5-ball around the center is 0.25.
+        assert!((r.worst_case - 0.25).abs() < 0.1, "{}", r.worst_case);
+    }
+
+    #[test]
+    fn cliff_robust_optimum_backs_away() {
+        // Nominal optimum of |x| (+ wall at 0.6) is x = 0; with Γ = 0.5 the
+        // robust optimum must keep the whole ball left of the wall:
+        // x* ≈ 0.1 gives g = max(|x−0.5|, |x+0.5|) minimized subject to
+        // x + 0.5 ≤ 0.6 → x* ∈ [−0.1, 0.1].
+        let f = testfns::cliff_1d(0.6, 100.0);
+        let opt = BntOptimizer::new(0.5);
+        let r = opt.minimize(&f, &[0.4]);
+        assert!(r.x[0] <= 0.12, "robust solution {} too close to cliff", r.x[0]);
+        assert!(r.worst_case < 2.0, "worst case {} should avoid wall", r.worst_case);
+    }
+
+    #[test]
+    fn robust_beats_nominal_on_bnt_polynomial() {
+        // The headline BNT result: at the robust solution, the worst-case
+        // cost is far below the worst-case at the nominal optimum.
+        let f = testfns::bnt_polynomial();
+        let opt = BntOptimizer::new(0.5);
+        let nominal_opt = [2.8, 4.0];
+        let g_nominal = opt.finder.worst_case_cost(&f, &nominal_opt);
+        let r = opt.minimize(&f, &nominal_opt);
+        assert!(
+            r.worst_case < g_nominal * 0.8,
+            "robust worst {} vs nominal worst {}",
+            r.worst_case,
+            g_nominal
+        );
+    }
+
+    #[test]
+    fn report_fields_consistent() {
+        let f = testfns::bowl(vec![0.0]);
+        let opt = BntOptimizer::new(0.25);
+        let r = opt.minimize(&f, &[2.0]);
+        assert!(r.iterations >= 1);
+        assert!(r.worst_case >= r.nominal - 1e-9);
+    }
+
+    #[test]
+    fn zero_iterations_budget_is_safe() {
+        let f = testfns::bowl(vec![0.0]);
+        let mut opt = BntOptimizer::new(0.25);
+        opt.max_iters = 0;
+        let r = opt.minimize(&f, &[2.0]);
+        assert_eq!(r.iterations, 0);
+        assert!(!r.converged);
+        assert_eq!(r.x, vec![2.0]);
+    }
+}

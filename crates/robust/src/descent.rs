@@ -1,0 +1,298 @@
+//! Robust local move: finding a direction away from all worst-neighbors.
+//!
+//! A unit direction `d` is a *descent direction* iff `d·Δx_i < 0` for every
+//! worst-neighbor offset `Δx_i` (the paper's Figure 3: the angle θ between
+//! `d` and every `Δx_i` exceeds 90°). The steepest such direction maximizes
+//! the worst margin, and by LP duality it is the negated **minimum-norm
+//! point** of `conv{Δx_i}`: if the origin lies inside the hull no descent
+//! direction exists (Figure 3(b) — a robust local minimum); otherwise
+//! `d* = −z*/‖z*‖` where `z*` is the min-norm point. BNT formulate this as
+//! a SOCP; we solve the same geometric problem exactly with **Wolfe's
+//! minimum-norm-point algorithm** (Wolfe, 1976), which terminates finitely
+//! — unlike plain Frank–Wolfe, whose sublinear tail makes boundary cases
+//! (origin *on* the hull) unresolvable.
+
+/// Minimum-norm point of the convex hull of `points` (each of dimension
+/// `dim`), via Wolfe's algorithm. `tol` bounds the Wolfe-criterion slack
+/// (squared-norm units).
+pub fn min_norm_point(points: &[Vec<f64>], tol: f64) -> Vec<f64> {
+    assert!(!points.is_empty(), "need at least one point");
+    let dim = points[0].len();
+    debug_assert!(points.iter().all(|p| p.len() == dim));
+
+    // Corral: indices into `points`, with convex coefficients `lambda`.
+    let start = (0..points.len())
+        .min_by(|&a, &b| norm2(&points[a]).total_cmp(&norm2(&points[b])))
+        .unwrap();
+    let mut corral: Vec<usize> = vec![start];
+    let mut lambda: Vec<f64> = vec![1.0];
+    let mut z = points[start].clone();
+
+    for _ in 0..(10 * (points.len() + dim) + 100) {
+        // Major cycle: find the vertex most opposed to z.
+        let (best, best_dot) = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, dot(&z, p)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        let zz = norm2(&z);
+        // Wolfe criterion: no vertex improves — z is optimal.
+        if best_dot >= zz - tol.max(1e-14 * (1.0 + zz)) {
+            break;
+        }
+        if !corral.contains(&best) {
+            corral.push(best);
+            lambda.push(0.0);
+        }
+
+        // Minor cycle: move to the affine minimizer over the corral,
+        // dropping vertices whose coefficients would go negative.
+        loop {
+            let affine = affine_minimizer(points, &corral);
+            if affine.iter().all(|&a| a > 1e-12) {
+                lambda = affine;
+                break;
+            }
+            // Largest step toward the affine minimizer keeping convexity.
+            let mut theta: f64 = 1.0;
+            for (&l, &a) in lambda.iter().zip(&affine) {
+                if a <= 1e-12 && l > a {
+                    theta = theta.min(l / (l - a));
+                }
+            }
+            for (l, &a) in lambda.iter_mut().zip(&affine) {
+                *l = (1.0 - theta) * *l + theta * a;
+            }
+            // Drop vanished vertices.
+            let mut i = 0;
+            while i < corral.len() {
+                if lambda[i] <= 1e-12 {
+                    corral.swap_remove(i);
+                    lambda.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+            // Renormalize tiny drift.
+            let s: f64 = lambda.iter().sum();
+            if s > 0.0 {
+                for l in &mut lambda {
+                    *l /= s;
+                }
+            }
+            if corral.len() <= 1 {
+                break;
+            }
+        }
+        z = combine(points, &corral, &lambda, dim);
+    }
+    z
+}
+
+/// Coefficients of the minimum-norm point of the *affine* hull of the
+/// corral: solve `min ‖Σ λ_i p_i‖²` s.t. `Σ λ_i = 1` via the KKT system.
+fn affine_minimizer(points: &[Vec<f64>], corral: &[usize]) -> Vec<f64> {
+    let k = corral.len();
+    if k == 1 {
+        return vec![1.0];
+    }
+    // KKT: [2G 1; 1ᵀ 0] [λ; μ] = [0; 1], G_ij = p_i · p_j.
+    let n = k + 1;
+    let mut m = vec![vec![0.0; n + 1]; n];
+    for i in 0..k {
+        for (j, &cj) in corral.iter().enumerate() {
+            m[i][j] = 2.0 * dot(&points[corral[i]], &points[cj]);
+        }
+        m[i][k] = 1.0;
+        m[i][n] = 0.0;
+    }
+    for cell in m[k].iter_mut().take(k) {
+        *cell = 1.0;
+    }
+    m[k][n] = 1.0;
+
+    if let Some(sol) = gauss_solve(&mut m) {
+        sol[..k].to_vec()
+    } else {
+        // Degenerate corral (affinely dependent): fall back to uniform,
+        // which keeps the algorithm moving and the result convex.
+        vec![1.0 / k as f64; k]
+    }
+}
+
+/// Gaussian elimination with partial pivoting on an augmented matrix.
+fn gauss_solve(m: &mut [Vec<f64>]) -> Option<Vec<f64>> {
+    let n = m.len();
+    for col in 0..n {
+        let pivot = (col..n).max_by(|&a, &b| m[a][col].abs().total_cmp(&m[b][col].abs()))?;
+        if m[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        m.swap(col, pivot);
+        for row in 0..n {
+            if row != col {
+                let f = m[row][col] / m[col][col];
+                if f != 0.0 {
+                    let (pivot_row, target_row) = if row < col {
+                        let (a, b) = m.split_at_mut(col);
+                        (&b[0], &mut a[row])
+                    } else {
+                        let (a, b) = m.split_at_mut(row);
+                        (&a[col], &mut b[0])
+                    };
+                    for (t, p) in target_row[col..=n].iter_mut().zip(&pivot_row[col..=n]) {
+                        *t -= f * p;
+                    }
+                }
+            }
+        }
+    }
+    Some((0..n).map(|i| m[i][n] / m[i][i]).collect())
+}
+
+fn combine(points: &[Vec<f64>], corral: &[usize], lambda: &[f64], dim: usize) -> Vec<f64> {
+    let mut z = vec![0.0; dim];
+    for (&i, &l) in corral.iter().zip(lambda) {
+        for (zk, pk) in z.iter_mut().zip(&points[i]) {
+            *zk += l * pk;
+        }
+    }
+    z
+}
+
+/// The steepest descent direction away from all worst-neighbor offsets, or
+/// `None` when the origin is in their convex hull (robust local optimum —
+/// the situation of the paper's Figure 3(b)).
+pub fn descent_direction(offsets: &[Vec<f64>], tol: f64) -> Option<Vec<f64>> {
+    if offsets.is_empty() {
+        return None;
+    }
+    let z = min_norm_point(offsets, tol * tol);
+    let n = norm2(&z).sqrt();
+    if n <= tol {
+        return None;
+    }
+    Some(z.iter().map(|v| -v / n).collect())
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm2(a: &[f64]) -> f64 {
+    dot(a, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_mnp_is_itself() {
+        let z = min_norm_point(&[vec![3.0, 4.0]], 1e-12);
+        assert!((z[0] - 3.0).abs() < 1e-9 && (z[1] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segment_through_origin_contains_origin() {
+        let z = min_norm_point(&[vec![1.0, 1.0], vec![-1.0, -1.0]], 1e-14);
+        assert!(norm2(&z) < 1e-10, "mnp should be ~origin, got {z:?}");
+    }
+
+    #[test]
+    fn segment_off_origin_projects() {
+        // Segment x ∈ [1, 3] at y = 2: min-norm point is (1, 2).
+        let z = min_norm_point(&[vec![1.0, 2.0], vec![3.0, 2.0]], 1e-14);
+        assert!((z[0] - 1.0).abs() < 1e-7 && (z[1] - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn projection_onto_segment_interior() {
+        // Segment from (1, 0) to (0, 1): min-norm point is (0.5, 0.5).
+        let z = min_norm_point(&[vec![1.0, 0.0], vec![0.0, 1.0]], 1e-14);
+        assert!((z[0] - 0.5).abs() < 1e-7 && (z[1] - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn boundary_origin_resolved_exactly() {
+        // Origin lies ON the hull boundary (the vertical segment passes
+        // through it): Wolfe's algorithm must drive the norm to ~0 — plain
+        // Frank–Wolfe cannot within any reasonable iteration budget.
+        let pts = vec![
+            vec![-2.168763777432322, 0.0],
+            vec![0.0, 4.464599746971704],
+            vec![0.0, -3.233085968416888],
+        ];
+        let z = min_norm_point(&pts, 1e-14);
+        assert!(norm2(&z).sqrt() < 1e-6, "got {z:?}");
+        assert!(descent_direction(&pts, 1e-6).is_none());
+    }
+
+    #[test]
+    fn triangle_containing_origin_yields_no_direction() {
+        let pts = vec![vec![1.0, 0.1], vec![-1.0, 0.1], vec![0.0, -1.0]];
+        assert!(descent_direction(&pts, 1e-7).is_none());
+    }
+
+    #[test]
+    fn descent_direction_points_away() {
+        // Worst neighbors clustered in the +x half-plane.
+        let offsets = vec![vec![1.0, 0.2], vec![0.8, -0.3], vec![1.2, 0.1]];
+        let d = descent_direction(&offsets, 1e-9).expect("direction must exist");
+        // Unit length, and strictly negative dot with every offset.
+        assert!((norm2(&d).sqrt() - 1.0).abs() < 1e-9);
+        for u in &offsets {
+            assert!(dot(&d, u) < 0.0, "d={d:?} does not move away from {u:?}");
+        }
+    }
+
+    #[test]
+    fn surrounded_point_has_no_descent_direction() {
+        // Worst neighbors at the 4 compass points: Figure 3(b).
+        let offsets = vec![
+            vec![1.0, 0.0],
+            vec![-1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.0, -1.0],
+        ];
+        assert!(descent_direction(&offsets, 1e-6).is_none());
+    }
+
+    #[test]
+    fn empty_offsets_no_direction() {
+        assert!(descent_direction(&[], 1e-9).is_none());
+    }
+
+    #[test]
+    fn steepest_direction_bisects_symmetric_pair() {
+        // Offsets symmetric about +x: steepest escape is exactly −x.
+        let offsets = vec![vec![1.0, 0.5], vec![1.0, -0.5]];
+        let d = descent_direction(&offsets, 1e-9).unwrap();
+        assert!((d[0] + 1.0).abs() < 1e-7, "{d:?}");
+        assert!(d[1].abs() < 1e-7);
+    }
+
+    #[test]
+    fn duplicated_points_handled() {
+        let pts = vec![vec![2.0, 1.0], vec![2.0, 1.0], vec![2.0, 1.0]];
+        let z = min_norm_point(&pts, 1e-12);
+        assert!((z[0] - 2.0).abs() < 1e-9 && (z[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_dimensions() {
+        // 4-D simplex away from the origin: MNP equals the centroid of the
+        // face closest to the origin; just verify optimality conditions.
+        let pts = vec![
+            vec![1.0, 1.0, 1.0, 1.0],
+            vec![2.0, 1.0, 0.5, 1.0],
+            vec![1.0, 2.0, 1.5, 0.5],
+        ];
+        let z = min_norm_point(&pts, 1e-14);
+        let zz = norm2(&z);
+        for p in &pts {
+            assert!(dot(&z, p) >= zz - 1e-7);
+        }
+    }
+}

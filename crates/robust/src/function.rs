@@ -1,0 +1,143 @@
+//! Black-box cost functions over `R^d`.
+
+/// A cost function to be robustly minimized. No closed form, gradient, or
+/// convexity is assumed — BNT's defining strength ("it does not require the
+/// cost function to have a closed-form").
+pub trait CostFn {
+    /// Dimensionality of the decision space.
+    fn dim(&self) -> usize;
+
+    /// Evaluates the cost at `x` (`x.len() == self.dim()`).
+    fn eval(&self, x: &[f64]) -> f64;
+
+    /// Central-difference numerical gradient (helper for the explorers).
+    fn num_grad(&self, x: &[f64], h: f64) -> Vec<f64> {
+        let mut g = vec![0.0; x.len()];
+        let mut xp = x.to_vec();
+        for i in 0..x.len() {
+            xp[i] = x[i] + h;
+            let fp = self.eval(&xp);
+            xp[i] = x[i] - h;
+            let fm = self.eval(&xp);
+            xp[i] = x[i];
+            g[i] = (fp - fm) / (2.0 * h);
+        }
+        g
+    }
+}
+
+/// Adapter turning a closure into a [`CostFn`].
+pub struct FnCost<F> {
+    dim: usize,
+    f: F,
+}
+
+impl<F: Fn(&[f64]) -> f64> FnCost<F> {
+    /// Wraps a closure of the given dimensionality.
+    pub fn new(dim: usize, f: F) -> Self {
+        Self { dim, f }
+    }
+}
+
+impl<F: Fn(&[f64]) -> f64> CostFn for FnCost<F> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn eval(&self, x: &[f64]) -> f64 {
+        (self.f)(x)
+    }
+}
+
+/// Benchmark cost surfaces used by the tests and the `bnt_surface` example.
+pub mod testfns {
+    use super::{CostFn, FnCost};
+
+    /// A smooth convex bowl centered at `c`: robust and nominal optima
+    /// coincide.
+    pub fn bowl(c: Vec<f64>) -> impl CostFn {
+        FnCost::new(c.len(), move |x: &[f64]| {
+            x.iter().zip(&c).map(|(a, b)| (a - b) * (a - b)).sum()
+        })
+    }
+
+    /// A 1-D valley with a cliff: `|x|`, plus a steep penalty wall for
+    /// `x > wall`. The nominal optimum sits at 0; the robust optimum for
+    /// radius Γ backs off to ≈ `wall − Γ` (or 0 if Γ small).
+    pub fn cliff_1d(wall: f64, height: f64) -> impl CostFn {
+        FnCost::new(1, move |x: &[f64]| {
+            let v = x[0].abs();
+            if x[0] > wall {
+                v + height * (x[0] - wall + 0.1)
+            } else {
+                v
+            }
+        })
+    }
+
+    /// The 2-D nonconvex polynomial of Bertsimas–Nohadani–Teo (their
+    /// Application I), the surface the CliffGuard paper's Figure 4 sketches.
+    /// Nominal global minimum near (2.8, 4.0); with Γ = 0.5 the robust
+    /// minimum moves to ≈ (2.56, 3.4) where the worst case is far lower.
+    pub fn bnt_polynomial() -> impl CostFn {
+        FnCost::new(2, |v: &[f64]| {
+            let (x, y) = (v[0], v[1]);
+            2.0 * x.powi(6) - 12.2 * x.powi(5) + 21.2 * x.powi(4) + 6.2 * x
+                - 6.4 * x.powi(3)
+                - 4.7 * x.powi(2)
+                + y.powi(6)
+                - 11.0 * y.powi(5)
+                + 43.3 * y.powi(4)
+                - 10.0 * y
+                - 74.8 * y.powi(3)
+                + 56.9 * y.powi(2)
+                - 4.1 * x * y
+                - 0.1 * x.powi(2) * y.powi(2)
+                + 0.4 * x * y.powi(2)
+                + 0.4 * x.powi(2) * y
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_adapter_evaluates() {
+        let f = FnCost::new(2, |x: &[f64]| x[0] + 2.0 * x[1]);
+        assert_eq!(f.dim(), 2);
+        assert_eq!(f.eval(&[1.0, 2.0]), 5.0);
+    }
+
+    #[test]
+    fn numerical_gradient_matches_analytic() {
+        let f = FnCost::new(2, |x: &[f64]| x[0] * x[0] + 3.0 * x[1]);
+        let g = f.num_grad(&[2.0, 5.0], 1e-6);
+        assert!((g[0] - 4.0).abs() < 1e-4);
+        assert!((g[1] - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn bowl_minimum_at_center() {
+        let f = testfns::bowl(vec![1.0, -2.0]);
+        assert!(f.eval(&[1.0, -2.0]) < f.eval(&[1.1, -2.0]));
+        assert_eq!(f.eval(&[1.0, -2.0]), 0.0);
+    }
+
+    #[test]
+    fn cliff_has_a_wall() {
+        let f = testfns::cliff_1d(0.6, 100.0);
+        assert!(f.eval(&[0.7]) > 10.0 * f.eval(&[0.5]).max(0.5));
+        assert_eq!(f.eval(&[0.0]), 0.0);
+    }
+
+    #[test]
+    fn bnt_polynomial_nominal_min_region() {
+        // Sanity: the documented nominal optimum region scores lower than
+        // random far-away points.
+        let f = testfns::bnt_polynomial();
+        let near = f.eval(&[2.8, 4.0]);
+        assert!(near < f.eval(&[0.0, 0.0]));
+        assert!(near < f.eval(&[4.0, 1.0]));
+    }
+}

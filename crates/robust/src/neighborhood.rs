@@ -1,0 +1,211 @@
+//! Neighborhood exploration: finding the worst-neighbors in a Γ-ball.
+//!
+//! Algorithm 1's line 5 needs the global maxima of `f(x + Δx)` over
+//! `‖Δx‖₂ ≤ Γ`. With a black-box, possibly nonconvex `f`, we approximate
+//! the set with **multistart projected gradient ascent**: several starts
+//! (the center, axis-aligned boundary points, and random interior points)
+//! each climb `f` with numerical gradients, projecting back onto the ball.
+//! The distinct local maxima found, filtered to those within a slack of the
+//! best, stand in for the worst-neighbor set — the same
+//! "high-enough-cost neighbors rather than only the maximum" loosening
+//! CliffGuard applies to mitigate finite-sample bias.
+
+use crate::function::CostFn;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Multistart explorer for worst neighbors within a Γ-ball.
+#[derive(Debug, Clone)]
+pub struct WorstNeighborFinder {
+    /// Ball radius Γ.
+    pub gamma: f64,
+    /// Number of random interior starts (axis boundary starts are added on
+    /// top).
+    pub random_starts: usize,
+    /// Ascent iterations per start.
+    pub iters: usize,
+    /// Keep neighbors with cost ≥ best − `keep_slack`·|best|.
+    pub keep_slack: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl WorstNeighborFinder {
+    /// Reasonable defaults for a given Γ.
+    pub fn new(gamma: f64) -> Self {
+        Self {
+            gamma,
+            random_starts: 12,
+            iters: 60,
+            keep_slack: 0.02,
+            seed: 0,
+        }
+    }
+
+    /// Worst-case cost `g(x) = max_{‖Δ‖≤Γ} f(x + Δ)`.
+    pub fn worst_case_cost(&self, f: &dyn CostFn, x: &[f64]) -> f64 {
+        self.worst_neighbors(f, x)
+            .first()
+            .map(|(_, c)| *c)
+            .unwrap_or_else(|| f.eval(x))
+    }
+
+    /// The worst-neighbor *offsets* `Δx_i` with their costs, best first.
+    pub fn worst_neighbors(&self, f: &dyn CostFn, x: &[f64]) -> Vec<(Vec<f64>, f64)> {
+        let dim = f.dim();
+        assert_eq!(x.len(), dim);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut starts: Vec<Vec<f64>> = Vec::new();
+        starts.push(vec![0.0; dim]);
+        for i in 0..dim {
+            let mut p = vec![0.0; dim];
+            p[i] = self.gamma;
+            starts.push(p.clone());
+            p[i] = -self.gamma;
+            starts.push(p);
+        }
+        for _ in 0..self.random_starts {
+            starts.push(self.random_in_ball(&mut rng, dim));
+        }
+
+        let mut found: Vec<(Vec<f64>, f64)> = Vec::new();
+        for mut delta in starts {
+            let mut step = self.gamma / 8.0;
+            let mut cur = self.eval_at(f, x, &delta);
+            for _ in 0..self.iters {
+                let point: Vec<f64> = x.iter().zip(&delta).map(|(a, b)| a + b).collect();
+                let g = f.num_grad(&point, (self.gamma * 1e-4).max(1e-9));
+                let gn = g.iter().map(|v| v * v).sum::<f64>().sqrt();
+                if gn < 1e-12 {
+                    break;
+                }
+                // ascend f
+                let mut cand: Vec<f64> = delta
+                    .iter()
+                    .zip(&g)
+                    .map(|(d, gi)| d + step * gi / gn)
+                    .collect();
+                project_ball(&mut cand, self.gamma);
+                let cv = self.eval_at(f, x, &cand);
+                if cv > cur {
+                    delta = cand;
+                    cur = cv;
+                    step *= 1.3;
+                } else {
+                    step *= 0.5;
+                    if step < self.gamma * 1e-6 {
+                        break;
+                    }
+                }
+            }
+            found.push((delta, cur));
+        }
+
+        // Sort by cost descending; dedupe near-identical offsets.
+        found.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let best = found.first().map(|(_, c)| *c).unwrap_or(0.0);
+        let cut = best - self.keep_slack * best.abs().max(1e-12);
+        let mut kept: Vec<(Vec<f64>, f64)> = Vec::new();
+        for (d, c) in found {
+            if c < cut {
+                break;
+            }
+            let dup = kept.iter().any(|(e, _)| {
+                d.iter()
+                    .zip(e)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt()
+                    < self.gamma * 0.05
+            });
+            if !dup {
+                kept.push((d, c));
+            }
+        }
+        kept
+    }
+
+    fn eval_at(&self, f: &dyn CostFn, x: &[f64], delta: &[f64]) -> f64 {
+        let p: Vec<f64> = x.iter().zip(delta).map(|(a, b)| a + b).collect();
+        f.eval(&p)
+    }
+
+    fn random_in_ball(&self, rng: &mut ChaCha8Rng, dim: usize) -> Vec<f64> {
+        // Gaussian direction, uniform-ish radius.
+        let dir: Vec<f64> = (0..dim)
+            .map(|_| {
+                let u1: f64 = rng.random::<f64>().max(1e-12);
+                let u2: f64 = rng.random();
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            })
+            .collect();
+        let n = dir.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+        let r = self.gamma * rng.random::<f64>().powf(1.0 / dim as f64);
+        dir.into_iter().map(|v| v * r / n).collect()
+    }
+}
+
+fn project_ball(v: &mut [f64], gamma: f64) {
+    let n = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if n > gamma {
+        for x in v.iter_mut() {
+            *x *= gamma / n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{testfns, FnCost};
+
+    #[test]
+    fn worst_neighbor_of_linear_fn_is_on_boundary() {
+        // f(x) = x₀: worst neighbor of 0 within Γ is at +Γ.
+        let f = FnCost::new(2, |x: &[f64]| x[0]);
+        let finder = WorstNeighborFinder::new(1.0);
+        let worst = finder.worst_neighbors(&f, &[0.0, 0.0]);
+        let (d, c) = &worst[0];
+        assert!((c - 1.0).abs() < 1e-3, "worst cost should be ~1, got {c}");
+        assert!((d[0] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn worst_case_cost_of_bowl_at_center() {
+        // Bowl centered at origin: worst in ball of radius 2 costs 4.
+        let f = testfns::bowl(vec![0.0, 0.0]);
+        let finder = WorstNeighborFinder::new(2.0);
+        let g = finder.worst_case_cost(&f, &[0.0, 0.0]);
+        assert!((g - 4.0).abs() < 1e-2, "{g}");
+    }
+
+    #[test]
+    fn bowl_center_is_surrounded_by_worst_neighbors() {
+        // At the center of a symmetric bowl every boundary point is worst:
+        // the finder must report several distinct ones.
+        let f = testfns::bowl(vec![0.0, 0.0]);
+        let finder = WorstNeighborFinder::new(1.0);
+        let worst = finder.worst_neighbors(&f, &[0.0, 0.0]);
+        assert!(worst.len() >= 3, "found only {}", worst.len());
+    }
+
+    #[test]
+    fn cliff_dominates_the_neighborhood() {
+        let f = testfns::cliff_1d(0.6, 100.0);
+        let finder = WorstNeighborFinder::new(1.0);
+        let worst = finder.worst_neighbors(&f, &[0.0]);
+        // The worst neighbor is past the wall, on the +x side.
+        assert!(worst[0].0[0] > 0.5, "{:?}", worst[0]);
+        assert!(worst[0].1 > 10.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let f = testfns::bnt_polynomial();
+        let finder = WorstNeighborFinder::new(0.5);
+        let a = finder.worst_neighbors(&f, &[2.8, 4.0]);
+        let b = finder.worst_neighbors(&f, &[2.8, 4.0]);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].1, b[0].1);
+    }
+}

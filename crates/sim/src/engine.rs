@@ -1,0 +1,174 @@
+//! The engine and design abstractions shared by both simulators.
+
+use cliffguard_storage::Catalog;
+use cliffguard_workload::{Query, Workload};
+use std::hash::Hash;
+
+/// A physical design: a priced set of auxiliary structures.
+///
+/// Structure-level access (`structures` / `from_structures`) is what lets
+/// the `MajorityVoteDesigner` and the ILP baseline reason about designs
+/// generically, exactly as the paper describes ("for each structure (e.g.,
+/// index, materialized view, projection) s, …").
+pub trait PhysicalDesign: Clone + Default {
+    /// The unit structure (a projection, an index, a materialized view…).
+    type Structure: Clone + Eq + Hash;
+
+    /// The structures of this design.
+    fn structures(&self) -> Vec<Self::Structure>;
+
+    /// Builds a design from structures.
+    fn from_structures(structures: Vec<Self::Structure>) -> Self;
+
+    /// Storage price of one structure in bytes.
+    fn structure_price(s: &Self::Structure, catalog: &Catalog) -> u64;
+
+    /// Total storage price in bytes (`price(D)` of formulation (1)).
+    fn price_bytes(&self, catalog: &Catalog) -> u64 {
+        self.structures()
+            .iter()
+            .map(|s| Self::structure_price(s, catalog))
+            .sum()
+    }
+
+    /// Number of structures.
+    fn len(&self) -> usize {
+        self.structures().len()
+    }
+
+    /// Whether the design is empty (the `NoDesign` baseline).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Aggregate latency statistics of a workload under a design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadCost {
+    /// Frequency-weighted mean query latency (ms).
+    pub avg_ms: f64,
+    /// Maximum single-query latency (ms).
+    pub max_ms: f64,
+    /// Weighted total latency (ms) — the `f(W, D)` the designers minimize.
+    pub total_ms: f64,
+}
+
+impl WorkloadCost {
+    /// The zero cost (empty workload).
+    pub fn zero() -> Self {
+        Self { avg_ms: 0.0, max_ms: 0.0, total_ms: 0.0 }
+    }
+}
+
+/// A simulated database engine with a cost-based optimizer.
+pub trait Engine {
+    /// The engine's physical-design type.
+    type Design: PhysicalDesign;
+
+    /// Model latency (ms) of one query under a design; the engine's
+    /// optimizer picks the best access path the design allows.
+    fn query_latency_ms(&self, q: &Query, d: &Self::Design) -> f64;
+
+    /// The catalog this engine runs over.
+    fn catalog(&self) -> &Catalog;
+
+    /// Aggregate cost of a workload under a design. `f(W, D)` is
+    /// `total_ms`; the evaluation section reports `avg_ms` and `max_ms`.
+    fn workload_cost(&self, w: &Workload, d: &Self::Design) -> WorkloadCost {
+        if w.is_empty() {
+            return WorkloadCost::zero();
+        }
+        let mut total = 0.0;
+        let mut max: f64 = 0.0;
+        let mut weight = 0.0;
+        for (q, wt) in w.iter() {
+            let l = self.query_latency_ms(q, d);
+            total += l * wt;
+            weight += wt;
+            max = max.max(l);
+        }
+        WorkloadCost { avg_ms: total / weight, max_ms: max, total_ms: total }
+    }
+
+    /// `f(W, D)` — the scalar objective the designers minimize.
+    fn cost_f(&self, w: &Workload, d: &Self::Design) -> f64 {
+        self.workload_cost(w, d).total_ms
+    }
+
+    /// Time to build (deploy) the design, for the Figure 14 deployment-time
+    /// model.
+    fn deployment_ms(&self, d: &Self::Design) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cliffguard_storage::{CatalogGenerator, CostConstants};
+    use cliffguard_workload::generator::SchemaShape;
+    use cliffguard_workload::{QueryBuilder, TableId};
+
+    /// A trivial engine charging 1ms per selected column, to exercise the
+    /// provided trait methods.
+    struct ToyEngine {
+        catalog: Catalog,
+    }
+
+    #[derive(Debug, Clone, Default)]
+    struct ToyDesign;
+
+    impl PhysicalDesign for ToyDesign {
+        type Structure = u32;
+        fn structures(&self) -> Vec<u32> {
+            vec![]
+        }
+        fn from_structures(_: Vec<u32>) -> Self {
+            ToyDesign
+        }
+        fn structure_price(_: &u32, _: &Catalog) -> u64 {
+            0
+        }
+    }
+
+    impl Engine for ToyEngine {
+        type Design = ToyDesign;
+        fn query_latency_ms(&self, q: &Query, _d: &ToyDesign) -> f64 {
+            q.select.len() as f64
+        }
+        fn catalog(&self) -> &Catalog {
+            &self.catalog
+        }
+        fn deployment_ms(&self, _d: &ToyDesign) -> f64 {
+            CostConstants::default().build_ms(0.0)
+        }
+    }
+
+    #[test]
+    fn workload_cost_aggregates() {
+        let catalog = CatalogGenerator::default().generate(&SchemaShape::new(vec![4]));
+        let e = ToyEngine { catalog };
+        let w = Workload::from_queries([
+            (QueryBuilder::new(TableId(0)).select(&[0]).build(), 3.0), // 1 ms
+            (QueryBuilder::new(TableId(0)).select(&[0, 1, 2]).build(), 1.0), // 3 ms
+        ]);
+        let c = e.workload_cost(&w, &ToyDesign);
+        assert!((c.total_ms - 6.0).abs() < 1e-12);
+        assert!((c.avg_ms - 1.5).abs() < 1e-12);
+        assert!((c.max_ms - 3.0).abs() < 1e-12);
+        assert_eq!(e.cost_f(&w, &ToyDesign), c.total_ms);
+    }
+
+    #[test]
+    fn empty_workload_zero_cost() {
+        let catalog = CatalogGenerator::default().generate(&SchemaShape::new(vec![4]));
+        let e = ToyEngine { catalog };
+        assert_eq!(e.workload_cost(&Workload::new(), &ToyDesign), WorkloadCost::zero());
+    }
+
+    #[test]
+    fn default_design_is_empty() {
+        assert!(ToyDesign.is_empty());
+        assert_eq!(ToyDesign.price_bytes(
+            &CatalogGenerator::default().generate(&SchemaShape::new(vec![2]))
+        ), 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Shared cost constants for the engine cost models.
+//!
+//! The simulators are analytical: a query's latency is computed from bytes
+//! read, tuples processed, and sorts performed, using the constants below.
+//! Absolute values are loosely calibrated to commodity hardware circa the
+//! paper (7.2K RPM disk arrays, ~100 MB/s effective sequential scan rate)
+//! but only *ratios* matter for the reproduced experiment shapes.
+
+use serde::{Deserialize, Serialize};
+
+/// The cost constants of the analytical model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostConstants {
+    /// Page size in bytes (unit of I/O granularity).
+    pub page_bytes: u64,
+    /// Milliseconds to sequentially read one megabyte.
+    pub seq_ms_per_mb: f64,
+    /// Milliseconds per random page access (index traversals, row fetches).
+    pub random_io_ms: f64,
+    /// Milliseconds of CPU per million tuples flowing through an operator.
+    pub cpu_ms_per_mtuples: f64,
+    /// Multiplier on the n·log₂(n) term for sorts, in ms per million rows
+    /// per log-level.
+    pub sort_ms_per_mtuples_level: f64,
+    /// Fixed per-query overhead in milliseconds (parse/plan/dispatch).
+    pub fixed_overhead_ms: f64,
+    /// Milliseconds per megabyte written when deploying (building) physical
+    /// design structures — used by the Figure 14 deployment-time model.
+    pub build_ms_per_mb: f64,
+}
+
+impl Default for CostConstants {
+    fn default() -> Self {
+        Self {
+            page_bytes: 64 * 1024,
+            seq_ms_per_mb: 10.0,  // ~100 MB/s effective scan
+            random_io_ms: 5.0,    // 7.2K RPM seek+rotate
+            cpu_ms_per_mtuples: 120.0,
+            sort_ms_per_mtuples_level: 35.0,
+            fixed_overhead_ms: 2.0,
+            build_ms_per_mb: 40.0, // sort + write + catalog work
+        }
+    }
+}
+
+impl CostConstants {
+    /// Sequential-read latency for `bytes` bytes.
+    pub fn seq_read_ms(&self, bytes: f64) -> f64 {
+        self.seq_ms_per_mb * bytes / (1024.0 * 1024.0)
+    }
+
+    /// CPU latency for processing `tuples` tuples once.
+    pub fn cpu_ms(&self, tuples: f64) -> f64 {
+        self.cpu_ms_per_mtuples * tuples / 1.0e6
+    }
+
+    /// Latency of sorting `tuples` tuples (`n log n` model).
+    pub fn sort_ms(&self, tuples: f64) -> f64 {
+        if tuples <= 1.0 {
+            return 0.0;
+        }
+        self.sort_ms_per_mtuples_level * (tuples / 1.0e6) * tuples.log2().max(1.0)
+    }
+
+    /// Time to build/deploy `bytes` bytes of physical structures.
+    pub fn build_ms(&self, bytes: f64) -> f64 {
+        self.build_ms_per_mb * bytes / (1024.0 * 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_read_scales_linearly() {
+        let c = CostConstants::default();
+        let one = c.seq_read_ms(1024.0 * 1024.0);
+        assert!((c.seq_read_ms(10.0 * 1024.0 * 1024.0) - 10.0 * one).abs() < 1e-9);
+        assert!((one - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sort_is_superlinear() {
+        let c = CostConstants::default();
+        let s1 = c.sort_ms(1.0e6);
+        let s2 = c.sort_ms(2.0e6);
+        assert!(s2 > 2.0 * s1);
+        assert_eq!(c.sort_ms(1.0), 0.0);
+        assert_eq!(c.sort_ms(0.0), 0.0);
+    }
+
+    #[test]
+    fn cpu_cost_positive() {
+        let c = CostConstants::default();
+        assert!(c.cpu_ms(1.0e6) > 0.0);
+        assert!(c.build_ms(1024.0 * 1024.0) > 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Catalog, statistics, and cost constants for the CliffGuard simulators.
+//!
+//! The paper's designers consult the DBMS for metadata: table/column
+//! definitions, row counts, data distributions ("we did have access to their
+//! data distribution, which we used to generate a 151GB dataset"), and cost
+//! constants. This crate is that layer:
+//!
+//! * [`Catalog`] / [`TableDef`] / [`ColumnDef`] — schema with per-column
+//!   width, cardinality (NDV) and skew statistics; implements the workload
+//!   crate's [`cliffguard_workload::NameResolver`] so SQL text can be parsed
+//!   against it.
+//! * [`ColumnStats`] + selectivity estimation for the predicate kinds the
+//!   query model knows about.
+//! * [`CostConstants`] — the page/IO/CPU constants the engine cost models
+//!   share (a deliberately simple, documented analytical model).
+//! * [`CatalogGenerator`] — builds a synthetic catalog (with statistics)
+//!   over a [`cliffguard_workload::generator::SchemaShape`], standing in
+//!   for the proprietary customer dataset.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod datagen;
+mod render;
+mod schema;
+mod stats;
+
+pub use cost::CostConstants;
+pub use datagen::CatalogGenerator;
+pub use schema::{Catalog, ColumnDef, TableDef};
+pub use stats::{ColumnStats, Distribution};

@@ -1,0 +1,438 @@
+//! The drifting-workload generator.
+//!
+//! Mechanism: a pool of *active* query templates with Zipf-like popularity
+//! emits timestamped queries window by window. Between windows the pool
+//! **churns** — a popularity-weighted fraction of the active templates
+//! retires and is replaced with fresh templates — and popularities receive
+//! multiplicative log-normal jitter. Churn makes template overlap between
+//! windows decay with lag (Figure 5); jitter plus churn together set the
+//! scale of the inter-window workload distance (Table 1).
+
+use super::shape::SchemaShape;
+use crate::ids::TableId;
+use crate::log::{QueryLog, SECS_PER_DAY};
+use crate::query::{PredOp, Predicate, Query};
+use crate::ColumnSet;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// Configuration of a [`DriftingGenerator`].
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Schema to draw columns from.
+    pub shape: SchemaShape,
+    /// Number of windows to emit.
+    pub n_windows: usize,
+    /// Window length in days.
+    pub window_days: u64,
+    /// Query instances per window.
+    pub queries_per_window: usize,
+    /// Size of the active template pool.
+    pub active_templates: usize,
+    /// Fraction of the active pool replaced between consecutive windows.
+    pub churn_per_window: f64,
+    /// Std-dev of the log-normal popularity jitter applied between windows.
+    pub popularity_sigma: f64,
+    /// Zipf exponent for initial template popularity.
+    pub zipf_s: f64,
+    /// Probability that a template joins a second table.
+    pub join_prob: f64,
+    /// Probability that a churned slot is refilled by *re-activating* a
+    /// previously retired template instead of a brand-new one. Real
+    /// analytical workloads revisit business topics (Figure 5 shows ~10%
+    /// template overlap even at 20-week lags), and this recurrence is what
+    /// makes workload history informative about the future at all.
+    pub recurrence_prob: f64,
+    /// Relative jitter applied to predicate selectivities at emission time
+    /// (0 keeps instances byte-identical to their template).
+    pub selectivity_jitter: f64,
+    /// PRNG seed; equal seeds give identical logs.
+    pub seed: u64,
+}
+
+impl GeneratorConfig {
+    /// Scales query volume and pool size by `factor` (≥ memory/time knob for
+    /// "quick" vs "full" experiment scale).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0);
+        self.queries_per_window =
+            ((self.queries_per_window as f64 * factor).round() as usize).max(10);
+        self.active_templates = ((self.active_templates as f64 * factor).round() as usize).max(5);
+        self
+    }
+}
+
+/// One active template: a prototype query plus its popularity weight.
+#[derive(Debug, Clone)]
+struct ActiveTemplate {
+    proto: Arc<Query>,
+    weight: f64,
+}
+
+/// Generates drifting, timestamped query logs (see module docs).
+#[derive(Debug)]
+pub struct DriftingGenerator {
+    cfg: GeneratorConfig,
+    rng: ChaCha8Rng,
+    active: Vec<ActiveTemplate>,
+    /// Previously active templates that may be re-activated later.
+    retired: Vec<Arc<Query>>,
+    /// Popularity of each table as a template anchor (Zipf over tables).
+    table_weights: Vec<f64>,
+    /// Per-table, per-column draw weights (some columns are hot).
+    column_weights: Vec<Vec<f64>>,
+}
+
+impl DriftingGenerator {
+    /// Creates a generator and its initial active template pool.
+    pub fn new(cfg: GeneratorConfig) -> Self {
+        assert!(cfg.n_windows > 0 && cfg.queries_per_window > 0 && cfg.active_templates > 0);
+        assert!((0.0..=1.0).contains(&cfg.churn_per_window));
+        let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let table_weights: Vec<f64> = (0..cfg.shape.table_count())
+            .map(|i| 1.0 / (i as f64 + 1.0).powf(0.8))
+            .collect();
+        let column_weights: Vec<Vec<f64>> = cfg
+            .shape
+            .tables()
+            .map(|t| {
+                (0..cfg.shape.columns_of(t))
+                    .map(|k| 1.0 / (k as f64 + 1.0).powf(0.6))
+                    .collect()
+            })
+            .collect();
+        assert!((0.0..=1.0).contains(&cfg.recurrence_prob));
+        let mut gen = Self {
+            cfg,
+            rng,
+            active: Vec::new(),
+            retired: Vec::new(),
+            table_weights,
+            column_weights,
+        };
+        gen.active = (0..gen.cfg.active_templates)
+            .map(|rank| ActiveTemplate {
+                proto: Arc::new(gen.fresh_template()),
+                weight: 1.0 / (rank as f64 + 1.0).powf(gen.cfg.zipf_s),
+            })
+            .collect();
+        gen
+    }
+
+    /// The schema shape queries are drawn from.
+    pub fn shape(&self) -> &SchemaShape {
+        &self.cfg.shape
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.cfg
+    }
+
+    /// Generates the full log: `n_windows` windows of `window_days` days.
+    pub fn generate(&mut self) -> QueryLog {
+        let mut log = QueryLog::new();
+        let win_secs = self.cfg.window_days * SECS_PER_DAY;
+        for w in 0..self.cfg.n_windows {
+            let start = w as u64 * win_secs;
+            // timestamps: sorted uniform draws within the window
+            let mut ts: Vec<u64> = (0..self.cfg.queries_per_window)
+                .map(|_| start + self.rng.random_range(0..win_secs))
+                .collect();
+            ts.sort_unstable();
+            for t in ts {
+                let q = self.sample_query();
+                log.push(t, q);
+            }
+            if w + 1 < self.cfg.n_windows {
+                self.advance_window();
+            }
+        }
+        log
+    }
+
+    /// Draws one query instance from the current pool.
+    fn sample_query(&mut self) -> Arc<Query> {
+        let idx = self.weighted_index(&self.active.iter().map(|a| a.weight).collect::<Vec<_>>());
+        let proto = Arc::clone(&self.active[idx].proto);
+        if self.cfg.selectivity_jitter > 0.0 {
+            let mut q = (*proto).clone();
+            for p in &mut q.predicates {
+                let j = 1.0 + self.cfg.selectivity_jitter * (self.rng.random::<f64>() - 0.5);
+                p.selectivity = (p.selectivity * j).clamp(1e-9, 1.0);
+            }
+            Arc::new(q)
+        } else {
+            proto
+        }
+    }
+
+    /// Applies inter-window drift: churn + popularity jitter.
+    fn advance_window(&mut self) {
+        // Popularity jitter: multiplicative log-normal.
+        if self.cfg.popularity_sigma > 0.0 {
+            for t in &mut self.active {
+                let z = standard_normal(&mut self.rng);
+                t.weight *= (self.cfg.popularity_sigma * z).exp();
+            }
+        }
+        // Churn: replace a fraction of the pool. Victims are drawn
+        // proportionally to popularity — business "topics" retire wholesale,
+        // taking their query mass with them; this is what makes template
+        // overlap between windows decay the way Figure 5 reports (~35%
+        // between consecutive 28-day windows for R1). The replacement
+        // inherits the victim's weight, so total mass is conserved.
+        let n_replace = expected_count(
+            self.cfg.churn_per_window * self.cfg.active_templates as f64,
+            &mut self.rng,
+        );
+        for _ in 0..n_replace {
+            let weights: Vec<f64> = self.active.iter().map(|t| t.weight).collect();
+            let victim = self.weighted_index(&weights);
+            let weight = self.active[victim].weight;
+            // Re-activate a retired topic or mint a brand-new one.
+            // Reactivation is recency-biased: business topics that return
+            // are the ones that paused recently (monthly/seasonal cycles),
+            // not arbitrary ancient history. We draw uniformly from the
+            // most recently retired `2x active` templates.
+            let proto = if !self.retired.is_empty()
+                && self.rng.random::<f64>() < self.cfg.recurrence_prob
+            {
+                let horizon = (2 * self.cfg.active_templates).min(self.retired.len());
+                let start = self.retired.len() - horizon;
+                let i = self.rng.random_range(start..self.retired.len());
+                self.retired.remove(i)
+            } else {
+                Arc::new(self.fresh_template())
+            };
+            let old = std::mem::replace(
+                &mut self.active[victim],
+                ActiveTemplate { proto, weight },
+            );
+            self.retired.push(old.proto);
+        }
+        // Renormalize to keep weights in a sane range.
+        let total: f64 = self.active.iter().map(|t| t.weight).sum();
+        if total > 0.0 {
+            for t in &mut self.active {
+                t.weight /= total;
+            }
+        }
+    }
+
+    /// Draws a brand-new template from the universe.
+    fn fresh_template(&mut self) -> Query {
+        let anchor = TableId(self.weighted_index(&self.table_weights.clone()) as u32);
+        let mut select = ColumnSet::new();
+        let mut filter = ColumnSet::new();
+        let mut group_by = ColumnSet::new();
+        let mut order_by = Vec::new();
+        let mut predicates = Vec::new();
+        let mut joins = Vec::new();
+
+        let n_select = 1 + self.rng.random_range(0..5);
+        for _ in 0..n_select {
+            select.insert(self.draw_column(anchor));
+        }
+        let n_filter = 1 + self.rng.random_range(0..3);
+        for _ in 0..n_filter {
+            let c = self.draw_column(anchor);
+            if filter.insert(c) {
+                let op = match self.rng.random_range(0..10) {
+                    0..=4 => PredOp::Eq,
+                    5..=7 => PredOp::Range,
+                    8 => PredOp::In,
+                    _ => PredOp::Like,
+                };
+                // log-uniform selectivity in [1e-4, 0.5]
+                let lo: f64 = 1e-4;
+                let hi: f64 = 0.5;
+                let sel = lo * (hi / lo).powf(self.rng.random::<f64>());
+                predicates.push(Predicate::new(c, op, sel));
+            }
+        }
+        let aggregates = self.rng.random::<f64>() < 0.6;
+        if aggregates && self.rng.random::<f64>() < 0.8 {
+            let n_group = 1 + self.rng.random_range(0..3);
+            for _ in 0..n_group {
+                group_by.insert(self.draw_column(anchor));
+            }
+        }
+        if self.rng.random::<f64>() < 0.4 {
+            let c = self.draw_column(anchor);
+            if !order_by.contains(&c) {
+                order_by.push(c);
+            }
+        }
+        if self.rng.random::<f64>() < self.cfg.join_prob && self.cfg.shape.table_count() > 1 {
+            loop {
+                let other = TableId(self.weighted_index(&self.table_weights.clone()) as u32);
+                if other != anchor {
+                    joins.push(other);
+                    // pull a couple of the joined table's columns in
+                    let jc = self.draw_column(other);
+                    select.insert(jc);
+                    filter.insert(self.draw_column(other));
+                    break;
+                }
+            }
+        }
+        Query {
+            anchor,
+            select,
+            filter,
+            group_by,
+            order_by,
+            predicates,
+            joins,
+            aggregates,
+            raw_sql: None,
+        }
+    }
+
+    fn draw_column(&mut self, t: TableId) -> crate::ids::ColumnId {
+        let weights = self.column_weights[t.index()].clone();
+        let k = self.weighted_index(&weights) as u32;
+        self.cfg.shape.column(t, k)
+    }
+
+    fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        let mut x = self.rng.random::<f64>() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            x -= w;
+            if x <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+}
+
+/// Samples an integer with the given expectation (floor + Bernoulli on the
+/// fractional part) so small churn rates still act over many windows.
+fn expected_count(expectation: f64, rng: &mut ChaCha8Rng) -> usize {
+    let base = expectation.floor() as usize;
+    let frac = expectation - expectation.floor();
+    base + usize::from(rng.random::<f64>() < frac)
+}
+
+/// Box–Muller standard normal draw.
+fn standard_normal(rng: &mut ChaCha8Rng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WorkloadProfile;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut g1 = WorkloadProfile::R1.generator(42);
+        let mut g2 = WorkloadProfile::R1.generator(42);
+        let l1 = g1.generate();
+        let l2 = g2.generate();
+        assert_eq!(l1.len(), l2.len());
+        for (a, b) in l1.entries().iter().zip(l2.entries()) {
+            assert_eq!(a.timestamp, b.timestamp);
+            assert_eq!(a.query.signature(), b.query.signature());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let l1 = WorkloadProfile::R1.generator(1).generate();
+        let l2 = WorkloadProfile::R1.generator(2).generate();
+        let same = l1
+            .entries()
+            .iter()
+            .zip(l2.entries())
+            .all(|(a, b)| a.query.signature() == b.query.signature());
+        assert!(!same);
+    }
+
+    #[test]
+    fn emits_requested_volume() {
+        let cfg = WorkloadProfile::S1.config(7);
+        let n = cfg.n_windows * cfg.queries_per_window;
+        let log = DriftingGenerator::new(cfg).generate();
+        assert_eq!(log.len(), n);
+    }
+
+    #[test]
+    fn windows_align_with_config() {
+        let cfg = WorkloadProfile::S2.config(3);
+        let days = cfg.window_days;
+        let n_windows = cfg.n_windows;
+        let log = DriftingGenerator::new(cfg).generate();
+        let ws = log.windows_days(days);
+        assert_eq!(ws.len(), n_windows);
+        assert!(ws.iter().all(|w| !w.is_empty()));
+    }
+
+    #[test]
+    fn r1_drifts_more_than_s1() {
+        // Template overlap between consecutive windows should be markedly
+        // lower for R1 than for the near-static S1.
+        let overlap = |profile: WorkloadProfile| {
+            let cfg = profile.config(11);
+            let days = cfg.window_days;
+            let log = DriftingGenerator::new(cfg).generate();
+            let ws = log.windows_days(days);
+            let mut tot = 0.0;
+            for i in 0..ws.len() - 1 {
+                tot += ws[i + 1].shared_template_fraction(&ws[i]);
+            }
+            tot / (ws.len() - 1) as f64
+        };
+        let r1 = overlap(WorkloadProfile::R1);
+        let s1 = overlap(WorkloadProfile::S1);
+        // (not exactly 1.0: rare tail templates may miss a window entirely)
+        assert!(s1 > 0.85, "S1 should be near-static, got overlap {s1}");
+        assert!(r1 < s1 - 0.1, "R1 ({r1}) should drift well below S1 ({s1})");
+    }
+
+    #[test]
+    fn scaled_changes_volume() {
+        let cfg = WorkloadProfile::R1.config(1).scaled(0.5);
+        assert_eq!(cfg.queries_per_window, 160);
+    }
+
+    #[test]
+    fn queries_reference_columns() {
+        let log = WorkloadProfile::R1.generator(5).generate();
+        assert!(log.entries().iter().all(|e| e.query.references_columns()));
+    }
+}
+
+#[cfg(test)]
+mod calibration {
+    use super::*;
+    use crate::generator::WorkloadProfile;
+
+    /// Prints lag-1 template overlap per profile; run with
+    /// `cargo test -p cliffguard-workload calibration -- --ignored --nocapture`.
+    #[test]
+    #[ignore = "calibration helper, prints stats"]
+    fn print_overlaps() {
+        for (name, profile) in [
+            ("R1", WorkloadProfile::R1),
+            ("S1", WorkloadProfile::S1),
+            ("S2", WorkloadProfile::S2),
+        ] {
+            let cfg = profile.config(11);
+            let days = cfg.window_days;
+            let log = DriftingGenerator::new(cfg).generate();
+            let ws = log.windows_days(days);
+            let mut tot = 0.0;
+            for i in 0..ws.len() - 1 {
+                tot += ws[i + 1].shared_template_fraction(&ws[i]);
+            }
+            println!("{name}: lag-1 overlap = {:.3}", tot / (ws.len() - 1) as f64);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Schema shapes: how many tables, how many columns each.
+//!
+//! The workload generator and the storage catalog must agree on the id
+//! space. [`SchemaShape`] is that agreement: a list of per-table column
+//! counts, with global [`ColumnId`]s assigned densely in table order. The
+//! `cliffguard-storage` crate consumes a shape to build a full catalog with
+//! statistics; the generator consumes it to draw template columns.
+
+use crate::ids::{ColumnId, TableId};
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Per-table column counts with dense global column numbering.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchemaShape {
+    cols_per_table: Vec<u32>,
+    offsets: Vec<u32>,
+}
+
+impl SchemaShape {
+    /// Creates a shape from per-table column counts.
+    pub fn new(cols_per_table: Vec<u32>) -> Self {
+        assert!(!cols_per_table.is_empty(), "schema needs at least one table");
+        assert!(cols_per_table.iter().all(|&c| c > 0), "tables need columns");
+        let mut offsets = Vec::with_capacity(cols_per_table.len());
+        let mut acc = 0u32;
+        for &c in &cols_per_table {
+            offsets.push(acc);
+            acc += c;
+        }
+        Self { cols_per_table, offsets }
+    }
+
+    /// The default analytic-warehouse shape used by the experiments: a few
+    /// wide fact tables plus many narrower dimension tables, echoing the R1
+    /// customer's star schemas (310 tables in the paper; scaled down here —
+    /// what matters for the algorithms is the *column count*, which drives
+    /// the `2^n - 1` query-representation space of Section 5).
+    pub fn analytic_default() -> Self {
+        let mut cols = vec![24, 20, 18, 16]; // fact tables
+        cols.extend(std::iter::repeat(8).take(12)); // dimensions
+        cols.extend(std::iter::repeat(5).take(12)); // small dimensions
+        Self::new(cols)
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.cols_per_table.len()
+    }
+
+    /// Total number of columns (the paper's `n`).
+    pub fn column_count(&self) -> usize {
+        (self.offsets.last().unwrap() + self.cols_per_table.last().unwrap()) as usize
+    }
+
+    /// Number of columns of one table.
+    pub fn columns_of(&self, t: TableId) -> u32 {
+        self.cols_per_table[t.index()]
+    }
+
+    /// Global column-id range of a table.
+    pub fn column_range(&self, t: TableId) -> Range<u32> {
+        let start = self.offsets[t.index()];
+        start..start + self.cols_per_table[t.index()]
+    }
+
+    /// The table owning a global column id.
+    pub fn table_of(&self, c: ColumnId) -> TableId {
+        let i = match self.offsets.binary_search(&c.0) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        debug_assert!(c.0 < self.offsets[i] + self.cols_per_table[i], "column id out of range");
+        TableId(i as u32)
+    }
+
+    /// The `k`-th column of table `t`.
+    pub fn column(&self, t: TableId, k: u32) -> ColumnId {
+        debug_assert!(k < self.cols_per_table[t.index()]);
+        ColumnId(self.offsets[t.index()] + k)
+    }
+
+    /// Iterates all table ids.
+    pub fn tables(&self) -> impl Iterator<Item = TableId> {
+        (0..self.table_count() as u32).map(TableId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_numbering() {
+        let s = SchemaShape::new(vec![3, 2, 4]);
+        assert_eq!(s.table_count(), 3);
+        assert_eq!(s.column_count(), 9);
+        assert_eq!(s.column_range(TableId(0)), 0..3);
+        assert_eq!(s.column_range(TableId(1)), 3..5);
+        assert_eq!(s.column_range(TableId(2)), 5..9);
+        assert_eq!(s.column(TableId(1), 1), ColumnId(4));
+    }
+
+    #[test]
+    fn table_of_inverts_column() {
+        let s = SchemaShape::new(vec![3, 2, 4]);
+        for t in s.tables() {
+            for c in s.column_range(t) {
+                assert_eq!(s.table_of(ColumnId(c)), t);
+            }
+        }
+    }
+
+    #[test]
+    fn default_shape_is_plausible() {
+        let s = SchemaShape::analytic_default();
+        assert!(s.table_count() >= 20);
+        assert!(s.column_count() >= 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one table")]
+    fn empty_shape_rejected() {
+        SchemaShape::new(vec![]);
+    }
+}

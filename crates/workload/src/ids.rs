@@ -1,0 +1,62 @@
+//! Identifier newtypes shared across the whole workspace.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a table in the catalog.
+///
+/// Table ids are dense (`0..catalog.table_count()`); they index directly
+/// into catalog vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TableId(pub u32);
+
+/// Identifier of a column, **global across all tables** of the catalog.
+///
+/// Global column ids are what the paper's binary query encoding uses: each
+/// query is represented as the set of global column ids it references, so a
+/// workload vector lives in `{0,1}^n` where `n` is the total number of
+/// columns in the database (Section 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ColumnId(pub u32);
+
+impl TableId {
+    /// Returns the id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ColumnId {
+    /// Returns the id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TableId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl std::fmt::Display for ColumnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_displayable() {
+        assert!(TableId(1) < TableId(2));
+        assert!(ColumnId(7) > ColumnId(3));
+        assert_eq!(TableId(4).to_string(), "t4");
+        assert_eq!(ColumnId(9).to_string(), "c9");
+        assert_eq!(ColumnId(9).index(), 9);
+        assert_eq!(TableId(3).index(), 3);
+    }
+}

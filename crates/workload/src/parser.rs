@@ -1,0 +1,916 @@
+//! A small SQL `SELECT` parser.
+//!
+//! CliffGuard consumes query *logs*; the paper credits "Stephen Tu for his
+//! SQL parser" for turning raw SQL into per-clause column sets. This module
+//! plays that role: a recursive-descent parser for analytical `SELECT`
+//! statements that extracts, per clause, the referenced columns, the filter
+//! predicates (with kind and default selectivity), the joined tables, and
+//! whether the query aggregates.
+//!
+//! Supported grammar (case-insensitive keywords):
+//!
+//! ```text
+//! SELECT [DISTINCT] item, …            item := * | expr [AS alias]
+//! FROM table [alias] (, table [alias] | JOIN table [alias] ON cond)*
+//! [WHERE cond] [GROUP BY colref, …] [ORDER BY colref [ASC|DESC], …] [LIMIT n]
+//! ```
+//!
+//! Out-of-scope constructs (subqueries, CTEs, set ops, window functions)
+//! produce a [`ParseError`] — mirroring the paper, where only the queries
+//! "conforming to the latest schema (i.e., that can be parsed)" are kept.
+
+use crate::colset::ColumnSet;
+use crate::ids::{ColumnId, TableId};
+use crate::query::{PredOp, Predicate, Query};
+use crate::resolve::NameResolver;
+
+/// Error raised while lexing, parsing, or resolving a statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one `SELECT` statement into a [`Query`], resolving names through
+/// `resolver`. The raw SQL is attached to the result.
+pub fn parse_query(sql: &str, resolver: &dyn NameResolver) -> Result<Query, ParseError> {
+    let tokens = lex(sql)?;
+    let mut p = Parser {
+        toks: &tokens,
+        pos: 0,
+        resolver,
+        sql,
+    };
+    let mut q = p.parse_select()?;
+    q.raw_sql = Some(sql.to_string());
+    Ok(q)
+}
+
+// ---------------------------------------------------------------- lexer --
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(f64),
+    Str(String),
+    Symbol(&'static str), // ( ) , . * = != <> < <= > >= + - / ;
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    offset: usize,
+}
+
+fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
+    let b = input.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        match c {
+            '-' if b.get(i + 1) == Some(&b'-') => {
+                // line comment
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match b.get(i) {
+                        None => {
+                            return Err(ParseError {
+                                message: "unterminated string literal".into(),
+                                offset: start,
+                            })
+                        }
+                        Some(b'\'') if b.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Spanned { tok: Tok::Str(s), offset: start });
+            }
+            '"' => {
+                i += 1;
+                let mut s = String::new();
+                while i < b.len() && b[i] != b'"' {
+                    s.push(b[i] as char);
+                    i += 1;
+                }
+                if i >= b.len() {
+                    return Err(ParseError {
+                        message: "unterminated quoted identifier".into(),
+                        offset: start,
+                    });
+                }
+                i += 1;
+                out.push(Spanned { tok: Tok::Ident(s), offset: start });
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    tok: Tok::Ident(input[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                while i < b.len() && ((b[i] as char).is_ascii_digit() || b[i] == b'.') {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let n = text.parse::<f64>().map_err(|_| ParseError {
+                    message: format!("bad numeric literal `{text}`"),
+                    offset: start,
+                })?;
+                out.push(Spanned { tok: Tok::Number(n), offset: start });
+            }
+            _ => {
+                let two = if i + 1 < b.len() { &input[i..i + 2] } else { "" };
+                let sym: &'static str = match two {
+                    "!=" => "!=",
+                    "<>" => "<>",
+                    "<=" => "<=",
+                    ">=" => ">=",
+                    _ => match c {
+                        '(' => "(",
+                        ')' => ")",
+                        ',' => ",",
+                        '.' => ".",
+                        '*' => "*",
+                        '=' => "=",
+                        '<' => "<",
+                        '>' => ">",
+                        '+' => "+",
+                        '-' => "-",
+                        '/' => "/",
+                        ';' => ";",
+                        '%' => "%",
+                        other => {
+                            return Err(ParseError {
+                                message: format!("unexpected character `{other}`"),
+                                offset: start,
+                            })
+                        }
+                    },
+                };
+                i += sym.len();
+                out.push(Spanned { tok: Tok::Symbol(sym), offset: start });
+            }
+        }
+    }
+    Ok(out)
+}
+
+// --------------------------------------------------------------- parser --
+
+const AGG_FUNCS: &[&str] = &["sum", "count", "avg", "min", "max", "stddev", "variance"];
+
+struct Parser<'a> {
+    toks: &'a [Spanned],
+    pos: usize,
+    resolver: &'a dyn NameResolver,
+    sql: &'a str,
+}
+
+/// A column reference gathered while walking expressions.
+#[derive(Debug, Clone)]
+struct ColRef {
+    table_alias: Option<String>,
+    name: String,
+    offset: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            offset: self
+                .toks
+                .get(self.pos)
+                .map_or(self.sql.len(), |t| t.offset),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn bump(&mut self) -> Option<&Tok> {
+        let t = self.toks.get(self.pos).map(|t| &t.tok);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", kw.to_ascii_uppercase())))
+        }
+    }
+
+    fn eat_symbol(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Symbol(sym)) if *sym == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.eat_symbol(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`")))
+        }
+    }
+
+    fn parse_select(&mut self) -> Result<Query, ParseError> {
+        self.expect_keyword("select")?;
+        let _distinct = self.eat_keyword("distinct");
+
+        // --- select list (resolved after FROM, so gather refs first) ---
+        let mut select_star = false;
+        let mut select_refs: Vec<ColRef> = Vec::new();
+        let mut aggregates = false;
+        loop {
+            if self.eat_symbol("*") {
+                select_star = true;
+            } else {
+                let (refs, agg) = self.parse_expr_refs()?;
+                aggregates |= agg;
+                select_refs.extend(refs);
+                if self.eat_keyword("as") {
+                    match self.bump() {
+                        Some(Tok::Ident(_)) => {}
+                        _ => return Err(self.err("expected alias after AS")),
+                    }
+                } else if let Some(Tok::Ident(s)) = self.peek() {
+                    // bare alias, unless it's a clause keyword
+                    if !is_clause_keyword(s) {
+                        self.pos += 1;
+                    }
+                }
+            }
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+
+        // --- FROM clause ---
+        self.expect_keyword("from")?;
+        let mut tables: Vec<(TableId, Option<String>)> = Vec::new();
+        let mut join_filters: Vec<ColRef> = Vec::new();
+        self.parse_table_ref(&mut tables)?;
+        loop {
+            if self.eat_symbol(",") {
+                self.parse_table_ref(&mut tables)?;
+            } else if self.at_keyword("join")
+                || self.at_keyword("inner")
+                || self.at_keyword("left")
+                || self.at_keyword("right")
+                || self.at_keyword("full")
+                || self.at_keyword("cross")
+            {
+                let cross = self.at_keyword("cross");
+                // consume JOIN-introducing keywords
+                while self.eat_keyword("inner")
+                    || self.eat_keyword("left")
+                    || self.eat_keyword("right")
+                    || self.eat_keyword("full")
+                    || self.eat_keyword("outer")
+                    || self.eat_keyword("cross")
+                {}
+                self.expect_keyword("join")?;
+                self.parse_table_ref(&mut tables)?;
+                if !cross {
+                    self.expect_keyword("on")?;
+                    let (refs, _) = self.parse_condition_refs(&mut Vec::new())?;
+                    join_filters.extend(refs);
+                }
+            } else {
+                break;
+            }
+        }
+
+        let anchor = tables
+            .first()
+            .map(|(t, _)| *t)
+            .ok_or_else(|| self.err("FROM clause names no table"))?;
+        let scope: Vec<TableId> = tables.iter().map(|(t, _)| *t).collect();
+        let aliases: Vec<(Option<String>, TableId)> = tables
+            .iter()
+            .map(|(t, a)| (a.clone(), *t))
+            .collect();
+
+        // --- WHERE ---
+        let mut predicates: Vec<Predicate> = Vec::new();
+        let mut where_refs: Vec<ColRef> = join_filters;
+        if self.eat_keyword("where") {
+            let mut raw_preds = Vec::new();
+            let (refs, _) = self.parse_condition_refs(&mut raw_preds)?;
+            where_refs.extend(refs);
+            for (cref, op) in raw_preds {
+                let col = self.resolve_ref(&cref, &aliases, &scope)?;
+                let sel = self.resolver.default_selectivity(col, op);
+                predicates.push(Predicate::new(col, op, sel));
+            }
+        }
+
+        // --- GROUP BY ---
+        let mut group_refs: Vec<ColRef> = Vec::new();
+        if self.eat_keyword("group") {
+            self.expect_keyword("by")?;
+            loop {
+                group_refs.push(self.parse_colref()?);
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+            aggregates = true;
+        }
+
+        // --- ORDER BY ---
+        let mut order_refs: Vec<ColRef> = Vec::new();
+        if self.eat_keyword("order") {
+            self.expect_keyword("by")?;
+            loop {
+                order_refs.push(self.parse_colref()?);
+                let _ = self.eat_keyword("asc") || self.eat_keyword("desc");
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+        }
+
+        // --- LIMIT ---
+        if self.eat_keyword("limit") {
+            match self.bump() {
+                Some(Tok::Number(_)) => {}
+                _ => return Err(self.err("expected number after LIMIT")),
+            }
+        }
+        let _ = self.eat_symbol(";");
+        if self.pos != self.toks.len() {
+            return Err(self.err("trailing tokens after statement"));
+        }
+
+        // --- resolve everything ---
+        let mut select = ColumnSet::new();
+        if select_star {
+            for t in &scope {
+                for c in self.resolver.table_columns(*t) {
+                    select.insert(c);
+                }
+            }
+        }
+        for r in &select_refs {
+            select.insert(self.resolve_ref(r, &aliases, &scope)?);
+        }
+        let mut filter = ColumnSet::new();
+        for r in &where_refs {
+            filter.insert(self.resolve_ref(r, &aliases, &scope)?);
+        }
+        let mut group_by = ColumnSet::new();
+        for r in &group_refs {
+            group_by.insert(self.resolve_ref(r, &aliases, &scope)?);
+        }
+        let mut order_by = Vec::new();
+        for r in &order_refs {
+            let c = self.resolve_ref(r, &aliases, &scope)?;
+            if !order_by.contains(&c) {
+                order_by.push(c);
+            }
+        }
+
+        Ok(Query {
+            anchor,
+            select,
+            filter,
+            group_by,
+            order_by,
+            predicates,
+            joins: scope[1..].to_vec(),
+            aggregates,
+            raw_sql: None,
+        })
+    }
+
+    fn parse_table_ref(
+        &mut self,
+        tables: &mut Vec<(TableId, Option<String>)>,
+    ) -> Result<(), ParseError> {
+        let name = match self.bump() {
+            Some(Tok::Ident(s)) => s.clone(),
+            _ => return Err(self.err("expected table name")),
+        };
+        if is_clause_keyword(&name) {
+            return Err(self.err(format!("expected table name, found keyword `{name}`")));
+        }
+        let tid = self
+            .resolver
+            .resolve_table(&name)
+            .ok_or_else(|| self.err(format!("unknown table `{name}`")))?;
+        let mut alias = None;
+        if self.eat_keyword("as") {
+            match self.bump() {
+                Some(Tok::Ident(a)) => alias = Some(a.to_ascii_lowercase()),
+                _ => return Err(self.err("expected alias after AS")),
+            }
+        } else if let Some(Tok::Ident(a)) = self.peek() {
+            if !is_clause_keyword(a) && !is_join_keyword(a) && !a.eq_ignore_ascii_case("on") {
+                alias = Some(a.to_ascii_lowercase());
+                self.pos += 1;
+            }
+        }
+        tables.push((tid, alias));
+        Ok(())
+    }
+
+    /// Parses a possibly-qualified column reference.
+    fn parse_colref(&mut self) -> Result<ColRef, ParseError> {
+        let offset = self.toks.get(self.pos).map_or(0, |t| t.offset);
+        let first = match self.bump() {
+            Some(Tok::Ident(s)) => s.clone(),
+            _ => return Err(self.err("expected column reference")),
+        };
+        if self.eat_symbol(".") {
+            let col = match self.bump() {
+                Some(Tok::Ident(s)) => s.clone(),
+                _ => return Err(self.err("expected column after `.`")),
+            };
+            Ok(ColRef {
+                table_alias: Some(first.to_ascii_lowercase()),
+                name: col,
+                offset,
+            })
+        } else {
+            Ok(ColRef {
+                table_alias: None,
+                name: first,
+                offset,
+            })
+        }
+    }
+
+    /// Parses a scalar expression, returning the column refs it mentions and
+    /// whether it contains an aggregate function call.
+    fn parse_expr_refs(&mut self) -> Result<(Vec<ColRef>, bool), ParseError> {
+        let mut refs = Vec::new();
+        let mut agg = false;
+        self.parse_additive(&mut refs, &mut agg)?;
+        Ok((refs, agg))
+    }
+
+    fn parse_additive(&mut self, refs: &mut Vec<ColRef>, agg: &mut bool) -> Result<(), ParseError> {
+        self.parse_multiplicative(refs, agg)?;
+        while self.eat_symbol("+") || self.eat_symbol("-") {
+            self.parse_multiplicative(refs, agg)?;
+        }
+        Ok(())
+    }
+
+    fn parse_multiplicative(
+        &mut self,
+        refs: &mut Vec<ColRef>,
+        agg: &mut bool,
+    ) -> Result<(), ParseError> {
+        self.parse_primary(refs, agg)?;
+        while self.eat_symbol("*") || self.eat_symbol("/") || self.eat_symbol("%") {
+            self.parse_primary(refs, agg)?;
+        }
+        Ok(())
+    }
+
+    fn parse_primary(&mut self, refs: &mut Vec<ColRef>, agg: &mut bool) -> Result<(), ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Number(_)) | Some(Tok::Str(_)) => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(Tok::Symbol("(")) => {
+                self.pos += 1;
+                self.parse_additive(refs, agg)?;
+                self.expect_symbol(")")
+            }
+            Some(Tok::Symbol("-")) => {
+                self.pos += 1;
+                self.parse_primary(refs, agg)
+            }
+            Some(Tok::Ident(name)) => {
+                // function call?
+                if matches!(self.toks.get(self.pos + 1), Some(Spanned { tok: Tok::Symbol("("), .. }))
+                {
+                    if name.eq_ignore_ascii_case("select") {
+                        return Err(self.err("subqueries are not supported"));
+                    }
+                    self.pos += 2; // ident + '('
+                    if AGG_FUNCS.iter().any(|f| name.eq_ignore_ascii_case(f)) {
+                        *agg = true;
+                    }
+                    let _ = self.eat_keyword("distinct");
+                    if self.eat_symbol("*") {
+                        // COUNT(*)
+                    } else if !matches!(self.peek(), Some(Tok::Symbol(")"))) {
+                        loop {
+                            self.parse_additive(refs, agg)?;
+                            if !self.eat_symbol(",") {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_symbol(")")
+                } else {
+                    let r = self.parse_colref()?;
+                    refs.push(r);
+                    Ok(())
+                }
+            }
+            _ => Err(self.err("expected expression")),
+        }
+    }
+
+    /// Parses a boolean condition, returning all column refs mentioned and
+    /// recording extractable `column-vs-literal` predicates in `preds`.
+    fn parse_condition_refs(
+        &mut self,
+        preds: &mut Vec<(ColRef, PredOp)>,
+    ) -> Result<(Vec<ColRef>, bool), ParseError> {
+        let mut refs = Vec::new();
+        self.parse_or(&mut refs, preds)?;
+        Ok((refs, false))
+    }
+
+    fn parse_or(
+        &mut self,
+        refs: &mut Vec<ColRef>,
+        preds: &mut Vec<(ColRef, PredOp)>,
+    ) -> Result<(), ParseError> {
+        self.parse_and(refs, preds)?;
+        while self.eat_keyword("or") {
+            // Disjunction arms still contribute columns, but we do not claim
+            // their predicates individually (a sort prefix cannot use them).
+            let mut arm_preds = Vec::new();
+            self.parse_and(refs, &mut arm_preds)?;
+        }
+        Ok(())
+    }
+
+    fn parse_and(
+        &mut self,
+        refs: &mut Vec<ColRef>,
+        preds: &mut Vec<(ColRef, PredOp)>,
+    ) -> Result<(), ParseError> {
+        self.parse_predicate(refs, preds)?;
+        while self.eat_keyword("and") {
+            self.parse_predicate(refs, preds)?;
+        }
+        Ok(())
+    }
+
+    fn parse_predicate(
+        &mut self,
+        refs: &mut Vec<ColRef>,
+        preds: &mut Vec<(ColRef, PredOp)>,
+    ) -> Result<(), ParseError> {
+        if self.eat_keyword("not") {
+            return self.parse_predicate(refs, &mut Vec::new());
+        }
+        if self.eat_symbol("(") {
+            self.parse_or(refs, preds)?;
+            return self.expect_symbol(")");
+        }
+        // left side: expression (collect refs; remember if it is a bare colref)
+        let before = refs.len();
+        let mut agg = false;
+        self.parse_additive(refs, &mut agg)?;
+        let lhs_single = refs.len() == before + 1;
+
+        if self.eat_keyword("between") {
+            self.parse_additive(&mut Vec::new(), &mut false)?;
+            self.expect_keyword("and")?;
+            self.parse_additive(&mut Vec::new(), &mut false)?;
+            if lhs_single {
+                preds.push((refs[before].clone(), PredOp::Range));
+            }
+            return Ok(());
+        }
+        if self.eat_keyword("like") {
+            match self.bump() {
+                Some(Tok::Str(_)) => {}
+                _ => return Err(self.err("expected string after LIKE")),
+            }
+            if lhs_single {
+                preds.push((refs[before].clone(), PredOp::Like));
+            }
+            return Ok(());
+        }
+        if self.eat_keyword("in") {
+            self.expect_symbol("(")?;
+            loop {
+                match self.bump() {
+                    Some(Tok::Number(_)) | Some(Tok::Str(_)) => {}
+                    _ => return Err(self.err("expected literal in IN list")),
+                }
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+            self.expect_symbol(")")?;
+            if lhs_single {
+                preds.push((refs[before].clone(), PredOp::In));
+            }
+            return Ok(());
+        }
+        if self.eat_keyword("is") {
+            let _ = self.eat_keyword("not");
+            self.expect_keyword("null")?;
+            if lhs_single {
+                preds.push((refs[before].clone(), PredOp::Eq));
+            }
+            return Ok(());
+        }
+        // comparison operator
+        let op = match self.peek() {
+            Some(Tok::Symbol("=")) => Some(PredOp::Eq),
+            Some(Tok::Symbol("!=")) | Some(Tok::Symbol("<>")) => Some(PredOp::Range),
+            Some(Tok::Symbol("<")) | Some(Tok::Symbol("<=")) | Some(Tok::Symbol(">"))
+            | Some(Tok::Symbol(">=")) => Some(PredOp::Range),
+            _ => None,
+        };
+        let Some(op) = op else {
+            return Err(self.err("expected comparison operator"));
+        };
+        self.pos += 1;
+        // right side
+        let rhs_before = refs.len();
+        self.parse_additive(refs, &mut false)?;
+        let rhs_is_col = refs.len() > rhs_before;
+        // col-vs-literal => selectivity predicate; col-vs-col => join filter
+        // (columns recorded in refs either way).
+        if lhs_single && !rhs_is_col {
+            preds.push((refs[before].clone(), op));
+        }
+        Ok(())
+    }
+
+    fn resolve_ref(
+        &self,
+        r: &ColRef,
+        aliases: &[(Option<String>, TableId)],
+        scope: &[TableId],
+    ) -> Result<ColumnId, ParseError> {
+        let hint = match &r.table_alias {
+            None => None,
+            Some(a) => {
+                let t = aliases
+                    .iter()
+                    .find_map(|(alias, t)| {
+                        if alias.as_deref() == Some(a.as_str()) {
+                            Some(*t)
+                        } else {
+                            None
+                        }
+                    })
+                    .or_else(|| self.resolver.resolve_table(a));
+                match t {
+                    Some(t) => Some(t),
+                    None => {
+                        return Err(ParseError {
+                            message: format!("unknown table or alias `{a}`"),
+                            offset: r.offset,
+                        })
+                    }
+                }
+            }
+        };
+        self.resolver
+            .resolve_column(hint, scope, &r.name)
+            .ok_or_else(|| ParseError {
+                message: format!("unknown column `{}`", r.name),
+                offset: r.offset,
+            })
+    }
+}
+
+fn is_clause_keyword(s: &str) -> bool {
+    [
+        "from", "where", "group", "order", "limit", "having", "on", "and", "or", "select", "by",
+        "as", "join", "inner", "left", "right", "full", "outer", "cross", "union", "not",
+        "between", "like", "in", "is", "asc", "desc", "distinct",
+    ]
+    .iter()
+    .any(|k| s.eq_ignore_ascii_case(k))
+}
+
+fn is_join_keyword(s: &str) -> bool {
+    ["join", "inner", "left", "right", "full", "outer", "cross"]
+        .iter()
+        .any(|k| s.eq_ignore_ascii_case(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolve::SimpleResolver;
+
+    fn resolver() -> SimpleResolver {
+        let mut r = SimpleResolver::new();
+        // sales: id=0 amount=1 region=2 day=3 cust=4
+        r.add_table("sales", &["id", "amount", "region", "day", "cust"]);
+        // customers: id=5 name=6 tier=7
+        r.add_table("customers", &["id", "name", "tier"]);
+        r
+    }
+
+    #[test]
+    fn simple_select() {
+        let r = resolver();
+        let q = parse_query("SELECT amount, region FROM sales", &r).unwrap();
+        assert_eq!(q.anchor, TableId(0));
+        assert_eq!(q.select, ColumnSet::from_ids(&[1, 2]));
+        assert!(q.filter.is_empty());
+        assert!(!q.aggregates);
+        assert!(q.raw_sql.is_some());
+    }
+
+    #[test]
+    fn full_clause_query() {
+        let r = resolver();
+        let q = parse_query(
+            "SELECT region, SUM(amount) AS total FROM sales \
+             WHERE day >= 100 AND region = 'west' \
+             GROUP BY region ORDER BY region DESC LIMIT 10;",
+            &r,
+        )
+        .unwrap();
+        assert_eq!(q.select, ColumnSet::from_ids(&[1, 2]));
+        assert_eq!(q.filter, ColumnSet::from_ids(&[2, 3]));
+        assert_eq!(q.group_by, ColumnSet::from_ids(&[2]));
+        assert_eq!(q.order_by, vec![ColumnId(2)]);
+        assert!(q.aggregates);
+        assert_eq!(q.predicates.len(), 2);
+        let eq = q.predicates.iter().find(|p| p.op == PredOp::Eq).unwrap();
+        assert_eq!(eq.column, ColumnId(2));
+    }
+
+    #[test]
+    fn join_with_aliases() {
+        let r = resolver();
+        let q = parse_query(
+            "SELECT s.amount, c.name FROM sales s JOIN customers c ON s.cust = c.id \
+             WHERE c.tier = 'gold'",
+            &r,
+        )
+        .unwrap();
+        assert_eq!(q.anchor, TableId(0));
+        assert_eq!(q.joins, vec![TableId(1)]);
+        // join columns land in the filter set; only tier gets a predicate
+        assert_eq!(q.filter, ColumnSet::from_ids(&[4, 5, 7]));
+        assert_eq!(q.predicates.len(), 1);
+        assert_eq!(q.predicates[0].column, ColumnId(7));
+    }
+
+    #[test]
+    fn comma_join() {
+        let r = resolver();
+        let q = parse_query(
+            "SELECT name FROM customers, sales WHERE customers.id = sales.cust",
+            &r,
+        )
+        .unwrap();
+        assert_eq!(q.anchor, TableId(1));
+        assert_eq!(q.joins, vec![TableId(0)]);
+        assert_eq!(q.filter, ColumnSet::from_ids(&[4, 5]));
+        assert!(q.predicates.is_empty());
+    }
+
+    #[test]
+    fn select_star_expands() {
+        let r = resolver();
+        let q = parse_query("SELECT * FROM customers", &r).unwrap();
+        assert_eq!(q.select, ColumnSet::from_ids(&[5, 6, 7]));
+    }
+
+    #[test]
+    fn between_in_like() {
+        let r = resolver();
+        let q = parse_query(
+            "SELECT id FROM sales WHERE day BETWEEN 1 AND 30 \
+             AND region IN ('a','b') AND cust LIKE 'x%'",
+            &r,
+        )
+        .unwrap();
+        let ops: Vec<PredOp> = q.predicates.iter().map(|p| p.op).collect();
+        assert!(ops.contains(&PredOp::Range));
+        assert!(ops.contains(&PredOp::In));
+        assert!(ops.contains(&PredOp::Like));
+        assert_eq!(q.filter, ColumnSet::from_ids(&[2, 3, 4]));
+    }
+
+    #[test]
+    fn or_arms_contribute_columns_but_no_predicates() {
+        let r = resolver();
+        let q = parse_query(
+            "SELECT id FROM sales WHERE region = 'a' OR day > 5",
+            &r,
+        )
+        .unwrap();
+        assert_eq!(q.filter, ColumnSet::from_ids(&[2, 3]));
+        // Only the first AND-connected conjunct before OR is claimed.
+        assert_eq!(q.predicates.len(), 1);
+    }
+
+    #[test]
+    fn count_star_and_arithmetic() {
+        let r = resolver();
+        let q = parse_query(
+            "SELECT COUNT(*), SUM(amount * 2 + day) FROM sales WHERE id = 3",
+            &r,
+        )
+        .unwrap();
+        assert!(q.aggregates);
+        assert_eq!(q.select, ColumnSet::from_ids(&[1, 3]));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let r = resolver();
+        assert!(parse_query("SELECT x FROM sales", &r).is_err());
+        assert!(parse_query("SELECT id FROM nope", &r).is_err());
+        assert!(parse_query("SELECT id sales", &r).is_err());
+        assert!(parse_query("SELECT id FROM sales WHERE", &r).is_err());
+        assert!(parse_query("SELECT id FROM sales WHERE id = (SELECT 1)", &r).is_err());
+        assert!(parse_query("SELECT 'unterminated FROM sales", &r).is_err());
+        let e = parse_query("SELECT zzz FROM sales", &r).unwrap_err();
+        assert!(e.to_string().contains("zzz"));
+    }
+
+    #[test]
+    fn quoted_identifiers_and_comments() {
+        let r = resolver();
+        let q = parse_query(
+            "SELECT \"amount\" FROM sales -- trailing comment\n WHERE \"region\" = 'x'",
+            &r,
+        )
+        .unwrap();
+        assert_eq!(q.select, ColumnSet::from_ids(&[1]));
+        assert_eq!(q.filter, ColumnSet::from_ids(&[2]));
+    }
+
+    #[test]
+    fn is_null_and_not() {
+        let r = resolver();
+        let q = parse_query(
+            "SELECT id FROM sales WHERE cust IS NOT NULL AND NOT day > 3",
+            &r,
+        )
+        .unwrap();
+        assert_eq!(q.filter, ColumnSet::from_ids(&[3, 4]));
+    }
+}

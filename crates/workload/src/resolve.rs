@@ -1,0 +1,139 @@
+//! Name resolution for the SQL parser.
+//!
+//! The parser is schema-driven: it maps table and column names to the dense
+//! ids used everywhere else. The catalog lives in `cliffguard-storage`
+//! (which depends on this crate), so resolution is abstracted behind
+//! [`NameResolver`]; [`SimpleResolver`] is a self-contained implementation
+//! for tests and text-only workflows.
+
+use crate::ids::{ColumnId, TableId};
+use crate::query::PredOp;
+use std::collections::HashMap;
+
+/// Maps SQL identifiers to catalog ids and supplies default selectivities.
+pub trait NameResolver {
+    /// Resolves a table name (case-insensitive).
+    fn resolve_table(&self, name: &str) -> Option<TableId>;
+
+    /// Resolves a column name. `table_hint` is the table named by a
+    /// qualified reference (`t.col`) or `None` for bare names, in which case
+    /// the resolver searches the given in-scope tables.
+    fn resolve_column(
+        &self,
+        table_hint: Option<TableId>,
+        in_scope: &[TableId],
+        name: &str,
+    ) -> Option<ColumnId>;
+
+    /// All columns of a table (used to expand `SELECT *`).
+    fn table_columns(&self, table: TableId) -> Vec<ColumnId>;
+
+    /// Default selectivity estimate for a predicate on `column` when the
+    /// parser has no statistics. Statistics-backed resolvers override this.
+    fn default_selectivity(&self, _column: ColumnId, op: PredOp) -> f64 {
+        match op {
+            PredOp::Eq => 0.01,
+            PredOp::Range => 0.2,
+            PredOp::Like => 0.1,
+            PredOp::In => 0.05,
+        }
+    }
+}
+
+/// An in-memory resolver built from `(table, [columns…])` names.
+#[derive(Debug, Clone, Default)]
+pub struct SimpleResolver {
+    tables: HashMap<String, TableId>,
+    // (table, lowercase column name) -> id
+    columns: HashMap<(TableId, String), ColumnId>,
+    per_table: Vec<Vec<ColumnId>>,
+    next_col: u32,
+}
+
+impl SimpleResolver {
+    /// Creates an empty resolver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a table with the given column names, assigning dense global
+    /// column ids in registration order. Returns the new table id.
+    pub fn add_table(&mut self, name: &str, columns: &[&str]) -> TableId {
+        let tid = TableId(self.per_table.len() as u32);
+        self.tables.insert(name.to_ascii_lowercase(), tid);
+        let mut cols = Vec::with_capacity(columns.len());
+        for c in columns {
+            let cid = ColumnId(self.next_col);
+            self.next_col += 1;
+            self.columns.insert((tid, c.to_ascii_lowercase()), cid);
+            cols.push(cid);
+        }
+        self.per_table.push(cols);
+        tid
+    }
+
+    /// Total number of registered columns.
+    pub fn column_count(&self) -> usize {
+        self.next_col as usize
+    }
+}
+
+impl NameResolver for SimpleResolver {
+    fn resolve_table(&self, name: &str) -> Option<TableId> {
+        self.tables.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    fn resolve_column(
+        &self,
+        table_hint: Option<TableId>,
+        in_scope: &[TableId],
+        name: &str,
+    ) -> Option<ColumnId> {
+        let key = name.to_ascii_lowercase();
+        if let Some(t) = table_hint {
+            return self.columns.get(&(t, key)).copied();
+        }
+        in_scope
+            .iter()
+            .find_map(|&t| self.columns.get(&(t, key.clone())).copied())
+    }
+
+    fn table_columns(&self, table: TableId) -> Vec<ColumnId> {
+        self.per_table
+            .get(table.index())
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_tables_and_columns() {
+        let mut r = SimpleResolver::new();
+        let t0 = r.add_table("Sales", &["id", "amount"]);
+        let t1 = r.add_table("items", &["id", "name"]);
+        assert_eq!(r.resolve_table("sales"), Some(t0));
+        assert_eq!(r.resolve_table("SALES"), Some(t0));
+        assert_eq!(r.resolve_table("nope"), None);
+        // Global ids are dense across tables.
+        assert_eq!(r.resolve_column(Some(t0), &[], "amount"), Some(ColumnId(1)));
+        assert_eq!(r.resolve_column(Some(t1), &[], "id"), Some(ColumnId(2)));
+        // Bare name resolution searches scope in order.
+        assert_eq!(r.resolve_column(None, &[t1, t0], "id"), Some(ColumnId(2)));
+        assert_eq!(r.resolve_column(None, &[t0, t1], "id"), Some(ColumnId(0)));
+        assert_eq!(r.resolve_column(None, &[t0], "name"), None);
+        assert_eq!(r.table_columns(t1), vec![ColumnId(2), ColumnId(3)]);
+        assert_eq!(r.column_count(), 4);
+    }
+
+    #[test]
+    fn default_selectivities_ordered_by_restrictiveness() {
+        let r = SimpleResolver::new();
+        let c = ColumnId(0);
+        assert!(r.default_selectivity(c, PredOp::Eq) < r.default_selectivity(c, PredOp::In));
+        assert!(r.default_selectivity(c, PredOp::In) < r.default_selectivity(c, PredOp::Range));
+    }
+}

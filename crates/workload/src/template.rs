@@ -1,0 +1,98 @@
+//! Query templates.
+//!
+//! Section 6.2 of the paper defines templates "by stripping away the query
+//! details except for the sets of columns used in the select, where, group
+//! by, and order by clauses" and uses template overlap between windows to
+//! demonstrate workload drift (Figure 5). [`Template`] is exactly that
+//! 4-tuple of column sets (plus the anchor table, without which column ids
+//! would be ambiguous across tables).
+
+use crate::colset::ColumnSet;
+use crate::ids::TableId;
+use crate::query::Query;
+use serde::{Deserialize, Serialize};
+
+/// Opaque dense identifier for a template within a [`TemplateInterner`]-like
+/// context (the generators use it to track template churn).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TemplateId(pub u32);
+
+/// The clause-column-set template of a query.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Template {
+    /// Anchor table.
+    pub anchor: TableId,
+    /// SELECT clause column set.
+    pub select: ColumnSet,
+    /// WHERE clause column set.
+    pub filter: ColumnSet,
+    /// GROUP BY clause column set.
+    pub group_by: ColumnSet,
+    /// ORDER BY clause column set (order-insensitive, per the paper).
+    pub order_by: ColumnSet,
+}
+
+impl Template {
+    /// Extracts the template of a query.
+    pub fn of(q: &Query) -> Self {
+        Self {
+            anchor: q.anchor,
+            select: q.select.clone(),
+            filter: q.filter.clone(),
+            group_by: q.group_by.clone(),
+            order_by: q.order_by_set(),
+        }
+    }
+
+    /// Union of all clause column sets.
+    pub fn all_columns(&self) -> ColumnSet {
+        let mut s = self.select.clone();
+        s.union_with(&self.filter);
+        s.union_with(&self.group_by);
+        s.union_with(&self.order_by);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{PredOp, QueryBuilder};
+
+    #[test]
+    fn template_strips_details() {
+        // Same clause columns, different selectivity / sql text / predicate
+        // op => same template.
+        let a = QueryBuilder::new(TableId(1))
+            .select(&[1, 2])
+            .filter(3, PredOp::Eq, 0.01)
+            .raw_sql("SELECT a, b FROM t WHERE c = 1")
+            .build();
+        let b = QueryBuilder::new(TableId(1))
+            .select(&[1, 2])
+            .filter(3, PredOp::Range, 0.4)
+            .raw_sql("SELECT a, b FROM t WHERE c > 7")
+            .build();
+        assert_eq!(Template::of(&a), Template::of(&b));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn template_order_by_is_a_set() {
+        let a = QueryBuilder::new(TableId(0)).select(&[1]).order_by(&[1, 2]).build();
+        let b = QueryBuilder::new(TableId(0)).select(&[1]).order_by(&[2, 1]).build();
+        assert_eq!(Template::of(&a), Template::of(&b));
+    }
+
+    #[test]
+    fn distinct_clause_placement_distinct_template() {
+        let a = QueryBuilder::new(TableId(0)).select(&[1, 2]).build();
+        let b = QueryBuilder::new(TableId(0))
+            .select(&[1])
+            .filter(2, PredOp::Eq, 0.1)
+            .build();
+        assert_ne!(Template::of(&a), Template::of(&b));
+        // ... but their column unions agree.
+        assert_eq!(Template::of(&a).all_columns(), Template::of(&b).all_columns());
+    }
+}

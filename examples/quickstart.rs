@@ -1,0 +1,98 @@
+//! Quickstart: parse SQL against a catalog, get a nominal design, then a
+//! robust design, and compare how each copes with a workload shift.
+//!
+//! Run with: `cargo run -p cliffguard --example quickstart`
+
+use cliffguard::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // --- 1. A small warehouse catalog -----------------------------------
+    let catalog = Catalog::new(vec![TableDef {
+        name: "sales".into(),
+        columns: vec![
+            col("id", 8, 20_000_000),
+            col("store", 4, 500),
+            col("product", 4, 20_000),
+            col("day", 4, 365),
+            col("amount", 8, 1_000_000),
+            col("discount", 8, 100),
+            col("channel", 4, 5),
+            col("region", 4, 50),
+        ],
+        rows: 20_000_000,
+    }]);
+    let engine = ColumnarEngine::new(catalog);
+    let n_columns = engine.catalog().column_count();
+
+    // --- 2. Parse this quarter's queries from SQL -----------------------
+    let texts = [
+        "SELECT store, SUM(amount) FROM sales WHERE day >= 270 GROUP BY store",
+        "SELECT product, SUM(amount) FROM sales WHERE store = 42 GROUP BY product",
+        "SELECT amount FROM sales WHERE product = 1234 AND day = 300",
+    ];
+    let mut w0 = Workload::new();
+    for t in &texts {
+        let q = parse_query(t, engine.catalog()).expect("parseable");
+        w0.add(Arc::new(q), 100.0);
+    }
+    println!("parsed {} distinct queries", w0.len());
+
+    // --- 3. Nominal design (what the bundled advisor would do) ----------
+    let budget = 4 << 30; // 4 GB
+    let nominal = GreedyDesigner::new(&engine, ColumnarCandidates, "DBD");
+    let nominal_design = nominal.design(&w0, budget);
+    println!(
+        "nominal design: {} projections, {:.1} MB",
+        nominal_design.len(),
+        nominal_design.price_bytes(engine.catalog()) as f64 / (1 << 20) as f64
+    );
+
+    // --- 4. Robust design via CliffGuard --------------------------------
+    // The pool of plausible future queries: last quarter's log.
+    let pool: Vec<Arc<Query>> = [
+        "SELECT region, SUM(amount) FROM sales WHERE day >= 200 GROUP BY region",
+        "SELECT channel, SUM(discount) FROM sales WHERE region = 7 GROUP BY channel",
+        "SELECT amount FROM sales WHERE store = 3 AND channel = 2",
+    ]
+    .iter()
+    .map(|t| Arc::new(parse_query(t, engine.catalog()).unwrap()))
+    .collect();
+
+    let metric = DeltaEuclidean::new(n_columns);
+    let cg = CliffGuard::new(&engine, &nominal, metric, CliffGuardConfig::new(0.01));
+    let (robust_design, trace) = cg.design(&w0, budget, &pool);
+    println!(
+        "robust design:  {} projections, {:.1} MB ({} designer calls, {} samples)",
+        robust_design.len(),
+        robust_design.price_bytes(engine.catalog()) as f64 / (1 << 20) as f64,
+        trace.designer_calls,
+        trace.samples
+    );
+
+    // --- 5. The future shifts toward the pool-style queries -------------
+    let mut drifted = Workload::new();
+    for q in &pool {
+        drifted.add(Arc::clone(q), 80.0);
+    }
+    for (q, wt) in w0.iter() {
+        drifted.add(Arc::clone(q), wt * 0.2);
+    }
+
+    let report = |name: &str, d: &ColumnarDesign| {
+        let now = engine.workload_cost(&w0, d);
+        let then = engine.workload_cost(&drifted, d);
+        println!(
+            "{name:<8} current workload: avg {:>8.1} ms | drifted workload: avg {:>8.1} ms, max {:>8.1} ms",
+            now.avg_ms, then.avg_ms, then.max_ms
+        );
+    };
+    println!("\n--- latency comparison (model milliseconds) ---");
+    report("none", &ColumnarDesign::empty());
+    report("nominal", &nominal_design);
+    report("robust", &robust_design);
+}
+
+fn col(name: &str, width: u32, ndv: u64) -> ColumnDef {
+    ColumnDef { name: name.into(), width_bytes: width, stats: ColumnStats::uniform(ndv) }
+}

@@ -1,0 +1,98 @@
+//! End-to-end test of the `cliffguard` CLI binary: generate → stats →
+//! design → evaluate over real files in a temp directory.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_cliffguard")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cliffguard-cli-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn generate_stats_design_evaluate_pipeline() {
+    let dir = tmpdir("pipeline");
+    let log = dir.join("log.tsv");
+    let catalog = dir.join("catalog.json");
+
+    // generate
+    let out = Command::new(bin())
+        .args([
+            "generate", "--profile", "R1", "--seed", "5", "--windows", "4", "--scale", "0.2",
+            "--out", log.to_str().unwrap(), "--catalog-out", catalog.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(log.exists() && catalog.exists());
+    let log_text = std::fs::read_to_string(&log).unwrap();
+    assert!(log_text.lines().count() > 100);
+    assert!(log_text.contains('\t'));
+
+    // stats
+    let out = Command::new(bin())
+        .args(["stats", "--catalog", catalog.to_str().unwrap(), "--log", log.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("inter-window delta"), "{stdout}");
+    assert!(stdout.contains("suggested gamma"), "{stdout}");
+
+    // design (robust) emits projection DDL
+    let out = Command::new(bin())
+        .args([
+            "design", "--catalog", catalog.to_str().unwrap(), "--log", log.to_str().unwrap(),
+            "--gamma", "auto",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let ddl = String::from_utf8_lossy(&out.stdout);
+    assert!(ddl.contains("CREATE PROJECTION"), "{ddl}");
+    assert!(ddl.contains("ORDER BY"), "{ddl}");
+
+    // design (nominal) also works
+    let out = Command::new(bin())
+        .args([
+            "design", "--catalog", catalog.to_str().unwrap(), "--log", log.to_str().unwrap(),
+            "--nominal", "true",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_rejects_bad_input() {
+    // unknown command
+    let out = Command::new(bin()).arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+
+    // missing flags
+    let out = Command::new(bin()).arg("design").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing required flag"));
+
+    // unreadable catalog
+    let out = Command::new(bin())
+        .args(["stats", "--catalog", "/nonexistent.json", "--log", "/nonexistent.tsv"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = Command::new(bin()).arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("commands:"));
+}

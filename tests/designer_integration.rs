@@ -1,0 +1,99 @@
+//! Cross-crate designer invariants: budgets, monotonicity, greedy-vs-ILP
+//! agreement, and designer behavior on generated workloads with real
+//! catalogs.
+
+use cliffguard::prelude::*;
+use proptest::prelude::*;
+
+fn setup() -> (ColumnarEngine, Vec<Workload>) {
+    let mut config = WorkloadProfile::S2.config(17).scaled(0.2);
+    config.n_windows = 3;
+    let mut generator = DriftingGenerator::new(config.clone());
+    let shape = generator.shape().clone();
+    let windows = generator.generate().windows_days(config.window_days);
+    let catalog = CatalogGenerator::default().generate(&shape);
+    (ColumnarEngine::new(catalog), windows)
+}
+
+#[test]
+fn designs_always_fit_budget_on_generated_workloads() {
+    let (engine, windows) = setup();
+    let designer = GreedyDesigner::new(&engine, ColumnarCandidates, "DBD");
+    for budget in [1u64 << 28, 1 << 32, 1 << 36] {
+        for w in &windows {
+            let d = designer.design(w, budget);
+            assert!(d.price_bytes(engine.catalog()) <= budget);
+        }
+    }
+}
+
+#[test]
+fn bigger_budget_never_hurts_cost() {
+    let (engine, windows) = setup();
+    let designer = GreedyDesigner::new(&engine, ColumnarCandidates, "DBD");
+    let w = &windows[0];
+    let mut prev = f64::INFINITY;
+    for budget in [1u64 << 28, 1 << 31, 1 << 34, 1 << 37] {
+        let d = designer.design(w, budget);
+        let cost = engine.cost_f(w, &d);
+        assert!(
+            cost <= prev * 1.0001,
+            "cost should not grow with budget: {cost} after {prev}"
+        );
+        prev = cost;
+    }
+}
+
+#[test]
+fn designed_workload_runs_faster_than_bare() {
+    let (engine, windows) = setup();
+    let designer = GreedyDesigner::new(&engine, ColumnarCandidates, "DBD");
+    let w = &windows[0];
+    let d = designer.design(w, 60 << 30);
+    let tuned = engine.workload_cost(w, &d);
+    let bare = engine.workload_cost(w, &ColumnarDesign::empty());
+    assert!(tuned.avg_ms < bare.avg_ms);
+    assert!(tuned.max_ms <= bare.max_ms * 1.0001);
+}
+
+#[test]
+fn ilp_never_worse_than_greedy_on_generated_workload() {
+    let (engine, windows) = setup();
+    let designer = GreedyDesigner::new(&engine, ColumnarCandidates, "DBD");
+    let m = designer.matrix(&windows[0]);
+    for budget in [1u64 << 30, 1 << 33] {
+        let g = m.cost_of_set(&m.greedy_select(budget));
+        let i = m.cost_of_set(&IlpSelector::default().select(&m, budget));
+        assert!(i <= g + 1e-6, "ilp {i} vs greedy {g} at {budget}");
+    }
+}
+
+#[test]
+fn row_designer_mirrors_columnar_contracts() {
+    let mut config = WorkloadProfile::S1.config(5).scaled(0.2);
+    config.n_windows = 2;
+    let mut generator = DriftingGenerator::new(config.clone());
+    let shape = generator.shape().clone();
+    let windows = generator.generate().windows_days(config.window_days);
+    let catalog =
+        CatalogGenerator { fact_rows: 4_000_000, ..CatalogGenerator::default() }.generate(&shape);
+    let engine = RowEngine::new(catalog);
+    let designer = GreedyDesigner::new(&engine, RowCandidates, "advisor");
+    let d = designer.design(&windows[0], 10 << 30);
+    assert!(d.price_bytes(engine.catalog()) <= 10 << 30);
+    let tuned = engine.workload_cost(&windows[0], &d);
+    let bare = engine.workload_cost(&windows[0], &RowDesign::empty());
+    assert!(tuned.avg_ms <= bare.avg_ms);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn arbitrary_budgets_respected(budget in 0u64..(1 << 38)) {
+        let (engine, windows) = setup();
+        let designer = GreedyDesigner::new(&engine, ColumnarCandidates, "DBD");
+        let d = designer.design(&windows[0], budget);
+        prop_assert!(d.price_bytes(engine.catalog()) <= budget);
+    }
+}

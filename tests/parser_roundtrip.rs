@@ -1,0 +1,78 @@
+//! Property test: structural queries rendered to SQL and re-parsed against
+//! the catalog must recover their clause column sets exactly.
+
+use cliffguard::prelude::*;
+use proptest::prelude::*;
+
+fn catalog() -> Catalog {
+    CatalogGenerator::default().generate(&SchemaShape::new(vec![8, 6, 4]))
+}
+
+/// A random structural query over table `t` of the 3-table catalog.
+fn arb_query() -> impl Strategy<Value = Query> {
+    (
+        0..3u32,
+        proptest::collection::btree_set(0..4u32, 1..4),
+        proptest::collection::btree_set(0..4u32, 0..3),
+        proptest::collection::btree_set(0..3u32, 0..2),
+        proptest::collection::vec(0..4u32, 0..2),
+        proptest::collection::vec((0..3usize, 0.001f64..0.5), 0..2),
+    )
+        .prop_map(|(t, sel, filt, group, order, ops)| {
+            let shape = SchemaShape::new(vec![8, 6, 4]);
+            let table = TableId(t);
+            let base = shape.column_range(table).start;
+            let ncols = shape.columns_of(table);
+            let mut b = QueryBuilder::new(table);
+            let sel: Vec<u32> = sel.into_iter().map(|c| base + c % ncols).collect();
+            b = b.select(&sel);
+            for (i, c) in filt.into_iter().enumerate() {
+                let op = match ops.get(i).map(|x| x.0).unwrap_or(0) {
+                    0 => PredOp::Eq,
+                    1 => PredOp::Range,
+                    _ => PredOp::In,
+                };
+                let s = ops.get(i).map(|x| x.1).unwrap_or(0.01);
+                b = b.filter(base + c % ncols, op, s);
+            }
+            let group: Vec<u32> = group.into_iter().map(|c| base + c % ncols).collect();
+            if !group.is_empty() {
+                b = b.group_by(&group);
+            }
+            let order: Vec<u32> = order.into_iter().map(|c| base + c % ncols).collect();
+            b.order_by(&order).build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn render_parse_roundtrip(q in arb_query()) {
+        let cat = catalog();
+        let sql = cat.render_sql(&q);
+        let parsed = parse_query(&sql, &cat)
+            .unwrap_or_else(|e| panic!("failed to reparse `{sql}`: {e}"));
+        prop_assert_eq!(parsed.anchor, q.anchor, "{}", sql);
+        prop_assert_eq!(&parsed.select, &q.select, "{}", sql);
+        prop_assert_eq!(&parsed.filter, &q.filter, "{}", sql);
+        prop_assert_eq!(&parsed.group_by, &q.group_by, "{}", sql);
+        prop_assert_eq!(&parsed.order_by, &q.order_by, "{}", sql);
+    }
+
+    #[test]
+    fn parse_is_deterministic(q in arb_query()) {
+        let cat = catalog();
+        let sql = cat.render_sql(&q);
+        let a = parse_query(&sql, &cat).unwrap();
+        let b = parse_query(&sql, &cat).unwrap();
+        prop_assert_eq!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn garbage_never_panics(s in "[a-zA-Z0-9 ,.*()='<>_-]{0,80}") {
+        // The parser must reject or accept, never panic.
+        let cat = catalog();
+        let _ = parse_query(&s, &cat);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests of the continuous BNT machinery: the minimum-norm-point
+//! solver and the robust-descent loop invariants.
+
+use cliffguard::prelude::*;
+use proptest::prelude::*;
+
+fn arb_points() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(-5.0f64..5.0, 2..4),
+        1..6,
+    )
+    .prop_filter("same dim", |pts| pts.iter().all(|p| p.len() == pts[0].len()))
+}
+
+fn norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mnp_no_larger_than_any_vertex(pts in arb_points()) {
+        let z = cliffguard::robust::min_norm_point(&pts, 1e-12);
+        let min_vertex = pts.iter().map(|p| norm(p)).fold(f64::INFINITY, f64::min);
+        prop_assert!(norm(&z) <= min_vertex + 1e-6);
+    }
+
+    #[test]
+    fn mnp_is_hull_member_like(pts in arb_points()) {
+        // The MNP must not be "better than possible": its dot with every
+        // point is at least its squared norm minus tolerance (optimality
+        // condition of projection onto a convex set).
+        let z = cliffguard::robust::min_norm_point(&pts, 1e-12);
+        let zz: f64 = z.iter().map(|x| x * x).sum();
+        for p in &pts {
+            let dot: f64 = z.iter().zip(p).map(|(a, b)| a * b).sum();
+            prop_assert!(dot >= zz - 1e-5, "point {:?} violates optimality vs {:?}", p, z);
+        }
+    }
+
+    #[test]
+    fn descent_direction_is_unit_and_separating(pts in arb_points()) {
+        if let Some(d) = descent_direction(&pts, 1e-7) {
+            prop_assert!((norm(&d) - 1.0).abs() < 1e-6);
+            // d strictly separates the origin from the hull: d·p < 0 ∀p.
+            for p in &pts {
+                let dot: f64 = d.iter().zip(p).map(|(a, b)| a * b).sum();
+                prop_assert!(dot < 1e-6, "direction {:?} does not move away from {:?}", d, p);
+            }
+        }
+    }
+
+    #[test]
+    fn bnt_never_returns_worse_worst_case(cx in -2.0f64..2.0, cy in -2.0f64..2.0, x0 in -3.0f64..3.0, y0 in -3.0f64..3.0) {
+        let f = testfns::bowl(vec![cx, cy]);
+        let opt = BntOptimizer::new(0.4);
+        let g_start = opt.finder.worst_case_cost(&f, &[x0, y0]);
+        let r = opt.minimize(&f, &[x0, y0]);
+        prop_assert!(r.worst_case <= g_start + 1e-6);
+        prop_assert!(r.worst_case >= r.nominal - 1e-6);
+    }
+}
+
+#[test]
+fn worst_case_cost_upper_bounds_nominal_on_benchmark() {
+    let f = testfns::bnt_polynomial();
+    let finder = cliffguard::robust::WorstNeighborFinder::new(0.5);
+    for p in [[2.8, 4.0], [0.0, 0.0], [2.2, 3.0]] {
+        assert!(finder.worst_case_cost(&f, &p) >= f.eval(&p) - 1e-9);
+    }
+}

@@ -1,0 +1,81 @@
+//! The headline claim, end to end: under workload drift, CliffGuard's
+//! designs degrade gracefully while the nominal designer's fall off the
+//! cliff — and with no drift, CliffGuard costs (almost) nothing.
+
+use cliffguard::prelude::*;
+
+fn run(profile: WorkloadProfile, seed: u64) -> (EvalSummary, EvalSummary, EvalSummary) {
+    let mut config = profile.config(seed).scaled(0.3);
+    config.n_windows = 6;
+    let mut generator = DriftingGenerator::new(config.clone());
+    let shape = generator.shape().clone();
+    let windows = generator.generate().windows_days(config.window_days);
+    let catalog = CatalogGenerator::default().generate(&shape);
+    let engine = ColumnarEngine::new(catalog);
+    let metric = DeltaEuclidean::new(shape.column_count());
+    let opts = EvalOptions { budget_bytes: 60 << 30, designable_factor: 3.0 };
+    let nominal = GreedyDesigner::new(&engine, ColumnarCandidates, "DBD");
+
+    let exist =
+        evaluate_strategy(&engine, &mut ExistingDesigner::new(&nominal), &windows, &metric, &opts);
+    let mut cg = CliffGuardStrategy::new(&nominal, metric, GammaPolicy::KMaxPastDeltas(1.5), 13);
+    let robust = evaluate_strategy(&engine, &mut cg, &windows, &metric, &opts);
+    let oracle = evaluate_strategy(
+        &engine,
+        &mut FutureKnowingDesigner::new(&nominal),
+        &windows,
+        &metric,
+        &opts,
+    );
+    (exist, robust, oracle)
+}
+
+#[test]
+fn cliffguard_beats_nominal_under_drift() {
+    let (exist, robust, oracle) = run(WorkloadProfile::R1, 31);
+    assert!(
+        robust.mean_avg_ms < exist.mean_avg_ms,
+        "avg: robust {:.0} vs nominal {:.0}",
+        robust.mean_avg_ms,
+        exist.mean_avg_ms
+    );
+    assert!(
+        robust.mean_max_ms < exist.mean_max_ms,
+        "max: robust {:.0} vs nominal {:.0}",
+        robust.mean_max_ms,
+        exist.mean_max_ms
+    );
+    // And the oracle lower-bounds everything.
+    assert!(oracle.mean_avg_ms <= robust.mean_avg_ms * 1.01);
+}
+
+#[test]
+fn cliffguard_harmless_without_drift() {
+    // S1 is near-static: the nominal designer is already fine, and
+    // CliffGuard must stay close (paper: "performs no worse than the
+    // nominal designer").
+    let (exist, robust, _) = run(WorkloadProfile::S1, 32);
+    assert!(
+        robust.mean_avg_ms <= exist.mean_avg_ms * 1.15,
+        "robust {:.0} should track nominal {:.0} on static workloads",
+        robust.mean_avg_ms,
+        exist.mean_avg_ms
+    );
+}
+
+#[test]
+fn per_window_worst_case_improves_not_just_average() {
+    let (exist, robust, _) = run(WorkloadProfile::S2, 33);
+    // Count windows where CliffGuard's max latency is at least as good.
+    let better = exist
+        .windows
+        .iter()
+        .zip(&robust.windows)
+        .filter(|(e, r)| r.max_ms <= e.max_ms * 1.001)
+        .count();
+    assert!(
+        better * 2 >= exist.windows.len(),
+        "CliffGuard should match or beat the nominal max in most windows ({better}/{})",
+        exist.windows.len()
+    );
+}
