@@ -1,12 +1,13 @@
 //! Microbenchmarks for CliffGuard's hot primitives: the workload distance
 //! (the `O(T²·n)` quadratic form of Section 5), the Γ-neighborhood sampler
 //! (Algorithm 4), the engine cost model, the nominal designer, and one
-//! full CliffGuard design call.
+//! full CliffGuard design call — plus a serial-vs-parallel comparison of
+//! the Γ-neighborhood worst-case evaluation with cost-cache hit rates.
 
 use cliffguard_core::{CliffGuard, CliffGuardConfig};
 use cliffguard_designer::{ColumnarCandidates, GreedyDesigner, NominalDesigner};
 use cliffguard_distance::{DeltaEuclidean, NeighborhoodSampler, WorkloadDistance};
-use cliffguard_sim::{ColumnarDesign, ColumnarEngine, Engine, PhysicalDesign};
+use cliffguard_sim::{CachedEngine, ColumnarDesign, ColumnarEngine, Engine, PhysicalDesign};
 use cliffguard_storage::CatalogGenerator;
 use cliffguard_workload::generator::{DriftingGenerator, WorkloadProfile};
 use cliffguard_workload::{Query, Workload};
@@ -90,6 +91,95 @@ fn bench(c: &mut Criterion) {
         })
     });
     g.finish();
+
+    parallel_worst_case_report(&f, metric);
+}
+
+/// Γ-neighborhood worst-case evaluation, the workload the parallel
+/// cost-evaluation layer exists for: reports serial vs parallel wall
+/// clock (and the speedup) plus the cost-cache hit rate.
+///
+/// Not a criterion `bench_function`: the serial and parallel runs must be
+/// timed against *each other* over the identical neighborhood, and the
+/// cache hit rate is a property of one whole pass, not of a sample.
+fn parallel_worst_case_report(f: &Fixture, metric: DeltaEuclidean) {
+    fn worst_case<C: Fn(&Workload) -> f64 + Sync>(neighborhood: &[Workload], cost: C) -> f64 {
+        cliffguard_parallel::par_map(neighborhood, |w| cost(w))
+            .into_iter()
+            .fold(0.0, f64::max)
+    }
+
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let mut sampler = NeighborhoodSampler::new(metric, f.pool.clone(), 11);
+    let neighborhood = sampler.sample_neighborhood(&f.w0, 0.01, if test_mode { 6 } else { 64 });
+    if neighborhood.is_empty() {
+        return;
+    }
+    let design = GreedyDesigner::new(&f.engine, ColumnarCandidates, "DBD").design(&f.w0, f.budget);
+    let cost = |w: &Workload| f.engine.workload_cost(w, &design).avg_ms;
+
+    // Serial baseline, then a parallel pass over the same neighborhood.
+    let reps = if test_mode { 1 } else { 5 };
+    cliffguard_parallel::set_threads(1);
+    let t0 = std::time::Instant::now();
+    let mut serial_result = 0.0;
+    for _ in 0..reps {
+        serial_result = worst_case(&neighborhood, cost);
+    }
+    let serial = t0.elapsed();
+
+    let threads = std::thread::available_parallelism()
+        .map_or(4, |p| p.get())
+        .max(4);
+    cliffguard_parallel::set_threads(threads);
+    let t0 = std::time::Instant::now();
+    let mut parallel_result = 0.0;
+    for _ in 0..reps {
+        parallel_result = worst_case(&neighborhood, cost);
+    }
+    let parallel = t0.elapsed();
+    assert_eq!(
+        serial_result.to_bits(),
+        parallel_result.to_bits(),
+        "parallel worst-case must be bit-identical to serial"
+    );
+
+    // Cached pass: every (query, design) pair repeats across the
+    // neighborhood's overlapping workloads and across reps.
+    let cached = CachedEngine::new(&f.engine);
+    let t0 = std::time::Instant::now();
+    let mut cached_result = 0.0;
+    for _ in 0..reps.max(2) {
+        cached_result = worst_case(&neighborhood, |w| cached.workload_cost(w, &design).avg_ms);
+    }
+    let cached_elapsed = t0.elapsed();
+    assert_eq!(
+        serial_result.to_bits(),
+        cached_result.to_bits(),
+        "cached worst-case must be bit-identical to uncached"
+    );
+    let stats = cached.cache_stats();
+    assert!(stats.hits > 0, "neighborhood pass must hit the cost cache");
+
+    if test_mode {
+        println!("test parallel/worst_case_equivalence ... ok");
+    } else {
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let speedup = serial.as_secs_f64() / parallel.as_secs_f64().max(1e-12);
+        println!("parallel/worst_case_serial                   {reps} reps in {serial:>10.2?}");
+        println!(
+            "parallel/worst_case_{threads}_threads                {reps} reps in {parallel:>10.2?}  \
+             speedup {speedup:.2}x on {cores} core(s)"
+        );
+        println!(
+            "parallel/worst_case_cached_{threads}_threads         {} reps in {cached_elapsed:>10.2?}  \
+             hit rate {:.1}% ({} hits / {} lookups)",
+            reps.max(2),
+            100.0 * stats.hit_rate(),
+            stats.hits,
+            stats.lookups(),
+        );
+    }
 }
 
 criterion_group!(benches, bench);

@@ -36,8 +36,20 @@ fn main() {
             }
             "--json" => {
                 i += 1;
-                json_path =
-                    Some(args.get(i).cloned().unwrap_or_else(|| die("--json needs a path")));
+                json_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--json needs a path")),
+                );
+            }
+            "--threads" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--threads needs a positive integer"));
+                cliffguard_parallel::set_threads(n);
             }
             "--help" | "-h" => {
                 usage();
@@ -81,6 +93,7 @@ fn main() {
 fn usage() {
     eprintln!(
         "usage: experiments <id>... | all [--scale tiny|quick|full] [--seed N] [--json PATH]\n\
+         \x20                                [--threads N]\n\
          ids: {}",
         ALL_IDS.join(", ")
     );

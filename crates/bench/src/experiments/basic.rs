@@ -19,7 +19,11 @@ pub mod table1 {
         );
         let n_columns = SchemaShape::analytic_default().column_count();
         let metric = DeltaEuclidean::new(n_columns);
-        for profile in [WorkloadProfile::R1, WorkloadProfile::S1, WorkloadProfile::S2] {
+        for profile in [
+            WorkloadProfile::R1,
+            WorkloadProfile::S1,
+            WorkloadProfile::S2,
+        ] {
             let mut config = profile.config(seed).scaled(scale.volume_factor());
             config.n_windows = scale.windows();
             let windows = DriftingGenerator::new(config.clone())
@@ -50,7 +54,9 @@ pub mod fig05 {
 
     /// Runs the experiment.
     pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
-        let mut config = WorkloadProfile::R1.config(seed).scaled(scale.volume_factor());
+        let mut config = WorkloadProfile::R1
+            .config(seed)
+            .scaled(scale.volume_factor());
         config.n_windows = scale.windows();
         let log = DriftingGenerator::new(config).generate();
 
@@ -59,8 +65,10 @@ pub mod fig05 {
             "Shared-template query fraction vs window lag (workload R1)",
             &["Lag", "7 days", "14 days", "21 days", "28 days"],
         );
-        let per_size: Vec<Vec<cliffguard_workload::Workload>> =
-            [7u64, 14, 21, 28].iter().map(|&d| log.windows_days(d)).collect();
+        let per_size: Vec<Vec<cliffguard_workload::Workload>> = [7u64, 14, 21, 28]
+            .iter()
+            .map(|&d| log.windows_days(d))
+            .collect();
         let max_lag = per_size[0].len().saturating_sub(1).min(20);
         for lag in 1..=max_lag {
             let mut cells = vec![lag.to_string()];
@@ -140,7 +148,9 @@ pub mod fig06 {
                 NeighborhoodSampler::new(metric, pool.clone(), seed ^ (a as u64) << 8);
             for k in 0..(n_buckets * 3) {
                 let alpha = max_alpha * (k as f64 + 0.5) / (n_buckets * 3) as f64;
-                let Ok(w) = sampler.sample_at(w0, alpha) else { continue };
+                let Ok(w) = sampler.sample_at(w0, alpha) else {
+                    continue;
+                };
                 let d = metric.distance(w0, &w);
                 let b = ((d / max_alpha) * n_buckets as f64) as usize;
                 let b = b.min(n_buckets - 1);
@@ -179,7 +189,9 @@ pub mod fig16 {
     use crate::setup::columnar_setup;
     use crate::table::{fnum, Table};
     use cliffguard_designer::{ColumnarCandidates, GreedyDesigner, NominalDesigner};
-    use cliffguard_distance::{DeltaEuclidean, DeltaLatency, NeighborhoodSampler, WorkloadDistance};
+    use cliffguard_distance::{
+        DeltaEuclidean, DeltaLatency, NeighborhoodSampler, WorkloadDistance,
+    };
     use cliffguard_sim::{ColumnarDesign, Engine};
     use cliffguard_workload::generator::WorkloadProfile;
     use cliffguard_workload::Query;
@@ -223,7 +235,9 @@ pub mod fig16 {
                     NeighborhoodSampler::new(euclid, pool.clone(), seed ^ (a as u64) << 4);
                 for k in 0..18 {
                     let alpha = 0.08 * (k as f64 + 0.5) / 18.0;
-                    let Ok(w) = sampler.sample_at(w0, alpha) else { continue };
+                    let Ok(w) = sampler.sample_at(w0, alpha) else {
+                        continue;
+                    };
                     let d = dl.distance(w0, &w);
                     let ratio = engine.workload_cost(&w, &design).avg_ms / w0_lat;
                     max_d = max_d.max(d);

@@ -33,10 +33,19 @@ where
 {
     let metric = DeltaEuclidean::new(n_columns);
     let nominal = GreedyDesigner::new(engine, generator, "ExistingDesigner");
-    let opts = EvalOptions { budget_bytes: budget, designable_factor: 3.0 };
+    let opts = EvalOptions {
+        budget_bytes: budget,
+        designable_factor: 3.0,
+    };
     let gamma = GammaPolicy::KMaxPastDeltas(1.5);
 
-    let mut out = vec![evaluate_strategy(engine, &mut NoDesign, windows, &metric, &opts)];
+    let mut out = vec![evaluate_strategy(
+        engine,
+        &mut NoDesign,
+        windows,
+        &metric,
+        &opts,
+    )];
     out.push(evaluate_strategy(
         engine,
         &mut FutureKnowingDesigner::new(&nominal),
@@ -76,9 +85,17 @@ where
 }
 
 fn comparison_table(id: &str, title: String, summaries: &[EvalSummary]) -> Table {
-    let mut t = Table::new(id, title, &["Designer", "Avg Latency (ms)", "Max Latency (ms)"]);
+    let mut t = Table::new(
+        id,
+        title,
+        &["Designer", "Avg Latency (ms)", "Max Latency (ms)"],
+    );
     for s in summaries {
-        t.row(vec![s.strategy.clone(), fnum(s.mean_avg_ms), fnum(s.mean_max_ms)]);
+        t.row(vec![
+            s.strategy.clone(),
+            fnum(s.mean_avg_ms),
+            fnum(s.mean_max_ms),
+        ]);
     }
     t
 }
@@ -122,7 +139,10 @@ pub mod fig07 {
             );
             let mut t = comparison_table(
                 sub,
-                format!("Designers on the columnar engine, workload {}", profile.name()),
+                format!(
+                    "Designers on the columnar engine, workload {}",
+                    profile.name()
+                ),
                 &summaries,
             );
             t.note(paper);
@@ -198,7 +218,10 @@ pub mod fig15 {
             );
             let mut t = comparison_table(
                 sub,
-                format!("Designers on the row-store engine, workload {}", profile.name()),
+                format!(
+                    "Designers on the row-store engine, workload {}",
+                    profile.name()
+                ),
                 &summaries,
             );
             t.note(paper);
@@ -288,7 +311,11 @@ mod tests {
         // NoDesign upper-bounds everyone.
         let no_design = s[0].mean_avg_ms;
         for x in &s[1..] {
-            assert!(x.mean_avg_ms <= no_design * 1.001, "{} worse than NoDesign", x.strategy);
+            assert!(
+                x.mean_avg_ms <= no_design * 1.001,
+                "{} worse than NoDesign",
+                x.strategy
+            );
         }
     }
 }

@@ -19,7 +19,10 @@ fn gamma_sweep(id: &str, profile: WorkloadProfile, scale: Scale, seed: u64) -> V
     let setup = columnar_setup(profile, scale, seed);
     let metric = DeltaEuclidean::new(setup.n_columns);
     let nominal = GreedyDesigner::new(&setup.engine, ColumnarCandidates, "DBD");
-    let opts = EvalOptions { budget_bytes: setup.budget, designable_factor: 3.0 };
+    let opts = EvalOptions {
+        budget_bytes: setup.budget,
+        designable_factor: 3.0,
+    };
 
     let typical = DeltaStats::of(&consecutive_deltas(&metric, &setup.windows)).avg;
     let existing = evaluate_strategy(
@@ -37,12 +40,17 @@ fn gamma_sweep(id: &str, profile: WorkloadProfile, scale: Scale, seed: u64) -> V
             profile.name(),
             fnum(typical)
         ),
-        &["Γ", "CliffGuard avg", "CliffGuard max", "Existing avg", "Existing max"],
+        &[
+            "Γ",
+            "CliffGuard avg",
+            "CliffGuard max",
+            "Existing avg",
+            "Existing max",
+        ],
     );
     for factor in [0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
         let gamma = typical * factor;
-        let mut s =
-            CliffGuardStrategy::new(&nominal, metric, GammaPolicy::Fixed(gamma), seed);
+        let mut s = CliffGuardStrategy::new(&nominal, metric, GammaPolicy::Fixed(gamma), seed);
         let r = evaluate_strategy(&setup.engine, &mut s, &setup.windows, &metric, &opts);
         t.row(vec![
             fnum(gamma),
@@ -89,13 +97,12 @@ pub mod fig11 {
         seed: u64,
     ) -> (f64, f64) {
         let nominal = GreedyDesigner::new(&setup.engine, ColumnarCandidates, "DBD");
-        let opts = EvalOptions { budget_bytes: setup.budget, designable_factor: 3.0 };
-        let mut s = CliffGuardStrategy::new(
-            &nominal,
-            metric,
-            GammaPolicy::KMaxPastDeltas(1.5),
-            seed,
-        );
+        let opts = EvalOptions {
+            budget_bytes: setup.budget,
+            designable_factor: 3.0,
+        };
+        let mut s =
+            CliffGuardStrategy::new(&nominal, metric, GammaPolicy::KMaxPastDeltas(1.5), seed);
         let r = evaluate_strategy(&setup.engine, &mut s, &setup.windows, &metric, &opts);
         (r.mean_avg_ms, r.mean_max_ms)
     }
@@ -109,8 +116,13 @@ pub mod fig11 {
             "Effect of the distance function on CliffGuard (workload R1)",
             &["Distance", "Avg Latency (ms)", "Max Latency (ms)"],
         );
-        for mask in [ClauseMask::S, ClauseMask::W, ClauseMask::G, ClauseMask::O, ClauseMask::SWGO]
-        {
+        for mask in [
+            ClauseMask::S,
+            ClauseMask::W,
+            ClauseMask::G,
+            ClauseMask::O,
+            ClauseMask::SWGO,
+        ] {
             let m = DeltaEuclidean::with_mask(n, mask);
             let (avg, max) = run_metric(&setup, m, seed);
             t.row(vec![m.name(), fnum(avg), fnum(max)]);
@@ -143,22 +155,25 @@ pub mod fig12 {
         let setup = columnar_setup(WorkloadProfile::R1, scale, seed);
         let metric = DeltaEuclidean::new(setup.n_columns);
         let nominal = GreedyDesigner::new(&setup.engine, ColumnarCandidates, "DBD");
-        let opts = EvalOptions { budget_bytes: setup.budget, designable_factor: 3.0 };
+        let opts = EvalOptions {
+            budget_bytes: setup.budget,
+            designable_factor: 3.0,
+        };
         let mut t = Table::new(
             "fig12",
             "Effect of the sample size n on CliffGuard (workload R1)",
             &["n", "Avg Latency (ms)", "Max Latency (ms)"],
         );
         for n in [2usize, 5, 10, 20, 40, 80] {
-            let mut s = CliffGuardStrategy::new(
-                &nominal,
-                metric,
-                GammaPolicy::KMaxPastDeltas(1.5),
-                seed,
-            );
+            let mut s =
+                CliffGuardStrategy::new(&nominal, metric, GammaPolicy::KMaxPastDeltas(1.5), seed);
             s.config.n_samples = n;
             let r = evaluate_strategy(&setup.engine, &mut s, &setup.windows, &metric, &opts);
-            t.row(vec![n.to_string(), fnum(r.mean_avg_ms), fnum(r.mean_max_ms)]);
+            t.row(vec![
+                n.to_string(),
+                fnum(r.mean_avg_ms),
+                fnum(r.mean_max_ms),
+            ]);
         }
         t.note("paper: ~10 samples already suffice to infer a good descent direction");
         vec![t]
@@ -174,23 +189,26 @@ pub mod fig13 {
         let setup = columnar_setup(WorkloadProfile::R1, scale, seed);
         let metric = DeltaEuclidean::new(setup.n_columns);
         let nominal = GreedyDesigner::new(&setup.engine, ColumnarCandidates, "DBD");
-        let opts = EvalOptions { budget_bytes: setup.budget, designable_factor: 3.0 };
+        let opts = EvalOptions {
+            budget_bytes: setup.budget,
+            designable_factor: 3.0,
+        };
         let mut t = Table::new(
             "fig13",
             "Effect of the iteration count on CliffGuard (workload R1)",
             &["Iterations", "Avg Latency (ms)", "Max Latency (ms)"],
         );
         for iters in [0usize, 1, 2, 3, 5, 10, 25] {
-            let mut s = CliffGuardStrategy::new(
-                &nominal,
-                metric,
-                GammaPolicy::KMaxPastDeltas(1.5),
-                seed,
-            );
+            let mut s =
+                CliffGuardStrategy::new(&nominal, metric, GammaPolicy::KMaxPastDeltas(1.5), seed);
             s.config.max_iters = iters;
             s.config.patience = iters.max(1);
             let r = evaluate_strategy(&setup.engine, &mut s, &setup.windows, &metric, &opts);
-            t.row(vec![iters.to_string(), fnum(r.mean_avg_ms), fnum(r.mean_max_ms)]);
+            t.row(vec![
+                iters.to_string(),
+                fnum(r.mean_avg_ms),
+                fnum(r.mean_max_ms),
+            ]);
         }
         t.note("paper: converges within a few iterations — 'we rarely observe any improvement");
         t.note("after 5' (0 iterations = the nominal designer)");

@@ -57,10 +57,19 @@ pub fn columnar_setup(profile: WorkloadProfile, scale: Scale, seed: u64) -> Colu
         Scale::Quick => 16_000_000,
         Scale::Full => 40_000_000,
     };
-    let catalog = CatalogGenerator { fact_rows, ..CatalogGenerator::default() }.generate(&shape);
+    let catalog = CatalogGenerator {
+        fact_rows,
+        ..CatalogGenerator::default()
+    }
+    .generate(&shape);
     let engine = ColumnarEngine::new(catalog);
     let budget = (data_bytes(&engine) as f64 * 0.3) as u64;
-    ColumnarSetup { engine, windows, n_columns, budget }
+    ColumnarSetup {
+        engine,
+        windows,
+        n_columns,
+        budget,
+    }
 }
 
 /// Builds the row-store fixture for a profile (smaller dataset, as in the
@@ -74,7 +83,11 @@ pub fn columnar_setup(profile: WorkloadProfile, scale: Scale, seed: u64) -> Colu
 /// the reduced volume; at higher volumes every designer is slot-starved
 /// and the comparison degenerates.
 pub fn row_setup(profile: WorkloadProfile, scale: Scale, seed: u64) -> RowSetup {
-    let scale = if scale == Scale::Full { Scale::Quick } else { scale };
+    let scale = if scale == Scale::Full {
+        Scale::Quick
+    } else {
+        scale
+    };
     let (windows, n_columns) = windows_for(profile, scale, seed);
     let shape = cliffguard_workload::generator::SchemaShape::analytic_default();
     let fact_rows = match scale {
@@ -82,11 +95,20 @@ pub fn row_setup(profile: WorkloadProfile, scale: Scale, seed: u64) -> RowSetup 
         Scale::Quick => 4_000_000,
         Scale::Full => 8_000_000,
     };
-    let catalog = CatalogGenerator { fact_rows, ..CatalogGenerator::default() }.generate(&shape);
+    let catalog = CatalogGenerator {
+        fact_rows,
+        ..CatalogGenerator::default()
+    }
+    .generate(&shape);
     let engine = RowEngine::new(catalog);
     // The paper gave DBMS-X a 10 GB budget on a 20 GB dataset.
     let budget = (data_bytes(&engine) as f64 * 0.5) as u64;
-    RowSetup { engine, windows, n_columns, budget }
+    RowSetup {
+        engine,
+        windows,
+        n_columns,
+        budget,
+    }
 }
 
 #[cfg(test)]

@@ -25,6 +25,15 @@ fn main() {
         exit(2);
     };
     let opts = parse_flags(&args[1..]);
+    if let Some(t) = opts.get("threads") {
+        match t.parse::<usize>() {
+            Ok(n) if n > 0 => cliffguard::parallel::set_threads(n),
+            _ => {
+                eprintln!("error: --threads needs a positive integer, got `{t}`");
+                exit(2);
+            }
+        }
+    }
     let result = match cmd.as_str() {
         "generate" => cmd_generate(&opts),
         "stats" => cmd_stats(&opts),
@@ -53,7 +62,10 @@ fn usage() {
            design    --catalog CATALOG.json --log LOG.tsv [--gamma auto|G]\n\
                      [--budget auto|BYTES] [--window-days N] [--nominal]\n\
            evaluate  --catalog CATALOG.json --log LOG.tsv [--budget auto|BYTES]\n\
-                     [--window-days N]"
+                     [--window-days N]\n\
+         \n\
+         every command accepts --threads N (default: CLIFFGUARD_THREADS, else\n\
+         all cores); results are identical at any thread count"
     );
 }
 
@@ -83,8 +95,7 @@ fn flag<'a>(opts: &'a Flags, name: &str) -> Result<&'a str, String> {
 fn load_catalog(opts: &Flags) -> Result<Catalog, String> {
     let path = flag(opts, "catalog")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    let mut cat: Catalog =
-        serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let mut cat: Catalog = serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
     cat.rebuild_index();
     Ok(cat)
 }
@@ -104,7 +115,9 @@ fn load_log(opts: &Flags, catalog: &Catalog) -> Result<QueryLog, String> {
 }
 
 fn window_days(opts: &Flags) -> u64 {
-    opts.get("window-days").and_then(|s| s.parse().ok()).unwrap_or(28)
+    opts.get("window-days")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(28)
 }
 
 fn auto_budget(engine: &ColumnarEngine) -> u64 {
@@ -133,7 +146,10 @@ fn cmd_generate(opts: &Flags) -> Result<(), String> {
         other => return Err(format!("unknown profile `{other}` (want R1|S1|S2)")),
     };
     let seed: u64 = opts.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
-    let scale: f64 = opts.get("scale").and_then(|s| s.parse().ok()).unwrap_or(0.45);
+    let scale: f64 = opts
+        .get("scale")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.45);
     let mut config = profile.config(seed).scaled(scale);
     if let Some(w) = opts.get("windows").and_then(|s| s.parse().ok()) {
         config.n_windows = w;
@@ -141,7 +157,11 @@ fn cmd_generate(opts: &Flags) -> Result<(), String> {
     let mut generator = DriftingGenerator::new(config);
     let shape = generator.shape().clone();
     let log = generator.generate();
-    let catalog = CatalogGenerator { seed, ..CatalogGenerator::default() }.generate(&shape);
+    let catalog = CatalogGenerator {
+        seed,
+        ..CatalogGenerator::default()
+    }
+    .generate(&shape);
 
     let out = flag(opts, "out")?;
     std::fs::write(out, catalog.export_log(&log)).map_err(|e| format!("write {out}: {e}"))?;
@@ -170,10 +190,16 @@ fn cmd_stats(opts: &Flags) -> Result<(), String> {
         "inter-window delta: min {:.5}  max {:.5}  avg {:.5}  std {:.5}",
         stats.min, stats.max, stats.avg, stats.std
     );
-    println!("suggested gamma (1.5 x max past delta): {:.5}", 1.5 * stats.max);
+    println!(
+        "suggested gamma (1.5 x max past delta): {:.5}",
+        1.5 * stats.max
+    );
     for (i, w) in windows.iter().enumerate() {
         let overlap = if i > 0 {
-            format!("{:>5.1}%", 100.0 * w.shared_template_fraction(&windows[i - 1]))
+            format!(
+                "{:>5.1}%",
+                100.0 * w.shared_template_fraction(&windows[i - 1])
+            )
         } else {
             "    -".into()
         };
@@ -229,7 +255,11 @@ fn cmd_design(opts: &Flags) -> Result<(), String> {
             "cliffguard: {} designer calls, {} samples, worst-case trace {:?}",
             trace.designer_calls,
             trace.samples,
-            trace.worst_case_per_iter.iter().map(|x| x.round()).collect::<Vec<_>>()
+            trace
+                .worst_case_per_iter
+                .iter()
+                .map(|x| x.round())
+                .collect::<Vec<_>>()
         );
         design
     };
@@ -257,7 +287,10 @@ fn cmd_evaluate(opts: &Flags) -> Result<(), String> {
     let budget = budget(opts, &engine)?;
     let metric = DeltaEuclidean::new(engine.catalog().column_count());
     let nominal = GreedyDesigner::new(&engine, ColumnarCandidates, "DBD");
-    let eval_opts = EvalOptions { budget_bytes: budget, designable_factor: 3.0 };
+    let eval_opts = EvalOptions {
+        budget_bytes: budget,
+        designable_factor: 3.0,
+    };
 
     println!("{:<24} {:>12} {:>12}", "strategy", "avg ms", "max ms");
     fn run<S: DesignStrategy<ColumnarEngine>>(
@@ -269,9 +302,19 @@ fn cmd_evaluate(opts: &Flags) -> Result<(), String> {
         s: &mut S,
     ) {
         let r = evaluate_strategy(engine, s, windows, metric, eval_opts);
-        println!("{:<24} {:>12.1} {:>12.1}", name, r.mean_avg_ms, r.mean_max_ms);
+        println!(
+            "{:<24} {:>12.1} {:>12.1}",
+            name, r.mean_avg_ms, r.mean_max_ms
+        );
     }
-    run(&engine, &windows, &metric, &eval_opts, "NoDesign", &mut NoDesign);
+    run(
+        &engine,
+        &windows,
+        &metric,
+        &eval_opts,
+        "NoDesign",
+        &mut NoDesign,
+    );
     run(
         &engine,
         &windows,

@@ -16,6 +16,8 @@
 //! * [`robust`] — the generic continuous-space BNT robust optimizer.
 //! * [`core`] — CliffGuard itself (Algorithms 2–3), the baselines, and the
 //!   windowed evaluation harness.
+//! * [`parallel`] — the deterministic thread fan-out behind the hot loops
+//!   (`--threads` / `CLIFFGUARD_THREADS`).
 //!
 //! # Quickstart
 //!
@@ -49,6 +51,7 @@
 pub use cliffguard_core as core;
 pub use cliffguard_designer as designer;
 pub use cliffguard_distance as distance;
+pub use cliffguard_parallel as parallel;
 pub use cliffguard_robust as robust;
 pub use cliffguard_sim as sim;
 pub use cliffguard_storage as storage;
@@ -56,12 +59,12 @@ pub use cliffguard_workload as workload;
 
 /// One-stop imports for examples and applications.
 pub mod prelude {
+    pub use cliffguard_core::adaptive::AdaptiveIndexingStrategy;
     pub use cliffguard_core::baselines::{
         CliffGuardStrategy, DesignStrategy, ExistingDesigner, FutureKnowingDesigner,
-        GreedyLocalSearchDesigner, MajorityVoteDesigner, NoDesign,
-        OptimalLocalSearchDesigner, WindowCtx,
+        GreedyLocalSearchDesigner, MajorityVoteDesigner, NoDesign, OptimalLocalSearchDesigner,
+        WindowCtx,
     };
-    pub use cliffguard_core::adaptive::AdaptiveIndexingStrategy;
     pub use cliffguard_core::evaluate::{evaluate_strategy, EvalOptions, EvalSummary};
     pub use cliffguard_core::gamma::{consecutive_deltas, DeltaStats, GammaPolicy};
     pub use cliffguard_core::{move_workload, CliffGuard, CliffGuardConfig, EngineExt};
@@ -73,17 +76,18 @@ pub mod prelude {
         ClauseMask, DeltaEuclidean, DeltaLatency, DeltaSeparate, NeighborhoodSampler,
         WorkloadDistance,
     };
+    pub use cliffguard_parallel::{current_threads, set_threads};
     pub use cliffguard_robust::{descent_direction, testfns, BntOptimizer, CostFn};
     pub use cliffguard_sim::{
-        ColumnarDesign, ColumnarEngine, Engine, Index, MatView, PhysicalDesign, Projection,
-        RowDesign, RowEngine, RowStructure,
+        CacheStats, CachedEngine, ColumnarDesign, ColumnarEngine, CostCache, Engine, Index,
+        MatView, PhysicalDesign, Projection, RowDesign, RowEngine, RowStructure,
     };
     pub use cliffguard_storage::{Catalog, CatalogGenerator, ColumnDef, ColumnStats, TableDef};
     pub use cliffguard_workload::generator::{
         DriftingGenerator, GeneratorConfig, SchemaShape, WorkloadProfile,
     };
     pub use cliffguard_workload::{
-        parser::parse_query, ColumnId, ColumnSet, PredOp, Query, QueryBuilder, QueryLog,
-        TableId, Workload,
+        parser::parse_query, ColumnId, ColumnSet, PredOp, Query, QueryBuilder, QueryLog, TableId,
+        Workload,
     };
 }

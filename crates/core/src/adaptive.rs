@@ -30,7 +30,9 @@ pub struct AdaptiveIndexingStrategy<S> {
 
 impl<S> Default for AdaptiveIndexingStrategy<S> {
     fn default() -> Self {
-        Self { seen: HashMap::new() }
+        Self {
+            seen: HashMap::new(),
+        }
     }
 }
 
@@ -59,8 +61,7 @@ where
             }
         }
         // Keep the most recently wanted structures within the budget.
-        let mut ranked: Vec<(&S2<E>, usize)> =
-            self.seen.iter().map(|(s, &w)| (s, w)).collect();
+        let mut ranked: Vec<(&S2<E>, usize)> = self.seen.iter().map(|(s, &w)| (s, w)).collect();
         ranked.sort_by_key(|&(_, w)| std::cmp::Reverse(w));
         let mut chosen = Vec::new();
         let mut remaining = ctx.budget;
@@ -124,7 +125,10 @@ mod tests {
             Workload::from_queries([(query(&[4, 5], 6), 10.0)]),
             Workload::from_queries([(query(&[1, 2], 3), 5.0), (query(&[4, 5], 6), 5.0)]),
         ];
-        let opts = EvalOptions { budget_bytes: 60 << 30, designable_factor: 3.0 };
+        let opts = EvalOptions {
+            budget_bytes: 60 << 30,
+            designable_factor: 3.0,
+        };
         let mut crack = AdaptiveIndexingStrategy::<Projection>::new();
         let r = evaluate_strategy(&engine, &mut crack, &windows, &metric, &opts);
         // Window 2 is evaluated with structures from windows 0 AND 1 — the
@@ -145,10 +149,18 @@ mod tests {
         let a = Workload::from_queries([(query(&[1, 2], 3), 10.0)]);
         let b = Workload::from_queries([(query(&[4, 5], 6), 10.0)]);
         let windows = vec![a.clone(), b.clone(), a.clone(), b.clone(), a, b];
-        let opts = EvalOptions { budget_bytes: 60 << 30, designable_factor: 3.0 };
+        let opts = EvalOptions {
+            budget_bytes: 60 << 30,
+            designable_factor: 3.0,
+        };
         let nominal = GreedyDesigner::new(&engine, ColumnarCandidates, "DBD");
-        let existing =
-            evaluate_strategy(&engine, &mut ExistingDesigner::new(&nominal), &windows, &metric, &opts);
+        let existing = evaluate_strategy(
+            &engine,
+            &mut ExistingDesigner::new(&nominal),
+            &windows,
+            &metric,
+            &opts,
+        );
         let mut crack = AdaptiveIndexingStrategy::<Projection>::new();
         let cracked = evaluate_strategy(&engine, &mut crack, &windows, &metric, &opts);
         assert!(
@@ -169,7 +181,10 @@ mod tests {
             })
             .collect();
         // Budget fits roughly one structure.
-        let opts = EvalOptions { budget_bytes: 200 << 20, designable_factor: 1.0 };
+        let opts = EvalOptions {
+            budget_bytes: 200 << 20,
+            designable_factor: 1.0,
+        };
         let mut crack = AdaptiveIndexingStrategy::<Projection>::new();
         let r = evaluate_strategy(&engine, &mut crack, &windows, &metric, &opts);
         for w in &r.windows {

@@ -124,7 +124,13 @@ pub struct MajorityVoteDesigner<'d, D, M> {
 impl<'d, D, M> MajorityVoteDesigner<'d, D, M> {
     /// Creates the baseline with the paper's defaults.
     pub fn new(designer: &'d D, metric: M, gamma: GammaPolicy, seed: u64) -> Self {
-        Self { designer, metric, n_samples: 20, gamma, seed }
+        Self {
+            designer,
+            metric,
+            n_samples: 20,
+            gamma,
+            seed,
+        }
     }
 }
 
@@ -228,7 +234,10 @@ where
         let matrix = BenefitMatrix::build(ctx.engine, &representative, candidates);
         let chosen = self.ilp.select(&matrix, ctx.budget);
         E::Design::from_structures(
-            chosen.into_iter().map(|c| matrix.candidates[c].clone()).collect(),
+            chosen
+                .into_iter()
+                .map(|c| matrix.candidates[c].clone())
+                .collect(),
         )
     }
 }
@@ -251,7 +260,13 @@ pub struct GreedyLocalSearchDesigner<G, M> {
 impl<G, M> GreedyLocalSearchDesigner<G, M> {
     /// Creates the baseline.
     pub fn new(generator: G, metric: M, gamma: GammaPolicy, seed: u64) -> Self {
-        Self { generator, metric, n_samples: 20, gamma, seed }
+        Self {
+            generator,
+            metric,
+            n_samples: 20,
+            gamma,
+            seed,
+        }
     }
 }
 
@@ -282,7 +297,10 @@ where
         let matrix = BenefitMatrix::build(ctx.engine, &representative, candidates);
         let chosen = matrix.greedy_select(ctx.budget);
         E::Design::from_structures(
-            chosen.into_iter().map(|c| matrix.candidates[c].clone()).collect(),
+            chosen
+                .into_iter()
+                .map(|c| matrix.candidates[c].clone())
+                .collect(),
         )
     }
 }
@@ -361,7 +379,12 @@ mod tests {
             .build()
     }
 
-    fn ctx_fixture() -> (ColumnarEngine, Workload, Workload, Vec<Arc<cliffguard_workload::Query>>) {
+    fn ctx_fixture() -> (
+        ColumnarEngine,
+        Workload,
+        Workload,
+        Vec<Arc<cliffguard_workload::Query>>,
+    ) {
         let engine = ColumnarEngine::new(catalog());
         let current = Workload::from_queries([(query(&[1, 2], 3), 50.0)]);
         let future = Workload::from_queries([(query(&[5, 6], 7), 50.0)]);
@@ -395,7 +418,12 @@ mod tests {
             Box::new(NoDesign),
             Box::new(ExistingDesigner::new(&nominal)),
             Box::new(FutureKnowingDesigner::new(&nominal)),
-            Box::new(MajorityVoteDesigner::new(&nominal, metric, GammaPolicy::AvgPastDeltas, 1)),
+            Box::new(MajorityVoteDesigner::new(
+                &nominal,
+                metric,
+                GammaPolicy::AvgPastDeltas,
+                1,
+            )),
             Box::new(OptimalLocalSearchDesigner::new(
                 ColumnarCandidates,
                 metric,
@@ -408,7 +436,12 @@ mod tests {
                 GammaPolicy::AvgPastDeltas,
                 1,
             )),
-            Box::new(CliffGuardStrategy::new(&nominal, metric, GammaPolicy::MaxPastDeltas, 1)),
+            Box::new(CliffGuardStrategy::new(
+                &nominal,
+                metric,
+                GammaPolicy::MaxPastDeltas,
+                1,
+            )),
         ];
         for s in &mut strategies {
             let d = s.design(&ctx);

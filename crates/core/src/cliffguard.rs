@@ -2,8 +2,8 @@
 
 use crate::config::CliffGuardConfig;
 use crate::move_workload::move_workload;
-use cliffguard_distance::{NeighborhoodSampler, WorkloadDistance};
 use cliffguard_designer::NominalDesigner;
+use cliffguard_distance::{NeighborhoodSampler, WorkloadDistance};
 use cliffguard_sim::Engine;
 use cliffguard_workload::{Query, Workload};
 use std::sync::Arc;
@@ -40,7 +40,12 @@ where
     /// Creates a CliffGuard instance.
     pub fn new(engine: &'a E, designer: &'a D, metric: M, config: CliffGuardConfig) -> Self {
         config.validate();
-        Self { engine, designer, metric, config }
+        Self {
+            engine,
+            designer,
+            metric,
+            config,
+        }
     }
 
     /// The configuration.
@@ -87,12 +92,17 @@ where
 
         // Worst-case objective: max over the sampled neighborhood of the
         // average query latency (workloads differ in total weight, so the
-        // weighted average is the comparable `f`).
+        // weighted average is the comparable `f`). Each workload is costed
+        // on a worker thread; the max is folded serially in sample order,
+        // so the result is bit-identical at any thread count.
+        let engine = self.engine;
         let worst_case = |d: &E::Design| -> f64 {
-            neighborhood
-                .iter()
-                .map(|w| self.engine.workload_cost(w, d).avg_ms)
-                .fold(0.0, f64::max)
+            cliffguard_parallel::par_map_fold(
+                &neighborhood,
+                |w| engine.workload_cost(w, d).avg_ms,
+                0.0,
+                f64::max,
+            )
         };
         // Robustness is a *priced* trade of nominal optimality (Figure 2):
         // each accepted move may spend some of W0's cost, but the total
@@ -118,12 +128,16 @@ where
 
         for _ in 0..cfg.max_iters {
             // Line 6: the worst neighbors under the current design (top
-            // worst_fraction, at least one).
-            let mut scored: Vec<(usize, f64)> = neighborhood
-                .iter()
-                .enumerate()
-                .map(|(i, w)| (i, self.engine.workload_cost(w, &design).avg_ms))
-                .collect();
+            // worst_fraction, at least one). Scoring fans out per sample;
+            // indices attach afterwards in input order, and the sort is
+            // stable, so the ranking is independent of the thread count.
+            let design_now = &design;
+            let mut scored: Vec<(usize, f64)> = cliffguard_parallel::par_map(&neighborhood, |w| {
+                engine.workload_cost(w, design_now).avg_ms
+            })
+            .into_iter()
+            .enumerate()
+            .collect();
             scored.sort_by(|a, b| b.1.total_cmp(&a.1));
             let keep = ((neighborhood.len() as f64 * cfg.worst_fraction).ceil() as usize)
                 .clamp(1, neighborhood.len());
@@ -134,8 +148,7 @@ where
                     merged_idx.push(i);
                 }
             }
-            let worst_refs: Vec<&Workload> =
-                merged_idx.iter().map(|&i| &neighborhood[i]).collect();
+            let worst_refs: Vec<&Workload> = merged_idx.iter().map(|&i| &neighborhood[i]).collect();
 
             // Line 8: move the workload toward the worst neighbors.
             let design_ref = &design;
@@ -155,8 +168,7 @@ where
             if candidate_worst < current_worst && w0_cost(&candidate) <= w0_cap {
                 design = candidate;
                 current_worst = candidate_worst;
-                alpha = (alpha * cfg.lambda_success)
-                    .clamp(cfg.alpha_range.0, cfg.alpha_range.1);
+                alpha = (alpha * cfg.lambda_success).clamp(cfg.alpha_range.0, cfg.alpha_range.1);
                 stale = 0;
                 for i in current_worst_idx {
                     if !accumulated.contains(&i) {
@@ -164,8 +176,7 @@ where
                     }
                 }
             } else {
-                alpha = (alpha * cfg.lambda_failure)
-                    .clamp(cfg.alpha_range.0, cfg.alpha_range.1);
+                alpha = (alpha * cfg.lambda_failure).clamp(cfg.alpha_range.0, cfg.alpha_range.1);
                 stale += 1;
             }
             trace.worst_case_per_iter.push(current_worst);
@@ -264,16 +275,18 @@ mod tests {
         let e = ColumnarEngine::new(catalog());
         let nominal = GreedyDesigner::new(&e, ColumnarCandidates, "DBD");
         let metric = DeltaEuclidean::new(12);
-        let w0 = Workload::from_queries([
-            (query(&[1, 2], 3), 50.0),
-            (query(&[2, 4], 3), 50.0),
-        ]);
-        let pool: Vec<Arc<cliffguard_workload::Query>> =
-            (5..11).map(|i| Arc::new(query(&[i as u32, i as u32 + 1], 3))).collect();
+        let w0 = Workload::from_queries([(query(&[1, 2], 3), 50.0), (query(&[2, 4], 3), 50.0)]);
+        let pool: Vec<Arc<cliffguard_workload::Query>> = (5..11)
+            .map(|i| Arc::new(query(&[i as u32, i as u32 + 1], 3)))
+            .collect();
         let cg = CliffGuard::new(&e, &nominal, metric, CliffGuardConfig::new(0.005));
         let (_, trace) = cg.design(&w0, 10_000_000_000, &pool);
         for w in trace.worst_case_per_iter.windows(2) {
-            assert!(w[1] <= w[0] + 1e-9, "worst case increased: {:?}", trace.worst_case_per_iter);
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "worst case increased: {:?}",
+                trace.worst_case_per_iter
+            );
         }
     }
 

@@ -1,8 +1,10 @@
 //! Engine extensions used by the evaluation protocol.
 
 use cliffguard_designer::{ColumnarCandidates, RowCandidates};
-use cliffguard_sim::{ColumnarDesign, ColumnarEngine, Engine, PhysicalDesign, RowDesign, RowEngine};
-use cliffguard_workload::Query;
+use cliffguard_sim::{
+    ColumnarDesign, ColumnarEngine, Engine, PhysicalDesign, RowDesign, RowEngine, WorkloadCost,
+};
+use cliffguard_workload::{Query, Workload};
 
 /// Per-query ideal-design construction.
 ///
@@ -27,6 +29,36 @@ pub trait EngineExt: Engine {
     /// Whether a physical design can speed this query up by ≥ `factor`.
     fn designable(&self, q: &Query, factor: f64) -> bool {
         self.ideal_latency_ms(q) * factor <= self.bare_latency_ms(q)
+    }
+
+    /// [`Engine::workload_cost`] with per-query latencies computed on
+    /// worker threads.
+    ///
+    /// Latencies come back in workload order and the total/max fold runs
+    /// serially in that same order, so the result is **bit-identical** to
+    /// the serial `workload_cost` at any thread count. Used by the
+    /// windowed evaluation protocol, whose test windows are the largest
+    /// single workloads the system costs.
+    fn par_workload_cost(&self, w: &Workload, d: &Self::Design) -> WorkloadCost {
+        if w.is_empty() {
+            return WorkloadCost::zero();
+        }
+        let entries: Vec<_> = w.iter().collect();
+        let latencies =
+            cliffguard_parallel::par_map(&entries, |(q, _)| self.query_latency_ms(q, d));
+        let mut total = 0.0;
+        let mut max: f64 = 0.0;
+        let mut weight = 0.0;
+        for ((_, wt), l) in entries.iter().zip(latencies) {
+            total += l * wt;
+            weight += wt;
+            max = max.max(l);
+        }
+        WorkloadCost {
+            avg_ms: total / weight,
+            max_ms: max,
+            total_ms: total,
+        }
     }
 }
 
@@ -83,8 +115,34 @@ mod tests {
     fn full_scan_is_not_designable() {
         let e = ColumnarEngine::new(catalog());
         // Selects everything, filters nothing: no design can help 3x.
-        let q = QueryBuilder::new(TableId(0)).select(&[0, 1, 2, 3, 4, 5]).build();
+        let q = QueryBuilder::new(TableId(0))
+            .select(&[0, 1, 2, 3, 4, 5])
+            .build();
         assert!(!e.designable(&q, 3.0));
+    }
+
+    #[test]
+    fn par_workload_cost_is_bit_identical_to_serial() {
+        let e = ColumnarEngine::new(catalog());
+        let w = Workload::from_queries((0..40u32).map(|i| {
+            (
+                QueryBuilder::new(TableId(0))
+                    .select(&[i % 6])
+                    .filter((i + 1) % 6, PredOp::Eq, 0.001 + i as f64 * 1e-4)
+                    .build(),
+                1.0 + i as f64 * 0.13,
+            )
+        }));
+        let d = e.ideal_design_for(w.queries().next().unwrap());
+        let serial = e.workload_cost(&w, &d);
+        let parallel = e.par_workload_cost(&w, &d);
+        assert_eq!(serial.total_ms.to_bits(), parallel.total_ms.to_bits());
+        assert_eq!(serial.avg_ms.to_bits(), parallel.avg_ms.to_bits());
+        assert_eq!(serial.max_ms.to_bits(), parallel.max_ms.to_bits());
+        assert_eq!(
+            e.par_workload_cost(&Workload::new(), &d),
+            cliffguard_sim::WorkloadCost::zero()
+        );
     }
 
     #[test]

@@ -72,7 +72,11 @@ pub struct DesignableFilter<'e, E: EngineExt> {
 impl<'e, E: EngineExt> DesignableFilter<'e, E> {
     /// Creates the filter.
     pub fn new(engine: &'e E, factor: f64) -> Self {
-        Self { engine, factor, memo: HashMap::new() }
+        Self {
+            engine,
+            factor,
+            memo: HashMap::new(),
+        }
     }
 
     /// Whether a query passes (memoized).
@@ -157,7 +161,11 @@ where
         let t0 = Instant::now();
         let design = strategy.design(&ctx);
         let design_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let cost = engine.workload_cost(&test, &design);
+        // Strategies are stateful (`&mut`), so windows advance serially;
+        // the per-window test costing — the wide, pure part of this loop —
+        // fans out across threads with a serial in-order reduction that is
+        // bit-identical to `workload_cost`.
+        let cost = engine.par_workload_cost(&test, &design);
         records.push(WindowRecord {
             window: i,
             avg_ms: cost.avg_ms,
@@ -226,12 +234,20 @@ mod tests {
         let engine = ColumnarEngine::new(catalog());
         let nominal = GreedyDesigner::new(&engine, ColumnarCandidates, "DBD");
         let metric = DeltaEuclidean::new(12);
-        let opts = EvalOptions { budget_bytes: 4_000_000_000, designable_factor: 3.0 };
+        let opts = EvalOptions {
+            budget_bytes: 4_000_000_000,
+            designable_factor: 3.0,
+        };
         let ws = windows();
 
         let none = evaluate_strategy(&engine, &mut NoDesign, &ws, &metric, &opts);
-        let exist =
-            evaluate_strategy(&engine, &mut ExistingDesigner::new(&nominal), &ws, &metric, &opts);
+        let exist = evaluate_strategy(
+            &engine,
+            &mut ExistingDesigner::new(&nominal),
+            &ws,
+            &metric,
+            &opts,
+        );
         let oracle = evaluate_strategy(
             &engine,
             &mut FutureKnowingDesigner::new(&nominal),
@@ -251,7 +267,9 @@ mod tests {
         let engine = ColumnarEngine::new(catalog());
         let mut f = DesignableFilter::new(&engine, 3.0);
         let selective = query(&[1], 2);
-        let scan = QueryBuilder::new(TableId(0)).select(&[0, 1, 2, 3, 4, 5]).build();
+        let scan = QueryBuilder::new(TableId(0))
+            .select(&[0, 1, 2, 3, 4, 5])
+            .build();
         assert!(f.passes(&selective));
         assert!(!f.passes(&scan));
         // memoized second call
@@ -264,7 +282,9 @@ mod tests {
     fn factor_one_keeps_column_queries() {
         let engine = ColumnarEngine::new(catalog());
         let mut f = DesignableFilter::new(&engine, 1.0);
-        let scan = QueryBuilder::new(TableId(0)).select(&[0, 1, 2, 3, 4, 5]).build();
+        let scan = QueryBuilder::new(TableId(0))
+            .select(&[0, 1, 2, 3, 4, 5])
+            .build();
         assert!(f.passes(&scan));
         let trivial = QueryBuilder::new(TableId(0)).build();
         assert!(!f.passes(&trivial));
@@ -274,7 +294,10 @@ mod tests {
     fn empty_window_sequences_are_safe() {
         let engine = ColumnarEngine::new(catalog());
         let metric = DeltaEuclidean::new(12);
-        let opts = EvalOptions { budget_bytes: 1 << 30, designable_factor: 3.0 };
+        let opts = EvalOptions {
+            budget_bytes: 1 << 30,
+            designable_factor: 3.0,
+        };
         let s = evaluate_strategy(&engine, &mut NoDesign, &[], &metric, &opts);
         assert!(s.windows.is_empty());
         let one = vec![Workload::from_queries([(query(&[1], 2), 1.0)])];
@@ -287,7 +310,10 @@ mod tests {
         let engine = ColumnarEngine::new(catalog());
         let nominal = GreedyDesigner::new(&engine, ColumnarCandidates, "DBD");
         let metric = DeltaEuclidean::new(12);
-        let opts = EvalOptions { budget_bytes: 4_000_000_000, designable_factor: 3.0 };
+        let opts = EvalOptions {
+            budget_bytes: 4_000_000_000,
+            designable_factor: 3.0,
+        };
         let s = evaluate_strategy(
             &engine,
             &mut ExistingDesigner::new(&nominal),

@@ -88,7 +88,12 @@ impl DeltaStats {
     /// Computes the stats (all zero for an empty sequence).
     pub fn of(xs: &[f64]) -> Self {
         if xs.is_empty() {
-            return Self { min: 0.0, max: 0.0, avg: 0.0, std: 0.0 };
+            return Self {
+                min: 0.0,
+                max: 0.0,
+                avg: 0.0,
+                std: 0.0,
+            };
         }
         let avg = mean(xs);
         let var = xs.iter().map(|x| (x - avg) * (x - avg)).sum::<f64>() / xs.len() as f64;

@@ -34,11 +34,15 @@ where
     // Union of all queries, keyed by signature.
     let mut queries: HashMap<_, Arc<Query>> = HashMap::new();
     for (q, _) in w0.iter() {
-        queries.entry(q.signature()).or_insert_with(|| Arc::clone(q));
+        queries
+            .entry(q.signature())
+            .or_insert_with(|| Arc::clone(q));
     }
     for w in worst {
         for (q, _) in w.iter() {
-            queries.entry(q.signature()).or_insert_with(|| Arc::clone(q));
+            queries
+                .entry(q.signature())
+                .or_insert_with(|| Arc::clone(q));
         }
     }
 
@@ -93,7 +97,13 @@ mod tests {
         let moved = move_workload(
             &w0,
             &[&n1],
-            |query| if query.select.contains(cliffguard_workload::ColumnId(2)) { 10.0 } else { 1.0 },
+            |query| {
+                if query.select.contains(cliffguard_workload::ColumnId(2)) {
+                    10.0
+                } else {
+                    1.0
+                }
+            },
             1.0,
         );
         assert!(moved.weight_of(&q(&[2])) > moved.weight_of(&q(&[3])));

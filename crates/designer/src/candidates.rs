@@ -24,7 +24,11 @@ use std::collections::HashMap;
 /// Orders a query's predicate columns for a sort key / index key: equality
 /// predicates by ascending selectivity, then the single most selective
 /// range-ish predicate (anything after a range cannot be used).
-fn predicate_key_order(q: &Query, table_of: impl Fn(ColumnId) -> TableId, t: TableId) -> Vec<ColumnId> {
+fn predicate_key_order(
+    q: &Query,
+    table_of: impl Fn(ColumnId) -> TableId,
+    t: TableId,
+) -> Vec<ColumnId> {
     let mut eqs: Vec<(f64, ColumnId)> = Vec::new();
     let mut ranges: Vec<(f64, ColumnId)> = Vec::new();
     for p in &q.predicates {
@@ -88,7 +92,9 @@ impl CandidateGen<ColumnarEngine> for ColumnarCandidates {
             let mut tables = vec![q.anchor];
             tables.extend(q.joins.iter().copied());
             for t in tables {
-                let Some(p) = Self::tailored(engine, q, t) else { continue };
+                let Some(p) = Self::tailored(engine, q, t) else {
+                    continue;
+                };
                 let (cols, votes) = merged.entry(t).or_default();
                 cols.union_with(&p.columns);
                 for (rank, &c) in p.sort_order.iter().enumerate() {
@@ -258,8 +264,14 @@ mod tests {
     #[test]
     fn merged_candidate_unions_columns() {
         let e = ColumnarEngine::new(catalog());
-        let q1 = QueryBuilder::new(TableId(0)).select(&[2]).filter(1, PredOp::Eq, 0.01).build();
-        let q2 = QueryBuilder::new(TableId(0)).select(&[3]).filter(1, PredOp::Eq, 0.01).build();
+        let q1 = QueryBuilder::new(TableId(0))
+            .select(&[2])
+            .filter(1, PredOp::Eq, 0.01)
+            .build();
+        let q2 = QueryBuilder::new(TableId(0))
+            .select(&[3])
+            .filter(1, PredOp::Eq, 0.01)
+            .build();
         let w = Workload::from_queries([(q1, 1.0), (q2, 1.0)]);
         let cands = ColumnarCandidates.candidates(&e, &w);
         let union = ColumnSet::from_ids(&[1, 2, 3]);
@@ -302,7 +314,10 @@ mod tests {
     #[test]
     fn candidates_deduplicated() {
         let e = ColumnarEngine::new(catalog());
-        let q = QueryBuilder::new(TableId(0)).select(&[2]).filter(1, PredOp::Eq, 0.01).build();
+        let q = QueryBuilder::new(TableId(0))
+            .select(&[2])
+            .filter(1, PredOp::Eq, 0.01)
+            .build();
         // Same query twice with different weights.
         let w = Workload::from_queries([(q.clone(), 1.0), (q, 2.0)]);
         let cands = ColumnarCandidates.candidates(&e, &w);

@@ -34,11 +34,16 @@ impl<E: Engine, D: NominalDesigner<E>> NominalDesigner<E> for CompressingDesigne
         if w.is_empty() {
             return self.inner.design(w, budget_bytes);
         }
-        self.inner.design(&w.compress_top_mass(self.keep_mass), budget_bytes)
+        self.inner
+            .design(&w.compress_top_mass(self.keep_mass), budget_bytes)
     }
 
     fn name(&self) -> String {
-        format!("{} (compressed {:.0}%)", self.inner.name(), self.keep_mass * 100.0)
+        format!(
+            "{} (compressed {:.0}%)",
+            self.inner.name(),
+            self.keep_mass * 100.0
+        )
     }
 }
 
@@ -71,8 +76,20 @@ mod tests {
         let inner = GreedyDesigner::new(&e, ColumnarCandidates, "DBD");
         let d = CompressingDesigner::new(inner, 0.8);
         let w = Workload::from_queries([
-            (QueryBuilder::new(TableId(0)).select(&[1]).filter(2, PredOp::Eq, 0.001).build(), 95.0),
-            (QueryBuilder::new(TableId(0)).select(&[3]).filter(4, PredOp::Eq, 0.001).build(), 5.0),
+            (
+                QueryBuilder::new(TableId(0))
+                    .select(&[1])
+                    .filter(2, PredOp::Eq, 0.001)
+                    .build(),
+                95.0,
+            ),
+            (
+                QueryBuilder::new(TableId(0))
+                    .select(&[3])
+                    .filter(4, PredOp::Eq, 0.001)
+                    .build(),
+                5.0,
+            ),
         ]);
         let design = d.design(&w, u64::MAX / 2);
         // Only the head query's columns are covered.
@@ -81,8 +98,12 @@ mod tests {
             .iter()
             .map(|p| p.columns.clone())
             .collect();
-        assert!(covered.iter().any(|c| c.contains(cliffguard_workload::ColumnId(1))));
-        assert!(!covered.iter().any(|c| c.contains(cliffguard_workload::ColumnId(3))));
+        assert!(covered
+            .iter()
+            .any(|c| c.contains(cliffguard_workload::ColumnId(1))));
+        assert!(!covered
+            .iter()
+            .any(|c| c.contains(cliffguard_workload::ColumnId(3))));
         assert!(d.name().contains("compressed 80%"));
     }
 
@@ -91,6 +112,8 @@ mod tests {
         let e = ColumnarEngine::new(catalog());
         let inner = GreedyDesigner::new(&e, ColumnarCandidates, "DBD");
         let d = CompressingDesigner::new(inner, 0.5);
-        assert!(NominalDesigner::<ColumnarEngine>::design(&d, &Workload::new(), 1 << 30).is_empty());
+        assert!(
+            NominalDesigner::<ColumnarEngine>::design(&d, &Workload::new(), 1 << 30).is_empty()
+        );
     }
 }

@@ -37,6 +37,7 @@ impl<S: Clone> BenefitMatrix<S> {
     where
         E: Engine,
         E::Design: PhysicalDesign<Structure = S>,
+        S: Send + Sync,
     {
         let queries: Vec<_> = w.iter().map(|(q, wt)| (q.clone(), wt)).collect();
         let empty = E::Design::default();
@@ -48,16 +49,18 @@ impl<S: Clone> BenefitMatrix<S> {
             .iter()
             .map(|c| E::Design::structure_price(c, engine.catalog()))
             .collect();
-        let lat: Vec<Vec<f64>> = candidates
-            .iter()
-            .map(|c| {
-                let d = E::Design::from_structures(vec![c.clone()]);
-                queries
-                    .iter()
-                    .map(|(q, _)| engine.query_latency_ms(q, &d))
-                    .collect()
-            })
-            .collect();
+        // The designer's hot loop: one engine evaluation per
+        // (candidate, query) pair. Candidates are independent, so each
+        // row of the matrix is built on a worker thread; rows come back
+        // in candidate order, so the matrix — and everything greedy
+        // selection derives from it — is identical at any thread count.
+        let lat: Vec<Vec<f64>> = cliffguard_parallel::par_map(&candidates, |c| {
+            let d = E::Design::from_structures(vec![c.clone()]);
+            queries
+                .iter()
+                .map(|(q, _)| engine.query_latency_ms(q, &d))
+                .collect()
+        });
         Self {
             candidates,
             prices,
@@ -152,7 +155,11 @@ pub struct GreedyDesigner<'e, E, G> {
 impl<'e, E: Engine, G: CandidateGen<E>> GreedyDesigner<'e, E, G> {
     /// Creates the designer.
     pub fn new(engine: &'e E, generator: G, label: impl Into<String>) -> Self {
-        Self { engine, generator, label: label.into() }
+        Self {
+            engine,
+            generator,
+            label: label.into(),
+        }
     }
 
     /// The engine this designer targets.
@@ -175,7 +182,12 @@ impl<E: Engine, G: CandidateGen<E>> NominalDesigner<E> for GreedyDesigner<'_, E,
         }
         let m = self.matrix(w);
         let chosen = m.greedy_select(budget_bytes);
-        E::Design::from_structures(chosen.into_iter().map(|c| m.candidates[c].clone()).collect())
+        E::Design::from_structures(
+            chosen
+                .into_iter()
+                .map(|c| m.candidates[c].clone())
+                .collect(),
+        )
     }
 
     fn name(&self) -> String {
@@ -208,11 +220,17 @@ mod tests {
     fn workload() -> Workload {
         Workload::from_queries([
             (
-                QueryBuilder::new(TableId(0)).select(&[2]).filter(1, PredOp::Eq, 0.001).build(),
+                QueryBuilder::new(TableId(0))
+                    .select(&[2])
+                    .filter(1, PredOp::Eq, 0.001)
+                    .build(),
                 10.0,
             ),
             (
-                QueryBuilder::new(TableId(0)).select(&[3, 4]).filter(5, PredOp::Eq, 0.001).build(),
+                QueryBuilder::new(TableId(0))
+                    .select(&[3, 4])
+                    .filter(5, PredOp::Eq, 0.001)
+                    .build(),
                 5.0,
             ),
             (

@@ -151,9 +151,27 @@ mod tests {
 
     fn workload() -> Workload {
         Workload::from_queries([
-            (QueryBuilder::new(TableId(0)).select(&[2]).filter(1, PredOp::Eq, 0.001).build(), 10.0),
-            (QueryBuilder::new(TableId(0)).select(&[3]).filter(4, PredOp::Eq, 0.001).build(), 6.0),
-            (QueryBuilder::new(TableId(0)).select(&[5, 6]).filter(7, PredOp::Eq, 0.001).build(), 2.0),
+            (
+                QueryBuilder::new(TableId(0))
+                    .select(&[2])
+                    .filter(1, PredOp::Eq, 0.001)
+                    .build(),
+                10.0,
+            ),
+            (
+                QueryBuilder::new(TableId(0))
+                    .select(&[3])
+                    .filter(4, PredOp::Eq, 0.001)
+                    .build(),
+                6.0,
+            ),
+            (
+                QueryBuilder::new(TableId(0))
+                    .select(&[5, 6])
+                    .filter(7, PredOp::Eq, 0.001)
+                    .build(),
+                2.0,
+            ),
         ])
     }
 

@@ -17,5 +17,9 @@ pub trait NominalDesigner<E: Engine> {
 /// Enumerates candidate structures for a workload on a given engine.
 pub trait CandidateGen<E: Engine> {
     /// Candidate structures worth considering for `w` (deduplicated).
-    fn candidates(&self, engine: &E, w: &Workload) -> Vec<<E::Design as cliffguard_sim::PhysicalDesign>::Structure>;
+    fn candidates(
+        &self,
+        engine: &E,
+        w: &Workload,
+    ) -> Vec<<E::Design as cliffguard_sim::PhysicalDesign>::Structure>;
 }

@@ -41,7 +41,10 @@ pub struct DeltaEuclidean {
 impl DeltaEuclidean {
     /// The paper's default metric: union over all four clauses.
     pub fn new(n_columns: usize) -> Self {
-        Self { n_columns, mask: ClauseMask::SWGO }
+        Self {
+            n_columns,
+            mask: ClauseMask::SWGO,
+        }
     }
 
     /// A single/custom clause-mask variant (Figure 11).
@@ -159,19 +162,31 @@ mod tests {
 
     #[test]
     fn clause_mask_changes_view() {
-        let a = QueryBuilder::new(TableId(0)).select(&[1]).filter(2, PredOp::Eq, 0.1).build();
-        let b = QueryBuilder::new(TableId(0)).select(&[1]).filter(3, PredOp::Eq, 0.1).build();
+        let a = QueryBuilder::new(TableId(0))
+            .select(&[1])
+            .filter(2, PredOp::Eq, 0.1)
+            .build();
+        let b = QueryBuilder::new(TableId(0))
+            .select(&[1])
+            .filter(3, PredOp::Eq, 0.1)
+            .build();
         let w1 = Workload::from_queries([(a, 1.0)]);
         let w2 = Workload::from_queries([(b, 1.0)]);
         // Identical through the SELECT-only lens, different through WHERE.
-        assert_eq!(DeltaEuclidean::with_mask(N, ClauseMask::S).distance(&w1, &w2), 0.0);
+        assert_eq!(
+            DeltaEuclidean::with_mask(N, ClauseMask::S).distance(&w1, &w2),
+            0.0
+        );
         assert!(DeltaEuclidean::with_mask(N, ClauseMask::W).distance(&w1, &w2) > 0.0);
     }
 
     #[test]
     fn separate_sees_clause_moves_union_does_not() {
         let a = QueryBuilder::new(TableId(0)).select(&[1, 2]).build();
-        let b = QueryBuilder::new(TableId(0)).select(&[1]).filter(2, PredOp::Eq, 0.1).build();
+        let b = QueryBuilder::new(TableId(0))
+            .select(&[1])
+            .filter(2, PredOp::Eq, 0.1)
+            .build();
         let w1 = Workload::from_queries([(a, 1.0)]);
         let w2 = Workload::from_queries([(b, 1.0)]);
         assert_eq!(DeltaEuclidean::new(N).distance(&w1, &w2), 0.0);
@@ -181,7 +196,10 @@ mod tests {
     #[test]
     fn names_match_figure_legends() {
         assert_eq!(DeltaEuclidean::new(N).name(), "Euc-union (SWGO)");
-        assert_eq!(DeltaEuclidean::with_mask(N, ClauseMask::W).name(), "Euc-union (W)");
+        assert_eq!(
+            DeltaEuclidean::with_mask(N, ClauseMask::W).name(),
+            "Euc-union (W)"
+        );
         assert_eq!(DeltaSeparate::new(N).name(), "Euc-separate");
     }
 

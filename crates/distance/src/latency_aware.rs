@@ -133,6 +133,9 @@ mod tests {
 
     #[test]
     fn name_mentions_omega() {
-        assert_eq!(DeltaLatency::new(N, 0.2, width_cost).name(), "Euc-latency (w=0.2)");
+        assert_eq!(
+            DeltaLatency::new(N, 0.2, width_cost).name(),
+            "Euc-latency (w=0.2)"
+        );
     }
 }

@@ -20,15 +20,40 @@ pub struct ClauseMask {
 
 impl ClauseMask {
     /// All four clauses (`Euc-union (SWGO)`, the paper's default).
-    pub const SWGO: ClauseMask = ClauseMask { select: true, filter: true, group_by: true, order_by: true };
+    pub const SWGO: ClauseMask = ClauseMask {
+        select: true,
+        filter: true,
+        group_by: true,
+        order_by: true,
+    };
     /// SELECT only (`Euc-union (S)`).
-    pub const S: ClauseMask = ClauseMask { select: true, filter: false, group_by: false, order_by: false };
+    pub const S: ClauseMask = ClauseMask {
+        select: true,
+        filter: false,
+        group_by: false,
+        order_by: false,
+    };
     /// WHERE only (`Euc-union (W)`).
-    pub const W: ClauseMask = ClauseMask { select: false, filter: true, group_by: false, order_by: false };
+    pub const W: ClauseMask = ClauseMask {
+        select: false,
+        filter: true,
+        group_by: false,
+        order_by: false,
+    };
     /// GROUP BY only (`Euc-union (G)`).
-    pub const G: ClauseMask = ClauseMask { select: false, filter: false, group_by: true, order_by: false };
+    pub const G: ClauseMask = ClauseMask {
+        select: false,
+        filter: false,
+        group_by: true,
+        order_by: false,
+    };
     /// ORDER BY only (`Euc-union (O)`).
-    pub const O: ClauseMask = ClauseMask { select: false, filter: false, group_by: false, order_by: true };
+    pub const O: ClauseMask = ClauseMask {
+        select: false,
+        filter: false,
+        group_by: false,
+        order_by: true,
+    };
 
     /// Short label matching the paper's figure legends.
     pub fn label(&self) -> &'static str {
@@ -75,7 +100,12 @@ mod tests {
         assert_eq!(ClauseMask::W.label(), "W");
         assert_eq!(ClauseMask::G.label(), "G");
         assert_eq!(ClauseMask::O.label(), "O");
-        let custom = ClauseMask { select: true, filter: true, group_by: false, order_by: false };
+        let custom = ClauseMask {
+            select: true,
+            filter: true,
+            group_by: false,
+            order_by: false,
+        };
         assert_eq!(custom.label(), "custom");
     }
 }

@@ -100,7 +100,10 @@ impl<D: WorkloadDistance> NeighborhoodSampler<D> {
             .cloned()
             .collect();
         if fresh.is_empty() {
-            return Err(SampleError::PoolExhausted { requested: alpha, best_observed: 0.0 });
+            return Err(SampleError::PoolExhausted {
+                requested: alpha,
+                best_observed: 0.0,
+            });
         }
 
         let mut best_beta = 0.0f64;
@@ -114,9 +117,7 @@ impl<D: WorkloadDistance> NeighborhoodSampler<D> {
         for k in ks {
             for _ in 0..self.tries_per_k {
                 let q_set = self.draw_subset(&fresh, k);
-                let q_workload = Workload::from_queries(
-                    q_set.iter().map(|q| ((**q).clone(), 1.0)),
-                );
+                let q_workload = Workload::from_queries(q_set.iter().map(|q| ((**q).clone(), 1.0)));
                 // Guard against signature collisions shrinking the set.
                 if q_workload.len() != k {
                     continue;
@@ -160,7 +161,10 @@ impl<D: WorkloadDistance> NeighborhoodSampler<D> {
             // is the only point that close.
             return Ok(w0.clone());
         }
-        Err(SampleError::PoolExhausted { requested: alpha, best_observed: best_beta })
+        Err(SampleError::PoolExhausted {
+            requested: alpha,
+            best_observed: best_beta,
+        })
     }
 
     /// Samples `count` perturbed workloads with distances uniform in
@@ -207,11 +211,7 @@ mod tests {
     }
 
     fn base_workload() -> Workload {
-        Workload::from_queries([
-            (q(&[1, 2]), 40.0),
-            (q(&[2, 3]), 30.0),
-            (q(&[4]), 30.0),
-        ])
+        Workload::from_queries([(q(&[1, 2]), 40.0), (q(&[2, 3]), 30.0), (q(&[4]), 30.0)])
     }
 
     fn pool() -> Vec<Arc<Query>> {

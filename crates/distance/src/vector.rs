@@ -136,7 +136,10 @@ mod tests {
         );
         assert_ne!(ReprKey::separate_of(&a), ReprKey::separate_of(&b));
         // 2 appears in SELECT of a, WHERE of b: hamming 1 + 1 = 2
-        assert_eq!(ReprKey::separate_of(&a).hamming(&ReprKey::separate_of(&b)), 2);
+        assert_eq!(
+            ReprKey::separate_of(&a).hamming(&ReprKey::separate_of(&b)),
+            2
+        );
     }
 
     #[test]

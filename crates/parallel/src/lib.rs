@@ -1,0 +1,187 @@
+//! Deterministic data parallelism for CliffGuard's hot loops.
+//!
+//! The robust-design search spends almost all of its time in three
+//! embarrassingly parallel maps: costing every workload of the
+//! Γ-neighborhood, costing every candidate structure of the benefit
+//! matrix, and costing every query of an evaluation window. This crate
+//! provides the one primitive they share — [`par_map`] — built on
+//! `std::thread::scope`, plus a process-wide thread-count knob
+//! ([`set_threads`] / [`current_threads`], seeded from the
+//! `CLIFFGUARD_THREADS` environment variable).
+//!
+//! # Determinism contract
+//!
+//! [`par_map`] applies a pure function to every element of a slice and
+//! returns the results **in input order**, regardless of the thread
+//! count. Callers then reduce serially over that ordered `Vec`, so every
+//! floating-point reduction happens in exactly the order the serial code
+//! would have used: results are **bit-identical** at 1, 2, or 64 threads.
+//! (This is why the crate exposes an ordered map rather than a parallel
+//! fold — re-associating f64 additions across threads would change
+//! low-order bits with the thread count.)
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide thread count. 0 = not yet resolved (lazily read from the
+/// environment on first use).
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Upper bound on the thread count, to keep a typo like
+/// `CLIFFGUARD_THREADS=10000` from spawning 10 000 OS threads.
+const MAX_THREADS: usize = 256;
+
+/// Sets the process-wide worker thread count (clamped to `1..=256`).
+///
+/// `1` disables parallelism entirely: [`par_map`] then runs inline on the
+/// calling thread. This is what `--threads` on the CLI and bench
+/// harnesses call.
+pub fn set_threads(n: usize) {
+    THREADS.store(n.clamp(1, MAX_THREADS), Ordering::Relaxed);
+}
+
+/// The current worker thread count.
+///
+/// Resolution order: the last [`set_threads`] call, else the
+/// `CLIFFGUARD_THREADS` environment variable, else
+/// `std::thread::available_parallelism()`.
+pub fn current_threads() -> usize {
+    let n = THREADS.load(Ordering::Relaxed);
+    if n != 0 {
+        return n;
+    }
+    let resolved = threads_from_env()
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
+    let resolved = resolved.clamp(1, MAX_THREADS);
+    // Another thread may have resolved concurrently; first write wins so
+    // the answer is stable for the rest of the process.
+    match THREADS.compare_exchange(0, resolved, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => resolved,
+        Err(existing) => existing,
+    }
+}
+
+fn threads_from_env() -> Option<usize> {
+    std::env::var("CLIFFGUARD_THREADS")
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+        .filter(|&n| n > 0)
+}
+
+/// Maps `f` over `items`, returning results in input order.
+///
+/// The slice is split into at most [`current_threads`] contiguous chunks,
+/// each mapped on its own scoped thread, and the per-chunk results are
+/// stitched back together in chunk order — so the output is exactly
+/// `items.iter().map(f).collect()` for any thread count. With one thread
+/// (or one item) no thread is spawned at all.
+///
+/// Panics in `f` propagate to the caller.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = current_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// Ordered parallel map followed by a serial left fold — the shape every
+/// CliffGuard reduction uses. Bit-identical to
+/// `items.iter().map(f).fold(init, g)` at any thread count.
+pub fn par_map_fold<T, R, A, F, G>(items: &[T], f: F, init: A, g: G) -> A
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    G: FnMut(A, R) -> A,
+{
+    par_map(items, f).into_iter().fold(init, g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// `set_threads` mutates process state; tests that exercise specific
+    /// counts serialize on this lock so cargo's parallel test runner
+    /// cannot interleave them.
+    static THREAD_KNOB: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn par_map_preserves_order() {
+        let _guard = THREAD_KNOB.lock().unwrap();
+        let items: Vec<u64> = (0..1000).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            set_threads(threads);
+            let out = par_map(&items, |&x| x * x);
+            assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn fold_is_bit_identical_across_thread_counts() {
+        let _guard = THREAD_KNOB.lock().unwrap();
+        // Values chosen so addition order matters in the low bits.
+        let items: Vec<f64> = (0..777).map(|i| 1.0 / (i as f64 + 0.3)).collect();
+        set_threads(1);
+        let serial = par_map_fold(&items, |&x| x.sin(), 0.0f64, |a, x| a + x);
+        for threads in [2, 5, 8] {
+            set_threads(threads);
+            let parallel = par_map_fold(&items, |&x| x.sin(), 0.0f64, |a, x| a + x);
+            assert_eq!(serial.to_bits(), parallel.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let _guard = THREAD_KNOB.lock().unwrap();
+        set_threads(8);
+        let empty: Vec<i32> = vec![];
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn set_threads_clamps() {
+        let _guard = THREAD_KNOB.lock().unwrap();
+        set_threads(0);
+        assert_eq!(current_threads(), 1);
+        set_threads(1_000_000);
+        assert_eq!(current_threads(), 256);
+        set_threads(4);
+        assert_eq!(current_threads(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        // Uses whatever thread count is active; panic must surface either way.
+        let items: Vec<u32> = (0..64).collect();
+        let _ = par_map(&items, |&x| if x == 63 { panic!("boom") } else { x });
+    }
+}

@@ -120,8 +120,16 @@ mod tests {
         let f = testfns::cliff_1d(0.6, 100.0);
         let opt = BntOptimizer::new(0.5);
         let r = opt.minimize(&f, &[0.4]);
-        assert!(r.x[0] <= 0.12, "robust solution {} too close to cliff", r.x[0]);
-        assert!(r.worst_case < 2.0, "worst case {} should avoid wall", r.worst_case);
+        assert!(
+            r.x[0] <= 0.12,
+            "robust solution {} too close to cliff",
+            r.x[0]
+        );
+        assert!(
+            r.worst_case < 2.0,
+            "worst case {} should avoid wall",
+            r.worst_case
+        );
     }
 
     #[test]

@@ -281,6 +281,28 @@ mod tests {
     }
 
     #[test]
+    fn near_boundary_interior_origin_regression() {
+        // Shrunk counterexample from tests/robust_properties.proptest-regressions
+        // (seed cc e2a04321…): a thin triangle whose interior contains the
+        // origin only ~0.016 from the nearest edge. An under-converged MNP
+        // stalls at a nonzero point here and fabricates a descent direction
+        // where none exists.
+        let pts = vec![
+            vec![-2.17011830039788, -4.477158475058614],
+            vec![2.128275773669001, 4.464599746971704],
+            vec![0.0, -3.233085968416888],
+        ];
+        let z = min_norm_point(&pts, 1e-14);
+        assert!(norm2(&z).sqrt() < 1e-6, "origin is interior; got {z:?}");
+        // Wolfe optimality: ⟨z, p⟩ ≥ ‖z‖² − tol for every vertex.
+        let zz = norm2(&z);
+        for p in &pts {
+            assert!(dot(&z, p) >= zz - 1e-7, "optimality violated at {p:?}");
+        }
+        assert!(descent_direction(&pts, 1e-6).is_none());
+    }
+
+    #[test]
     fn higher_dimensions() {
         // 4-D simplex away from the origin: MNP equals the centroid of the
         // face closest to the origin; just verify optimality conditions.

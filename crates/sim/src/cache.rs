@@ -1,0 +1,382 @@
+//! Memoized cost evaluation.
+//!
+//! The robust-design search re-costs the *same* `(query, design)` pairs
+//! constantly: every CliffGuard iteration re-scores the whole sampled
+//! Γ-neighborhood against the current design, and the accepted design is
+//! scored again next iteration. [`CostCache`] memoizes
+//! `Engine::query_latency_ms` keyed by `(QuerySignature, design
+//! fingerprint)`; [`CachedEngine`] wraps any engine with one.
+//!
+//! The cache is sharded: each shard is its own `parking_lot::Mutex` over
+//! a `HashMap`, with the shard picked by the key's hash, so concurrent
+//! worker threads of the parallel evaluation layer rarely contend.
+//! Lookups, hits, misses, and evictions are counted with relaxed
+//! atomics and exposed through [`CostCache::stats`].
+//!
+//! # Soundness
+//!
+//! A cached latency is correct because both key halves capture
+//! everything the cost model reads: `QuerySignature` hashes the query's
+//! full structure (tables, column sets, predicates with selectivities
+//! quantized at 1e-6, join list, aggregate flag), and
+//! [`PhysicalDesign::fingerprint`] hashes the design's structure
+//! multiset. The one deliberate approximation: two queries whose
+//! selectivities differ by less than the 1e-6 signature quantum share an
+//! entry — far below the cost model's fidelity.
+
+use crate::engine::{Engine, PhysicalDesign, WorkloadCost};
+use cliffguard_storage::Catalog;
+use cliffguard_workload::{Query, QuerySignature, Workload};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shards in a [`CostCache`]. A power of two so shard selection is a
+/// mask; 16 is plenty for the thread counts the workspace uses.
+const SHARDS: usize = 16;
+
+/// Default per-cache capacity (entries across all shards).
+const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// Counter snapshot of a [`CostCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Entries discarded by capacity eviction.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total lookups (`hits + misses` by construction).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit fraction in `[0, 1]` (0 when no lookups yet).
+    pub fn hit_rate(&self) -> f64 {
+        if self.hits + self.misses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / (self.hits + self.misses) as f64
+        }
+    }
+}
+
+/// A sharded, counted memo table for per-query design costs.
+pub struct CostCache {
+    shards: Vec<Mutex<HashMap<(u64, u64), f64>>>,
+    /// Per-shard entry cap; a shard at capacity is cleared wholesale
+    /// (epoch eviction — cheap, and the working set is rebuilt within
+    /// one neighborhood pass).
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for CostCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl CostCache {
+    /// A cache holding at most ~`capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shard_capacity: (capacity / SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, sig: QuerySignature, fingerprint: u64) -> &Mutex<HashMap<(u64, u64), f64>> {
+        // The signature is already a hash; fold in the fingerprint and
+        // take high bits so designs spread across shards too.
+        let mixed = (sig.0 ^ fingerprint).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        &self.shards[(mixed >> 60) as usize & (SHARDS - 1)]
+    }
+
+    /// The cost for `(sig, fingerprint)`, computing it with `compute` on
+    /// a miss. Concurrent misses on the same key may both compute; the
+    /// function is pure, so either result is the same value.
+    pub fn get_or_insert_with(
+        &self,
+        sig: QuerySignature,
+        fingerprint: u64,
+        compute: impl FnOnce() -> f64,
+    ) -> f64 {
+        let shard = self.shard(sig, fingerprint);
+        let key = (sig.0, fingerprint);
+        if let Some(&v) = shard.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = compute(); // outside the lock: misses don't serialize
+        let mut map = shard.lock();
+        if map.len() >= self.shard_capacity && !map.contains_key(&key) {
+            self.evictions
+                .fetch_add(map.len() as u64, Ordering::Relaxed);
+            map.clear();
+        }
+        map.insert(key, v);
+        v
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries (counters keep accumulating).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().clear();
+        }
+    }
+}
+
+/// An [`Engine`] wrapper that memoizes per-query latencies in a
+/// [`CostCache`].
+///
+/// `workload_cost` is overridden to fingerprint the design **once** per
+/// workload rather than once per query, so the cached fast path does no
+/// per-query hashing of the design.
+pub struct CachedEngine<'e, E: Engine> {
+    inner: &'e E,
+    cache: CostCache,
+}
+
+impl<'e, E: Engine> CachedEngine<'e, E> {
+    /// Wraps `inner` with a default-capacity cache.
+    pub fn new(inner: &'e E) -> Self {
+        Self {
+            inner,
+            cache: CostCache::default(),
+        }
+    }
+
+    /// Wraps `inner` with a cache of ~`capacity` entries.
+    pub fn with_capacity(inner: &'e E, capacity: usize) -> Self {
+        Self {
+            inner,
+            cache: CostCache::with_capacity(capacity),
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn inner(&self) -> &'e E {
+        self.inner
+    }
+
+    /// The cache's counter snapshot.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The underlying cache.
+    pub fn cache(&self) -> &CostCache {
+        &self.cache
+    }
+}
+
+impl<E: Engine> Engine for CachedEngine<'_, E> {
+    type Design = E::Design;
+
+    fn query_latency_ms(&self, q: &Query, d: &Self::Design) -> f64 {
+        self.cache
+            .get_or_insert_with(q.signature(), d.fingerprint(), || {
+                self.inner.query_latency_ms(q, d)
+            })
+    }
+
+    fn catalog(&self) -> &Catalog {
+        self.inner.catalog()
+    }
+
+    fn workload_cost(&self, w: &Workload, d: &Self::Design) -> WorkloadCost {
+        if w.is_empty() {
+            return WorkloadCost::zero();
+        }
+        // Same fold, in the same order, as the trait default — results
+        // are bit-identical to the uncached engine's.
+        let fingerprint = d.fingerprint();
+        let mut total = 0.0;
+        let mut max: f64 = 0.0;
+        let mut weight = 0.0;
+        for (q, wt) in w.iter() {
+            let l = self
+                .cache
+                .get_or_insert_with(q.signature(), fingerprint, || {
+                    self.inner.query_latency_ms(q, d)
+                });
+            total += l * wt;
+            weight += wt;
+            max = max.max(l);
+        }
+        WorkloadCost {
+            avg_ms: total / weight,
+            max_ms: max,
+            total_ms: total,
+        }
+    }
+
+    fn deployment_ms(&self, d: &Self::Design) -> f64 {
+        self.inner.deployment_ms(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::columnar::{ColumnarDesign, ColumnarEngine, Projection};
+    use cliffguard_storage::{Catalog, ColumnDef, ColumnStats, TableDef};
+    use cliffguard_workload::{ColumnSet, PredOp, QueryBuilder, TableId};
+
+    fn catalog() -> Catalog {
+        Catalog::new(vec![TableDef {
+            name: "fact".into(),
+            columns: (0..8)
+                .map(|i| ColumnDef {
+                    name: format!("c{i}"),
+                    width_bytes: 8,
+                    stats: ColumnStats::uniform(10_000),
+                })
+                .collect(),
+            rows: 4_000_000,
+        }])
+    }
+
+    fn design(cols: &[u32]) -> ColumnarDesign {
+        ColumnarDesign::from_structures(vec![Projection::new(
+            TableId(0),
+            ColumnSet::from_iter(cols.iter().map(|&c| cliffguard_workload::ColumnId(c))),
+            vec![],
+        )])
+    }
+
+    #[test]
+    fn cached_matches_uncached_bitwise() {
+        let engine = ColumnarEngine::new(catalog());
+        let cached = CachedEngine::new(&engine);
+        let d = design(&[1, 2, 3]);
+        let w = Workload::from_queries([
+            (
+                QueryBuilder::new(TableId(0))
+                    .select(&[1, 2])
+                    .filter(3, PredOp::Eq, 0.001)
+                    .build(),
+                5.0,
+            ),
+            (QueryBuilder::new(TableId(0)).select(&[4]).build(), 2.0),
+        ]);
+        for _ in 0..3 {
+            let a = engine.workload_cost(&w, &d);
+            let b = cached.workload_cost(&w, &d);
+            assert_eq!(a.total_ms.to_bits(), b.total_ms.to_bits());
+            assert_eq!(a.avg_ms.to_bits(), b.avg_ms.to_bits());
+            assert_eq!(a.max_ms.to_bits(), b.max_ms.to_bits());
+        }
+        let stats = cached.cache_stats();
+        assert_eq!(stats.misses, 2, "two distinct queries, one design");
+        assert_eq!(stats.hits, 4, "two repeat passes over both");
+    }
+
+    #[test]
+    fn accounting_identity_holds() {
+        let engine = ColumnarEngine::new(catalog());
+        let cached = CachedEngine::new(&engine);
+        let q = QueryBuilder::new(TableId(0))
+            .select(&[1])
+            .filter(2, PredOp::Eq, 0.01)
+            .build();
+        for i in 0..10 {
+            let d = design(&[1, (i % 3) + 2]);
+            let _ = cached.query_latency_ms(&q, &d);
+        }
+        let s = cached.cache_stats();
+        assert_eq!(s.lookups(), 10);
+        assert_eq!(s.hits + s.misses, s.lookups());
+        assert_eq!(s.misses, 3, "three distinct designs");
+        assert!(s.hit_rate() > 0.5);
+    }
+
+    #[test]
+    fn capacity_eviction_counts_and_recovers() {
+        let cache = CostCache::with_capacity(SHARDS); // one entry per shard
+        for i in 0..200u64 {
+            let v = cache.get_or_insert_with(QuerySignature(i), 7, || i as f64);
+            assert_eq!(v, i as f64);
+        }
+        let s = cache.stats();
+        assert_eq!(s.misses, 200);
+        assert!(s.evictions > 0, "tiny cache must have evicted");
+        assert!(cache.len() <= 2 * SHARDS);
+        // Evicted keys recompute correctly.
+        assert_eq!(cache.get_or_insert_with(QuerySignature(0), 7, || 0.0), 0.0);
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_counters() {
+        let cache = CostCache::default();
+        cache.get_or_insert_with(QuerySignature(1), 1, || 1.0);
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn concurrent_use_is_consistent() {
+        let engine = ColumnarEngine::new(catalog());
+        let cached = CachedEngine::new(&engine);
+        let d = design(&[1, 2]);
+        let queries: Vec<_> = (0..32u32)
+            .map(|i| {
+                QueryBuilder::new(TableId(0))
+                    .select(&[i % 8])
+                    .filter((i + 1) % 8, PredOp::Eq, 0.001)
+                    .build()
+            })
+            .collect();
+        let expected: Vec<f64> = queries
+            .iter()
+            .map(|q| engine.query_latency_ms(q, &d))
+            .collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for (q, &e) in queries.iter().zip(&expected) {
+                        assert_eq!(cached.query_latency_ms(q, &d).to_bits(), e.to_bits());
+                    }
+                });
+            }
+        });
+        let stats = cached.cache_stats();
+        assert_eq!(stats.lookups(), 4 * 32);
+        assert!(
+            stats.hits >= 3 * 32,
+            "at most one computing pass per key per racer"
+        );
+    }
+}

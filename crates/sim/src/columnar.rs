@@ -48,7 +48,11 @@ impl Projection {
             sort_order.iter().all(|c| columns.contains(*c)),
             "sort columns must be stored in the projection"
         );
-        Self { table, columns, sort_order }
+        Self {
+            table,
+            columns,
+            sort_order,
+        }
     }
 
     /// Whether this projection covers all of `referenced`.
@@ -71,9 +75,7 @@ impl Projection {
         let rows = catalog.table(self.table).rows as f64;
         self.columns
             .iter()
-            .map(|c| {
-                rows * catalog.column(c).width_bytes as f64 / self.compression(c, catalog)
-            })
+            .map(|c| rows * catalog.column(c).width_bytes as f64 / self.compression(c, catalog))
             .sum::<f64>() as u64
     }
 }
@@ -117,6 +119,14 @@ impl PhysicalDesign for ColumnarDesign {
     fn structure_price(s: &Projection, catalog: &Catalog) -> u64 {
         s.size_bytes(catalog)
     }
+
+    fn fingerprint(&self) -> u64 {
+        // Same combination as the trait default, minus the structures()
+        // clone: projections hash in place.
+        crate::engine::combine_structure_hashes(
+            self.projections.iter().map(crate::engine::structure_hash),
+        )
+    }
 }
 
 /// One table access in an explain plan.
@@ -149,7 +159,10 @@ pub struct ColumnarEngine {
 impl ColumnarEngine {
     /// Creates the engine over a catalog with default cost constants.
     pub fn new(catalog: Catalog) -> Self {
-        Self { catalog, cost: CostConstants::default() }
+        Self {
+            catalog,
+            cost: CostConstants::default(),
+        }
     }
 
     /// Creates the engine with explicit cost constants.
@@ -163,10 +176,7 @@ impl ColumnarEngine {
     }
 
     /// Splits a query's referenced columns and predicates by table.
-    fn per_table<'q>(
-        &self,
-        q: &'q Query,
-    ) -> Vec<(TableId, ColumnSet, Vec<&'q Predicate>)> {
+    fn per_table<'q>(&self, q: &'q Query) -> Vec<(TableId, ColumnSet, Vec<&'q Predicate>)> {
         let mut tables = vec![q.anchor];
         for &t in &q.joins {
             if !tables.contains(&t) {
@@ -265,8 +275,7 @@ impl ColumnarEngine {
             columns: self.catalog.columns_of(t).collect(),
             sort_order: Vec::new(),
         };
-        let (mut best_ms, mut survived) =
-            self.projection_access_ms(&super_proj, referenced, preds);
+        let (mut best_ms, mut survived) = self.projection_access_ms(&super_proj, referenced, preds);
         let mut chosen = None;
         for p in &d.projections {
             if p.table == t && p.covers(referenced) {
@@ -297,18 +306,20 @@ impl ColumnarEngine {
         let mut accesses = Vec::new();
         for (t, referenced, preds) in self.per_table(q) {
             let (ms, _, chosen) = self.table_access_ms(d, t, &referenced, &preds);
-            accesses.push(TableAccess { table: t, projection: chosen, est_ms: ms });
+            accesses.push(TableAccess {
+                table: t,
+                projection: chosen,
+                est_ms: ms,
+            });
         }
-        ColumnarExplain { total_ms: self.query_latency_ms(q, d), accesses }
+        ColumnarExplain {
+            total_ms: self.query_latency_ms(q, d),
+            accesses,
+        }
     }
 
     /// Aggregation + ordering cost on the anchor's surviving rows.
-    fn post_processing_ms(
-        &self,
-        q: &Query,
-        survived: f64,
-        chosen: Option<&Projection>,
-    ) -> f64 {
+    fn post_processing_ms(&self, q: &Query, survived: f64, chosen: Option<&Projection>) -> f64 {
         let mut ms = 0.0;
         let mut out_rows = survived;
         if q.aggregates && !q.group_by.is_empty() {
@@ -346,10 +357,7 @@ impl ColumnarEngine {
             let presorted = !q.aggregates
                 && chosen.is_some_and(|p| {
                     q.order_by.len() <= p.sort_order.len()
-                        && q.order_by
-                            .iter()
-                            .zip(&p.sort_order)
-                            .all(|(a, b)| a == b)
+                        && q.order_by.iter().zip(&p.sort_order).all(|(a, b)| a == b)
                 });
             if !presorted {
                 ms += self.cost.sort_ms(out_rows);
@@ -413,11 +421,31 @@ mod tests {
         Catalog::new(vec![TableDef {
             name: "fact".into(),
             columns: vec![
-                ColumnDef { name: "id".into(), width_bytes: 8, stats: ColumnStats::uniform(10_000_000) },
-                ColumnDef { name: "region".into(), width_bytes: 4, stats: ColumnStats::uniform(100) },
-                ColumnDef { name: "amount".into(), width_bytes: 8, stats: ColumnStats::uniform(1_000_000) },
-                ColumnDef { name: "day".into(), width_bytes: 4, stats: ColumnStats::uniform(365) },
-                ColumnDef { name: "note".into(), width_bytes: 48, stats: ColumnStats::uniform(1_000_000) },
+                ColumnDef {
+                    name: "id".into(),
+                    width_bytes: 8,
+                    stats: ColumnStats::uniform(10_000_000),
+                },
+                ColumnDef {
+                    name: "region".into(),
+                    width_bytes: 4,
+                    stats: ColumnStats::uniform(100),
+                },
+                ColumnDef {
+                    name: "amount".into(),
+                    width_bytes: 8,
+                    stats: ColumnStats::uniform(1_000_000),
+                },
+                ColumnDef {
+                    name: "day".into(),
+                    width_bytes: 4,
+                    stats: ColumnStats::uniform(365),
+                },
+                ColumnDef {
+                    name: "note".into(),
+                    width_bytes: 48,
+                    stats: ColumnStats::uniform(1_000_000),
+                },
             ],
             rows: 10_000_000,
         }])
@@ -518,15 +546,16 @@ mod tests {
             .build();
         let sorted_by_group = ColumnarDesign::from_structures(vec![proj(&[1, 2], &[1])]);
         let sorted_other = ColumnarDesign::from_structures(vec![proj(&[1, 2], &[2])]);
-        assert!(
-            e.query_latency_ms(&q, &sorted_by_group) < e.query_latency_ms(&q, &sorted_other)
-        );
+        assert!(e.query_latency_ms(&q, &sorted_by_group) < e.query_latency_ms(&q, &sorted_other));
     }
 
     #[test]
     fn order_by_free_when_presorted() {
         let e = engine();
-        let q = QueryBuilder::new(TableId(0)).select(&[1, 2]).order_by(&[1]).build();
+        let q = QueryBuilder::new(TableId(0))
+            .select(&[1, 2])
+            .order_by(&[1])
+            .build();
         let presorted = ColumnarDesign::from_structures(vec![proj(&[1, 2], &[1])]);
         let unsorted = ColumnarDesign::from_structures(vec![proj(&[1, 2], &[])]);
         assert!(e.query_latency_ms(&q, &presorted) < e.query_latency_ms(&q, &unsorted));
@@ -547,10 +576,8 @@ mod tests {
     fn deployment_time_grows_with_design() {
         let e = engine();
         let small = ColumnarDesign::from_structures(vec![proj(&[1, 2], &[1])]);
-        let big = ColumnarDesign::from_structures(vec![
-            proj(&[1, 2], &[1]),
-            proj(&[1, 2, 3, 4], &[3]),
-        ]);
+        let big =
+            ColumnarDesign::from_structures(vec![proj(&[1, 2], &[1]), proj(&[1, 2, 3, 4], &[3])]);
         assert!(e.deployment_ms(&big) > e.deployment_ms(&small));
         assert_eq!(e.deployment_ms(&ColumnarDesign::empty()), 0.0);
     }

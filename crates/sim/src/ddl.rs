@@ -80,7 +80,11 @@ pub fn columnar_script(d: &ColumnarDesign, catalog: &Catalog) -> String {
     let mut out = String::new();
     for (i, p) in d.projections.iter().enumerate() {
         let table = &catalog.table(p.table).name;
-        let _ = writeln!(out, "{}\n", projection_ddl(p, catalog, &format!("{table}_proj_{i}")));
+        let _ = writeln!(
+            out,
+            "{}\n",
+            projection_ddl(p, catalog, &format!("{table}_proj_{i}"))
+        );
     }
     out
 }
@@ -90,11 +94,19 @@ pub fn row_script(d: &RowDesign, catalog: &Catalog) -> String {
     let mut out = String::new();
     for (i, idx) in d.indexes.iter().enumerate() {
         let table = &catalog.table(idx.table).name;
-        let _ = writeln!(out, "{}", index_ddl(idx, catalog, &format!("{table}_idx_{i}")));
+        let _ = writeln!(
+            out,
+            "{}",
+            index_ddl(idx, catalog, &format!("{table}_idx_{i}"))
+        );
     }
     for (i, v) in d.views.iter().enumerate() {
         let table = &catalog.table(v.table).name;
-        let _ = writeln!(out, "{}", matview_ddl(v, catalog, &format!("{table}_mv_{i}")));
+        let _ = writeln!(
+            out,
+            "{}",
+            matview_ddl(v, catalog, &format!("{table}_mv_{i}"))
+        );
     }
     out
 }
@@ -110,9 +122,21 @@ mod tests {
         Catalog::new(vec![TableDef {
             name: "sales".into(),
             columns: vec![
-                ColumnDef { name: "id".into(), width_bytes: 8, stats: ColumnStats::uniform(1000) },
-                ColumnDef { name: "region".into(), width_bytes: 4, stats: ColumnStats::uniform(10) },
-                ColumnDef { name: "amount".into(), width_bytes: 8, stats: ColumnStats::uniform(500) },
+                ColumnDef {
+                    name: "id".into(),
+                    width_bytes: 8,
+                    stats: ColumnStats::uniform(1000),
+                },
+                ColumnDef {
+                    name: "region".into(),
+                    width_bytes: 4,
+                    stats: ColumnStats::uniform(10),
+                },
+                ColumnDef {
+                    name: "amount".into(),
+                    width_bytes: 8,
+                    stats: ColumnStats::uniform(500),
+                },
             ],
             rows: 1000,
         }])
@@ -121,11 +145,7 @@ mod tests {
     #[test]
     fn projection_ddl_matches_paper_syntax() {
         let cat = catalog();
-        let p = Projection::new(
-            TableId(0),
-            ColumnSet::from_ids(&[1, 2]),
-            vec![ColumnId(1)],
-        );
+        let p = Projection::new(TableId(0), ColumnSet::from_ids(&[1, 2]), vec![ColumnId(1)]);
         let ddl = projection_ddl(&p, &cat, "sales_proj_0");
         assert_eq!(
             ddl,
@@ -145,7 +165,10 @@ mod tests {
     fn index_and_view_ddl() {
         let cat = catalog();
         let idx = Index::new(TableId(0), vec![ColumnId(1), ColumnId(0)]);
-        assert_eq!(index_ddl(&idx, &cat, "i0"), "CREATE INDEX i0 ON sales (region, id);");
+        assert_eq!(
+            index_ddl(&idx, &cat, "i0"),
+            "CREATE INDEX i0 ON sales (region, id);"
+        );
         let v = MatView::new(
             TableId(0),
             ColumnSet::from_ids(&[1, 2]),

@@ -2,7 +2,7 @@
 
 use cliffguard_storage::Catalog;
 use cliffguard_workload::{Query, Workload};
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
 
 /// A physical design: a priced set of auxiliary structures.
 ///
@@ -10,9 +10,12 @@ use std::hash::Hash;
 /// the `MajorityVoteDesigner` and the ILP baseline reason about designs
 /// generically, exactly as the paper describes ("for each structure (e.g.,
 /// index, materialized view, projection) s, …").
-pub trait PhysicalDesign: Clone + Default {
+///
+/// Designs are `Send + Sync` so the robust-design search can cost many
+/// workloads against the same design from worker threads.
+pub trait PhysicalDesign: Clone + Default + Send + Sync {
     /// The unit structure (a projection, an index, a materialized view…).
-    type Structure: Clone + Eq + Hash;
+    type Structure: Clone + Eq + Hash + Send + Sync;
 
     /// The structures of this design.
     fn structures(&self) -> Vec<Self::Structure>;
@@ -40,6 +43,50 @@ pub trait PhysicalDesign: Clone + Default {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// A stable fingerprint of this design, for cost memoization: two
+    /// designs holding the same **multiset of structures** fingerprint
+    /// identically, whatever order the structures were added in.
+    ///
+    /// The default combines per-structure hashes commutatively over
+    /// [`structures`](Self::structures); engines with direct field access
+    /// override it to skip the intermediate `Vec` (the result need only
+    /// be stable within one design type — fingerprints are never compared
+    /// across engines).
+    fn fingerprint(&self) -> u64 {
+        combine_structure_hashes(self.structures().iter().map(structure_hash))
+    }
+}
+
+/// Deterministic hash of one structure (`DefaultHasher` with its fixed
+/// zero keys: stable across runs and platforms for our derive-based
+/// `Hash` impls).
+pub(crate) fn structure_hash<S: Hash>(s: S) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    s.hash(&mut h);
+    h.finish()
+}
+
+/// Order-insensitive combination of per-structure hashes: each hash is
+/// bit-mixed (so near-identical structure hashes spread) and the mixes
+/// are summed, which is commutative; the count is folded in last so
+/// `{}` and `{s}` with `mix(h(s)) == 0` cannot collide trivially.
+pub(crate) fn combine_structure_hashes(hashes: impl Iterator<Item = u64>) -> u64 {
+    let mut acc: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut n: u64 = 0;
+    for h in hashes {
+        acc = acc.wrapping_add(splitmix64(h));
+        n += 1;
+    }
+    splitmix64(acc ^ n)
+}
+
+/// SplitMix64 finalizer — a cheap, high-quality 64-bit bit mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 /// Aggregate latency statistics of a workload under a design.
@@ -56,12 +103,20 @@ pub struct WorkloadCost {
 impl WorkloadCost {
     /// The zero cost (empty workload).
     pub fn zero() -> Self {
-        Self { avg_ms: 0.0, max_ms: 0.0, total_ms: 0.0 }
+        Self {
+            avg_ms: 0.0,
+            max_ms: 0.0,
+            total_ms: 0.0,
+        }
     }
 }
 
 /// A simulated database engine with a cost-based optimizer.
-pub trait Engine {
+///
+/// Engines are `Sync`: they are immutable cost models shared by
+/// reference across the worker threads of the parallel cost-evaluation
+/// layer.
+pub trait Engine: Sync {
     /// The engine's physical-design type.
     type Design: PhysicalDesign;
 
@@ -87,7 +142,11 @@ pub trait Engine {
             weight += wt;
             max = max.max(l);
         }
-        WorkloadCost { avg_ms: total / weight, max_ms: max, total_ms: total }
+        WorkloadCost {
+            avg_ms: total / weight,
+            max_ms: max,
+            total_ms: total,
+        }
     }
 
     /// `f(W, D)` — the scalar objective the designers minimize.
@@ -148,7 +207,10 @@ mod tests {
         let e = ToyEngine { catalog };
         let w = Workload::from_queries([
             (QueryBuilder::new(TableId(0)).select(&[0]).build(), 3.0), // 1 ms
-            (QueryBuilder::new(TableId(0)).select(&[0, 1, 2]).build(), 1.0), // 3 ms
+            (
+                QueryBuilder::new(TableId(0)).select(&[0, 1, 2]).build(),
+                1.0,
+            ), // 3 ms
         ]);
         let c = e.workload_cost(&w, &ToyDesign);
         assert!((c.total_ms - 6.0).abs() < 1e-12);
@@ -161,14 +223,67 @@ mod tests {
     fn empty_workload_zero_cost() {
         let catalog = CatalogGenerator::default().generate(&SchemaShape::new(vec![4]));
         let e = ToyEngine { catalog };
-        assert_eq!(e.workload_cost(&Workload::new(), &ToyDesign), WorkloadCost::zero());
+        assert_eq!(
+            e.workload_cost(&Workload::new(), &ToyDesign),
+            WorkloadCost::zero()
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_order_insensitive_and_discriminating() {
+        use crate::columnar::{ColumnarDesign, Projection};
+        use crate::row::{Index, RowDesign, RowStructure};
+        use cliffguard_workload::{ColumnId, ColumnSet};
+
+        let p = |cols: &[u32]| {
+            Projection::new(
+                cliffguard_workload::TableId(0),
+                ColumnSet::from_iter(cols.iter().map(|&c| ColumnId(c))),
+                vec![],
+            )
+        };
+        let ab = ColumnarDesign::from_structures(vec![p(&[1, 2]), p(&[3, 4])]);
+        let ba = ColumnarDesign::from_structures(vec![p(&[3, 4]), p(&[1, 2])]);
+        assert_eq!(ab.fingerprint(), ba.fingerprint(), "order must not matter");
+        let other = ColumnarDesign::from_structures(vec![p(&[1, 2]), p(&[3, 5])]);
+        assert_ne!(ab.fingerprint(), other.fingerprint());
+        assert_ne!(ab.fingerprint(), ColumnarDesign::empty().fingerprint());
+
+        // Row designs: an index and nothing-at-all must differ, and the
+        // override must be deterministic across construction orders.
+        let idx = |c: u32| {
+            RowStructure::Index(Index::new(
+                cliffguard_workload::TableId(0),
+                vec![ColumnId(c)],
+            ))
+        };
+        let r12 = RowDesign::from_structures(vec![idx(1), idx(2)]);
+        let r21 = RowDesign::from_structures(vec![idx(2), idx(1)]);
+        assert_eq!(r12.fingerprint(), r21.fingerprint());
+        assert_ne!(r12.fingerprint(), RowDesign::empty().fingerprint());
+    }
+
+    #[test]
+    fn trait_default_fingerprint_matches_columnar_override() {
+        use crate::columnar::{ColumnarDesign, Projection};
+        use cliffguard_workload::{ColumnId, ColumnSet};
+        let d = ColumnarDesign::from_structures(vec![Projection::new(
+            cliffguard_workload::TableId(0),
+            ColumnSet::from_iter([ColumnId(1), ColumnId(2)]),
+            vec![ColumnId(1)],
+        )]);
+        let via_default =
+            super::combine_structure_hashes(d.structures().iter().map(super::structure_hash));
+        assert_eq!(d.fingerprint(), via_default);
     }
 
     #[test]
     fn default_design_is_empty() {
         assert!(ToyDesign.is_empty());
-        assert_eq!(ToyDesign.price_bytes(
-            &CatalogGenerator::default().generate(&SchemaShape::new(vec![2]))
-        ), 0);
+        assert_eq!(
+            ToyDesign
+                .price_bytes(&CatalogGenerator::default().generate(&SchemaShape::new(vec![2]))),
+            0
+        );
     }
 }

@@ -27,12 +27,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod columnar;
 mod engine;
 mod row;
 
 pub mod ddl;
 
+pub use cache::{CacheStats, CachedEngine, CostCache};
 pub use columnar::{ColumnarDesign, ColumnarEngine, ColumnarExplain, Projection, TableAccess};
 pub use engine::{Engine, PhysicalDesign, WorkloadCost};
 pub use row::{Index, MatView, RowDesign, RowEngine, RowPath, RowStructure};

@@ -80,8 +80,15 @@ impl MatView {
             group_by.is_subset(&columns),
             "group-by columns must be stored in the view"
         );
-        assert!(!group_by.is_empty(), "views are grouped; use an index otherwise");
-        Self { table, columns, group_by }
+        assert!(
+            !group_by.is_empty(),
+            "views are grouped; use an index otherwise"
+        );
+        Self {
+            table,
+            columns,
+            group_by,
+        }
     }
 
     /// Expected number of rows (groups) of the view.
@@ -172,6 +179,22 @@ impl PhysicalDesign for RowDesign {
             RowStructure::MatView(v) => v.size_bytes(catalog),
         }
     }
+
+    fn fingerprint(&self) -> u64 {
+        // In place, without materializing `RowStructure` wrappers; the
+        // (kind, inner) tuples hash distinctly per kind, so an index and
+        // a view over the same columns cannot collide structurally.
+        crate::engine::combine_structure_hashes(
+            self.indexes
+                .iter()
+                .map(|i| crate::engine::structure_hash((0u8, i)))
+                .chain(
+                    self.views
+                        .iter()
+                        .map(|v| crate::engine::structure_hash((1u8, v))),
+                ),
+        )
+    }
 }
 
 /// The row-store engine.
@@ -209,7 +232,10 @@ struct Access {
 impl RowEngine {
     /// Creates the engine with default cost constants.
     pub fn new(catalog: Catalog) -> Self {
-        Self { catalog, cost: CostConstants::default() }
+        Self {
+            catalog,
+            cost: CostConstants::default(),
+        }
     }
 
     /// Creates the engine with explicit cost constants.
@@ -307,7 +333,10 @@ impl RowEngine {
                     ms,
                     survived,
                     agg_done: false,
-                    path: RowPath::Index { index: idx.clone(), covering },
+                    path: RowPath::Index {
+                        index: idx.clone(),
+                        covering,
+                    },
                 };
             }
         }
@@ -418,8 +447,7 @@ impl Engine for RowEngine {
         if q.aggregates && !q.group_by.is_empty() {
             let mut groups = 1.0f64;
             for c in q.group_by.iter() {
-                groups = (groups * self.catalog.column(c).stats.ndv as f64)
-                    .min(anchor.survived);
+                groups = (groups * self.catalog.column(c).stats.ndv as f64).min(anchor.survived);
             }
             if !anchor.agg_done {
                 total += self.cost.cpu_ms(anchor.survived * 1.2);
@@ -444,13 +472,11 @@ impl Engine for RowEngine {
         let mut ms = 0.0;
         for i in &d.indexes {
             let rows = self.catalog.table(i.table).rows as f64;
-            ms += self.cost.build_ms(i.size_bytes(&self.catalog) as f64)
-                + self.cost.sort_ms(rows);
+            ms += self.cost.build_ms(i.size_bytes(&self.catalog) as f64) + self.cost.sort_ms(rows);
         }
         for v in &d.views {
             let rows = self.catalog.table(v.table).rows as f64;
-            ms += self.cost.build_ms(v.size_bytes(&self.catalog) as f64)
-                + self.cost.cpu_ms(rows);
+            ms += self.cost.build_ms(v.size_bytes(&self.catalog) as f64) + self.cost.cpu_ms(rows);
         }
         ms
     }
@@ -466,10 +492,26 @@ mod tests {
         Catalog::new(vec![TableDef {
             name: "fact".into(),
             columns: vec![
-                ColumnDef { name: "id".into(), width_bytes: 8, stats: ColumnStats::uniform(10_000_000) },
-                ColumnDef { name: "region".into(), width_bytes: 4, stats: ColumnStats::uniform(100) },
-                ColumnDef { name: "amount".into(), width_bytes: 8, stats: ColumnStats::uniform(1_000_000) },
-                ColumnDef { name: "day".into(), width_bytes: 4, stats: ColumnStats::uniform(365) },
+                ColumnDef {
+                    name: "id".into(),
+                    width_bytes: 8,
+                    stats: ColumnStats::uniform(10_000_000),
+                },
+                ColumnDef {
+                    name: "region".into(),
+                    width_bytes: 4,
+                    stats: ColumnStats::uniform(100),
+                },
+                ColumnDef {
+                    name: "amount".into(),
+                    width_bytes: 8,
+                    stats: ColumnStats::uniform(1_000_000),
+                },
+                ColumnDef {
+                    name: "day".into(),
+                    width_bytes: 4,
+                    stats: ColumnStats::uniform(365),
+                },
             ],
             rows: 10_000_000,
         }])
@@ -577,7 +619,10 @@ mod tests {
             ColumnSet::from_ids(&[1, 2, 3]),
             ColumnSet::from_ids(&[1, 3]),
         );
-        let q = QueryBuilder::new(TableId(0)).select(&[1, 2]).group_by(&[1]).build();
+        let q = QueryBuilder::new(TableId(0))
+            .select(&[1, 2])
+            .group_by(&[1])
+            .build();
         let d = RowDesign::from_structures(vec![RowStructure::MatView(fine)]);
         let with = e.query_latency_ms(&q, &d);
         let without = e.query_latency_ms(&q, &RowDesign::empty());
@@ -643,7 +688,10 @@ mod tests {
         assert!(bare_plan[0].2 > plan[0].2);
 
         // MV rewrite shows up as MatView.
-        let agg = QueryBuilder::new(TableId(0)).select(&[1, 2]).group_by(&[1]).build();
+        let agg = QueryBuilder::new(TableId(0))
+            .select(&[1, 2])
+            .group_by(&[1])
+            .build();
         let mv = RowDesign::from_structures(vec![RowStructure::MatView(MatView::new(
             TableId(0),
             ColumnSet::from_ids(&[1, 2]),

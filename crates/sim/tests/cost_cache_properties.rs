@@ -1,0 +1,148 @@
+//! Property tests for the cost-memoization layer: caching must never
+//! change a cost, fingerprints must separate distinct designs, and the
+//! counters must keep their accounting identity.
+
+use cliffguard_sim::{
+    CachedEngine, ColumnarDesign, ColumnarEngine, CostCache, Engine, PhysicalDesign, Projection,
+};
+use cliffguard_storage::{Catalog, ColumnDef, ColumnStats, TableDef};
+use cliffguard_workload::{
+    ColumnId, ColumnSet, PredOp, QueryBuilder, QuerySignature, TableId, Workload,
+};
+use proptest::prelude::*;
+
+const N_COLS: u32 = 8;
+
+fn catalog() -> Catalog {
+    Catalog::new(vec![TableDef {
+        name: "fact".into(),
+        columns: (0..N_COLS)
+            .map(|i| ColumnDef {
+                name: format!("c{i}"),
+                width_bytes: 8,
+                stats: ColumnStats::uniform(50_000),
+            })
+            .collect(),
+        rows: 4_000_000,
+    }])
+}
+
+fn projection(cols: &[u32]) -> Projection {
+    Projection::new(
+        TableId(0),
+        ColumnSet::from_iter(cols.iter().map(|&c| ColumnId(c % N_COLS))),
+        vec![],
+    )
+}
+
+fn design(col_groups: &[Vec<u32>]) -> ColumnarDesign {
+    ColumnarDesign::from_structures(col_groups.iter().map(|g| projection(g)).collect())
+}
+
+/// Canonical form of a design's structure set, for deciding whether two
+/// generated designs are actually distinct.
+fn canonical(d: &ColumnarDesign) -> Vec<String> {
+    let mut s: Vec<String> = d.structures().iter().map(|p| format!("{p:?}")).collect();
+    s.sort();
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Memoized costs are the costs: for any workload and design, the
+    /// cached engine returns bit-identical latencies and aggregates,
+    /// on the cold pass and on the warm pass.
+    #[test]
+    fn cached_cost_equals_uncached(
+        specs in proptest::collection::vec(
+            (
+                proptest::collection::vec(0u32..N_COLS, 1..4),
+                0u32..N_COLS,
+                1u64..5000,
+            ),
+            1..12,
+        ),
+        groups in proptest::collection::vec(
+            proptest::collection::vec(0u32..N_COLS, 1..4),
+            0..4,
+        ),
+    ) {
+        let engine = ColumnarEngine::new(catalog());
+        let cached = CachedEngine::new(&engine);
+        let d = design(&groups);
+        let w = Workload::from_queries(specs.iter().map(|(sel, filt, sel_ppm)| {
+            let sel_cols: Vec<u32> = sel.iter().map(|c| c % N_COLS).collect();
+            (
+                QueryBuilder::new(TableId(0))
+                    .select(&sel_cols)
+                    .filter(*filt, PredOp::Eq, *sel_ppm as f64 * 1e-6)
+                    .build(),
+                1.0 + (*sel_ppm % 7) as f64,
+            )
+        }));
+        let plain = engine.workload_cost(&w, &d);
+        for pass in 0..2 {
+            let memo = cached.workload_cost(&w, &d);
+            prop_assert_eq!(plain.avg_ms.to_bits(), memo.avg_ms.to_bits(), "pass {}", pass);
+            prop_assert_eq!(plain.max_ms.to_bits(), memo.max_ms.to_bits(), "pass {}", pass);
+            prop_assert_eq!(plain.total_ms.to_bits(), memo.total_ms.to_bits(), "pass {}", pass);
+        }
+        // Per-query entry points agree with the workload fold's cache.
+        for q in w.queries() {
+            prop_assert_eq!(
+                cached.query_latency_ms(q, &d).to_bits(),
+                engine.query_latency_ms(q, &d).to_bits()
+            );
+        }
+        // The warm pass and per-query probes were all hits.
+        let stats = cached.cache_stats();
+        prop_assert_eq!(stats.misses as usize, w.len());
+        prop_assert_eq!(stats.hits as usize, 2 * w.len());
+    }
+
+    /// Designs with different structure sets get different fingerprints;
+    /// the same set in any order gets the same one.
+    #[test]
+    fn distinct_designs_do_not_collide(
+        groups_a in proptest::collection::vec(
+            proptest::collection::vec(0u32..N_COLS, 1..4), 0..5),
+        groups_b in proptest::collection::vec(
+            proptest::collection::vec(0u32..N_COLS, 1..4), 0..5),
+    ) {
+        let a = design(&groups_a);
+        let b = design(&groups_b);
+        if canonical(&a) == canonical(&b) {
+            prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        } else {
+            prop_assert_ne!(a.fingerprint(), b.fingerprint());
+        }
+        // Order insensitivity, explicitly: reversed construction.
+        let mut reversed = groups_a.clone();
+        reversed.reverse();
+        prop_assert_eq!(a.fingerprint(), design(&reversed).fingerprint());
+    }
+
+    /// Counter accounting: every lookup is exactly one hit or one miss.
+    #[test]
+    fn hits_plus_misses_equals_lookups(
+        keys in proptest::collection::vec((0u64..32, 0u64..4), 1..200),
+    ) {
+        let cache = CostCache::with_capacity(64);
+        for &(sig, fp) in &keys {
+            let got = cache.get_or_insert_with(
+                QuerySignature(sig), fp, || (sig * 31 + fp) as f64);
+            prop_assert_eq!(got, (sig * 31 + fp) as f64, "cache must return the computed value");
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.lookups(), keys.len() as u64);
+        prop_assert_eq!(stats.hits + stats.misses, stats.lookups());
+        // Misses are at least the number of distinct keys (exactly that,
+        // when nothing evicted).
+        let distinct: std::collections::HashSet<_> = keys.iter().collect();
+        prop_assert!(stats.misses >= distinct.len() as u64);
+        if stats.evictions == 0 {
+            prop_assert_eq!(stats.misses, distinct.len() as u64);
+        }
+    }
+}

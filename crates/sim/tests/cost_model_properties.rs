@@ -2,8 +2,8 @@
 //! cost-based optimizer must satisfy regardless of inputs.
 
 use cliffguard_sim::{
-    ColumnarDesign, ColumnarEngine, Engine, Index, MatView, PhysicalDesign, Projection,
-    RowDesign, RowEngine, RowStructure,
+    ColumnarDesign, ColumnarEngine, Engine, Index, MatView, PhysicalDesign, Projection, RowDesign,
+    RowEngine, RowStructure,
 };
 use cliffguard_storage::{Catalog, ColumnDef, ColumnStats, TableDef};
 use cliffguard_workload::{ColumnId, ColumnSet, PredOp, Query, QueryBuilder, TableId};
@@ -54,11 +54,7 @@ fn arb_projection() -> impl Strategy<Value = Projection> {
     proptest::collection::btree_set(0..N_COLS, 1..6).prop_map(|cols| {
         let cols: Vec<u32> = cols.into_iter().collect();
         let sort: Vec<ColumnId> = cols.iter().take(2).map(|&c| ColumnId(c)).collect();
-        Projection::new(
-            TableId(0),
-            ColumnSet::from_ids(&cols),
-            sort,
-        )
+        Projection::new(TableId(0), ColumnSet::from_ids(&cols), sort)
     })
 }
 
@@ -166,22 +162,29 @@ fn join_query_charges_both_tables() {
     let cat = Catalog::new(vec![
         TableDef {
             name: "a".into(),
-            columns: vec![
-                ColumnDef { name: "x".into(), width_bytes: 8, stats: ColumnStats::uniform(1000) },
-            ],
+            columns: vec![ColumnDef {
+                name: "x".into(),
+                width_bytes: 8,
+                stats: ColumnStats::uniform(1000),
+            }],
             rows: 1_000_000,
         },
         TableDef {
             name: "b".into(),
-            columns: vec![
-                ColumnDef { name: "y".into(), width_bytes: 8, stats: ColumnStats::uniform(1000) },
-            ],
+            columns: vec![ColumnDef {
+                name: "y".into(),
+                width_bytes: 8,
+                stats: ColumnStats::uniform(1000),
+            }],
             rows: 1_000_000,
         },
     ]);
     let e = ColumnarEngine::new(cat);
     let single = QueryBuilder::new(TableId(0)).select(&[0]).build();
-    let joined = QueryBuilder::new(TableId(0)).select(&[0, 1]).join(TableId(1)).build();
+    let joined = QueryBuilder::new(TableId(0))
+        .select(&[0, 1])
+        .join(TableId(1))
+        .build();
     let d = ColumnarDesign::empty();
     assert!(e.query_latency_ms(&joined, &d) > e.query_latency_ms(&single, &d));
 }

@@ -33,8 +33,8 @@ impl Default for CostConstants {
     fn default() -> Self {
         Self {
             page_bytes: 64 * 1024,
-            seq_ms_per_mb: 10.0,  // ~100 MB/s effective scan
-            random_io_ms: 5.0,    // 7.2K RPM seek+rotate
+            seq_ms_per_mb: 10.0, // ~100 MB/s effective scan
+            random_io_ms: 5.0,   // 7.2K RPM seek+rotate
             cpu_ms_per_mtuples: 120.0,
             sort_ms_per_mtuples_level: 35.0,
             fixed_overhead_ms: 2.0,

@@ -66,10 +66,10 @@ impl CatalogGenerator {
                     rows
                 } else {
                     match rng.random_range(0..10) {
-                        0..=1 => rng.random_range(2..=20),                 // flags
-                        2..=5 => rng.random_range(20..=2_000),             // categories
-                        6..=8 => rng.random_range(2_000..=200_000),        // values
-                        _ => (rows / rng.random_range(2..=10)).max(1_000), // near-keys
+                        0..=1 => rng.random_range(2..=20),                    // flags
+                        2..=5 => rng.random_range(20..=2_000),                // categories
+                        6..=8 => rng.random_range(2_000..=200_000),           // values
+                        _ => (rows / rng.random_range(2..=10u64)).max(1_000), // near-keys
                     }
                     .min(rows)
                 };
@@ -106,10 +106,7 @@ mod tests {
         assert_eq!(cat.table_count(), 3);
         assert_eq!(cat.column_count(), 10);
         for t in shape.tables() {
-            assert_eq!(
-                cat.columns_of(t).count(),
-                shape.columns_of(t) as usize
-            );
+            assert_eq!(cat.columns_of(t).count(), shape.columns_of(t) as usize);
             for c in shape.column_range(t) {
                 assert_eq!(cat.table_of(ColumnId(c)), t);
             }
@@ -141,7 +138,10 @@ mod tests {
         let shape = SchemaShape::new(vec![3, 2]);
         let cat = CatalogGenerator::default().generate(&shape);
         assert_eq!(cat.resolve_table("t1"), Some(TableId(1)));
-        assert_eq!(cat.resolve_column(Some(TableId(1)), &[], "c1"), Some(ColumnId(4)));
+        assert_eq!(
+            cat.resolve_column(Some(TableId(1)), &[], "c1"),
+            Some(ColumnId(4))
+        );
     }
 
     #[test]

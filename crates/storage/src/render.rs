@@ -66,8 +66,7 @@ impl Catalog {
             sql.push_str(&cols.join(", "));
         }
         if !q.order_by.is_empty() {
-            let cols: Vec<String> =
-                q.order_by.iter().map(|&c| self.qualified_name(c)).collect();
+            let cols: Vec<String> = q.order_by.iter().map(|&c| self.qualified_name(c)).collect();
             sql.push_str(" ORDER BY ");
             sql.push_str(&cols.join(", "));
         }

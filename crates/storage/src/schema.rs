@@ -62,7 +62,11 @@ impl Catalog {
             .enumerate()
             .map(|(i, t)| (t.name.to_ascii_lowercase(), TableId(i as u32)))
             .collect();
-        Self { tables, offsets, by_name }
+        Self {
+            tables,
+            offsets,
+            by_name,
+        }
     }
 
     /// Rebuilds derived lookup state after deserialization.
@@ -170,8 +174,16 @@ mod tests {
             TableDef {
                 name: "fact".into(),
                 columns: vec![
-                    ColumnDef { name: "id".into(), width_bytes: 8, stats: ColumnStats::uniform(1000) },
-                    ColumnDef { name: "v".into(), width_bytes: 4, stats: ColumnStats::uniform(10) },
+                    ColumnDef {
+                        name: "id".into(),
+                        width_bytes: 8,
+                        stats: ColumnStats::uniform(1000),
+                    },
+                    ColumnDef {
+                        name: "v".into(),
+                        width_bytes: 4,
+                        stats: ColumnStats::uniform(10),
+                    },
                 ],
                 rows: 1000,
             },
@@ -231,6 +243,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "no columns")]
     fn empty_table_rejected() {
-        Catalog::new(vec![TableDef { name: "x".into(), columns: vec![], rows: 0 }]);
+        Catalog::new(vec![TableDef {
+            name: "x".into(),
+            columns: vec![],
+            rows: 0,
+        }]);
     }
 }

@@ -152,10 +152,7 @@ impl ColumnSet {
 
     /// Whether the two sets share no columns.
     pub fn is_disjoint(&self, other: &Self) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & b == 0)
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
     }
 
     /// Iterates over member column ids in ascending order.

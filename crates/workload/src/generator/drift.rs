@@ -206,10 +206,7 @@ impl DriftingGenerator {
             } else {
                 Arc::new(self.fresh_template())
             };
-            let old = std::mem::replace(
-                &mut self.active[victim],
-                ActiveTemplate { proto, weight },
-            );
+            let old = std::mem::replace(&mut self.active[victim], ActiveTemplate { proto, weight });
             self.retired.push(old.proto);
         }
         // Renormalize to keep weights in a sane range.
@@ -414,11 +411,12 @@ mod calibration {
     use super::*;
     use crate::generator::WorkloadProfile;
 
-    /// Prints lag-1 template overlap per profile; run with
-    /// `cargo test -p cliffguard-workload calibration -- --ignored --nocapture`.
+    /// Checks (and prints, under `--nocapture`) the lag-1 template overlap
+    /// per profile: every overlap must be a valid fraction, and the static
+    /// profiles must overlap at least as much as the rapidly drifting one.
     #[test]
-    #[ignore = "calibration helper, prints stats"]
-    fn print_overlaps() {
+    fn lag1_overlaps_ordered_by_profile() {
+        let mut overlaps = std::collections::HashMap::new();
         for (name, profile) in [
             ("R1", WorkloadProfile::R1),
             ("S1", WorkloadProfile::S1),
@@ -430,9 +428,21 @@ mod calibration {
             let ws = log.windows_days(days);
             let mut tot = 0.0;
             for i in 0..ws.len() - 1 {
-                tot += ws[i + 1].shared_template_fraction(&ws[i]);
+                let f = ws[i + 1].shared_template_fraction(&ws[i]);
+                assert!((0.0..=1.0).contains(&f), "{name}: overlap {f} out of range");
+                tot += f;
             }
-            println!("{name}: lag-1 overlap = {:.3}", tot / (ws.len() - 1) as f64);
+            let mean = tot / (ws.len() - 1) as f64;
+            println!("{name}: lag-1 overlap = {mean:.3}");
+            overlaps.insert(name, mean);
         }
+        assert!(
+            overlaps["S1"] >= overlaps["R1"],
+            "S1 must be more static than R1"
+        );
+        assert!(
+            overlaps["S2"] >= overlaps["R1"],
+            "S2 must be more static than R1"
+        );
     }
 }

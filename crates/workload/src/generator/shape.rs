@@ -20,7 +20,10 @@ pub struct SchemaShape {
 impl SchemaShape {
     /// Creates a shape from per-table column counts.
     pub fn new(cols_per_table: Vec<u32>) -> Self {
-        assert!(!cols_per_table.is_empty(), "schema needs at least one table");
+        assert!(
+            !cols_per_table.is_empty(),
+            "schema needs at least one table"
+        );
         assert!(cols_per_table.iter().all(|&c| c > 0), "tables need columns");
         let mut offsets = Vec::with_capacity(cols_per_table.len());
         let mut acc = 0u32;
@@ -28,7 +31,10 @@ impl SchemaShape {
             offsets.push(acc);
             acc += c;
         }
-        Self { cols_per_table, offsets }
+        Self {
+            cols_per_table,
+            offsets,
+        }
     }
 
     /// The default analytic-warehouse shape used by the experiments: a few
@@ -70,7 +76,10 @@ impl SchemaShape {
             Ok(i) => i,
             Err(i) => i - 1,
         };
-        debug_assert!(c.0 < self.offsets[i] + self.cols_per_table[i], "column id out of range");
+        debug_assert!(
+            c.0 < self.offsets[i] + self.cols_per_table[i],
+            "column id out of range"
+        );
         TableId(i as u32)
     }
 

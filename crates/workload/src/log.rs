@@ -44,7 +44,9 @@ impl QueryLog {
     /// (generators emit in order). Use [`QueryLog::from_entries`] otherwise.
     pub fn push(&mut self, timestamp: u64, query: Arc<Query>) {
         debug_assert!(
-            self.entries.last().map_or(true, |e| e.timestamp <= timestamp),
+            self.entries
+                .last()
+                .map_or(true, |e| e.timestamp <= timestamp),
             "out-of-order push"
         );
         self.entries.push(LogEntry { timestamp, query });
@@ -67,7 +69,10 @@ impl QueryLog {
 
     /// Time span `(first, last)` in seconds, if non-empty.
     pub fn span(&self) -> Option<(u64, u64)> {
-        Some((self.entries.first()?.timestamp, self.entries.last()?.timestamp))
+        Some((
+            self.entries.first()?.timestamp,
+            self.entries.last()?.timestamp,
+        ))
     }
 
     /// Splits the trace into consecutive windows of `window_secs` seconds,
@@ -142,8 +147,14 @@ mod tests {
     #[test]
     fn from_entries_sorts() {
         let log = QueryLog::from_entries(vec![
-            LogEntry { timestamp: 50, query: q(&[2]) },
-            LogEntry { timestamp: 10, query: q(&[1]) },
+            LogEntry {
+                timestamp: 50,
+                query: q(&[2]),
+            },
+            LogEntry {
+                timestamp: 10,
+                query: q(&[1]),
+            },
         ]);
         assert_eq!(log.entries()[0].timestamp, 10);
         assert_eq!(log.span(), Some((10, 50)));

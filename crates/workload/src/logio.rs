@@ -56,7 +56,10 @@ pub fn import_log(text: &str, resolver: &dyn NameResolver) -> (QueryLog, ImportR
         };
         match parse_query(sql, resolver) {
             Ok(q) => {
-                entries.push(crate::log::LogEntry { timestamp, query: Arc::new(q) });
+                entries.push(crate::log::LogEntry {
+                    timestamp,
+                    query: Arc::new(q),
+                });
                 report.parsed += 1;
             }
             Err(_) => report.skipped_sql += 1,
@@ -83,7 +86,14 @@ mod tests {
                     \n\
                     50\tSELECT id FROM sales\n";
         let (log, report) = import_log(text, &resolver());
-        assert_eq!(report, ImportReport { parsed: 2, skipped_sql: 0, skipped_malformed: 0 });
+        assert_eq!(
+            report,
+            ImportReport {
+                parsed: 2,
+                skipped_sql: 0,
+                skipped_malformed: 0
+            }
+        );
         assert_eq!(log.len(), 2);
         // sorted by timestamp despite input order
         assert_eq!(log.entries()[0].timestamp, 50);

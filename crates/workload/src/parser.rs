@@ -115,7 +115,10 @@ fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
                         }
                     }
                 }
-                out.push(Spanned { tok: Tok::Str(s), offset: start });
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    offset: start,
+                });
             }
             '"' => {
                 i += 1;
@@ -131,7 +134,10 @@ fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
                     });
                 }
                 i += 1;
-                out.push(Spanned { tok: Tok::Ident(s), offset: start });
+                out.push(Spanned {
+                    tok: Tok::Ident(s),
+                    offset: start,
+                });
             }
             _ if c.is_ascii_alphabetic() || c == '_' => {
                 while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
@@ -151,10 +157,17 @@ fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
                     message: format!("bad numeric literal `{text}`"),
                     offset: start,
                 })?;
-                out.push(Spanned { tok: Tok::Number(n), offset: start });
+                out.push(Spanned {
+                    tok: Tok::Number(n),
+                    offset: start,
+                });
             }
             _ => {
-                let two = if i + 1 < b.len() { &input[i..i + 2] } else { "" };
+                let two = if i + 1 < b.len() {
+                    &input[i..i + 2]
+                } else {
+                    ""
+                };
                 let sym: &'static str = match two {
                     "!=" => "!=",
                     "<>" => "<>",
@@ -183,7 +196,10 @@ fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
                     },
                 };
                 i += sym.len();
-                out.push(Spanned { tok: Tok::Symbol(sym), offset: start });
+                out.push(Spanned {
+                    tok: Tok::Symbol(sym),
+                    offset: start,
+                });
             }
         }
     }
@@ -213,10 +229,7 @@ impl<'a> Parser<'a> {
     fn err(&self, message: impl Into<String>) -> ParseError {
         ParseError {
             message: message.into(),
-            offset: self
-                .toks
-                .get(self.pos)
-                .map_or(self.sql.len(), |t| t.offset),
+            offset: self.toks.get(self.pos).map_or(self.sql.len(), |t| t.offset),
         }
     }
 
@@ -343,10 +356,8 @@ impl<'a> Parser<'a> {
             .map(|(t, _)| *t)
             .ok_or_else(|| self.err("FROM clause names no table"))?;
         let scope: Vec<TableId> = tables.iter().map(|(t, _)| *t).collect();
-        let aliases: Vec<(Option<String>, TableId)> = tables
-            .iter()
-            .map(|(t, a)| (a.clone(), *t))
-            .collect();
+        let aliases: Vec<(Option<String>, TableId)> =
+            tables.iter().map(|(t, a)| (a.clone(), *t)).collect();
 
         // --- WHERE ---
         let mut predicates: Vec<Predicate> = Vec::new();
@@ -544,8 +555,13 @@ impl<'a> Parser<'a> {
             }
             Some(Tok::Ident(name)) => {
                 // function call?
-                if matches!(self.toks.get(self.pos + 1), Some(Spanned { tok: Tok::Symbol("("), .. }))
-                {
+                if matches!(
+                    self.toks.get(self.pos + 1),
+                    Some(Spanned {
+                        tok: Tok::Symbol("("),
+                        ..
+                    })
+                ) {
                     if name.eq_ignore_ascii_case("select") {
                         return Err(self.err("subqueries are not supported"));
                     }
@@ -679,7 +695,9 @@ impl<'a> Parser<'a> {
         let op = match self.peek() {
             Some(Tok::Symbol("=")) => Some(PredOp::Eq),
             Some(Tok::Symbol("!=")) | Some(Tok::Symbol("<>")) => Some(PredOp::Range),
-            Some(Tok::Symbol("<")) | Some(Tok::Symbol("<=")) | Some(Tok::Symbol(">"))
+            Some(Tok::Symbol("<"))
+            | Some(Tok::Symbol("<="))
+            | Some(Tok::Symbol(">"))
             | Some(Tok::Symbol(">=")) => Some(PredOp::Range),
             _ => None,
         };
@@ -856,11 +874,7 @@ mod tests {
     #[test]
     fn or_arms_contribute_columns_but_no_predicates() {
         let r = resolver();
-        let q = parse_query(
-            "SELECT id FROM sales WHERE region = 'a' OR day > 5",
-            &r,
-        )
-        .unwrap();
+        let q = parse_query("SELECT id FROM sales WHERE region = 'a' OR day > 5", &r).unwrap();
         assert_eq!(q.filter, ColumnSet::from_ids(&[2, 3]));
         // Only the first AND-connected conjunct before OR is claimed.
         assert_eq!(q.predicates.len(), 1);

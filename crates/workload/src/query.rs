@@ -187,7 +187,9 @@ impl QueryBuilder {
     /// Adds a predicate (also registers the column in the WHERE set).
     pub fn filter(mut self, col: u32, op: PredOp, selectivity: f64) -> Self {
         self.q.filter.insert(ColumnId(col));
-        self.q.predicates.push(Predicate::new(ColumnId(col), op, selectivity));
+        self.q
+            .predicates
+            .push(Predicate::new(ColumnId(col), op, selectivity));
         self
     }
 
@@ -283,8 +285,14 @@ mod tests {
 
     #[test]
     fn order_by_order_matters() {
-        let a = QueryBuilder::new(TableId(0)).select(&[1]).order_by(&[1, 2]).build();
-        let b = QueryBuilder::new(TableId(0)).select(&[1]).order_by(&[2, 1]).build();
+        let a = QueryBuilder::new(TableId(0))
+            .select(&[1])
+            .order_by(&[1, 2])
+            .build();
+        let b = QueryBuilder::new(TableId(0))
+            .select(&[1])
+            .order_by(&[2, 1])
+            .build();
         assert_ne!(a.signature(), b.signature());
     }
 

@@ -79,8 +79,14 @@ mod tests {
 
     #[test]
     fn template_order_by_is_a_set() {
-        let a = QueryBuilder::new(TableId(0)).select(&[1]).order_by(&[1, 2]).build();
-        let b = QueryBuilder::new(TableId(0)).select(&[1]).order_by(&[2, 1]).build();
+        let a = QueryBuilder::new(TableId(0))
+            .select(&[1])
+            .order_by(&[1, 2])
+            .build();
+        let b = QueryBuilder::new(TableId(0))
+            .select(&[1])
+            .order_by(&[2, 1])
+            .build();
         assert_eq!(Template::of(&a), Template::of(&b));
     }
 
@@ -93,6 +99,9 @@ mod tests {
             .build();
         assert_ne!(Template::of(&a), Template::of(&b));
         // ... but their column unions agree.
-        assert_eq!(Template::of(&a).all_columns(), Template::of(&b).all_columns());
+        assert_eq!(
+            Template::of(&a).all_columns(),
+            Template::of(&b).all_columns()
+        );
     }
 }

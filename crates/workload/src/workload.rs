@@ -51,7 +51,10 @@ impl Workload {
 
     /// Adds `weight` occurrences of `query` (accumulating if present).
     pub fn add(&mut self, query: Arc<Query>, weight: f64) {
-        assert!(weight.is_finite() && weight > 0.0, "weights must be positive");
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "weights must be positive"
+        );
         let sig = query.signature();
         match self.index.get(&sig) {
             Some(&i) => self.entries[i].weight += weight,
@@ -84,7 +87,9 @@ impl Workload {
 
     /// Raw weight by signature (0 if absent).
     pub fn weight_of_sig(&self, sig: QuerySignature) -> f64 {
-        self.index.get(&sig).map_or(0.0, |&i| self.entries[i].weight)
+        self.index
+            .get(&sig)
+            .map_or(0.0, |&i| self.entries[i].weight)
     }
 
     /// Iterates `(query, raw_weight)`.
@@ -95,7 +100,9 @@ impl Workload {
     /// Iterates `(query, normalized_frequency)`; frequencies sum to 1.
     pub fn normalized(&self) -> impl Iterator<Item = (&Arc<Query>, f64)> {
         let total = self.total_weight().max(f64::MIN_POSITIVE);
-        self.entries.iter().map(move |e| (&e.query, e.weight / total))
+        self.entries
+            .iter()
+            .map(move |e| (&e.query, e.weight / total))
     }
 
     /// The distinct queries.
@@ -256,10 +263,8 @@ mod tests {
 
     #[test]
     fn retain_column_referencing_drops_trivial() {
-        let mut w = Workload::from_queries([
-            (q(&[1]), 1.0),
-            (QueryBuilder::new(TableId(0)).build(), 5.0),
-        ]);
+        let mut w =
+            Workload::from_queries([(q(&[1]), 1.0), (QueryBuilder::new(TableId(0)).build(), 5.0)]);
         w.retain_column_referencing();
         assert_eq!(w.len(), 1);
         // Index still consistent after retain.

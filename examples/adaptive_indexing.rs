@@ -31,7 +31,10 @@ fn main() {
 
     println!("{:<22} {:>10} {:>10}", "strategy", "avg ms", "max ms");
     let print_run = |name: &str, r: EvalSummary| {
-        println!("{:<22} {:>10.1} {:>10.1}", name, r.mean_avg_ms, r.mean_max_ms);
+        println!(
+            "{:<22} {:>10.1} {:>10.1}",
+            name, r.mean_avg_ms, r.mean_max_ms
+        );
     };
     print_run(
         "NoDesign",
@@ -39,7 +42,13 @@ fn main() {
     );
     print_run(
         "ExistingDesigner",
-        evaluate_strategy(&engine, &mut ExistingDesigner::new(&nominal), &windows, &metric, &opts),
+        evaluate_strategy(
+            &engine,
+            &mut ExistingDesigner::new(&nominal),
+            &windows,
+            &metric,
+            &opts,
+        ),
     );
     print_run(
         "AdaptiveIndexing",

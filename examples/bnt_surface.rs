@@ -20,7 +20,10 @@ fn main() {
     println!("  g(x)  = {g_nominal:8.2}   (worst case within gamma = {gamma})");
 
     let report = opt.minimize(&f, &nominal);
-    println!("\nrobust optimum x* = [{:.3}, {:.3}]", report.x[0], report.x[1]);
+    println!(
+        "\nrobust optimum x* = [{:.3}, {:.3}]",
+        report.x[0], report.x[1]
+    );
     println!("  f(x*) = {:8.2}", report.nominal);
     println!("  g(x*) = {:8.2}", report.worst_case);
     println!(

@@ -42,7 +42,10 @@ fn main() {
         .map(|t| engine.catalog().table(t).rows * engine.catalog().table(t).row_width())
         .sum();
     let budget = (data_bytes as f64 * 0.3) as u64;
-    let opts = EvalOptions { budget_bytes: budget, designable_factor: 3.0 };
+    let opts = EvalOptions {
+        budget_bytes: budget,
+        designable_factor: 3.0,
+    };
 
     let nominal = GreedyDesigner::new(&engine, ColumnarCandidates, "DBD");
 

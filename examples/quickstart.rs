@@ -94,5 +94,9 @@ fn main() {
 }
 
 fn col(name: &str, width: u32, ndv: u64) -> ColumnDef {
-    ColumnDef { name: name.into(), width_bytes: width, stats: ColumnStats::uniform(ndv) }
+    ColumnDef {
+        name: name.into(),
+        width_bytes: width,
+        stats: ColumnStats::uniform(ndv),
+    }
 }

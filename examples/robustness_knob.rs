@@ -20,20 +20,33 @@ fn main() {
     println!("typical inter-window delta: {typical:.5}\n");
 
     let budget = 60u64 << 30;
-    let opts = EvalOptions { budget_bytes: budget, designable_factor: 3.0 };
+    let opts = EvalOptions {
+        budget_bytes: budget,
+        designable_factor: 3.0,
+    };
     let nominal = GreedyDesigner::new(&engine, ColumnarCandidates, "DBD");
 
     // The Γ = 0 end of the sweep is exactly the nominal designer.
-    let baseline =
-        evaluate_strategy(&engine, &mut ExistingDesigner::new(&nominal), &windows, &metric, &opts);
-    println!("gamma      avg ms     max ms   (ExistingDesigner: avg {:.1}, max {:.1})",
-        baseline.mean_avg_ms, baseline.mean_max_ms);
+    let baseline = evaluate_strategy(
+        &engine,
+        &mut ExistingDesigner::new(&nominal),
+        &windows,
+        &metric,
+        &opts,
+    );
+    println!(
+        "gamma      avg ms     max ms   (ExistingDesigner: avg {:.1}, max {:.1})",
+        baseline.mean_avg_ms, baseline.mean_max_ms
+    );
 
     for factor in [0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 16.0] {
         let gamma = typical * factor;
         let mut s = CliffGuardStrategy::new(&nominal, metric, GammaPolicy::Fixed(gamma), 3);
         let r = evaluate_strategy(&engine, &mut s, &windows, &metric, &opts);
-        println!("{gamma:<9.5} {:>8.1} {:>10.1}", r.mean_avg_ms, r.mean_max_ms);
+        println!(
+            "{gamma:<9.5} {:>8.1} {:>10.1}",
+            r.mean_avg_ms, r.mean_max_ms
+        );
     }
     println!(
         "\nAs in the paper: Γ→0 converges to the nominal designer; very large Γ\n\

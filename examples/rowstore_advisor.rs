@@ -25,22 +25,44 @@ fn main() {
     let metric = DeltaEuclidean::new(shape.column_count());
 
     let budget = 10u64 << 30; // "a maximum budget of 10GB"
-    let opts = EvalOptions { budget_bytes: budget, designable_factor: 3.0 };
+    let opts = EvalOptions {
+        budget_bytes: budget,
+        designable_factor: 3.0,
+    };
     let advisor = GreedyDesigner::new(&engine, RowCandidates, "DBMS-X advisor");
 
     let mut rows = Vec::new();
     let mut none = NoDesign;
-    rows.push(evaluate_strategy(&engine, &mut none, &windows, &metric, &opts));
+    rows.push(evaluate_strategy(
+        &engine, &mut none, &windows, &metric, &opts,
+    ));
     let mut existing = ExistingDesigner::new(&advisor);
-    rows.push(evaluate_strategy(&engine, &mut existing, &windows, &metric, &opts));
+    rows.push(evaluate_strategy(
+        &engine,
+        &mut existing,
+        &windows,
+        &metric,
+        &opts,
+    ));
     let mut oracle = FutureKnowingDesigner::new(&advisor);
-    rows.push(evaluate_strategy(&engine, &mut oracle, &windows, &metric, &opts));
+    rows.push(evaluate_strategy(
+        &engine,
+        &mut oracle,
+        &windows,
+        &metric,
+        &opts,
+    ));
     let mut cg = CliffGuardStrategy::new(&advisor, metric, GammaPolicy::KMaxPastDeltas(1.5), 5);
-    rows.push(evaluate_strategy(&engine, &mut cg, &windows, &metric, &opts));
+    rows.push(evaluate_strategy(
+        &engine, &mut cg, &windows, &metric, &opts,
+    ));
 
     println!("{:<24} {:>10} {:>10}", "strategy", "avg ms", "max ms");
     for r in &rows {
-        println!("{:<24} {:>10.1} {:>10.1}", r.strategy, r.mean_avg_ms, r.mean_max_ms);
+        println!(
+            "{:<24} {:>10.1} {:>10.1}",
+            r.strategy, r.mean_avg_ms, r.mean_max_ms
+        );
     }
     let existing_avg = rows[1].mean_avg_ms;
     let cg_avg = rows[3].mean_avg_ms;

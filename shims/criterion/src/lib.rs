@@ -1,0 +1,224 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A small wall-clock benchmarking harness with criterion's calling
+//! convention: `Criterion::bench_function`, `benchmark_group` +
+//! `sample_size` + `finish`, and the `criterion_group!` /
+//! `criterion_main!` macros. Differences from upstream:
+//!
+//! * In test mode (`--test` on the command line, which is what
+//!   `cargo test --benches` passes), every benchmark body runs exactly
+//!   once for correctness checking and no timing is reported.
+//! * Measurement is a simple warmup + fixed-sample median/mean report on
+//!   stdout; there is no HTML report, outlier analysis, or state saving.
+//! * A positional command-line argument filters benchmarks by substring,
+//!   as with real criterion.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How the harness was invoked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Run every benchmark once, no timing (`--test`).
+    Test,
+    /// Warm up and measure.
+    Bench,
+    /// Compile-only check (`--list` prints names without running).
+    List,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut mode = Mode::Bench;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => mode = Mode::Test,
+                "--list" => mode = Mode::List,
+                "--bench" => {}
+                a if a.starts_with("--") => {} // ignore unknown flags
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Self {
+            mode,
+            filter,
+            sample_size: 60,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs (or checks) one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks sharing settings.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    fn run<F>(&self, name: &str, sample_size: usize, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        match self.mode {
+            Mode::List => {
+                println!("{name}: benchmark");
+            }
+            Mode::Test => {
+                let mut b = Bencher {
+                    mode: Mode::Test,
+                    samples: Vec::new(),
+                    target_samples: 1,
+                };
+                f(&mut b);
+                println!("test {name} ... ok");
+            }
+            Mode::Bench => {
+                let mut b = Bencher {
+                    mode: Mode::Bench,
+                    samples: Vec::with_capacity(sample_size),
+                    target_samples: sample_size,
+                };
+                f(&mut b);
+                b.report(name);
+            }
+        }
+    }
+}
+
+/// A group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs (or checks) one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run(&full, n, &mut f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark body; measures the closure handed to
+/// [`Bencher::iter`].
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Measures `f`, or runs it once in test mode.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.mode == Mode::Test {
+            black_box(f());
+            return;
+        }
+        // Warmup + per-iteration timing until we have the target samples or
+        // a time budget of ~3s runs out.
+        black_box(f());
+        let budget = Duration::from_secs(3);
+        let started = Instant::now();
+        let target = self.target_samples.max(10);
+        while self.samples.len() < target && started.elapsed() < budget {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+impl Bencher {
+    fn report(&mut self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<44} (no samples)");
+            return;
+        }
+        self.samples.sort_unstable();
+        let n = self.samples.len();
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / n as u32;
+        let median = self.samples[n / 2];
+        println!(
+            "{name:<44} mean {:>12} median {:>12} ({n} samples)",
+            fmt_duration(mean),
+            fmt_duration(median)
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

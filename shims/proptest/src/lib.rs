@@ -1,0 +1,631 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the generate-and-check core of proptest without shrinking:
+//! a [`Strategy`] produces values from a deterministic per-test RNG, and
+//! the [`proptest!`] macro runs each property for `ProptestConfig::cases`
+//! generated inputs. On failure the offending inputs are printed (they
+//! are `Debug`), but no shrinking is attempted — the seed is fixed per
+//! test name, so failures reproduce exactly on re-run.
+//!
+//! Supported surface (what this workspace uses):
+//! * integer / float `Range` strategies (`0..10u32`, `-5.0f64..5.0`)
+//! * tuples of strategies up to arity 6
+//! * [`collection::vec`] and [`collection::btree_set`] with `Range<usize>`
+//!   size bounds
+//! * [`Strategy::prop_map`] and [`Strategy::prop_filter`]
+//! * `&str` regex-subset strategies (char classes + `{m,n}` counts)
+//! * [`Just`], `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`
+//! * `#![proptest_config(ProptestConfig::with_cases(n))]`
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng, RngCore, SeedableRng, SplitMix64};
+use std::fmt;
+use std::ops::Range;
+
+/// How many times a filter or set-insertion may retry before giving up.
+const MAX_REJECTS: usize = 10_000;
+
+/// Per-test deterministic random source.
+pub struct TestRng(SplitMix64);
+
+impl TestRng {
+    /// Seeds the generator from a test's fully qualified name, so each
+    /// property gets a distinct but reproducible stream.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self(SplitMix64::seed_from_u64(h))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Run configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The produced value type.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Retains only values passing `pred`, regenerating on rejection.
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Boxes the strategy (API-compat convenience).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.0.new_value(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..MAX_REJECTS {
+            let v = self.inner.new_value(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected {MAX_REJECTS} consecutive values",
+            self.reason
+        );
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($t:ident),+)),+) => {$(
+        #[allow(non_snake_case)]
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($t,)+) = self;
+                ($($t.new_value(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!(
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F)
+);
+
+/// Regex-subset string strategy: a pattern of char classes / literals with
+/// optional `{m}`, `{m,n}`, `*`, `+`, `?` quantifiers.
+impl Strategy for &str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        regex_gen::generate(self, rng)
+    }
+}
+
+mod regex_gen {
+    use super::TestRng;
+    use rand::Rng;
+
+    enum Atom {
+        /// One of these chars, uniformly.
+        Class(Vec<char>),
+        /// Exactly this char.
+        Literal(char),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let mut set = Vec::new();
+                    i += 1;
+                    let negated = chars.get(i) == Some(&'^');
+                    if negated {
+                        i += 1;
+                    }
+                    let mut class_chars = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                            i += 1;
+                            unescape(chars[i])
+                        } else {
+                            chars[i]
+                        };
+                        // Range like `a-z` (a `-` that is not last in class).
+                        if chars.get(i + 1) == Some(&'-')
+                            && chars.get(i + 2).map(|&c| c != ']').unwrap_or(false)
+                        {
+                            let hi = chars[i + 2];
+                            for x in c..=hi {
+                                class_chars.push(x);
+                            }
+                            i += 3;
+                        } else {
+                            class_chars.push(c);
+                            i += 1;
+                        }
+                    }
+                    i += 1; // closing ']'
+                    if negated {
+                        // Printable ASCII minus the class.
+                        for b in 0x20u8..0x7f {
+                            let c = b as char;
+                            if !class_chars.contains(&c) {
+                                set.push(c);
+                            }
+                        }
+                    } else {
+                        set = class_chars;
+                    }
+                    Atom::Class(set)
+                }
+                '.' => {
+                    i += 1;
+                    Atom::Class((0x20u8..0x7f).map(|b| b as char).collect())
+                }
+                '\\' => {
+                    i += 1;
+                    let c = unescape(*chars.get(i).unwrap_or(&'\\'));
+                    i += 1;
+                    Atom::Literal(c)
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let (min, max) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| p + i)
+                        .expect("regex strategy: unterminated `{`");
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("regex strategy: bad bound"),
+                            hi.trim().parse().expect("regex strategy: bad bound"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("regex strategy: bad count");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let count = rng.random_range(piece.min..=piece.max);
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(set) => {
+                        assert!(!set.is_empty(), "regex strategy: empty char class");
+                        out.push(set[rng.random_range(0..set.len())]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng, MAX_REJECTS};
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// A size bound for generated collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            Self {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n + 1 }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.min..self.max)
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Generates `BTreeSet`s whose elements come from `element`.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0;
+            while set.len() < target && attempts < MAX_REJECTS {
+                set.insert(self.element.new_value(rng));
+                attempts += 1;
+            }
+            // Like upstream proptest, a small element domain may yield fewer
+            // elements than requested; the minimum is still enforced when
+            // reachable, and `target >= min` always holds here.
+            set
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, BoxedStrategy, Just, ProptestConfig,
+        Strategy, TestRng,
+    };
+}
+
+// Re-export for macro hygiene-free use in expansions.
+#[doc(hidden)]
+pub use std as __std;
+
+/// Runs properties over generated inputs (see crate docs for the supported
+/// grammar).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($tail:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($tail)* }
+    };
+    ($($tail:tt)*) => {
+        $crate::__proptest_items! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($tail)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($tail:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng =
+                $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..config.cases {
+                $(let $arg = $crate::Strategy::new_value(&{ $strat }, &mut rng);)+
+                let __inputs = format!(
+                    concat!("case {} of ", stringify!($name), ":",
+                        $(" ", stringify!($arg), " = {:?}",)+),
+                    __case, $(&$arg,)+
+                );
+                let __guard = $crate::FailureContext::new(__inputs);
+                { $body }
+                __guard.disarm();
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($tail)* }
+    };
+}
+
+/// Prints the generated inputs if the test body panics (poor man's
+/// counterexample report; no shrinking).
+pub struct FailureContext {
+    inputs: Option<String>,
+}
+
+impl FailureContext {
+    /// Arms the context with a description of the generated inputs.
+    pub fn new(inputs: String) -> Self {
+        Self {
+            inputs: Some(inputs),
+        }
+    }
+
+    /// Disarms the context (the case passed).
+    pub fn disarm(mut self) {
+        self.inputs = None;
+    }
+}
+
+impl Drop for FailureContext {
+    fn drop(&mut self) {
+        if let Some(inputs) = &self.inputs {
+            if std::thread::panicking() {
+                eprintln!("proptest failure inputs: {inputs}");
+            }
+        }
+    }
+}
+
+/// Asserts a condition inside a property (panics with the condition text).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 0..10u32, y in -2.0f64..2.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(0..5u8, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn btree_set_bounds(s in crate::collection::btree_set(0..100u32, 1..5)) {
+            prop_assert!(!s.is_empty() && s.len() < 5);
+        }
+
+        #[test]
+        fn map_and_filter(v in (0..100u32).prop_map(|x| x * 2).prop_filter("even", |x| x % 2 == 0)) {
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn regex_strings(s in "[a-c]{2,4}") {
+            prop_assert!((2..=4).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        let s: &dyn Fn(&mut TestRng) -> u32 = &|r| Strategy::new_value(&(0..1000u32), r);
+        for _ in 0..50 {
+            assert_eq!(s(&mut a), s(&mut b));
+        }
+    }
+}

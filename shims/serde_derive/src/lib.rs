@@ -1,0 +1,430 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the shim `serde::Serialize` / `serde::Deserialize`
+//! traits (which are `Value`-based, see `shims/serde`). The input token
+//! stream is parsed by hand — no `syn`/`quote` are available offline — so
+//! the supported grammar is exactly what this workspace uses:
+//!
+//! * structs with named fields (optionally `#[serde(skip)]` per field)
+//! * tuple structs (newtypes serialize transparently as the inner value)
+//! * enums whose variants are unit or tuple variants
+//!
+//! Generics are intentionally unsupported (no derived type in the
+//! workspace is generic); the macro panics with a clear message if it
+//! meets one.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the shim `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct NamedField {
+    name: String,
+    skip: bool,
+}
+
+enum Fields {
+    Named(Vec<NamedField>),
+    /// Tuple fields: arity only (types are never needed for codegen).
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Returns `true` if an attribute group's tokens are `serde(... skip ...)`.
+fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut it = group.stream().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match it.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Consumes a run of leading attributes; reports whether any was
+/// `#[serde(skip)]`.
+fn skip_attrs(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+    let mut skip = false;
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                // Optional `!` for inner attributes (not expected, but harmless).
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == '!' {
+                        tokens.next();
+                    }
+                }
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        if attr_is_serde_skip(&g) {
+                            skip = true;
+                        }
+                    }
+                    other => panic!("serde_derive: malformed attribute near {other:?}"),
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+/// Consumes `pub`, `pub(...)` if present.
+fn skip_visibility(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(id)) = tokens.peek() {
+        if id.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs(&mut tokens);
+    skip_visibility(&mut tokens);
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type `{name}` is not supported");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Struct {
+                name,
+                fields: Fields::Tuple(count_tuple_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Struct {
+                name,
+                fields: Fields::Unit,
+            },
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<NamedField> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    while tokens.peek().is_some() {
+        let skip = skip_attrs(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        consume_type_until_comma(&mut tokens);
+        fields.push(NamedField { name, skip });
+    }
+    fields
+}
+
+/// Skips type tokens up to (and including) the next top-level comma,
+/// tracking `<...>` nesting so commas inside generics don't terminate.
+fn consume_type_until_comma(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut depth = 0i32;
+    for t in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens = stream.into_iter().peekable();
+    let mut count = 0;
+    while tokens.peek().is_some() {
+        skip_attrs(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut tokens);
+        consume_type_until_comma(&mut tokens);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    while tokens.peek().is_some() {
+        skip_attrs(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                tokens.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde_derive shim: struct variant `{name}` is not supported")
+            }
+            _ => Fields::Unit,
+        };
+        // Eat up to and including the separating comma (covers `= disc` too).
+        for t in tokens.by_ref() {
+            if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let mut s =
+                        String::from("let mut m: Vec<(String, ::serde::Value)> = Vec::new();\n");
+                    for f in fs.iter().filter(|f| !f.skip) {
+                        s.push_str(&format!(
+                            "m.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+                            n = f.name
+                        ));
+                    }
+                    s.push_str("::serde::Value::Map(m)");
+                    s
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n",
+                        v = v.name
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(f0) => ::serde::Value::Map(vec![(\"{v}\".to_string(), ::serde::Serialize::to_value(f0))]),\n",
+                        v = v.name
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({b}) => ::serde::Value::Map(vec![(\"{v}\".to_string(), ::serde::Value::Seq(vec![{vl}]))]),\n",
+                            v = v.name,
+                            b = binds.join(", "),
+                            vl = vals.join(", ")
+                        ));
+                    }
+                    Fields::Named(_) => unreachable!(),
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let mut s = format!(
+                        "let m = v.as_map().ok_or_else(|| ::serde::Error::msg(\"{name}: expected map\"))?;\n\
+                         ::std::result::Result::Ok({name} {{\n"
+                    );
+                    for f in fs {
+                        if f.skip {
+                            s.push_str(&format!(
+                                "{n}: ::std::default::Default::default(),\n",
+                                n = f.name
+                            ));
+                        } else {
+                            s.push_str(&format!(
+                                "{n}: ::serde::Deserialize::from_value(::serde::map_get(m, \"{n}\"))?,\n",
+                                n = f.name
+                            ));
+                        }
+                    }
+                    s.push_str("})");
+                    s
+                }
+                Fields::Tuple(1) => {
+                    format!(
+                        "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                    )
+                }
+                Fields::Tuple(n) => {
+                    let mut s = format!(
+                        "let seq = v.as_seq().ok_or_else(|| ::serde::Error::msg(\"{name}: expected sequence\"))?;\n\
+                         if seq.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::msg(\"{name}: wrong tuple arity\")); }}\n\
+                         ::std::result::Result::Ok({name}("
+                    );
+                    for i in 0..*n {
+                        s.push_str(&format!("::serde::Deserialize::from_value(&seq[{i}])?, "));
+                    }
+                    s.push_str("))");
+                    s
+                }
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut map_arms = String::new();
+            for v in variants {
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    Fields::Tuple(1) => map_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(val)?)),\n",
+                        v = v.name
+                    )),
+                    Fields::Tuple(n) => {
+                        let mut arm = format!(
+                            "\"{v}\" => {{\n\
+                             let seq = val.as_seq().ok_or_else(|| ::serde::Error::msg(\"{name}::{v}: expected sequence\"))?;\n\
+                             if seq.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::msg(\"{name}::{v}: wrong arity\")); }}\n\
+                             ::std::result::Result::Ok({name}::{v}(",
+                            v = v.name
+                        );
+                        for i in 0..*n {
+                            arm.push_str(&format!(
+                                "::serde::Deserialize::from_value(&seq[{i}])?, "
+                            ));
+                        }
+                        arm.push_str("))\n},\n");
+                        map_arms.push_str(&arm);
+                    }
+                    Fields::Named(_) => unreachable!(),
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::msg(&format!(\"{name}: unknown variant {{other}}\"))),\n}},\n\
+                 ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                 let (k, val) = &m[0];\n\
+                 match k.as_str() {{\n{map_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::msg(&format!(\"{name}: unknown variant {{other}}\"))),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::msg(\"{name}: expected variant\")),\n\
+                 }}\n}}\n}}"
+            )
+        }
+    }
+}

@@ -9,7 +9,8 @@ fn bin() -> &'static str {
 }
 
 fn tmpdir(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("cliffguard-cli-test-{name}-{}", std::process::id()));
+    let dir =
+        std::env::temp_dir().join(format!("cliffguard-cli-test-{name}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     dir
@@ -24,12 +25,27 @@ fn generate_stats_design_evaluate_pipeline() {
     // generate
     let out = Command::new(bin())
         .args([
-            "generate", "--profile", "R1", "--seed", "5", "--windows", "4", "--scale", "0.2",
-            "--out", log.to_str().unwrap(), "--catalog-out", catalog.to_str().unwrap(),
+            "generate",
+            "--profile",
+            "R1",
+            "--seed",
+            "5",
+            "--windows",
+            "4",
+            "--scale",
+            "0.2",
+            "--out",
+            log.to_str().unwrap(),
+            "--catalog-out",
+            catalog.to_str().unwrap(),
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(log.exists() && catalog.exists());
     let log_text = std::fs::read_to_string(&log).unwrap();
     assert!(log_text.lines().count() > 100);
@@ -37,10 +53,20 @@ fn generate_stats_design_evaluate_pipeline() {
 
     // stats
     let out = Command::new(bin())
-        .args(["stats", "--catalog", catalog.to_str().unwrap(), "--log", log.to_str().unwrap()])
+        .args([
+            "stats",
+            "--catalog",
+            catalog.to_str().unwrap(),
+            "--log",
+            log.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("inter-window delta"), "{stdout}");
     assert!(stdout.contains("suggested gamma"), "{stdout}");
@@ -48,12 +74,21 @@ fn generate_stats_design_evaluate_pipeline() {
     // design (robust) emits projection DDL
     let out = Command::new(bin())
         .args([
-            "design", "--catalog", catalog.to_str().unwrap(), "--log", log.to_str().unwrap(),
-            "--gamma", "auto",
+            "design",
+            "--catalog",
+            catalog.to_str().unwrap(),
+            "--log",
+            log.to_str().unwrap(),
+            "--gamma",
+            "auto",
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let ddl = String::from_utf8_lossy(&out.stdout);
     assert!(ddl.contains("CREATE PROJECTION"), "{ddl}");
     assert!(ddl.contains("ORDER BY"), "{ddl}");
@@ -61,12 +96,21 @@ fn generate_stats_design_evaluate_pipeline() {
     // design (nominal) also works
     let out = Command::new(bin())
         .args([
-            "design", "--catalog", catalog.to_str().unwrap(), "--log", log.to_str().unwrap(),
-            "--nominal", "true",
+            "design",
+            "--catalog",
+            catalog.to_str().unwrap(),
+            "--log",
+            log.to_str().unwrap(),
+            "--nominal",
+            "true",
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -84,7 +128,13 @@ fn cli_rejects_bad_input() {
 
     // unreadable catalog
     let out = Command::new(bin())
-        .args(["stats", "--catalog", "/nonexistent.json", "--log", "/nonexistent.tsv"])
+        .args([
+            "stats",
+            "--catalog",
+            "/nonexistent.json",
+            "--log",
+            "/nonexistent.tsv",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());

@@ -75,8 +75,11 @@ fn row_designer_mirrors_columnar_contracts() {
     let mut generator = DriftingGenerator::new(config.clone());
     let shape = generator.shape().clone();
     let windows = generator.generate().windows_days(config.window_days);
-    let catalog =
-        CatalogGenerator { fact_rows: 4_000_000, ..CatalogGenerator::default() }.generate(&shape);
+    let catalog = CatalogGenerator {
+        fact_rows: 4_000_000,
+        ..CatalogGenerator::default()
+    }
+    .generate(&shape);
     let engine = RowEngine::new(catalog);
     let designer = GreedyDesigner::new(&engine, RowCandidates, "advisor");
     let d = designer.design(&windows[0], 10 << 30);

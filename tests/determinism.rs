@@ -14,10 +14,12 @@ fn full_pipeline_is_deterministic() {
         let catalog = CatalogGenerator::default().generate(&shape);
         let engine = ColumnarEngine::new(catalog);
         let metric = DeltaEuclidean::new(shape.column_count());
-        let opts = EvalOptions { budget_bytes: 60 << 30, designable_factor: 3.0 };
+        let opts = EvalOptions {
+            budget_bytes: 60 << 30,
+            designable_factor: 3.0,
+        };
         let nominal = GreedyDesigner::new(&engine, ColumnarCandidates, "DBD");
-        let mut cg =
-            CliffGuardStrategy::new(&nominal, metric, GammaPolicy::KMaxPastDeltas(1.5), 5);
+        let mut cg = CliffGuardStrategy::new(&nominal, metric, GammaPolicy::KMaxPastDeltas(1.5), 5);
         let r = evaluate_strategy(&engine, &mut cg, &windows, &metric, &opts);
         (
             r.mean_avg_ms,

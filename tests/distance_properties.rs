@@ -28,8 +28,7 @@ fn arb_query() -> impl Strategy<Value = Query> {
 }
 
 fn arb_workload() -> impl Strategy<Value = Workload> {
-    proptest::collection::vec((arb_query(), 1.0f64..50.0), 1..8)
-        .prop_map(Workload::from_queries)
+    proptest::collection::vec((arb_query(), 1.0f64..50.0), 1..8).prop_map(Workload::from_queries)
 }
 
 proptest! {

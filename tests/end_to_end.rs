@@ -18,12 +18,20 @@ fn columnar_pipeline_runs_and_orders_strategies() {
     let catalog = CatalogGenerator::default().generate(&shape);
     let engine = ColumnarEngine::new(catalog);
     let metric = DeltaEuclidean::new(shape.column_count());
-    let opts = EvalOptions { budget_bytes: 60 << 30, designable_factor: 3.0 };
+    let opts = EvalOptions {
+        budget_bytes: 60 << 30,
+        designable_factor: 3.0,
+    };
     let nominal = GreedyDesigner::new(&engine, ColumnarCandidates, "DBD");
 
     let none = evaluate_strategy(&engine, &mut NoDesign, &windows, &metric, &opts);
-    let exist =
-        evaluate_strategy(&engine, &mut ExistingDesigner::new(&nominal), &windows, &metric, &opts);
+    let exist = evaluate_strategy(
+        &engine,
+        &mut ExistingDesigner::new(&nominal),
+        &windows,
+        &metric,
+        &opts,
+    );
     let oracle = evaluate_strategy(
         &engine,
         &mut FutureKnowingDesigner::new(&nominal),
@@ -53,11 +61,17 @@ fn columnar_pipeline_runs_and_orders_strategies() {
 #[test]
 fn row_pipeline_runs() {
     let (shape, windows) = small_r1();
-    let catalog = CatalogGenerator { fact_rows: 4_000_000, ..CatalogGenerator::default() }
-        .generate(&shape);
+    let catalog = CatalogGenerator {
+        fact_rows: 4_000_000,
+        ..CatalogGenerator::default()
+    }
+    .generate(&shape);
     let engine = RowEngine::new(catalog);
     let metric = DeltaEuclidean::new(shape.column_count());
-    let opts = EvalOptions { budget_bytes: 10 << 30, designable_factor: 3.0 };
+    let opts = EvalOptions {
+        budget_bytes: 10 << 30,
+        designable_factor: 3.0,
+    };
     let advisor = GreedyDesigner::new(&engine, RowCandidates, "advisor");
 
     let none = evaluate_strategy(&engine, &mut NoDesign, &windows, &metric, &opts);

@@ -5,11 +5,10 @@ use cliffguard::prelude::*;
 use proptest::prelude::*;
 
 fn arb_points() -> impl Strategy<Value = Vec<Vec<f64>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(-5.0f64..5.0, 2..4),
-        1..6,
-    )
-    .prop_filter("same dim", |pts| pts.iter().all(|p| p.len() == pts[0].len()))
+    proptest::collection::vec(proptest::collection::vec(-5.0f64..5.0, 2..4), 1..6)
+        .prop_filter("same dim", |pts| {
+            pts.iter().all(|p| p.len() == pts[0].len())
+        })
 }
 
 fn norm(v: &[f64]) -> f64 {

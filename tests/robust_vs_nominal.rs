@@ -13,11 +13,19 @@ fn run(profile: WorkloadProfile, seed: u64) -> (EvalSummary, EvalSummary, EvalSu
     let catalog = CatalogGenerator::default().generate(&shape);
     let engine = ColumnarEngine::new(catalog);
     let metric = DeltaEuclidean::new(shape.column_count());
-    let opts = EvalOptions { budget_bytes: 60 << 30, designable_factor: 3.0 };
+    let opts = EvalOptions {
+        budget_bytes: 60 << 30,
+        designable_factor: 3.0,
+    };
     let nominal = GreedyDesigner::new(&engine, ColumnarCandidates, "DBD");
 
-    let exist =
-        evaluate_strategy(&engine, &mut ExistingDesigner::new(&nominal), &windows, &metric, &opts);
+    let exist = evaluate_strategy(
+        &engine,
+        &mut ExistingDesigner::new(&nominal),
+        &windows,
+        &metric,
+        &opts,
+    );
     let mut cg = CliffGuardStrategy::new(&nominal, metric, GammaPolicy::KMaxPastDeltas(1.5), 13);
     let robust = evaluate_strategy(&engine, &mut cg, &windows, &metric, &opts);
     let oracle = evaluate_strategy(
