@@ -3,6 +3,7 @@
 mod basic;
 mod comparison;
 mod knobs;
+pub mod resilience;
 
 pub use basic::{fig05, fig06, fig16, table1};
 pub use comparison::{fig07, fig10, fig14, fig15};
@@ -13,8 +14,20 @@ use crate::table::Table;
 
 /// All experiment ids, in paper order.
 pub const ALL_IDS: &[&str] = &[
-    "table1", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
-    "fig14", "fig15", "fig16",
+    "table1",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "resilience",
 ];
 
 /// Runs one experiment by id.
@@ -33,6 +46,7 @@ pub fn run_experiment(id: &str, scale: Scale, seed: u64) -> Option<Vec<Table>> {
         "fig14" => Some(fig14::run(scale, seed)),
         "fig15" => Some(fig15::run(scale, seed)),
         "fig16" => Some(fig16::run(scale, seed)),
+        "resilience" => Some(resilience::run(scale, seed)),
         _ => None,
     }
 }

@@ -61,11 +61,19 @@ fn usage() {
            stats     --catalog CATALOG.json --log LOG.tsv [--window-days N]\n\
            design    --catalog CATALOG.json --log LOG.tsv [--gamma auto|G]\n\
                      [--budget auto|BYTES] [--window-days N] [--nominal]\n\
+                     [--max-retries N] [--designer-deadline-ms N]\n\
+                     [--session-deadline-ms N] [--faults SPEC]\n\
            evaluate  --catalog CATALOG.json --log LOG.tsv [--budget auto|BYTES]\n\
                      [--window-days N]\n\
          \n\
          every command accepts --threads N (default: CLIFFGUARD_THREADS, else\n\
-         all cores); results are identical at any thread count"
+         all cores); results are identical at any thread count\n\
+         \n\
+         design runs as a resilient session: designer calls are validated\n\
+         (budget, non-emptiness) and retried with capped exponential backoff;\n\
+         on exhausted retries it degrades to the best design so far. --faults\n\
+         (or the CLIFFGUARD_FAULTS env var) injects a deterministic fault\n\
+         plan for drills, e.g. `seed=7,rate=0.2` or `fail@1,stall@3:50`"
     );
 }
 
@@ -249,18 +257,64 @@ fn cmd_design(opts: &Flags) -> Result<(), String> {
             "designing robustly: gamma = {gamma:.5}, pool of {} historical queries",
             pool.len()
         );
-        let cg = CliffGuard::new(&engine, &nominal, metric, CliffGuardConfig::new(gamma));
-        let (design, trace) = cg.design(w0, budget, &pool);
+        let mut retry = RetryPolicy::default();
+        if let Some(n) = opts.get("max-retries") {
+            retry.max_retries = n.parse().map_err(|_| format!("bad --max-retries `{n}`"))?;
+        }
+        if let Some(ms) = opts.get("designer-deadline-ms") {
+            let ms = ms
+                .parse()
+                .map_err(|_| format!("bad --designer-deadline-ms `{ms}`"))?;
+            retry = retry.with_designer_deadline_ms(ms);
+        }
+        if let Some(ms) = opts.get("session-deadline-ms") {
+            let ms = ms
+                .parse()
+                .map_err(|_| format!("bad --session-deadline-ms `{ms}`"))?;
+            retry = retry.with_session_deadline_ms(ms);
+        }
+        let plan = match opts.get("faults") {
+            Some(spec) => Some(FaultPlan::from_spec(spec).map_err(|e| format!("--faults: {e}"))?),
+            None => FaultPlan::from_env().map_err(|e| format!("{FAULTS_ENV}: {e}"))?,
+        };
+        let clock = SessionClock::system();
+        let options = SessionOptions {
+            retry,
+            clock: clock.clone(),
+            ..SessionOptions::default()
+        };
+        let config = CliffGuardConfig::new(gamma);
+        let (design, trace) = match plan {
+            Some(plan) if !plan.is_none() => {
+                eprintln!("fault injection active: {plan:?}");
+                let injector: FaultyDesigner<ColumnarEngine, _> =
+                    FaultyDesigner::new(&nominal, plan, clock);
+                let session = DesignSession::new(&engine, injector, metric, config, options)
+                    .map_err(|e| format!("bad configuration: {e}"))?;
+                session.run(w0, budget, &pool).into_design()
+            }
+            _ => {
+                let session =
+                    DesignSession::new(&engine, Reliable(&nominal), metric, config, options)
+                        .map_err(|e| format!("bad configuration: {e}"))?;
+                session.run(w0, budget, &pool).into_design()
+            }
+        };
         eprintln!(
-            "cliffguard: {} designer calls, {} samples, worst-case trace {:?}",
+            "cliffguard: {} designer calls, {} samples, {} retries, {} faults, worst-case trace {:?}",
             trace.designer_calls,
             trace.samples,
+            trace.retries,
+            trace.faults,
             trace
                 .worst_case_per_iter
                 .iter()
                 .map(|x| x.round())
                 .collect::<Vec<_>>()
         );
+        if let Some(reason) = &trace.degraded {
+            eprintln!("warning: session degraded — {reason}");
+        }
         design
     };
 

@@ -18,6 +18,9 @@
 //!   windowed evaluation harness.
 //! * [`parallel`] — the deterministic thread fan-out behind the hot loops
 //!   (`--threads` / `CLIFFGUARD_THREADS`).
+//! * [`resilience`] — the fault-injected, deadline-aware session runtime:
+//!   seeded fault plans (`CLIFFGUARD_FAULTS`), retry/backoff policies on a
+//!   virtual clock, and graceful degradation.
 //!
 //! # Quickstart
 //!
@@ -52,6 +55,7 @@ pub use cliffguard_core as core;
 pub use cliffguard_designer as designer;
 pub use cliffguard_distance as distance;
 pub use cliffguard_parallel as parallel;
+pub use cliffguard_resilience as resilience;
 pub use cliffguard_robust as robust;
 pub use cliffguard_sim as sim;
 pub use cliffguard_storage as storage;
@@ -67,16 +71,23 @@ pub mod prelude {
     };
     pub use cliffguard_core::evaluate::{evaluate_strategy, EvalOptions, EvalSummary};
     pub use cliffguard_core::gamma::{consecutive_deltas, DeltaStats, GammaPolicy};
-    pub use cliffguard_core::{move_workload, CliffGuard, CliffGuardConfig, EngineExt};
+    pub use cliffguard_core::{
+        move_workload, CliffGuard, CliffGuardConfig, ConfigError, DescentCheckpoint, DesignSession,
+        EngineExt, ResumeError, SessionEnd, SessionOptions,
+    };
     pub use cliffguard_designer::{
-        BenefitMatrix, CandidateGen, ColumnarCandidates, CompressingDesigner, GreedyDesigner,
-        IlpSelector, NominalDesigner, RowCandidates,
+        BenefitMatrix, CandidateGen, ColumnarCandidates, CompressingDesigner, DesignerFault,
+        FallibleDesigner, GreedyDesigner, IlpSelector, NominalDesigner, Reliable, RowCandidates,
     };
     pub use cliffguard_distance::{
         ClauseMask, DeltaEuclidean, DeltaLatency, DeltaSeparate, NeighborhoodSampler,
         WorkloadDistance,
     };
     pub use cliffguard_parallel::{current_threads, set_threads};
+    pub use cliffguard_resilience::{
+        DegradedReason, FaultCounts, FaultKind, FaultPlan, FaultSpecError, FaultyDesigner,
+        FaultyEngine, RetryPolicy, SessionClock, SessionStats, FAULTS_ENV,
+    };
     pub use cliffguard_robust::{descent_direction, testfns, BntOptimizer, CostFn};
     pub use cliffguard_sim::{
         CacheStats, CachedEngine, ColumnarDesign, ColumnarEngine, CostCache, Engine, Index,

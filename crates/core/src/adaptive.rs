@@ -134,8 +134,9 @@ mod tests {
         // Window 2 is evaluated with structures from windows 0 AND 1 — the
         // cracked store accumulated both, so both query families are fast.
         let none = evaluate_strategy(&engine, &mut NoDesign, &windows, &metric, &opts);
-        let last = r.windows.last().unwrap();
-        let last_none = none.windows.last().unwrap();
+        let (Some(last), Some(last_none)) = (r.windows.last(), none.windows.last()) else {
+            panic!("both evaluations should have recorded windows");
+        };
         assert!(last.avg_ms * 3.0 < last_none.avg_ms);
         assert!(last.structures >= 2);
     }

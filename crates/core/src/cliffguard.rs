@@ -1,24 +1,36 @@
 //! Algorithm 2: the CliffGuard robust designer.
 
-use crate::config::CliffGuardConfig;
-use crate::move_workload::move_workload;
-use cliffguard_designer::NominalDesigner;
-use cliffguard_distance::{NeighborhoodSampler, WorkloadDistance};
+use crate::config::{CliffGuardConfig, ConfigError};
+use crate::session::{DesignSession, SessionOptions};
+use cliffguard_designer::{NominalDesigner, Reliable};
+use cliffguard_distance::WorkloadDistance;
 use cliffguard_sim::Engine;
 use cliffguard_workload::{Query, Workload};
 use std::sync::Arc;
 
 /// Per-iteration trace of a CliffGuard run (for the Figure 13 experiment
-/// and for debugging).
-#[derive(Debug, Clone)]
+/// and for debugging), plus the session's resilience audit counters.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CliffGuardTrace {
     /// Worst-case (over the sampled neighborhood) average latency after
     /// each iteration, starting with the nominal design's.
     pub worst_case_per_iter: Vec<f64>,
-    /// Number of designer invocations made (1 nominal + 1 per iteration).
+    /// Number of *logical* designer invocations (1 nominal + 1 per
+    /// iteration); retries of a flaky designer do not inflate this.
     pub designer_calls: usize,
     /// Number of neighborhood samples actually obtained.
     pub samples: usize,
+    /// Extra designer attempts spent on retries.
+    pub retries: usize,
+    /// Fault events observed (injected faults, timeouts, and validation
+    /// gate rejections).
+    pub faults: usize,
+    /// Rendered [`DegradedReason`](cliffguard_resilience::DegradedReason)
+    /// when the session finished on a fallback path; `None` for a clean
+    /// run.
+    pub degraded: Option<String>,
+    /// Whether this trace continues a checkpointed session.
+    pub resumed: bool,
 }
 
 /// The CliffGuard meta-designer: wraps a black-box nominal designer `D` and
@@ -38,14 +50,32 @@ where
     M: WorkloadDistance + Copy,
 {
     /// Creates a CliffGuard instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration; use [`try_new`](Self::try_new)
+    /// to handle that as a value.
     pub fn new(engine: &'a E, designer: &'a D, metric: M, config: CliffGuardConfig) -> Self {
-        config.validate();
-        Self {
+        match Self::try_new(engine, designer, metric, config) {
+            Ok(cg) => cg,
+            Err(e) => panic!("invalid CliffGuardConfig: {e}"),
+        }
+    }
+
+    /// Creates a CliffGuard instance, rejecting invalid configurations.
+    pub fn try_new(
+        engine: &'a E,
+        designer: &'a D,
+        metric: M,
+        config: CliffGuardConfig,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Self {
             engine,
             designer,
             metric,
             config,
-        }
+        })
     }
 
     /// The configuration.
@@ -58,133 +88,30 @@ where
     /// `pool` is the candidate-query universe the Γ-neighborhood sampler
     /// may draw perturbations from (e.g. the queries of all *past*
     /// windows). Returns the design and a trace.
+    ///
+    /// This is the trusting entry point: the descent runs as a
+    /// [`DesignSession`] in [`SessionOptions::legacy`] mode — the
+    /// designer is assumed infallible, nothing retries, no deadline
+    /// applies. Flaky designers belong behind a [`DesignSession`]
+    /// constructed directly.
     pub fn design(
         &self,
         w0: &Workload,
         budget_bytes: u64,
         pool: &[Arc<Query>],
     ) -> (E::Design, CliffGuardTrace) {
-        let cfg = &self.config;
-        // Line 1: nominal design for W0.
-        let mut design = self.designer.design(w0, budget_bytes);
-        let mut trace = CliffGuardTrace {
-            worst_case_per_iter: Vec::new(),
-            designer_calls: 1,
-            samples: 0,
-        };
-        if w0.is_empty() || cfg.gamma <= 0.0 || cfg.max_iters == 0 {
-            // Γ = 0 degenerates to the nominal designer, by construction.
-            return (design, trace);
-        }
-
-        // Line 2: sample perturbed workloads in the Γ-neighborhood of W0.
-        let mut sampler = NeighborhoodSampler::new(self.metric, pool.to_vec(), cfg.seed);
-        let mut neighborhood = sampler.sample_neighborhood(w0, cfg.gamma, cfg.n_samples);
-        trace.samples = neighborhood.len();
-        if neighborhood.is_empty() {
-            // Thin pool: nothing to guard against; behave nominally.
-            return (design, trace);
-        }
-        // W0 itself lies in its own Γ-neighborhood (δ = 0 ≤ Γ), so the
-        // worst-case objective must cover it: a candidate that regresses
-        // the original workload is not a robust improvement.
-        neighborhood.push(w0.clone());
-
-        // Worst-case objective: max over the sampled neighborhood of the
-        // average query latency (workloads differ in total weight, so the
-        // weighted average is the comparable `f`). Each workload is costed
-        // on a worker thread; the max is folded serially in sample order,
-        // so the result is bit-identical at any thread count.
-        let engine = self.engine;
-        let worst_case = |d: &E::Design| -> f64 {
-            cliffguard_parallel::par_map_fold(
-                &neighborhood,
-                |w| engine.workload_cost(w, d).avg_ms,
-                0.0,
-                f64::max,
-            )
-        };
-        // Robustness is a *priced* trade of nominal optimality (Figure 2):
-        // each accepted move may spend some of W0's cost, but the total
-        // spend is bounded. This cap is what keeps CliffGuard "no worse
-        // than ExistingDesigner" even at extreme Γ (the paper's Section
-        // 6.5 observation): with scarce budget slots, unbounded minimax
-        // moves could cannibalize the original workload's coverage.
-        const MAX_NOMINAL_REGRESSION: f64 = 1.15;
-        let w0_cost = |d: &E::Design| self.engine.workload_cost(w0, d).avg_ms;
-        let w0_cap = w0_cost(&design) * MAX_NOMINAL_REGRESSION;
-
-        let mut alpha = cfg.alpha0;
-        let mut current_worst = worst_case(&design);
-        trace.worst_case_per_iter.push(current_worst);
-        let mut stale = 0usize;
-        // Worst neighbors of every *accepted* iteration so far. Feeding the
-        // accumulated set (not just the current worst) into MoveWorkload
-        // keeps earlier robust gains from being designed away: a fresh
-        // nominal design for "W0 + this iteration's worst only" would
-        // regress on the previously covered neighbors and be rejected,
-        // stalling the descent.
-        let mut accumulated: Vec<usize> = Vec::new();
-
-        for _ in 0..cfg.max_iters {
-            // Line 6: the worst neighbors under the current design (top
-            // worst_fraction, at least one). Scoring fans out per sample;
-            // indices attach afterwards in input order, and the sort is
-            // stable, so the ranking is independent of the thread count.
-            let design_now = &design;
-            let mut scored: Vec<(usize, f64)> = cliffguard_parallel::par_map(&neighborhood, |w| {
-                engine.workload_cost(w, design_now).avg_ms
-            })
-            .into_iter()
-            .enumerate()
-            .collect();
-            scored.sort_by(|a, b| b.1.total_cmp(&a.1));
-            let keep = ((neighborhood.len() as f64 * cfg.worst_fraction).ceil() as usize)
-                .clamp(1, neighborhood.len());
-            let current_worst_idx: Vec<usize> = scored[..keep].iter().map(|&(i, _)| i).collect();
-            let mut merged_idx = accumulated.clone();
-            for &i in &current_worst_idx {
-                if !merged_idx.contains(&i) {
-                    merged_idx.push(i);
-                }
-            }
-            let worst_refs: Vec<&Workload> = merged_idx.iter().map(|&i| &neighborhood[i]).collect();
-
-            // Line 8: move the workload toward the worst neighbors.
-            let design_ref = &design;
-            let moved = move_workload(
-                w0,
-                &worst_refs,
-                |q| self.engine.query_latency_ms(q, design_ref),
-                alpha,
-            );
-
-            // Line 9: nominal design for the moved workload.
-            let candidate = self.designer.design(&moved, budget_bytes);
-            trace.designer_calls += 1;
-
-            // Lines 10–15: accept on worst-case improvement; adapt α.
-            let candidate_worst = worst_case(&candidate);
-            if candidate_worst < current_worst && w0_cost(&candidate) <= w0_cap {
-                design = candidate;
-                current_worst = candidate_worst;
-                alpha = (alpha * cfg.lambda_success).clamp(cfg.alpha_range.0, cfg.alpha_range.1);
-                stale = 0;
-                for i in current_worst_idx {
-                    if !accumulated.contains(&i) {
-                        accumulated.push(i);
-                    }
-                }
-            } else {
-                alpha = (alpha * cfg.lambda_failure).clamp(cfg.alpha_range.0, cfg.alpha_range.1);
-                stale += 1;
-            }
-            trace.worst_case_per_iter.push(current_worst);
-            if stale >= cfg.patience {
-                break; // Line 17: many iterations with no improvement.
-            }
-        }
-        (design, trace)
+        let session = DesignSession::new(
+            self.engine,
+            Reliable(self.designer),
+            self.metric,
+            self.config.clone(),
+            SessionOptions::legacy(),
+        )
+        .unwrap_or_else(|e| {
+            // `new`/`try_new` already validated this exact config.
+            panic!("validated config re-validated as invalid: {e}")
+        });
+        session.run(w0, budget_bytes, pool).into_design()
     }
 }
 

@@ -1,5 +1,51 @@
 //! CliffGuard configuration.
 
+/// A rejected [`CliffGuardConfig`] parameter.
+///
+/// Construction sites (`CliffGuard::new`, the CLI, the bench harness)
+/// surface this instead of panicking, so a bad flag combination is an
+/// error message, not an abort.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `gamma` was negative.
+    NegativeGamma(f64),
+    /// `lambda_success` was not > 1.
+    BadLambdaSuccess(f64),
+    /// `lambda_failure` was not in (0, 1).
+    BadLambdaFailure(f64),
+    /// `worst_fraction` was not in (0, 1].
+    BadWorstFraction(f64),
+    /// `alpha0` was not positive.
+    BadAlpha0(f64),
+    /// `alpha_range` was inverted (min > max).
+    BadAlphaRange(f64, f64),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ConfigError::NegativeGamma(g) => {
+                write!(f, "gamma must be non-negative, got {g}")
+            }
+            ConfigError::BadLambdaSuccess(l) => {
+                write!(f, "lambda_success must exceed 1, got {l}")
+            }
+            ConfigError::BadLambdaFailure(l) => {
+                write!(f, "lambda_failure must be in (0,1), got {l}")
+            }
+            ConfigError::BadWorstFraction(w) => {
+                write!(f, "worst_fraction must be in (0,1], got {w}")
+            }
+            ConfigError::BadAlpha0(a) => write!(f, "alpha0 must be positive, got {a}"),
+            ConfigError::BadAlphaRange(lo, hi) => {
+                write!(f, "alpha_range is inverted: ({lo}, {hi})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Tuning knobs of [`crate::CliffGuard`] (Algorithm 2).
 ///
 /// Defaults follow the paper's Section 6.1: "unless otherwise specified, we
@@ -49,20 +95,30 @@ impl CliffGuardConfig {
         }
     }
 
-    /// Validates invariants; panics on nonsense parameters.
-    pub fn validate(&self) {
-        assert!(self.gamma >= 0.0, "gamma must be non-negative");
-        assert!(self.lambda_success > 1.0, "lambda_success must exceed 1");
-        assert!(
-            self.lambda_failure > 0.0 && self.lambda_failure < 1.0,
-            "lambda_failure must be in (0,1)"
-        );
-        assert!(
-            self.worst_fraction > 0.0 && self.worst_fraction <= 1.0,
-            "worst_fraction must be in (0,1]"
-        );
-        assert!(self.alpha0 > 0.0, "alpha0 must be positive");
-        assert!(self.alpha_range.0 <= self.alpha_range.1);
+    /// Validates invariants, reporting the first violated one.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.gamma < 0.0 {
+            return Err(ConfigError::NegativeGamma(self.gamma));
+        }
+        if self.lambda_success <= 1.0 {
+            return Err(ConfigError::BadLambdaSuccess(self.lambda_success));
+        }
+        if self.lambda_failure <= 0.0 || self.lambda_failure >= 1.0 {
+            return Err(ConfigError::BadLambdaFailure(self.lambda_failure));
+        }
+        if self.worst_fraction <= 0.0 || self.worst_fraction > 1.0 {
+            return Err(ConfigError::BadWorstFraction(self.worst_fraction));
+        }
+        if self.alpha0 <= 0.0 {
+            return Err(ConfigError::BadAlpha0(self.alpha0));
+        }
+        if self.alpha_range.0 > self.alpha_range.1 {
+            return Err(ConfigError::BadAlphaRange(
+                self.alpha_range.0,
+                self.alpha_range.1,
+            ));
+        }
+        Ok(())
     }
 
     /// Returns a copy with a different seed.
@@ -83,20 +139,30 @@ mod tests {
         assert_eq!(c.max_iters, 5);
         assert_eq!(c.lambda_success, 5.0);
         assert_eq!(c.lambda_failure, 0.5);
-        c.validate();
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]
-    #[should_panic(expected = "lambda_failure")]
     fn bad_lambda_rejected() {
         let mut c = CliffGuardConfig::new(0.1);
         c.lambda_failure = 1.5;
-        c.validate();
+        assert_eq!(c.validate(), Err(ConfigError::BadLambdaFailure(1.5)));
     }
 
     #[test]
-    #[should_panic(expected = "gamma")]
     fn negative_gamma_rejected() {
-        CliffGuardConfig::new(-0.1).validate();
+        assert_eq!(
+            CliffGuardConfig::new(-0.1).validate(),
+            Err(ConfigError::NegativeGamma(-0.1))
+        );
+    }
+
+    #[test]
+    fn errors_render_the_offending_value() {
+        let e = CliffGuardConfig::new(-0.25).validate().unwrap_err();
+        assert!(e.to_string().contains("-0.25"));
+        let mut c = CliffGuardConfig::new(0.1);
+        c.alpha_range = (2.0, 1.0);
+        assert!(c.validate().unwrap_err().to_string().contains("inverted"));
     }
 }

@@ -60,6 +60,9 @@ pub struct EvalSummary {
     pub mean_deployment_ms: f64,
     /// Per-window records.
     pub windows: Vec<WindowRecord>,
+    /// Resilience audit (designer calls, retries, faults, degradations)
+    /// for strategies that run design sessions; `None` otherwise.
+    pub session: Option<cliffguard_resilience::SessionStats>,
 }
 
 /// Memoizing filter for the "≥ factor improvable by an ideal design" rule.
@@ -185,6 +188,7 @@ where
         mean_design_wall_ms: records.iter().map(|r| r.design_wall_ms).sum::<f64>() / n,
         mean_deployment_ms: records.iter().map(|r| r.deployment_ms).sum::<f64>() / n,
         windows: records,
+        session: strategy.session_stats(),
     }
 }
 

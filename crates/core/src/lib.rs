@@ -18,6 +18,10 @@
 //!   help (≥3× improvable), and average over windows.
 //! * [`gamma`] — the Γ-selection heuristics the paper suggests (average,
 //!   max, or `k×max` of past inter-window distances).
+//! * [`session`] — the fault-tolerant design-session runtime: the same
+//!   descent run against a *fallible* designer, with retry/backoff,
+//!   deadlines, output validation, graceful degradation, and
+//!   checkpoint/resume.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,8 +35,10 @@ pub mod adaptive;
 pub mod baselines;
 pub mod evaluate;
 pub mod gamma;
+pub mod session;
 
 pub use cliffguard::{CliffGuard, CliffGuardTrace};
-pub use config::CliffGuardConfig;
+pub use config::{CliffGuardConfig, ConfigError};
 pub use engines::EngineExt;
 pub use move_workload::move_workload;
+pub use session::{DescentCheckpoint, DesignSession, ResumeError, SessionEnd, SessionOptions};

@@ -31,30 +31,36 @@ where
     F: Fn(&Query) -> f64,
 {
     assert!(alpha > 0.0, "alpha must be positive");
-    // Union of all queries, keyed by signature.
-    let mut queries: HashMap<_, Arc<Query>> = HashMap::new();
+    // Union of all queries in first-appearance order (W₀ first, then the
+    // worst-neighbors in the given order). The order must be a pure
+    // function of the inputs — downstream designers enumerate candidates
+    // in workload order, so hash-iteration order here would make the
+    // final design's structure order differ run to run (and break the
+    // bit-identical checkpoint/resume guarantee).
+    let mut seen: HashMap<_, ()> = HashMap::new();
+    let mut queries: Vec<Arc<Query>> = Vec::new();
     for (q, _) in w0.iter() {
-        queries
-            .entry(q.signature())
-            .or_insert_with(|| Arc::clone(q));
+        if seen.insert(q.signature(), ()).is_none() {
+            queries.push(Arc::clone(q));
+        }
     }
     for w in worst {
         for (q, _) in w.iter() {
-            queries
-                .entry(q.signature())
-                .or_insert_with(|| Arc::clone(q));
+            if seen.insert(q.signature(), ()).is_none() {
+                queries.push(Arc::clone(q));
+            }
         }
     }
 
     // Mean cost under D over the union, for normalization.
     let mean_cost = {
-        let total: f64 = queries.values().map(|q| cost(q)).sum();
+        let total: f64 = queries.iter().map(|q| cost(q)).sum();
         (total / queries.len().max(1) as f64).max(f64::MIN_POSITIVE)
     };
 
     let m = worst.len().max(1) as f64;
     let mut moved = Workload::new();
-    for q in queries.values() {
+    for q in &queries {
         let sig = q.signature();
         let w0_weight = w0.weight_of_sig(sig);
         // Mean raw weight of q across the worst-neighbors: same mass units

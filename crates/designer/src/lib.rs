@@ -34,4 +34,4 @@ pub use candidates::{ColumnarCandidates, RowCandidates};
 pub use compress::CompressingDesigner;
 pub use greedy::{BenefitMatrix, GreedyDesigner};
 pub use ilp::IlpSelector;
-pub use traits::{CandidateGen, NominalDesigner};
+pub use traits::{CandidateGen, DesignerFault, FallibleDesigner, NominalDesigner, Reliable};

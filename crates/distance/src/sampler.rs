@@ -83,6 +83,16 @@ impl<D: WorkloadDistance> NeighborhoodSampler<D> {
         &self.metric
     }
 
+    /// The number of 32-bit RNG words this sampler has consumed.
+    ///
+    /// Sampling is the only stochastic phase of a CliffGuard session, so
+    /// this single number pins down the whole session's random state: a
+    /// checkpoint records it and a resume re-samples with the same seed,
+    /// then verifies it landed on the same position.
+    pub fn rng_words_consumed(&self) -> u64 {
+        self.rng.words_consumed()
+    }
+
     /// Algorithm 4: returns `W_1` with `δ(W_0, W_1) ≤ α` and as close to
     /// `α` as the integer copy count allows.
     pub fn sample_at(&mut self, w0: &Workload, alpha: f64) -> Result<Workload, SampleError> {

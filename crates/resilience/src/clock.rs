@@ -1,0 +1,101 @@
+//! The session clock: virtual by default, real when asked.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A millisecond clock shared by a design session and its fault
+/// injectors.
+///
+/// The default is a **virtual** clock: an atomic counter that only moves
+/// when something *declares* time passed (an injected stall, a retry
+/// backoff). Deadline and backoff logic built on it is exact and runs in
+/// microseconds of wall time — the whole fault-injection test matrix
+/// never actually sleeps. A [`system`](SessionClock::system) clock backed
+/// by [`Instant`] is available for operational use, where backoff must
+/// really wait.
+///
+/// Clones share the underlying time source.
+#[derive(Debug, Clone)]
+pub struct SessionClock(Inner);
+
+#[derive(Debug, Clone)]
+enum Inner {
+    Virtual(Arc<AtomicU64>),
+    System(Instant),
+}
+
+impl Default for SessionClock {
+    fn default() -> Self {
+        Self::virtual_clock()
+    }
+}
+
+impl SessionClock {
+    /// A fresh virtual clock starting at 0 ms.
+    pub fn virtual_clock() -> Self {
+        Self(Inner::Virtual(Arc::new(AtomicU64::new(0))))
+    }
+
+    /// A real clock: `now_ms` measures wall time since creation and
+    /// `sleep_ms` blocks the thread.
+    pub fn system() -> Self {
+        Self(Inner::System(Instant::now()))
+    }
+
+    /// Milliseconds since the clock's epoch.
+    pub fn now_ms(&self) -> u64 {
+        match &self.0 {
+            Inner::Virtual(t) => t.load(Ordering::Relaxed),
+            Inner::System(t0) => t0.elapsed().as_millis() as u64,
+        }
+    }
+
+    /// Declares that `ms` milliseconds passed (an injected stall). On a
+    /// virtual clock this is a counter bump; on a system clock the
+    /// latency is made real by sleeping.
+    pub fn advance_ms(&self, ms: u64) {
+        match &self.0 {
+            Inner::Virtual(t) => {
+                t.fetch_add(ms, Ordering::Relaxed);
+            }
+            Inner::System(_) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+        }
+    }
+
+    /// Waits `ms` milliseconds (retry backoff). Identical to
+    /// [`advance_ms`](Self::advance_ms) — both exist so call sites read
+    /// as what they mean.
+    pub fn sleep_ms(&self, ms: u64) {
+        self.advance_ms(ms);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_only_moves_when_told() {
+        let c = SessionClock::virtual_clock();
+        assert_eq!(c.now_ms(), 0);
+        c.advance_ms(25);
+        c.sleep_ms(5);
+        assert_eq!(c.now_ms(), 30);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = SessionClock::virtual_clock();
+        let b = a.clone();
+        b.advance_ms(7);
+        assert_eq!(a.now_ms(), 7);
+    }
+
+    #[test]
+    fn system_clock_moves_on_its_own() {
+        let c = SessionClock::system();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(c.now_ms() >= 1);
+    }
+}

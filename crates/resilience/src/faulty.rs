@@ -1,0 +1,421 @@
+//! Fault-injecting wrappers for designers and engines.
+
+use crate::clock::SessionClock;
+use crate::fault::{FaultKind, FaultPlan};
+use cliffguard_designer::{DesignerFault, FallibleDesigner, NominalDesigner};
+use cliffguard_sim::{Engine, WorkloadCost};
+use cliffguard_storage::Catalog;
+use cliffguard_workload::{Query, Workload};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Injected-fault counters, by kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// All faults injected.
+    pub total: u64,
+    /// Outright failures.
+    pub fail: u64,
+    /// Stalls (virtual latency).
+    pub stall: u64,
+    /// Over-budget designs returned.
+    pub over_budget: u64,
+    /// Empty designs returned.
+    pub empty: u64,
+    /// Stale designs returned.
+    pub stale: u64,
+}
+
+impl FaultCounts {
+    fn record(&mut self, kind: FaultKind) {
+        self.total += 1;
+        match kind {
+            FaultKind::Fail => self.fail += 1,
+            FaultKind::Stall(_) => self.stall += 1,
+            FaultKind::OverBudget => self.over_budget += 1,
+            FaultKind::Empty => self.empty += 1,
+            FaultKind::Stale => self.stale += 1,
+        }
+    }
+}
+
+struct FaultyState<D> {
+    calls: u64,
+    last_ok: Option<D>,
+    injected: FaultCounts,
+}
+
+/// A [`FallibleDesigner`] that sabotages an inner [`NominalDesigner`]
+/// according to a [`FaultPlan`].
+///
+/// Faults are decided purely by the (1-based) call index, so the same
+/// plan produces the same misbehavior on every run. Stalls advance the
+/// shared session clock; `OverBudget` re-invokes the inner designer with
+/// an inflated budget; `Stale` replays the last *successful* design —
+/// the cached answer for a previous workload, exactly the "designer
+/// served me yesterday's design" failure mode.
+pub struct FaultyDesigner<E: Engine, D> {
+    inner: D,
+    plan: FaultPlan,
+    clock: SessionClock,
+    state: Mutex<FaultyState<E::Design>>,
+}
+
+impl<E: Engine, D> FaultyDesigner<E, D> {
+    /// Wraps `inner` with a fault plan on a session clock.
+    pub fn new(inner: D, plan: FaultPlan, clock: SessionClock) -> Self {
+        Self {
+            inner,
+            plan,
+            clock,
+            state: Mutex::new(FaultyState {
+                calls: 0,
+                last_ok: None,
+                injected: FaultCounts::default(),
+            }),
+        }
+    }
+
+    /// Calls attempted so far.
+    pub fn calls(&self) -> u64 {
+        self.lock().calls
+    }
+
+    /// Faults injected so far, by kind.
+    pub fn injected(&self) -> FaultCounts {
+        self.lock().injected
+    }
+
+    /// Advances the call counter without invoking the designer, as if
+    /// `attempts` calls had already been made.
+    ///
+    /// A resumed session uses this to re-align a fresh wrapper with the
+    /// position an uninterrupted session would be at, so the remaining
+    /// fault schedule matches. (The stale-design cache cannot be
+    /// replayed: a `Stale` fault scheduled after the resume point falls
+    /// back to `Fail` until a post-resume call succeeds.)
+    pub fn fast_forward(&self, attempts: u64) {
+        self.lock().calls = attempts;
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultyState<E::Design>> {
+        // A poisoned mutex means a *panicking* inner designer — the state
+        // (counters + cache) is still coherent, so keep going rather than
+        // propagate the panic into every later session.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<E, D> FallibleDesigner<E> for FaultyDesigner<E, D>
+where
+    E: Engine,
+    D: NominalDesigner<E>,
+{
+    fn try_design(&self, w: &Workload, budget_bytes: u64) -> Result<E::Design, DesignerFault> {
+        let mut st = self.lock();
+        st.calls += 1;
+        let call = st.calls;
+        match self.plan.fault_for_call(call) {
+            None => {
+                let d = self.inner.design(w, budget_bytes);
+                st.last_ok = Some(d.clone());
+                Ok(d)
+            }
+            Some(kind @ FaultKind::Fail) => {
+                st.injected.record(kind);
+                Err(DesignerFault::Unavailable(format!(
+                    "injected outage (call {call})"
+                )))
+            }
+            Some(kind @ FaultKind::Stall(ms)) => {
+                st.injected.record(kind);
+                self.clock.advance_ms(ms);
+                let d = self.inner.design(w, budget_bytes);
+                st.last_ok = Some(d.clone());
+                Ok(d)
+            }
+            Some(kind @ FaultKind::OverBudget) => {
+                st.injected.record(kind);
+                // Design as if the budget were 4x: with a candidate-rich
+                // workload this overruns the real budget and must be
+                // caught by the session's validation gate.
+                Ok(self.inner.design(w, budget_bytes.saturating_mul(4)))
+            }
+            Some(kind @ FaultKind::Empty) => {
+                st.injected.record(kind);
+                Ok(E::Design::default())
+            }
+            Some(kind @ FaultKind::Stale) => {
+                st.injected.record(kind);
+                match st.last_ok.clone() {
+                    Some(d) => Ok(d),
+                    None => Err(DesignerFault::Unavailable(format!(
+                        "injected stale response with no prior design (call {call})"
+                    ))),
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("Faulty({})", self.inner.name())
+    }
+
+    fn note_prior_attempts(&self, attempts: u64) {
+        self.fast_forward(attempts);
+    }
+}
+
+/// An [`Engine`] wrapper that injects *latency* according to a
+/// [`FaultPlan`].
+///
+/// Engine costing calls are infallible by contract, so every fault kind
+/// manifests as the one observable misbehavior a cost model has: a
+/// stall on the session clock (explicit `stall@N:MS` entries use their
+/// own duration; all other kinds use the plan's `stall-ms`). Which
+/// *query* draws a faulted call index varies with thread scheduling, but
+/// the set of faulted indices — and therefore the total injected
+/// latency and every returned cost — is deterministic.
+pub struct FaultyEngine<'e, E> {
+    inner: &'e E,
+    plan: FaultPlan,
+    clock: SessionClock,
+    calls: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl<'e, E: Engine> FaultyEngine<'e, E> {
+    /// Wraps `inner` with a fault plan on a session clock.
+    pub fn new(inner: &'e E, plan: FaultPlan, clock: SessionClock) -> Self {
+        Self {
+            inner,
+            plan,
+            clock,
+            calls: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Costing calls made so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Stalls injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+impl<E: Engine> Engine for FaultyEngine<'_, E> {
+    type Design = E::Design;
+
+    fn query_latency_ms(&self, q: &Query, d: &Self::Design) -> f64 {
+        let call = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(kind) = self.plan.fault_for_call(call) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            let ms = match kind {
+                FaultKind::Stall(ms) => ms,
+                _ => self.plan.stall_ms(),
+            };
+            self.clock.advance_ms(ms);
+        }
+        self.inner.query_latency_ms(q, d)
+    }
+
+    fn catalog(&self) -> &Catalog {
+        self.inner.catalog()
+    }
+
+    fn workload_cost(&self, w: &Workload, d: &Self::Design) -> WorkloadCost {
+        // Default implementation (per-query loop) is what we want — do not
+        // forward to the inner engine, or faults would be skipped.
+        if w.is_empty() {
+            return WorkloadCost::zero();
+        }
+        let mut total = 0.0;
+        let mut max: f64 = 0.0;
+        let mut weight = 0.0;
+        for (q, wt) in w.iter() {
+            let l = self.query_latency_ms(q, d);
+            total += l * wt;
+            weight += wt;
+            max = max.max(l);
+        }
+        WorkloadCost {
+            avg_ms: total / weight,
+            max_ms: max,
+            total_ms: total,
+        }
+    }
+
+    fn deployment_ms(&self, d: &Self::Design) -> f64 {
+        self.inner.deployment_ms(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cliffguard_sim::PhysicalDesign;
+    use cliffguard_storage::{CatalogGenerator, CostConstants};
+    use cliffguard_workload::generator::SchemaShape;
+    use cliffguard_workload::{QueryBuilder, TableId};
+
+    /// Minimal engine/designer pair: 1 ms per selected column, designs
+    /// are sets of column ids each pricing 100 bytes.
+    struct ToyEngine {
+        catalog: Catalog,
+    }
+
+    #[derive(Debug, Clone, Default, PartialEq)]
+    struct ToyDesign(Vec<u32>);
+
+    impl PhysicalDesign for ToyDesign {
+        type Structure = u32;
+        fn structures(&self) -> Vec<u32> {
+            self.0.clone()
+        }
+        fn from_structures(s: Vec<u32>) -> Self {
+            ToyDesign(s)
+        }
+        fn structure_price(_: &u32, _: &Catalog) -> u64 {
+            100
+        }
+    }
+
+    impl Engine for ToyEngine {
+        type Design = ToyDesign;
+        fn query_latency_ms(&self, q: &Query, _d: &ToyDesign) -> f64 {
+            q.select.len() as f64
+        }
+        fn catalog(&self) -> &Catalog {
+            &self.catalog
+        }
+        fn deployment_ms(&self, _d: &ToyDesign) -> f64 {
+            CostConstants::default().build_ms(0.0)
+        }
+    }
+
+    /// Designs one structure per selected column of the heaviest query,
+    /// as many as the budget affords.
+    struct ToyDesigner;
+
+    impl NominalDesigner<ToyEngine> for ToyDesigner {
+        fn design(&self, w: &Workload, budget_bytes: u64) -> ToyDesign {
+            let afford = (budget_bytes / 100) as usize;
+            let mut cols: Vec<u32> = w
+                .iter()
+                .flat_map(|(q, _)| q.select.iter().map(|c| c.0))
+                .collect();
+            cols.sort_unstable();
+            cols.dedup();
+            cols.truncate(afford);
+            ToyDesign(cols)
+        }
+        fn name(&self) -> String {
+            "Toy".into()
+        }
+    }
+
+    fn toy_engine() -> ToyEngine {
+        ToyEngine {
+            catalog: CatalogGenerator::default().generate(&SchemaShape::new(vec![8])),
+        }
+    }
+
+    fn workload() -> Workload {
+        Workload::from_queries([(
+            QueryBuilder::new(TableId(0)).select(&[1, 2, 3]).build(),
+            10.0,
+        )])
+    }
+
+    #[test]
+    fn faults_follow_the_plan() {
+        let clock = SessionClock::virtual_clock();
+        let plan = FaultPlan::none()
+            .at(1, FaultKind::Fail)
+            .at(2, FaultKind::Empty)
+            .at(3, FaultKind::Stall(40))
+            .at(4, FaultKind::OverBudget);
+        let fd: FaultyDesigner<ToyEngine, _> =
+            FaultyDesigner::new(ToyDesigner, plan, clock.clone());
+        let w = workload();
+
+        assert!(matches!(
+            fd.try_design(&w, 300),
+            Err(DesignerFault::Unavailable(_))
+        ));
+        assert_eq!(fd.try_design(&w, 300).unwrap(), ToyDesign::default());
+        let stalled = fd.try_design(&w, 300).unwrap();
+        assert_eq!(stalled.0.len(), 3);
+        assert_eq!(clock.now_ms(), 40);
+        // OverBudget inflates the budget: 2 affordable becomes more.
+        let over = fd.try_design(&w, 200).unwrap();
+        assert_eq!(over.0.len(), 3);
+        // Clean call afterwards.
+        let ok = fd.try_design(&w, 200).unwrap();
+        assert_eq!(ok.0.len(), 2);
+        let counts = fd.injected();
+        assert_eq!(counts.total, 4);
+        assert_eq!(counts.fail, 1);
+        assert_eq!(counts.empty, 1);
+        assert_eq!(counts.stall, 1);
+        assert_eq!(counts.over_budget, 1);
+        assert_eq!(fd.calls(), 5);
+    }
+
+    #[test]
+    fn stale_replays_last_success_or_fails_cold() {
+        let clock = SessionClock::virtual_clock();
+        let plan = FaultPlan::none()
+            .at(1, FaultKind::Stale)
+            .at(3, FaultKind::Stale);
+        let fd: FaultyDesigner<ToyEngine, _> = FaultyDesigner::new(ToyDesigner, plan, clock);
+        let w = workload();
+        // Call 1: stale with no history → fault.
+        assert!(fd.try_design(&w, 300).is_err());
+        // Call 2: clean, caches the design for `w`.
+        let fresh = fd.try_design(&w, 300).unwrap();
+        // Call 3: stale — replays call 2's design even for a different workload.
+        let other =
+            Workload::from_queries([(QueryBuilder::new(TableId(0)).select(&[7]).build(), 1.0)]);
+        let stale = fd.try_design(&other, 300).unwrap();
+        assert_eq!(stale, fresh);
+        assert_eq!(fd.injected().stale, 2);
+    }
+
+    #[test]
+    fn fast_forward_realigns_schedule() {
+        let plan = FaultPlan::none().at(3, FaultKind::Fail);
+        let clock = SessionClock::virtual_clock();
+        let fd: FaultyDesigner<ToyEngine, _> = FaultyDesigner::new(ToyDesigner, plan, clock);
+        fd.fast_forward(2);
+        // The next call is call 3 → fails.
+        assert!(fd.try_design(&workload(), 300).is_err());
+    }
+
+    #[test]
+    fn faulty_engine_stalls_but_costs_identically() {
+        let engine = toy_engine();
+        let clock = SessionClock::virtual_clock();
+        let plan = FaultPlan::none()
+            .at(2, FaultKind::Stall(30))
+            .at(3, FaultKind::Fail);
+        let fe = FaultyEngine::new(&engine, plan, clock.clone());
+        let w = workload();
+        let d = ToyDesign::default();
+        let plain = engine.workload_cost(&w, &d);
+        // 3 single-query costings: calls 1..3, faults at 2 (30ms) and 3
+        // (fail → stall-ms default 50).
+        for _ in 0..3 {
+            assert_eq!(fe.workload_cost(&w, &d), plain);
+        }
+        assert_eq!(fe.calls(), 3);
+        assert_eq!(fe.injected(), 2);
+        assert_eq!(clock.now_ms(), 80);
+        assert_eq!(fe.deployment_ms(&d), engine.deployment_ms(&d));
+        assert_eq!(fe.catalog().table_count(), engine.catalog().table_count());
+    }
+}

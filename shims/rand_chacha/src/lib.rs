@@ -87,6 +87,23 @@ impl<const ROUNDS: usize> ChaChaRng<ROUNDS> {
         self.word_pos += 1;
         w
     }
+
+    /// Total 32-bit words drawn from the keystream since seeding.
+    ///
+    /// This is the generator's logical position: two generators with the
+    /// same seed and the same `words_consumed()` produce the same stream
+    /// from here on. Checkpoint/resume machinery records it to verify a
+    /// resumed session replayed its sampling phase exactly.
+    pub fn words_consumed(&self) -> u64 {
+        // Before the first refill the counter is 0 and `word_pos` parks at
+        // 16 ("block exhausted"); afterwards `counter` is one past the
+        // block currently being read.
+        if self.counter == 0 {
+            0
+        } else {
+            (self.counter - 1) * 16 + self.word_pos as u64
+        }
+    }
 }
 
 impl<const ROUNDS: usize> RngCore for ChaChaRng<ROUNDS> {
@@ -137,6 +154,27 @@ mod tests {
         }
         let mut c = ChaCha8Rng::seed_from_u64(43);
         assert_ne!(ChaCha8Rng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn words_consumed_tracks_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        assert_eq!(a.words_consumed(), 0);
+        a.next_u32();
+        assert_eq!(a.words_consumed(), 1);
+        a.next_u64(); // two words
+        assert_eq!(a.words_consumed(), 3);
+        for _ in 0..20 {
+            a.next_u32(); // crosses a block boundary
+        }
+        assert_eq!(a.words_consumed(), 23);
+        // A fresh generator fast-forwarded by the same number of words
+        // continues with the identical stream.
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..23 {
+            b.next_u32();
+        }
+        assert_eq!(a.next_u64(), b.next_u64());
     }
 
     #[test]

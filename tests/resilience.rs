@@ -1,0 +1,276 @@
+//! Integration tests for the fault-injected, deadline-aware session
+//! runtime: degenerate sessions under fault injection never panic, fault
+//! schedules are deterministic across runs and thread counts, and a
+//! killed session resumes — through the serialized checkpoint — to a
+//! final design bit-identical to an uninterrupted run.
+
+use cliffguard::prelude::*;
+use std::sync::Arc;
+
+fn catalog() -> Catalog {
+    Catalog::new(vec![TableDef {
+        name: "fact".into(),
+        columns: (0..12)
+            .map(|i| ColumnDef {
+                name: format!("c{i}"),
+                width_bytes: 8,
+                stats: ColumnStats::uniform(100_000),
+            })
+            .collect(),
+        rows: 8_000_000,
+    }])
+}
+
+fn query(sel: &[u32], filt: u32) -> Query {
+    QueryBuilder::new(TableId(0))
+        .select(sel)
+        .filter(filt, PredOp::Eq, 0.0001)
+        .build()
+}
+
+fn w0() -> Workload {
+    Workload::from_queries([(query(&[1, 2], 3), 50.0), (query(&[3, 4], 5), 50.0)])
+}
+
+fn pool() -> Vec<Arc<Query>> {
+    (5..11)
+        .map(|c| Arc::new(query(&[c, c + 1], c - 1)))
+        .collect()
+}
+
+const BUDGET: u64 = 10_000_000_000;
+
+/// Every fault spec a CI matrix leg might set via `CLIFFGUARD_FAULTS`.
+const FAULT_SPECS: &[&str] = &[
+    "seed=1,rate=0.3",
+    "seed=2,rate=0.6,stall-ms=20",
+    "fail@1,stall@2:40,overbudget@3,empty@4,stale@5",
+];
+
+fn run_under_plan(plan: &FaultPlan, gamma: f64, pool: &[Arc<Query>]) -> (ColumnarDesign, String) {
+    let e = ColumnarEngine::new(catalog());
+    let nominal = GreedyDesigner::new(&e, ColumnarCandidates, "DBD");
+    let clock = SessionClock::virtual_clock();
+    let injector: FaultyDesigner<ColumnarEngine, _> =
+        FaultyDesigner::new(&nominal, plan.clone(), clock.clone());
+    let options = SessionOptions {
+        clock,
+        ..SessionOptions::default()
+    };
+    let session = DesignSession::new(
+        &e,
+        injector,
+        DeltaEuclidean::new(12),
+        CliffGuardConfig::new(gamma),
+        options,
+    )
+    .expect("valid config");
+    let (d, trace) = session.run(&w0(), BUDGET, pool).into_design();
+    // No panic escapes: the session either succeeded or degraded with a
+    // reason — and a degraded design is still within budget.
+    assert!(d.price_bytes(e.catalog()) <= BUDGET);
+    let audit = format!(
+        "calls={} retries={} faults={} degraded={:?} worst={:?}",
+        trace.designer_calls,
+        trace.retries,
+        trace.faults,
+        trace.degraded,
+        trace
+            .worst_case_per_iter
+            .iter()
+            .map(|x| x.to_bits())
+            .collect::<Vec<_>>(),
+    );
+    (d, audit)
+}
+
+#[test]
+fn degenerate_sessions_never_panic_under_any_fault_spec() {
+    for spec in FAULT_SPECS {
+        let plan = FaultPlan::from_spec(spec).expect("valid spec");
+        // Empty pool: the neighborhood degenerates to W0 alone.
+        run_under_plan(&plan, 0.01, &[]);
+        // Γ = 0: nominal-only session.
+        run_under_plan(&plan, 0.0, &pool());
+        // Both at once.
+        run_under_plan(&plan, 0.0, &[]);
+        // The full descent.
+        run_under_plan(&plan, 0.01, &pool());
+    }
+}
+
+#[test]
+fn first_call_failure_returns_usable_design_or_degrades() {
+    // The very first (nominal) call fails; retries are clean, so the
+    // session recovers to the exact clean answer.
+    let plan = FaultPlan::from_spec("fail@1").unwrap();
+    let (d, audit) = run_under_plan(&plan, 0.01, &pool());
+    let (d_clean, _) = run_under_plan(&FaultPlan::none(), 0.01, &pool());
+    assert_eq!(d, d_clean, "one retried outage must not change the answer");
+    assert!(audit.contains("retries=1"), "{audit}");
+
+    // First call fails AND there are no retries left: the session must
+    // degrade to an empty design with a reason, not panic.
+    let e = ColumnarEngine::new(catalog());
+    let nominal = GreedyDesigner::new(&e, ColumnarCandidates, "DBD");
+    let clock = SessionClock::virtual_clock();
+    let all_fail = FaultPlan::seeded(0, 1.0); // every call faulted
+    let injector: FaultyDesigner<ColumnarEngine, _> =
+        FaultyDesigner::new(&nominal, all_fail, clock.clone());
+    let options = SessionOptions {
+        clock,
+        retry: RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        },
+        ..SessionOptions::default()
+    };
+    let session = DesignSession::new(
+        &e,
+        injector,
+        DeltaEuclidean::new(12),
+        CliffGuardConfig::new(0.01),
+        options,
+    )
+    .unwrap();
+    let (d, trace) = session.run(&w0(), BUDGET, &pool()).into_design();
+    if trace.degraded.is_none() {
+        // A stall/stale fault can still yield a real design; otherwise
+        // the session must have degraded.
+        assert!(!d.is_empty());
+    }
+}
+
+#[test]
+fn same_fault_seed_gives_identical_audit_across_runs() {
+    for spec in FAULT_SPECS {
+        let plan = FaultPlan::from_spec(spec).unwrap();
+        let (d1, a1) = run_under_plan(&plan, 0.01, &pool());
+        let (d2, a2) = run_under_plan(&plan, 0.01, &pool());
+        assert_eq!(a1, a2, "audit must be deterministic for {spec}");
+        assert_eq!(d1, d2, "design must be deterministic for {spec}");
+    }
+}
+
+#[test]
+fn fault_schedule_is_identical_at_any_thread_count() {
+    let plan = FaultPlan::from_spec(FAULT_SPECS[0]).unwrap();
+    let saved = current_threads();
+    let (d1, a1) = {
+        set_threads(1);
+        run_under_plan(&plan, 0.01, &pool())
+    };
+    let (d8, a8) = {
+        set_threads(8);
+        run_under_plan(&plan, 0.01, &pool())
+    };
+    set_threads(saved);
+    assert_eq!(a1, a8, "audit must not depend on the thread count");
+    assert_eq!(d1, d8, "design must not depend on the thread count");
+}
+
+#[test]
+fn kill_and_resume_through_serialized_checkpoint_is_bit_identical() {
+    let e = ColumnarEngine::new(catalog());
+    let nominal = GreedyDesigner::new(&e, ColumnarCandidates, "DBD");
+    let metric = DeltaEuclidean::new(12);
+    let cfg = CliffGuardConfig::new(0.005);
+
+    let mk = |abort: Option<usize>| {
+        DesignSession::new(
+            &e,
+            Reliable(&nominal),
+            metric,
+            cfg.clone(),
+            SessionOptions {
+                abort_after_iterations: abort,
+                ..SessionOptions::default()
+            },
+        )
+        .unwrap()
+    };
+    let (d_full, t_full) = mk(None).run(&w0(), BUDGET, &pool()).into_design();
+
+    for k in 0..3 {
+        let SessionEnd::Interrupted(ckpt) = mk(Some(k)).run(&w0(), BUDGET, &pool()) else {
+            panic!("abort at iteration {k} must interrupt");
+        };
+        // Through the wire: serialize, "crash", deserialize in a new
+        // session, resume.
+        let json = ckpt.to_json();
+        let restored: DescentCheckpoint<ColumnarDesign> =
+            DescentCheckpoint::from_json(&json).expect("checkpoint parses");
+        let (d_res, t_res) = mk(None)
+            .resume(&w0(), BUDGET, &pool(), &restored)
+            .expect("checkpoint accepted")
+            .into_design();
+        assert_eq!(d_res, d_full, "kill at iteration {k}");
+        let full_bits: Vec<u64> = t_full
+            .worst_case_per_iter
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        let res_bits: Vec<u64> = t_res
+            .worst_case_per_iter
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        assert_eq!(res_bits, full_bits, "kill at iteration {k}");
+        assert!(t_res.resumed);
+    }
+}
+
+#[test]
+fn resume_rejects_checkpoints_from_other_inputs() {
+    let e = ColumnarEngine::new(catalog());
+    let nominal = GreedyDesigner::new(&e, ColumnarCandidates, "DBD");
+    let metric = DeltaEuclidean::new(12);
+    let cfg = CliffGuardConfig::new(0.005);
+    let mk = |abort: Option<usize>| {
+        DesignSession::new(
+            &e,
+            Reliable(&nominal),
+            metric,
+            cfg.clone(),
+            SessionOptions {
+                abort_after_iterations: abort,
+                ..SessionOptions::default()
+            },
+        )
+        .unwrap()
+    };
+    let SessionEnd::Interrupted(ckpt) = mk(Some(0)).run(&w0(), BUDGET, &pool()) else {
+        panic!("must interrupt");
+    };
+    // Different budget → different fingerprint → rejected.
+    let err = mk(None)
+        .resume(&w0(), BUDGET / 2, &pool(), &ckpt)
+        .unwrap_err();
+    assert!(matches!(err, ResumeError::FingerprintMismatch { .. }));
+}
+
+#[test]
+fn env_fault_plan_is_survived() {
+    // CI's fault-matrix job sets CLIFFGUARD_FAULTS; whatever plan it
+    // carries, a full design session must end without panicking — either
+    // recovered or degraded with a reason. Without the env var this is a
+    // clean-run smoke test.
+    let plan = FaultPlan::from_env()
+        .expect("CLIFFGUARD_FAULTS, when set, must parse")
+        .unwrap_or_else(FaultPlan::none);
+    let (_, audit) = run_under_plan(&plan, 0.01, &pool());
+    if plan.is_none() {
+        assert!(audit.contains("faults=0"), "{audit}");
+    }
+}
+
+#[test]
+fn env_spec_grammar_round_trips() {
+    for spec in FAULT_SPECS {
+        let plan = FaultPlan::from_spec(spec).unwrap();
+        assert!(!plan.is_none(), "{spec} must describe at least one fault");
+    }
+    assert!(FaultPlan::from_spec("").unwrap().is_none());
+    assert!(FaultPlan::from_spec("bogus@x").is_err());
+    assert_eq!(FAULTS_ENV, "CLIFFGUARD_FAULTS");
+}
