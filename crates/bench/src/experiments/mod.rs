@@ -4,6 +4,7 @@ mod basic;
 mod comparison;
 mod knobs;
 pub mod resilience;
+pub mod telemetry;
 
 pub use basic::{fig05, fig06, fig16, table1};
 pub use comparison::{fig07, fig10, fig14, fig15};
@@ -28,6 +29,7 @@ pub const ALL_IDS: &[&str] = &[
     "fig15",
     "fig16",
     "resilience",
+    "telemetry",
 ];
 
 /// Runs one experiment by id.
@@ -47,6 +49,7 @@ pub fn run_experiment(id: &str, scale: Scale, seed: u64) -> Option<Vec<Table>> {
         "fig15" => Some(fig15::run(scale, seed)),
         "fig16" => Some(fig16::run(scale, seed)),
         "resilience" => Some(resilience::run(scale, seed)),
+        "telemetry" => Some(telemetry::run(scale, seed)),
         _ => None,
     }
 }

@@ -14,6 +14,7 @@
 
 use cliffguard::prelude::*;
 use cliffguard::sim::ddl;
+use cliffguard::trace_schema::TraceSchema;
 use std::collections::HashMap;
 use std::process::exit;
 use std::sync::Arc;
@@ -34,17 +35,34 @@ fn main() {
             }
         }
     }
+    // One clock drives the whole process: session retries/deadlines AND
+    // trace timestamps. --virtual-clock makes both deterministic, so a
+    // seeded run produces a byte-identical trace on every machine.
+    let clock = if opts.contains_key("virtual-clock") {
+        SessionClock::virtual_clock()
+    } else {
+        SessionClock::system()
+    };
+    let telemetry = match init_telemetry(&opts, &clock) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(2);
+        }
+    };
     let result = match cmd.as_str() {
         "generate" => cmd_generate(&opts),
         "stats" => cmd_stats(&opts),
-        "design" => cmd_design(&opts),
+        "design" => cmd_design(&opts, &clock),
         "evaluate" => cmd_evaluate(&opts),
+        "validate-trace" => cmd_validate_trace(&opts),
         "--help" | "-h" | "help" => {
             usage();
             return;
         }
         other => Err(format!("unknown command `{other}`")),
     };
+    let result = result.and_then(|()| write_metrics(&opts, telemetry.as_ref()));
     if let Err(e) = result {
         eprintln!("error: {e}");
         exit(1);
@@ -65,9 +83,20 @@ fn usage() {
                      [--session-deadline-ms N] [--faults SPEC]\n\
            evaluate  --catalog CATALOG.json --log LOG.tsv [--budget auto|BYTES]\n\
                      [--window-days N]\n\
+           validate-trace --trace TRACE.jsonl --schema SCHEMA.json\n\
          \n\
          every command accepts --threads N (default: CLIFFGUARD_THREADS, else\n\
          all cores); results are identical at any thread count\n\
+         \n\
+         telemetry (off by default, zero overhead when off):\n\
+           --trace-out FILE    write a structured JSONL trace of the run\n\
+           --metrics-out FILE  write a metrics snapshot (counters, gauges,\n\
+                               latency quantiles) as JSON on exit\n\
+           --log-level L       trace verbosity: off|error|warn|info|debug|trace\n\
+                               (default: CLIFFGUARD_LOG, else info)\n\
+           --virtual-clock     timestamp the trace (and run the session) on a\n\
+                               deterministic virtual clock: a seeded run then\n\
+                               yields a byte-identical trace at any thread count\n\
          \n\
          design runs as a resilient session: designer calls are validated\n\
          (budget, non-emptiness) and retried with capped exponential backoff;\n\
@@ -84,14 +113,65 @@ fn parse_flags(args: &[String]) -> Flags {
     let mut i = 0;
     while i < args.len() {
         if let Some(name) = args[i].strip_prefix("--") {
-            let value = args.get(i + 1).cloned().unwrap_or_default();
-            flags.insert(name.to_string(), value);
-            i += 2;
+            match args.get(i + 1) {
+                // `--nominal --gamma 0.1`: a following flag token means
+                // this one is a bare boolean, not `--nominal "--gamma"`.
+                Some(next) if !next.starts_with("--") => {
+                    flags.insert(name.to_string(), next.clone());
+                    i += 2;
+                }
+                _ => {
+                    flags.insert(name.to_string(), String::new());
+                    i += 1;
+                }
+            }
         } else {
             i += 1;
         }
     }
     flags
+}
+
+/// Installs the telemetry layer when `--trace-out` or `--metrics-out`
+/// asks for it; otherwise leaves it disabled (the zero-overhead default).
+/// Trace timestamps come from the session clock, so `--virtual-clock`
+/// makes them deterministic.
+fn init_telemetry(opts: &Flags, clock: &SessionClock) -> Result<Option<TelemetryGuard>, String> {
+    let mut trace_out = opts.get("trace-out").filter(|s| !s.is_empty()).cloned();
+    let want_metrics = opts.contains_key("metrics-out");
+    if trace_out.is_none() && !want_metrics {
+        return Ok(None);
+    }
+    let mut config = TelemetryConfig {
+        clock: {
+            let c = clock.clone();
+            TraceClock::shared_ms(move || c.now_ms())
+        },
+        metrics: want_metrics,
+        ..Default::default()
+    };
+    if let Some(s) = opts.get("log-level") {
+        match Level::parse(s).map_err(|e| format!("--log-level: {e}"))? {
+            Some(level) => config.level = level,
+            None => trace_out = None, // `off`: keep metrics, drop the trace
+        }
+    }
+    config.trace = trace_out.map(|p| TraceSink::File(p.into()));
+    let guard = cliffguard::telemetry::install(config).map_err(|e| format!("telemetry: {e}"))?;
+    Ok(Some(guard))
+}
+
+/// Writes the end-of-run metrics snapshot when `--metrics-out` was given.
+fn write_metrics(opts: &Flags, telemetry: Option<&TelemetryGuard>) -> Result<(), String> {
+    let (Some(path), Some(guard)) = (opts.get("metrics-out").filter(|s| !s.is_empty()), telemetry)
+    else {
+        return Ok(());
+    };
+    let registry = guard.registry().ok_or("metrics registry not installed")?;
+    let json = registry.snapshot().to_json();
+    std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+    eprintln!("metrics: wrote snapshot to {path}");
+    Ok(())
 }
 
 fn flag<'a>(opts: &'a Flags, name: &str) -> Result<&'a str, String> {
@@ -222,7 +302,7 @@ fn cmd_stats(opts: &Flags) -> Result<(), String> {
 
 // --------------------------------------------------------------- design --
 
-fn cmd_design(opts: &Flags) -> Result<(), String> {
+fn cmd_design(opts: &Flags, clock: &SessionClock) -> Result<(), String> {
     let catalog = load_catalog(opts)?;
     let log = load_log(opts, &catalog)?;
     let windows = log.windows_days(window_days(opts));
@@ -277,7 +357,7 @@ fn cmd_design(opts: &Flags) -> Result<(), String> {
             Some(spec) => Some(FaultPlan::from_spec(spec).map_err(|e| format!("--faults: {e}"))?),
             None => FaultPlan::from_env().map_err(|e| format!("{FAULTS_ENV}: {e}"))?,
         };
-        let clock = SessionClock::system();
+        let clock = clock.clone();
         let options = SessionOptions {
             retry,
             clock: clock.clone(),
@@ -318,6 +398,17 @@ fn cmd_design(opts: &Flags) -> Result<(), String> {
         design
     };
 
+    if cliffguard::telemetry::metrics_enabled() {
+        // Final costing pass through the memoizing engine: cost the last
+        // window twice (the second pass hits the cache) so the metrics
+        // snapshot carries per-query cost-model timings and a non-trivial
+        // cache hit rate alongside the session's own counters.
+        let cached = CachedEngine::new(&engine);
+        let _ = cached.cost_f(w0, &design);
+        let _ = cached.cost_f(w0, &design);
+        cached.cache().publish_metrics();
+    }
+
     eprintln!(
         "design: {} projections, {:.1} MB of {:.1} MB budget",
         design.len(),
@@ -326,6 +417,33 @@ fn cmd_design(opts: &Flags) -> Result<(), String> {
     );
     print!("{}", ddl::columnar_script(&design, engine.catalog()));
     Ok(())
+}
+
+// --------------------------------------------------------- validate-trace --
+
+/// Checks every line of a JSONL trace file against a golden schema; CI
+/// runs this on a seeded session so a renamed event or dropped field
+/// fails the build instead of silently breaking trace consumers.
+fn cmd_validate_trace(opts: &Flags) -> Result<(), String> {
+    let trace_path = flag(opts, "trace")?;
+    let schema_path = flag(opts, "schema")?;
+    let schema_text =
+        std::fs::read_to_string(schema_path).map_err(|e| format!("read {schema_path}: {e}"))?;
+    let schema = TraceSchema::parse(&schema_text).map_err(|e| format!("{schema_path}: {e}"))?;
+    let trace =
+        std::fs::read_to_string(trace_path).map_err(|e| format!("read {trace_path}: {e}"))?;
+    match schema.check_trace(&trace) {
+        Ok(n) => {
+            println!("{trace_path}: {n} lines conform to {schema_path}");
+            Ok(())
+        }
+        Err(violations) => {
+            for v in &violations {
+                eprintln!("{trace_path}: {v}");
+            }
+            Err(format!("{} schema violation(s)", violations.len()))
+        }
+    }
 }
 
 // ------------------------------------------------------------- evaluate --

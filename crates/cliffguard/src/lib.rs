@@ -21,6 +21,9 @@
 //! * [`resilience`] — the fault-injected, deadline-aware session runtime:
 //!   seeded fault plans (`CLIFFGUARD_FAULTS`), retry/backoff policies on a
 //!   virtual clock, and graceful degradation.
+//! * [`telemetry`] — first-party structured tracing (JSONL spans/events)
+//!   and a metrics registry (counters, gauges, quantile histograms),
+//!   disabled by default and wired through every layer above.
 //!
 //! # Quickstart
 //!
@@ -59,7 +62,10 @@ pub use cliffguard_resilience as resilience;
 pub use cliffguard_robust as robust;
 pub use cliffguard_sim as sim;
 pub use cliffguard_storage as storage;
+pub use cliffguard_telemetry as telemetry;
 pub use cliffguard_workload as workload;
+
+pub mod trace_schema;
 
 /// One-stop imports for examples and applications.
 pub mod prelude {
@@ -94,6 +100,10 @@ pub mod prelude {
         MatView, PhysicalDesign, Projection, RowDesign, RowEngine, RowStructure,
     };
     pub use cliffguard_storage::{Catalog, CatalogGenerator, ColumnDef, ColumnStats, TableDef};
+    pub use cliffguard_telemetry::{
+        install, Level, MetricsRegistry, MetricsSnapshot, TelemetryConfig, TelemetryGuard,
+        TraceClock, TraceSink, LOG_ENV,
+    };
     pub use cliffguard_workload::generator::{
         DriftingGenerator, GeneratorConfig, SchemaShape, WorkloadProfile,
     };

@@ -36,9 +36,11 @@ use cliffguard_designer::{DesignerFault, FallibleDesigner};
 use cliffguard_distance::{NeighborhoodSampler, WorkloadDistance};
 use cliffguard_resilience::{DegradedReason, RetryPolicy, SessionClock};
 use cliffguard_sim::{Engine, PhysicalDesign};
+use cliffguard_telemetry::{self as telemetry, Level};
 use cliffguard_workload::{Query, Workload};
 use serde::{map_get, Deserialize, Error as SerdeError, Serialize, Value};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Robustness is a *priced* trade of nominal optimality (Figure 2): each
 /// accepted move may spend some of W0's cost, but the total spend is
@@ -416,6 +418,13 @@ where
             resumed: false,
         };
         let mut attempts = 0u64;
+        telemetry::event(Level::Info, "cliffguard.core.session.start")
+            .f64("gamma", cfg.gamma)
+            .u64("n_samples", cfg.n_samples as u64)
+            .u64("max_iters", cfg.max_iters as u64)
+            .u64("budget_bytes", budget_bytes)
+            .str("designer", &self.designer.name())
+            .emit();
 
         // Line 1: nominal design for W0 — the one call with no best-so-far
         // to fall back on. If it never succeeds, degrade to the empty
@@ -433,16 +442,15 @@ where
                         last_fault: fail.last_fault.to_string(),
                     },
                 };
-                trace.degraded = Some(reason.to_string());
-                return SessionEnd::Finished {
-                    design: E::Design::default(),
-                    trace,
-                };
+                let reason = reason.to_string();
+                note_degraded(&reason);
+                trace.degraded = Some(reason);
+                return finished(E::Design::default(), trace);
             }
         };
         if w0.is_empty() || cfg.gamma <= 0.0 || cfg.max_iters == 0 {
             // Γ = 0 degenerates to the nominal designer, by construction.
-            return SessionEnd::Finished { design, trace };
+            return finished(design, trace);
         }
 
         // Line 2: sample perturbed workloads in the Γ-neighborhood of W0.
@@ -450,7 +458,7 @@ where
         trace.samples = neighborhood.len();
         if neighborhood.is_empty() {
             // Thin pool: nothing to guard against; behave nominally.
-            return SessionEnd::Finished { design, trace };
+            return finished(design, trace);
         }
         // W0 itself lies in its own Γ-neighborhood (δ = 0 ≤ Γ), so the
         // worst-case objective must cover it: a candidate that regresses
@@ -528,6 +536,10 @@ where
         self.designer.note_prior_attempts(checkpoint.attempts);
         let mut trace = checkpoint.trace.clone();
         trace.resumed = true;
+        telemetry::event(Level::Info, "cliffguard.core.session.resume")
+            .u64("next_iter", checkpoint.next_iter as u64)
+            .u64("attempts", checkpoint.attempts)
+            .emit();
         let st = Descent {
             design: checkpoint.design.clone(),
             alpha: checkpoint.alpha,
@@ -594,7 +606,20 @@ where
             attempt += 1;
             *attempts += 1;
             let t0 = clock.now_ms();
+            // Wall time (not session time) for the latency histogram —
+            // the metric profiles the real cost of a designer call, while
+            // trace events below stay on the session clock so they remain
+            // deterministic under a virtual clock.
+            let wall0 = telemetry::metrics_enabled().then(Instant::now);
             let mut result = self.designer.try_design(w, budget_bytes);
+            if let Some(wall0) = wall0 {
+                if let Some(h) = telemetry::histogram("cliffguard.core.designer_call_ms") {
+                    h.record(telemetry::elapsed_ms(wall0));
+                }
+                if let Some(c) = telemetry::counter("cliffguard.core.designer_attempts") {
+                    c.incr(1);
+                }
+            }
             if let (Ok(_), Some(deadline_ms)) = (&result, policy.designer_deadline_ms) {
                 let elapsed_ms = clock.now_ms().saturating_sub(t0);
                 if elapsed_ms > deadline_ms {
@@ -625,6 +650,13 @@ where
                 Err(f) => f,
             };
             trace.faults += 1;
+            telemetry::event(Level::Warn, "cliffguard.core.session.fault")
+                .u64("attempt", attempt as u64)
+                .str("fault", &fault.to_string())
+                .emit();
+            if let Some(c) = telemetry::counter("cliffguard.core.faults") {
+                c.incr(1);
+            }
             if let Some(deadline_ms) = policy.session_deadline_ms {
                 let now = clock.now_ms();
                 if now >= deadline_ms {
@@ -643,7 +675,15 @@ where
                 });
             }
             trace.retries += 1;
-            clock.sleep_ms(policy.backoff_ms(attempt - 1));
+            let backoff_ms = policy.backoff_ms(attempt - 1);
+            telemetry::event(Level::Warn, "cliffguard.core.session.retry")
+                .u64("attempt", attempt as u64)
+                .u64("backoff_ms", backoff_ms)
+                .emit();
+            if let Some(c) = telemetry::counter("cliffguard.core.retries") {
+                c.incr(1);
+            }
+            clock.sleep_ms(backoff_ms);
         }
     }
 
@@ -688,10 +728,7 @@ where
         // A resumed checkpoint may already have exhausted its patience
         // (the uninterrupted run stopped on its final iteration's break).
         if st.stale >= cfg.patience {
-            return SessionEnd::Finished {
-                design: st.design,
-                trace,
-            };
+            return finished(st.design, trace);
         }
         for iter in st.next_iter..cfg.max_iters {
             st.next_iter = iter;
@@ -708,19 +745,27 @@ where
             if let Some(deadline_ms) = self.options.retry.session_deadline_ms {
                 let now = self.options.clock.now_ms();
                 if now >= deadline_ms {
-                    trace.degraded = Some(
-                        DegradedReason::SessionDeadlineExceeded {
-                            elapsed_ms: now,
-                            deadline_ms,
-                        }
-                        .to_string(),
-                    );
-                    return SessionEnd::Finished {
-                        design: st.design,
-                        trace,
-                    };
+                    let reason = DegradedReason::SessionDeadlineExceeded {
+                        elapsed_ms: now,
+                        deadline_ms,
+                    }
+                    .to_string();
+                    note_degraded(&reason);
+                    trace.degraded = Some(reason);
+                    return finished(st.design, trace);
                 }
             }
+
+            // The per-iteration span (closed at the end of the loop body,
+            // or on an early degraded return). Every field it carries is
+            // derived from session state, so with a virtual clock the
+            // whole record is deterministic.
+            let wall_iter = telemetry::metrics_enabled().then(Instant::now);
+            let mut iter_span = telemetry::event(Level::Info, "cliffguard.core.descent.iter")
+                .u64("iter", iter as u64)
+                .f64("gamma", cfg.gamma)
+                .f64("alpha", st.alpha)
+                .entered();
 
             // Line 6: the worst neighbors under the current design (top
             // worst_fraction, at least one). Scoring fans out per sample;
@@ -744,6 +789,7 @@ where
                 }
             }
             let worst_refs: Vec<&Workload> = merged_idx.iter().map(|&i| &neighborhood[i]).collect();
+            iter_span.record_u64("neighbors", merged_idx.len() as u64);
 
             // Line 8: move the workload toward the worst neighbors.
             let design_ref = &st.design;
@@ -774,22 +820,25 @@ where
                                 last_fault: fail.last_fault.to_string(),
                             },
                         };
-                        trace.degraded = Some(reason.to_string());
+                        let reason = reason.to_string();
+                        note_degraded(&reason);
+                        trace.degraded = Some(reason);
                         None
                     }
                 };
             let Some(candidate) = candidate else {
                 // Graceful degradation: the best design so far is still a
                 // valid, budget-respecting answer.
-                return SessionEnd::Finished {
-                    design: st.design,
-                    trace,
-                };
+                drop(iter_span);
+                return finished(st.design, trace);
             };
 
             // Lines 10–15: accept on worst-case improvement; adapt α.
+            let prev_worst = st.current_worst;
             let candidate_worst = self.worst_case(neighborhood, &candidate);
-            if candidate_worst < st.current_worst && self.w0_cost(w0, &candidate) <= st.w0_cap {
+            let accepted =
+                candidate_worst < st.current_worst && self.w0_cost(w0, &candidate) <= st.w0_cap;
+            if accepted {
                 st.design = candidate;
                 st.current_worst = candidate_worst;
                 st.alpha =
@@ -805,6 +854,15 @@ where
                     (st.alpha * cfg.lambda_failure).clamp(cfg.alpha_range.0, cfg.alpha_range.1);
                 st.stale += 1;
             }
+            iter_span.record_bool("accepted", accepted);
+            iter_span.record_f64("worst_case", st.current_worst);
+            iter_span.record_f64("delta", prev_worst - st.current_worst);
+            drop(iter_span);
+            if let Some(wall_iter) = wall_iter {
+                if let Some(h) = telemetry::histogram("cliffguard.core.iter_ms") {
+                    h.record(telemetry::elapsed_ms(wall_iter));
+                }
+            }
             trace.worst_case_per_iter.push(st.current_worst);
             st.next_iter = iter + 1;
             observer(&self.snapshot(&st, &trace, fingerprint, rng_words));
@@ -812,10 +870,36 @@ where
                 break; // Line 17: many iterations with no improvement.
             }
         }
-        SessionEnd::Finished {
-            design: st.design,
-            trace,
-        }
+        finished(st.design, trace)
+    }
+}
+
+/// Every completed session funnels through here so a trace always closes
+/// with exactly one `session.finish` record, whichever exit path ran.
+fn finished<D>(design: D, trace: CliffGuardTrace) -> SessionEnd<D> {
+    telemetry::event(Level::Info, "cliffguard.core.session.finish")
+        .u64("designer_calls", trace.designer_calls as u64)
+        .u64("retries", trace.retries as u64)
+        .u64("faults", trace.faults as u64)
+        .u64(
+            "iters",
+            trace.worst_case_per_iter.len().saturating_sub(1) as u64,
+        )
+        .bool("degraded", trace.degraded.is_some())
+        .emit();
+    if let Some(c) = telemetry::counter("cliffguard.core.sessions") {
+        c.incr(1);
+    }
+    SessionEnd::Finished { design, trace }
+}
+
+/// Telemetry for a degradation decision; the caller sets the trace field.
+fn note_degraded(reason: &str) {
+    telemetry::event(Level::Warn, "cliffguard.core.session.degraded")
+        .str("reason", reason)
+        .emit();
+    if let Some(c) = telemetry::counter("cliffguard.core.degraded_sessions") {
+        c.incr(1);
     }
 }
 

@@ -23,7 +23,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use cliffguard_telemetry as telemetry;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Process-wide thread count. 0 = not yet resolved (lazily read from the
 /// environment on first use).
@@ -89,15 +91,47 @@ where
 {
     let threads = current_threads().min(items.len());
     if threads <= 1 {
+        if telemetry::metrics_enabled() {
+            if let Some(c) = telemetry::counter("cliffguard.parallel.inline_calls") {
+                c.incr(1);
+            }
+        }
         return items.iter().map(f).collect();
     }
+    // Telemetry is metrics-only here: per-chunk wall times and thread
+    // utilization, recorded from worker threads into lock-free handles.
+    // No trace *events* are ever emitted from workers — trace byte-
+    // identity across thread counts holds because only serial control
+    // code writes to the subscriber.
+    let profile = telemetry::metrics_enabled().then(|| {
+        (
+            telemetry::histogram("cliffguard.parallel.chunk_ms"),
+            Instant::now(),
+        )
+    });
+    let busy_us = AtomicU64::new(0);
     let chunk = items.len().div_ceil(threads);
-    std::thread::scope(|scope| {
+    let out = std::thread::scope(|scope| {
         let f = &f;
+        let busy = &busy_us;
+        let chunk_hist = profile.as_ref().and_then(|(h, _)| h.clone());
         let handles: Vec<_> = items
             .chunks(chunk)
-            .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .map(|c| {
+                let chunk_hist = chunk_hist.clone();
+                scope.spawn(move || {
+                    let t0 = chunk_hist.as_ref().map(|_| Instant::now());
+                    let part = c.iter().map(f).collect::<Vec<R>>();
+                    if let (Some(h), Some(t0)) = (chunk_hist, t0) {
+                        let us = t0.elapsed().as_micros() as u64;
+                        busy.fetch_add(us, Ordering::Relaxed);
+                        h.record(us as f64 / 1e3);
+                    }
+                    part
+                })
+            })
             .collect();
+        let n_chunks = handles.len();
         let mut out = Vec::with_capacity(items.len());
         for h in handles {
             match h.join() {
@@ -105,8 +139,29 @@ where
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
-        out
-    })
+        (out, n_chunks)
+    });
+    let (out, n_chunks) = out;
+    if let Some((_, t_all)) = profile {
+        if let Some(c) = telemetry::counter("cliffguard.parallel.par_calls") {
+            c.incr(1);
+        }
+        if let Some(c) = telemetry::counter("cliffguard.parallel.items") {
+            c.incr(items.len() as u64);
+        }
+        if let Some(g) = telemetry::gauge("cliffguard.parallel.threads") {
+            g.set(n_chunks as f64);
+        }
+        let wall_us = t_all.elapsed().as_micros() as u64;
+        if wall_us > 0 {
+            if let Some(g) = telemetry::gauge("cliffguard.parallel.utilization") {
+                // Busy worker time over available worker time for this
+                // call: 1.0 = perfectly balanced chunks.
+                g.set(busy_us.load(Ordering::Relaxed) as f64 / (wall_us * n_chunks as u64) as f64);
+            }
+        }
+    }
+    out
 }
 
 /// Ordered parallel map followed by a serial left fold — the shape every
@@ -175,6 +230,35 @@ mod tests {
         assert_eq!(current_threads(), 256);
         set_threads(4);
         assert_eq!(current_threads(), 4);
+    }
+
+    #[test]
+    fn metrics_record_chunks_when_enabled() {
+        let _guard = THREAD_KNOB.lock().unwrap();
+        let t = telemetry::install(telemetry::TelemetryConfig {
+            metrics: true,
+            ..Default::default()
+        })
+        .unwrap();
+        set_threads(4);
+        let items: Vec<u64> = (0..100).collect();
+        assert_eq!(par_map(&items, |&x| x + 1)[99], 100);
+        set_threads(1);
+        let _ = par_map(&items, |&x| x);
+        let snap = t.registry().unwrap().snapshot();
+        // `>=`: tests that don't hold the knob lock may run par_map
+        // concurrently and add their own counts.
+        assert!(snap.counter("cliffguard.parallel.par_calls") >= Some(1));
+        assert!(snap.counter("cliffguard.parallel.inline_calls") >= Some(1));
+        assert!(snap.counter("cliffguard.parallel.items") >= Some(100));
+        let chunks = snap.histogram("cliffguard.parallel.chunk_ms").unwrap();
+        assert!(
+            chunks.count >= 4,
+            "one sample per chunk, got {}",
+            chunks.count
+        );
+        let util = snap.gauge("cliffguard.parallel.utilization").unwrap_or(0.0);
+        assert!((0.0..=1.5).contains(&util), "utilization {util}");
     }
 
     #[test]

@@ -77,6 +77,14 @@ impl BntOptimizer {
                 }
                 t *= 0.5;
             }
+            cliffguard_telemetry::event(
+                cliffguard_telemetry::Level::Debug,
+                "cliffguard.robust.bnt.iter",
+            )
+            .u64("iter", k as u64)
+            .f64("worst_case", worst)
+            .bool("moved", moved)
+            .emit();
             if !moved {
                 // No improving step along a valid descent direction within
                 // tolerance: treat as converged (finite-precision optimum).

@@ -28,7 +28,9 @@ pub fn min_norm_point(points: &[Vec<f64>], tol: f64) -> Vec<f64> {
     let mut lambda: Vec<f64> = vec![1.0];
     let mut z = points[start].clone();
 
+    let mut major_cycles = 0u64;
     for _ in 0..(10 * (points.len() + dim) + 100) {
+        major_cycles += 1;
         // Major cycle: find the vertex most opposed to z.
         let (best, best_dot) = points
             .iter()
@@ -86,6 +88,11 @@ pub fn min_norm_point(points: &[Vec<f64>], tol: f64) -> Vec<f64> {
             }
         }
         z = combine(points, &corral, &lambda, dim);
+    }
+    // `histogram` is None unless a metrics registry is installed, so a
+    // plain solver call pays one atomic load here.
+    if let Some(h) = cliffguard_telemetry::histogram("cliffguard.robust.wolfe_major_cycles") {
+        h.record(major_cycles as f64);
     }
     z
 }

@@ -118,7 +118,19 @@ impl CostCache {
             return v;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let v = compute(); // outside the lock: misses don't serialize
+        // Outside the lock: misses don't serialize. A miss is a real
+        // cost-model evaluation — the per-query timing the telemetry
+        // layer profiles (hits are O(hash) and not worth a clock read).
+        let v = if cliffguard_telemetry::metrics_enabled() {
+            let t0 = std::time::Instant::now();
+            let v = compute();
+            if let Some(h) = cliffguard_telemetry::histogram("cliffguard.sim.query_cost_ms") {
+                h.record(cliffguard_telemetry::elapsed_ms(t0));
+            }
+            v
+        } else {
+            compute()
+        };
         let mut map = shard.lock();
         if map.len() >= self.shard_capacity && !map.contains_key(&key) {
             self.evictions
@@ -152,6 +164,28 @@ impl CostCache {
     pub fn clear(&self) {
         for s in &self.shards {
             s.lock().clear();
+        }
+    }
+
+    /// Publishes the counter snapshot into the installed telemetry
+    /// registry as `cliffguard.sim.cache.*` gauges. A no-op when metrics
+    /// are off; call at natural boundaries (end of a design run, end of
+    /// an experiment).
+    pub fn publish_metrics(&self) {
+        if !cliffguard_telemetry::metrics_enabled() {
+            return;
+        }
+        let stats = self.stats();
+        for (name, v) in [
+            ("cliffguard.sim.cache.hits", stats.hits as f64),
+            ("cliffguard.sim.cache.misses", stats.misses as f64),
+            ("cliffguard.sim.cache.evictions", stats.evictions as f64),
+            ("cliffguard.sim.cache.hit_rate", stats.hit_rate()),
+            ("cliffguard.sim.cache.entries", self.len() as f64),
+        ] {
+            if let Some(g) = cliffguard_telemetry::gauge(name) {
+                g.set(v);
+            }
         }
     }
 }
@@ -300,6 +334,32 @@ mod tests {
         let stats = cached.cache_stats();
         assert_eq!(stats.misses, 2, "two distinct queries, one design");
         assert_eq!(stats.hits, 4, "two repeat passes over both");
+    }
+
+    #[test]
+    fn publish_metrics_exports_cache_gauges() {
+        // Installing telemetry is process-global; this is the only test
+        // in this binary that does, so no serialization lock is needed.
+        let t = cliffguard_telemetry::install(cliffguard_telemetry::TelemetryConfig {
+            metrics: true,
+            ..Default::default()
+        })
+        .unwrap();
+        let engine = ColumnarEngine::new(catalog());
+        let cached = CachedEngine::new(&engine);
+        let d = design(&[1, 2]);
+        let w = Workload::from_queries([(QueryBuilder::new(TableId(0)).select(&[1]).build(), 1.0)]);
+        cached.workload_cost(&w, &d);
+        cached.workload_cost(&w, &d);
+        cached.cache().publish_metrics();
+        let snap = t.registry().unwrap().snapshot();
+        assert_eq!(snap.gauge("cliffguard.sim.cache.hits"), Some(1.0));
+        assert_eq!(snap.gauge("cliffguard.sim.cache.misses"), Some(1.0));
+        assert_eq!(snap.gauge("cliffguard.sim.cache.hit_rate"), Some(0.5));
+        // `>=`: concurrently running tests may add their own misses
+        // while the registry is installed.
+        let h = snap.histogram("cliffguard.sim.query_cost_ms").unwrap();
+        assert!(h.count >= 1, "the miss must be timed");
     }
 
     #[test]

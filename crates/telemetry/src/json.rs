@@ -1,0 +1,83 @@
+//! Minimal deterministic JSON encoding for trace lines and metric
+//! snapshots.
+//!
+//! The crate is dependency-free, so it carries its own encoder. Two
+//! properties matter more than generality:
+//!
+//! * **Determinism** — a value always encodes to the same bytes, keys
+//!   are written in the order the caller provides them, and floats use
+//!   the same shortest-roundtrip form as the workspace `serde_json`
+//!   shim (always with a decimal point or exponent, so a reader can
+//!   tell `1.0` from `1`).
+//! * **One line per record** — no pretty printing in traces; newlines
+//!   inside strings are escaped.
+
+/// Appends `s` as a JSON string literal (with quotes) to `out`.
+pub(crate) fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an `f64` in the workspace JSON dialect: shortest roundtrip
+/// form, forced to contain `.` or an exponent; non-finite values become
+/// `null` (JSON has no representation for them).
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = v.to_string();
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn str_lit(s: &str) -> String {
+        let mut out = String::new();
+        push_str_literal(&mut out, s);
+        out
+    }
+
+    fn f64_lit(v: f64) -> String {
+        let mut out = String::new();
+        push_f64(&mut out, v);
+        out
+    }
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(str_lit("a\"b"), r#""a\"b""#);
+        assert_eq!(str_lit("a\\b"), r#""a\\b""#);
+        assert_eq!(str_lit("a\nb\tc"), r#""a\nb\tc""#);
+        assert_eq!(str_lit("\u{1}"), "\"\\u0001\"");
+        assert_eq!(str_lit("Γ-robust"), "\"Γ-robust\"");
+    }
+
+    #[test]
+    fn floats_always_look_like_floats() {
+        assert_eq!(f64_lit(1.0), "1.0");
+        assert_eq!(f64_lit(0.25), "0.25");
+        assert_eq!(f64_lit(-3.0), "-3.0");
+        assert_eq!(f64_lit(1.5e3), "1500.0");
+        assert_eq!(f64_lit(f64::NAN), "null");
+        assert_eq!(f64_lit(f64::INFINITY), "null");
+    }
+}

@@ -1,0 +1,92 @@
+//! Trace verbosity levels.
+
+/// Severity/verbosity of an event or span, most to least severe.
+///
+/// The numeric representation is the filter: an event is recorded when
+/// its level is `<=` the subscriber's level (so `Error` always passes a
+/// live subscriber and `Trace` only passes the most verbose one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable problems (none today — sessions degrade instead).
+    Error = 1,
+    /// Faults, retries, degradations: things an operator should see.
+    Warn = 2,
+    /// The run's skeleton: session start/finish, per-iteration spans.
+    Info = 3,
+    /// Inner-loop detail: optimizer iterations, solver cycles.
+    Debug = 4,
+    /// Everything.
+    Trace = 5,
+}
+
+impl Level {
+    /// The wire name (`"info"` etc.) written into every trace line.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parses a level name; `Ok(None)` means `"off"`.
+    ///
+    /// Accepted (case-insensitive): `off`, `error`, `warn`, `info`,
+    /// `debug`, `trace`.
+    pub fn parse(s: &str) -> Result<Option<Level>, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" => Ok(None),
+            "error" => Ok(Some(Level::Error)),
+            "warn" | "warning" => Ok(Some(Level::Warn)),
+            "info" => Ok(Some(Level::Info)),
+            "debug" => Ok(Some(Level::Debug)),
+            "trace" => Ok(Some(Level::Trace)),
+            other => Err(format!(
+                "unknown log level `{other}` (want off|error|warn|info|debug|trace)"
+            )),
+        }
+    }
+
+    /// The level named by the `CLIFFGUARD_LOG` environment variable, if
+    /// set and valid. `CLIFFGUARD_LOG=off` yields `Some(None)`.
+    pub fn from_env() -> Option<Option<Level>> {
+        let raw = std::env::var(crate::LOG_ENV).ok()?;
+        Level::parse(&raw).ok()
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_and_rejects() {
+        for l in [
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+            Level::Trace,
+        ] {
+            assert_eq!(Level::parse(l.as_str()).unwrap(), Some(l));
+        }
+        assert_eq!(Level::parse("OFF").unwrap(), None);
+        assert_eq!(Level::parse(" Warn ").unwrap(), Some(Level::Warn));
+        assert!(Level::parse("loud").is_err());
+    }
+
+    #[test]
+    fn ordering_matches_verbosity() {
+        assert!((Level::Error as u8) < (Level::Trace as u8));
+        assert!(Level::Warn < Level::Debug);
+    }
+}

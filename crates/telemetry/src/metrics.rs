@@ -1,0 +1,552 @@
+//! The metrics registry: counters, gauges, and log-linear histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`s handed out
+//! by name from a [`MetricsRegistry`]; updates are lock-free atomics, so
+//! worker threads of the parallel layer can record freely. A
+//! [`MetricsSnapshot`] is a point-in-time copy — deterministic JSON,
+//! p50/p95/p99 quantiles per histogram, and **mergeable**: merging
+//! snapshots from two registries gives exactly the bucket counts a
+//! single shared registry would have had.
+//!
+//! # Histogram design
+//!
+//! Buckets are log-linear over the positive `f64` range: one bucket per
+//! (binary exponent, top-4-mantissa-bits) pair, i.e. 16 sub-buckets per
+//! power of two, giving a worst-case relative error of ~6% per recorded
+//! value — plenty for latency quantiles. Exponents are clamped to
+//! `[-32, 64)` (≈2.3e-10 .. 1.8e19), with everything below (and zero,
+//! negatives, NaN) in an underflow bucket and everything at or above
+//! 2^64 in an overflow bucket: 1538 buckets total, dense `AtomicU64`s
+//! at record time, sparse `(index, count)` pairs in snapshots.
+
+use crate::json::{push_f64, push_str_literal};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Smallest binary exponent with its own buckets.
+const EXP_MIN: i64 = -32;
+/// One past the largest binary exponent with its own buckets.
+const EXP_MAX: i64 = 64;
+/// Linear sub-buckets per power of two.
+const SUBS: usize = 16;
+/// Total bucket count: underflow + dense range + overflow.
+const N_BUCKETS: usize = 2 + ((EXP_MAX - EXP_MIN) as usize) * SUBS;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn incr(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` value (stored as IEEE-754 bits).
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(AtomicU64::new(0f64.to_bits()))
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A log-linear-bucket distribution of `f64` observations.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Running sum / min / max, each an `f64` kept as bits under CAS.
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+/// The bucket index for observation `v`.
+fn bucket_index(v: f64) -> usize {
+    if !v.is_finite() || v <= 0.0 {
+        // NaN, ±inf already excluded from recording; zero and negatives
+        // land in the underflow bucket.
+        return 0;
+    }
+    let bits = v.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i64 - 1023;
+    if exp < EXP_MIN {
+        return 0;
+    }
+    if exp >= EXP_MAX {
+        return N_BUCKETS - 1;
+    }
+    let sub = ((bits >> 48) & 0xf) as usize;
+    1 + ((exp - EXP_MIN) as usize) * SUBS + sub
+}
+
+/// The middle of bucket `idx` — the value a quantile reports for any
+/// observation that landed there.
+fn bucket_mid(idx: usize) -> f64 {
+    if idx == 0 {
+        return 0.0;
+    }
+    if idx >= N_BUCKETS - 1 {
+        return f64::INFINITY;
+    }
+    let exp = EXP_MIN + ((idx - 1) / SUBS) as i64;
+    let sub = (idx - 1) % SUBS;
+    (1.0 + (sub as f64 + 0.5) / SUBS as f64) * (exp as f64).exp2()
+}
+
+impl Histogram {
+    /// Records one observation. Non-finite values are dropped (they
+    /// would poison the running sum).
+    pub fn record(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        fetch_update_f64(&self.sum_bits, |s| s + v);
+        fetch_update_f64(&self.min_bits, |m| m.min(v));
+        fetch_update_f64(&self.max_bits, |m| m.max(v));
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((i as u32, n));
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            min: f64::from_bits(self.min_bits.load(Ordering::Relaxed)),
+            max: f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
+            buckets,
+        }
+    }
+}
+
+fn fetch_update_f64(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(cur)).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// A frozen histogram: sparse bucket counts plus count/sum/min/max.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations (addition order is unspecified, so only
+    /// compare sums with a tolerance).
+    pub sum: f64,
+    /// Smallest observation (`+inf` when empty).
+    pub min: f64,
+    /// Largest observation (`-inf` when empty).
+    pub max: f64,
+    /// `(bucket index, count)` pairs, ascending by index, zeros omitted.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// The mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) as a bucket midpoint, clamped
+    /// to the observed `[min, max]`. 0 when empty. Monotone in `q` by
+    /// construction (a cumulative-rank walk over ordered buckets).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for &(idx, n) in &self.buckets {
+            cum += n;
+            if cum >= rank {
+                return bucket_mid(idx as usize).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The median (`quantile(0.5)`).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// The 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// The 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Folds `other` into `self`. Bucket counts add exactly, so merging
+    /// per-registry snapshots reproduces the single-registry histogram
+    /// (up to float-addition order in `sum`).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        let mut merged: Vec<(u32, u64)> = Vec::with_capacity(self.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, na)), Some(&&(ib, nb))) => {
+                    if ia < ib {
+                        merged.push((ia, na));
+                        a.next();
+                    } else if ib < ia {
+                        merged.push((ib, nb));
+                        b.next();
+                    } else {
+                        merged.push((ia, na + nb));
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some(&&x), None) => {
+                    merged.push(x);
+                    a.next();
+                }
+                (None, Some(&&x)) => {
+                    merged.push(x);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+    }
+}
+
+/// A point-in-time copy of every metric in a registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The counter `name`, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// The gauge `name`, if recorded.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The histogram `name`, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Folds `other` into `self`: counters and histogram buckets add;
+    /// for a gauge present on both sides, `other`'s (later) value wins.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Deterministic JSON: names sorted, histograms exported with
+    /// count/sum/min/max, p50/p95/p99, and sparse buckets.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            out.push_str(if first { "\n    " } else { ",\n    " });
+            first = false;
+            push_str_literal(&mut out, k);
+            out.push_str(": ");
+            out.push_str(&v.to_string());
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"gauges\": {");
+        first = true;
+        for (k, v) in &self.gauges {
+            out.push_str(if first { "\n    " } else { ",\n    " });
+            first = false;
+            push_str_literal(&mut out, k);
+            out.push_str(": ");
+            push_f64(&mut out, *v);
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"histograms\": {");
+        first = true;
+        for (k, h) in &self.histograms {
+            out.push_str(if first { "\n    " } else { ",\n    " });
+            first = false;
+            push_str_literal(&mut out, k);
+            out.push_str(": {\"count\":");
+            out.push_str(&h.count.to_string());
+            out.push_str(",\"sum\":");
+            push_f64(&mut out, h.sum);
+            out.push_str(",\"min\":");
+            push_f64(&mut out, if h.count == 0 { 0.0 } else { h.min });
+            out.push_str(",\"max\":");
+            push_f64(&mut out, if h.count == 0 { 0.0 } else { h.max });
+            out.push_str(",\"p50\":");
+            push_f64(&mut out, h.p50());
+            out.push_str(",\"p95\":");
+            push_f64(&mut out, h.p95());
+            out.push_str(",\"p99\":");
+            push_f64(&mut out, h.p99());
+            out.push_str(",\"buckets\":[");
+            for (i, (idx, n)) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{idx},{n}]"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str(if first { "}\n" } else { "\n  }\n" });
+        out.push('}');
+        out
+    }
+}
+
+#[derive(Default)]
+struct Registered {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// Hands out named metric handles and snapshots them.
+///
+/// Names follow `cliffguard.<crate>.<name>`. Lookup takes a registry
+/// lock; updates through the returned `Arc` handles are lock-free, so
+/// hot loops resolve their handles once up front.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Registered>,
+}
+
+impl MetricsRegistry {
+    /// The counter `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut reg = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(reg.counters.entry(name.to_string()).or_default())
+    }
+
+    /// The gauge `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut reg = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(reg.gauges.entry(name.to_string()).or_default())
+    }
+
+    /// The histogram `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut reg = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(reg.histograms.entry(name.to_string()).or_default())
+    }
+
+    /// A point-in-time copy of everything registered.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let reg = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        MetricsSnapshot {
+            counters: reg
+                .counters
+                .iter()
+                .map(|(k, c)| (k.clone(), c.get()))
+                .collect(),
+            gauges: reg
+                .gauges
+                .iter()
+                .map(|(k, g)| (k.clone(), g.get()))
+                .collect(),
+            histograms: reg
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("MetricsRegistry(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let reg = MetricsRegistry::default();
+        reg.counter("cliffguard.test.c").incr(2);
+        reg.counter("cliffguard.test.c").incr(3);
+        reg.gauge("cliffguard.test.g").set(0.75);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("cliffguard.test.c"), Some(5));
+        assert_eq!(snap.gauge("cliffguard.test.g"), Some(0.75));
+        assert_eq!(snap.counter("cliffguard.test.missing"), None);
+    }
+
+    #[test]
+    fn bucket_index_covers_the_line() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-1.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(1e-30), 0); // below 2^-32
+        assert_eq!(bucket_index(2e19), N_BUCKETS - 1); // above 2^64
+        assert_eq!(bucket_index(1.0), 1 + ((-EXP_MIN) as usize) * SUBS);
+        // Within a power of two, the 16 sub-buckets split linearly.
+        assert_eq!(bucket_index(1.0), bucket_index(1.05));
+        assert!(bucket_index(1.0) < bucket_index(1.5));
+        assert!(bucket_index(1.5) < bucket_index(2.0));
+        // Midpoints bracket their values to ~6% relative error.
+        for v in [0.001, 0.37, 1.0, 8.25, 1234.5, 9.9e9] {
+            let mid = bucket_mid(bucket_index(v));
+            assert!((mid - v).abs() / v < 0.07, "v={v} mid={mid}");
+        }
+    }
+
+    #[test]
+    fn quantiles_hit_known_distribution() {
+        let h = Histogram::default();
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        // ~6% bucket error allowed.
+        assert!((s.p50() - 50.0).abs() < 5.0, "p50={}", s.p50());
+        assert!((s.p95() - 95.0).abs() < 7.0, "p95={}", s.p95());
+        assert!((s.p99() - 99.0).abs() < 7.0, "p99={}", s.p99());
+        assert!(s.quantile(0.0) >= s.min && s.quantile(1.0) <= s.max);
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_sorted() {
+        let reg = MetricsRegistry::default();
+        reg.counter("cliffguard.test.b").incr(1);
+        reg.counter("cliffguard.test.a").incr(2);
+        reg.histogram("cliffguard.test.h").record(2.0);
+        let a = reg.snapshot().to_json();
+        let b = reg.snapshot().to_json();
+        assert_eq!(a, b);
+        let ia = a.find("cliffguard.test.a").unwrap();
+        let ib = a.find("cliffguard.test.b").unwrap();
+        assert!(ia < ib, "keys must be sorted:\n{a}");
+        assert!(a.contains("\"count\":1"));
+    }
+
+    #[test]
+    fn empty_snapshot_json_is_valid_shape() {
+        let snap = MetricsRegistry::default().snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"histograms\": {}"));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_buckets() {
+        let r1 = MetricsRegistry::default();
+        let r2 = MetricsRegistry::default();
+        r1.counter("c").incr(2);
+        r2.counter("c").incr(5);
+        r1.histogram("h").record(1.0);
+        r2.histogram("h").record(1.0);
+        r2.histogram("h").record(64.0);
+        r2.gauge("g").set(3.5);
+        let mut m = r1.snapshot();
+        m.merge(&r2.snapshot());
+        assert_eq!(m.counter("c"), Some(7));
+        assert_eq!(m.gauge("g"), Some(3.5));
+        let h = m.histogram("h").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 64.0);
+        assert_eq!(h.buckets.iter().map(|&(_, n)| n).sum::<u64>(), 3);
+    }
+}

@@ -1,0 +1,335 @@
+//! The global trace subscriber: where emitted events go.
+
+use crate::level::Level;
+use crate::metrics::MetricsRegistry;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Where trace timestamps come from.
+///
+/// Default is wall time anchored at install. A design session running on
+/// the virtual `SessionClock` should instead share that clock
+/// ([`TraceClock::shared_ms`]) so trace timestamps advance only with
+/// declared stalls/backoffs and the whole trace is deterministic.
+#[derive(Clone, Default)]
+pub enum TraceClock {
+    /// Milliseconds of wall time since the subscriber was installed.
+    #[default]
+    System,
+    /// An external millisecond counter (e.g. `SessionClock::now_ms`).
+    SharedMs(Arc<dyn Fn() -> u64 + Send + Sync>),
+}
+
+impl TraceClock {
+    /// A clock driven by an external `Fn() -> u64` millisecond counter.
+    pub fn shared_ms(f: impl Fn() -> u64 + Send + Sync + 'static) -> Self {
+        TraceClock::SharedMs(Arc::new(f))
+    }
+}
+
+impl std::fmt::Debug for TraceClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceClock::System => f.write_str("TraceClock::System"),
+            TraceClock::SharedMs(_) => f.write_str("TraceClock::SharedMs(..)"),
+        }
+    }
+}
+
+enum ResolvedClock {
+    System(Instant),
+    SharedMs(Arc<dyn Fn() -> u64 + Send + Sync>),
+}
+
+impl ResolvedClock {
+    fn now_ms(&self) -> u64 {
+        match self {
+            ResolvedClock::System(t0) => t0.elapsed().as_millis() as u64,
+            ResolvedClock::SharedMs(f) => f(),
+        }
+    }
+}
+
+/// Where trace lines are written.
+pub enum TraceSink {
+    /// Append-less truncating write to a file (created or overwritten).
+    File(PathBuf),
+    /// Any writer (a `Vec<u8>`, a socket, a test pipe).
+    Writer(Box<dyn Write + Send>),
+    /// An in-memory line buffer, readable through
+    /// [`TelemetryGuard::memory`].
+    Memory,
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceSink::File(p) => write!(f, "TraceSink::File({p:?})"),
+            TraceSink::Writer(_) => f.write_str("TraceSink::Writer(..)"),
+            TraceSink::Memory => f.write_str("TraceSink::Memory"),
+        }
+    }
+}
+
+enum Sink {
+    Stream(Mutex<Box<dyn Write + Send>>),
+    Memory(Mutex<Vec<String>>),
+}
+
+/// What to install. `Default` is everything off: no trace sink, no
+/// metrics, level from `CLIFFGUARD_LOG` (else `Info`), wall clock.
+#[derive(Debug)]
+pub struct TelemetryConfig {
+    /// Trace destination; `None` disables tracing entirely.
+    pub trace: Option<TraceSink>,
+    /// Maximum level recorded (events above it are dropped at the
+    /// fast-path check).
+    pub level: Level,
+    /// Timestamp source for trace lines.
+    pub clock: TraceClock,
+    /// Whether to install a fresh [`MetricsRegistry`].
+    pub metrics: bool,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            trace: None,
+            level: Level::from_env().flatten().unwrap_or(Level::Info),
+            clock: TraceClock::default(),
+            metrics: false,
+        }
+    }
+}
+
+/// The installed subscriber state (crate-internal).
+pub(crate) struct Shared {
+    pub(crate) level: Level,
+    clock: ResolvedClock,
+    sink: Sink,
+}
+
+impl Shared {
+    pub(crate) fn now_ms(&self) -> u64 {
+        self.clock.now_ms()
+    }
+
+    /// Writes one finished trace line (no trailing newline expected).
+    pub(crate) fn write_line(&self, line: &str) {
+        match &self.sink {
+            Sink::Stream(w) => {
+                let mut w = w.lock().unwrap_or_else(|e| e.into_inner());
+                // A failing trace sink must never take the session down;
+                // drop the line instead.
+                let _ = writeln!(w, "{line}");
+            }
+            Sink::Memory(buf) => {
+                buf.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(line.to_string());
+            }
+        }
+    }
+
+    fn flush(&self) {
+        if let Sink::Stream(w) = &self.sink {
+            let _ = w.lock().unwrap_or_else(|e| e.into_inner()).flush();
+        }
+    }
+}
+
+/// Read handle over an in-memory trace ([`TraceSink::Memory`]).
+pub struct MemoryTrace {
+    shared: Arc<Shared>,
+}
+
+impl MemoryTrace {
+    /// The trace lines recorded so far, in emission order.
+    pub fn lines(&self) -> Vec<String> {
+        match &self.shared.sink {
+            Sink::Memory(buf) => buf.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+            Sink::Stream(_) => Vec::new(),
+        }
+    }
+
+    /// The whole trace as one newline-terminated string — the exact
+    /// bytes a [`TraceSink::File`] run would have produced.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for l in self.lines() {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Uninstalls the subscriber and registry when dropped, restoring the
+/// disabled fast path.
+pub struct TelemetryGuard {
+    shared: Option<Arc<Shared>>,
+    registry: Option<Arc<MetricsRegistry>>,
+}
+
+impl TelemetryGuard {
+    /// The in-memory trace, when installed with [`TraceSink::Memory`].
+    pub fn memory(&self) -> Option<MemoryTrace> {
+        let shared = self.shared.as_ref()?;
+        match shared.sink {
+            Sink::Memory(_) => Some(MemoryTrace {
+                shared: Arc::clone(shared),
+            }),
+            Sink::Stream(_) => None,
+        }
+    }
+
+    /// The metrics registry this guard installed, if any.
+    pub fn registry(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.registry.as_ref()
+    }
+
+    /// Flushes a stream sink (files are also flushed on drop).
+    pub fn flush(&self) {
+        if let Some(s) = &self.shared {
+            s.flush();
+        }
+    }
+}
+
+impl Drop for TelemetryGuard {
+    fn drop(&mut self) {
+        crate::set_globals(None, None);
+        if let Some(s) = &self.shared {
+            s.flush();
+        }
+    }
+}
+
+/// Installs a trace subscriber and/or metrics registry process-wide.
+///
+/// The returned guard owns the installation: dropping it flushes the
+/// sink and restores the disabled state. Installing over a live guard
+/// replaces it (last install wins); the replaced guard's drop then
+/// disables everything, so in practice hold exactly one guard at a time
+/// — tests serialize on a lock.
+pub fn install(config: TelemetryConfig) -> std::io::Result<TelemetryGuard> {
+    let TelemetryConfig {
+        trace,
+        level,
+        clock,
+        metrics,
+    } = config;
+    let clock = match clock {
+        TraceClock::System => ResolvedClock::System(Instant::now()),
+        TraceClock::SharedMs(f) => ResolvedClock::SharedMs(f),
+    };
+    let shared = match trace {
+        None => None,
+        Some(sink) => {
+            let sink = match sink {
+                TraceSink::File(path) => {
+                    let file = std::fs::File::create(&path)?;
+                    Sink::Stream(Mutex::new(Box::new(std::io::BufWriter::new(file))))
+                }
+                TraceSink::Writer(w) => Sink::Stream(Mutex::new(w)),
+                TraceSink::Memory => Sink::Memory(Mutex::new(Vec::new())),
+            };
+            Some(Arc::new(Shared { level, clock, sink }))
+        }
+    };
+    let registry = metrics.then(|| Arc::new(MetricsRegistry::default()));
+    crate::set_globals(shared.clone(), registry.clone());
+    Ok(TelemetryGuard { shared, registry })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock::GLOBALS;
+    use crate::{enabled, event, metrics_enabled};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn disabled_by_default_and_after_drop() {
+        let _lock = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(!enabled(Level::Error));
+        assert!(!metrics_enabled());
+        let guard = install(TelemetryConfig {
+            trace: Some(TraceSink::Memory),
+            level: Level::Info,
+            metrics: true,
+            ..TelemetryConfig::default()
+        })
+        .unwrap();
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        assert!(metrics_enabled());
+        drop(guard);
+        assert!(!enabled(Level::Error));
+        assert!(!metrics_enabled());
+    }
+
+    #[test]
+    fn memory_sink_collects_lines_with_shared_clock() {
+        let _lock = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+        let ticks = Arc::new(AtomicU64::new(7));
+        let t2 = Arc::clone(&ticks);
+        let guard = install(TelemetryConfig {
+            trace: Some(TraceSink::Memory),
+            level: Level::Debug,
+            clock: TraceClock::shared_ms(move || t2.load(Ordering::Relaxed)),
+            metrics: false,
+        })
+        .unwrap();
+        event(Level::Info, "cliffguard.test.a").emit();
+        ticks.store(19, Ordering::Relaxed);
+        event(Level::Debug, "cliffguard.test.b").u64("k", 3).emit();
+        event(Level::Trace, "cliffguard.test.filtered").emit();
+        let lines = guard.memory().unwrap().lines();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            r#"{"t":7,"kind":"event","level":"info","name":"cliffguard.test.a","fields":{}}"#
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"t":19,"kind":"event","level":"debug","name":"cliffguard.test.b","fields":{"k":3}}"#
+        );
+    }
+
+    #[test]
+    fn writer_sink_receives_jsonl() {
+        let _lock = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+        // A shared Vec<u8> writer we can read back after dropping.
+        #[derive(Clone)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl Write for Buf {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Buf(Arc::new(Mutex::new(Vec::new())));
+        let guard = install(TelemetryConfig {
+            trace: Some(TraceSink::Writer(Box::new(buf.clone()))),
+            level: Level::Info,
+            clock: TraceClock::shared_ms(|| 0),
+            metrics: false,
+        })
+        .unwrap();
+        event(Level::Warn, "cliffguard.test.w")
+            .str("why", "x\ny")
+            .emit();
+        drop(guard);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(
+            text,
+            "{\"t\":0,\"kind\":\"event\",\"level\":\"warn\",\"name\":\"cliffguard.test.w\",\"fields\":{\"why\":\"x\\ny\"}}\n"
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the metrics histograms.
+//!
+//! The three contracts the ISSUE pins down: bucket counts account for
+//! every observation, quantiles are monotone in `q`, and merging
+//! per-registry snapshots reproduces the single-registry histogram.
+
+use cliffguard_telemetry::metrics::{Histogram, MetricsRegistry};
+use proptest::prelude::*;
+
+/// Observations spanning the histogram's whole dynamic range, including
+/// the underflow (zero/negative/tiny) and overflow (huge) buckets.
+fn observations() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0e21f64..1.0e21, 1..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bucket_counts_sum_to_observation_count(values in observations()) {
+        let h = Histogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, values.len() as u64);
+        let bucketed: u64 = s.buckets.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(bucketed, s.count);
+        // Sparse form really is sparse and sorted.
+        for w in s.buckets.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+        for &(_, n) in &s.buckets {
+            prop_assert!(n > 0);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(values in observations()) {
+        let h = Histogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let qs: Vec<f64> = (0..=20).map(|i| s.quantile(i as f64 / 20.0)).collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles not monotone: {:?}", qs);
+        }
+        prop_assert!(s.p50() <= s.p95() && s.p95() <= s.p99());
+        prop_assert!(s.quantile(0.0) >= s.min);
+        prop_assert!(s.quantile(1.0) <= s.max);
+    }
+
+    #[test]
+    fn merged_snapshots_equal_single_registry(
+        values in observations(),
+        split_seed in 0u64..u64::MAX,
+    ) {
+        // Interleave arbitrarily between two registries; one registry
+        // sees everything. The merged snapshot must agree exactly on
+        // counts, buckets, min/max, and therefore on every quantile.
+        let all = MetricsRegistry::default();
+        let left = MetricsRegistry::default();
+        let right = MetricsRegistry::default();
+        let mut lcg = split_seed;
+        for &v in &values {
+            all.histogram("h").record(v);
+            all.counter("n").incr(1);
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let side = if lcg >> 63 == 0 { &left } else { &right };
+            side.histogram("h").record(v);
+            side.counter("n").incr(1);
+        }
+        let mut merged = left.snapshot();
+        merged.merge(&right.snapshot());
+        let expect = all.snapshot();
+        prop_assert_eq!(merged.counter("n"), expect.counter("n"));
+        let (mh, eh) = (merged.histogram("h").unwrap(), expect.histogram("h").unwrap());
+        prop_assert_eq!(mh.count, eh.count);
+        prop_assert_eq!(&mh.buckets, &eh.buckets);
+        prop_assert_eq!(mh.min, eh.min);
+        prop_assert_eq!(mh.max, eh.max);
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            prop_assert_eq!(mh.quantile(q), eh.quantile(q), "q={}", q);
+        }
+        // Sums differ only by float-addition order.
+        let scale = 1.0f64.max(eh.sum.abs());
+        prop_assert!((mh.sum - eh.sum).abs() / scale < 1e-9);
+    }
+}

@@ -433,7 +433,6 @@ mod calibration {
                 tot += f;
             }
             let mean = tot / (ws.len() - 1) as f64;
-            println!("{name}: lag-1 overlap = {mean:.3}");
             overlaps.insert(name, mean);
         }
         assert!(

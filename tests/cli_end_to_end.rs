@@ -116,6 +116,115 @@ fn generate_stats_design_evaluate_pipeline() {
 }
 
 #[test]
+fn traced_design_is_deterministic_and_schema_valid() {
+    let dir = tmpdir("telemetry");
+    let log = dir.join("log.tsv");
+    let catalog = dir.join("catalog.json");
+    let out = Command::new(bin())
+        .args([
+            "generate",
+            "--profile",
+            "R1",
+            "--seed",
+            "5",
+            "--windows",
+            "4",
+            "--scale",
+            "0.2",
+            "--out",
+            log.to_str().unwrap(),
+            "--catalog-out",
+            catalog.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Two traced, fault-injected runs at different thread counts on the
+    // virtual clock: byte-identical trace and DDL, valid metrics JSON.
+    let run = |trace: &PathBuf, metrics: &PathBuf, threads: &str| {
+        let out = Command::new(bin())
+            .args([
+                "design",
+                "--catalog",
+                catalog.to_str().unwrap(),
+                "--log",
+                log.to_str().unwrap(),
+                "--gamma",
+                "auto",
+                "--virtual-clock",
+                "--log-level",
+                "debug",
+                "--threads",
+                threads,
+                "--trace-out",
+                trace.to_str().unwrap(),
+                "--metrics-out",
+                metrics.to_str().unwrap(),
+            ])
+            .env("CLIFFGUARD_FAULTS", "seed=1,rate=0.3")
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let (t1, m1) = (dir.join("t1.jsonl"), dir.join("m1.json"));
+    let (t2, m2) = (dir.join("t2.jsonl"), dir.join("m2.json"));
+    let ddl1 = run(&t1, &m1, "1");
+    let ddl2 = run(&t2, &m2, "8");
+    assert_eq!(ddl1, ddl2, "DDL must not depend on the thread count");
+    let trace1 = std::fs::read_to_string(&t1).unwrap();
+    let trace2 = std::fs::read_to_string(&t2).unwrap();
+    assert_eq!(trace1, trace2, "trace must be byte-identical at 1 vs 8");
+    assert!(trace1.contains("\"cliffguard.core.descent.iter\""));
+    let metrics = std::fs::read_to_string(&m1).unwrap();
+    assert!(metrics.contains("cliffguard.core.designer_call_ms"));
+
+    // validate-trace accepts the emitted trace against the golden schema.
+    let schema = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../schemas/trace.schema.json"
+    );
+    let out = Command::new(bin())
+        .args([
+            "validate-trace",
+            "--trace",
+            t1.to_str().unwrap(),
+            "--schema",
+            schema,
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A corrupted line is rejected with a line number.
+    let bad = dir.join("bad.jsonl");
+    std::fs::write(&bad, format!("{trace1}{{\"t\":0,\"bogus\":1}}\n")).unwrap();
+    let out = Command::new(bin())
+        .args([
+            "validate-trace",
+            "--trace",
+            bad.to_str().unwrap(),
+            "--schema",
+            schema,
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("schema violation"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn cli_rejects_bad_input() {
     // unknown command
     let out = Command::new(bin()).arg("frobnicate").output().unwrap();

@@ -1,0 +1,173 @@
+//! Trace-determinism integration tests: a seeded, fault-injected design
+//! session on a virtual clock must emit a **byte-identical** JSONL trace
+//! across reruns and across thread counts, and every line must validate
+//! against the golden schema in `schemas/trace.schema.json`.
+//!
+//! This is the observable half of the determinism contract: trace events
+//! are emitted only from serial session code with virtual-clock
+//! timestamps, while parallel workers record metrics through lock-free
+//! atomics only — so the subscriber sees the same bytes at 1 thread and
+//! at 8.
+
+use cliffguard::prelude::*;
+use cliffguard::trace_schema::TraceSchema;
+use std::sync::{Arc, Mutex};
+
+/// Telemetry globals are process-wide; every test that installs a
+/// subscriber serializes on this lock.
+static TELEMETRY: Mutex<()> = Mutex::new(());
+
+fn catalog() -> Catalog {
+    Catalog::new(vec![TableDef {
+        name: "fact".into(),
+        columns: (0..12)
+            .map(|i| ColumnDef {
+                name: format!("c{i}"),
+                width_bytes: 8,
+                stats: ColumnStats::uniform(100_000),
+            })
+            .collect(),
+        rows: 8_000_000,
+    }])
+}
+
+fn query(sel: &[u32], filt: u32) -> Query {
+    QueryBuilder::new(TableId(0))
+        .select(sel)
+        .filter(filt, PredOp::Eq, 0.0001)
+        .build()
+}
+
+fn w0() -> Workload {
+    Workload::from_queries([(query(&[1, 2], 3), 50.0), (query(&[3, 4], 5), 50.0)])
+}
+
+fn pool() -> Vec<Arc<Query>> {
+    (5..11)
+        .map(|c| Arc::new(query(&[c, c + 1], c - 1)))
+        .collect()
+}
+
+const BUDGET: u64 = 10_000_000_000;
+
+/// Runs one seeded, fault-injected session with tracing to memory and
+/// returns the captured JSONL trace.
+fn traced_run(spec: &str) -> String {
+    let session_clock = SessionClock::virtual_clock();
+    let trace_clock = {
+        let c = session_clock.clone();
+        TraceClock::shared_ms(move || c.now_ms())
+    };
+    let guard = install(TelemetryConfig {
+        trace: Some(TraceSink::Memory),
+        level: Level::Debug,
+        clock: trace_clock,
+        metrics: true,
+    })
+    .expect("memory sink installs");
+
+    let e = ColumnarEngine::new(catalog());
+    let nominal = GreedyDesigner::new(&e, ColumnarCandidates, "DBD");
+    let plan = FaultPlan::from_spec(spec).expect("valid fault spec");
+    let injector: FaultyDesigner<ColumnarEngine, _> =
+        FaultyDesigner::new(&nominal, plan, session_clock.clone());
+    let session = DesignSession::new(
+        &e,
+        injector,
+        DeltaEuclidean::new(12),
+        CliffGuardConfig::new(0.01),
+        SessionOptions {
+            clock: session_clock,
+            ..SessionOptions::default()
+        },
+    )
+    .expect("valid config");
+    let (d, _) = session.run(&w0(), BUDGET, &pool()).into_design();
+    assert!(d.price_bytes(e.catalog()) <= BUDGET);
+    guard.memory().expect("memory sink captured").to_jsonl()
+}
+
+const SPEC: &str = "seed=1,rate=0.3";
+
+#[test]
+fn trace_is_byte_identical_across_reruns() {
+    let _lock = TELEMETRY.lock().unwrap();
+    let t1 = traced_run(SPEC);
+    let t2 = traced_run(SPEC);
+    assert!(!t1.is_empty(), "trace must capture events");
+    assert_eq!(t1, t2, "same seed + virtual clock must replay identically");
+}
+
+#[test]
+fn trace_is_byte_identical_across_thread_counts() {
+    let _lock = TELEMETRY.lock().unwrap();
+    let saved = current_threads();
+    set_threads(1);
+    let t1 = traced_run(SPEC);
+    set_threads(8);
+    let t8 = traced_run(SPEC);
+    set_threads(saved);
+    assert_eq!(t1, t8, "trace must not depend on the thread count");
+}
+
+#[test]
+fn trace_validates_against_golden_schema() {
+    let _lock = TELEMETRY.lock().unwrap();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../schemas/trace.schema.json"
+    );
+    let schema_text = std::fs::read_to_string(path).expect("golden schema present");
+    let schema = TraceSchema::parse(&schema_text).expect("golden schema parses");
+
+    // A faulted run exercises the fault/retry/degraded events too.
+    let trace = traced_run("fail@1,stall@2:40");
+    let n = schema
+        .check_trace(&trace)
+        .unwrap_or_else(|errs| panic!("schema violations: {errs:?}"));
+    assert!(n >= 3, "expected start + iters + finish, got {n} lines");
+    assert!(trace.contains("\"cliffguard.core.session.start\""));
+    assert!(trace.contains("\"cliffguard.core.descent.iter\""));
+    assert!(trace.contains("\"cliffguard.core.session.finish\""));
+    assert!(trace.contains("\"cliffguard.core.session.fault\""));
+}
+
+#[test]
+fn metrics_snapshot_covers_every_layer() {
+    let _lock = TELEMETRY.lock().unwrap();
+    let session_clock = SessionClock::virtual_clock();
+    let guard = install(TelemetryConfig {
+        metrics: true,
+        ..Default::default()
+    })
+    .expect("metrics-only install");
+    let e = ColumnarEngine::new(catalog());
+    let nominal = GreedyDesigner::new(&e, ColumnarCandidates, "DBD");
+    let session = DesignSession::new(
+        &e,
+        Reliable(&nominal),
+        DeltaEuclidean::new(12),
+        CliffGuardConfig::new(0.01),
+        SessionOptions {
+            clock: session_clock,
+            ..SessionOptions::default()
+        },
+    )
+    .unwrap();
+    let _ = session.run(&w0(), BUDGET, &pool()).into_design();
+    let snap = guard.registry().expect("registry present").snapshot();
+    assert!(snap.counter("cliffguard.core.sessions") >= Some(1));
+    assert!(snap.counter("cliffguard.core.designer_attempts") >= Some(1));
+    let calls = snap
+        .histogram("cliffguard.core.designer_call_ms")
+        .expect("designer-call histogram recorded");
+    assert!(calls.count >= 1);
+    assert!(calls.p95() >= calls.p50());
+    assert!(
+        snap.histogram("cliffguard.core.iter_ms").is_some(),
+        "per-iteration timings recorded"
+    );
+    // Deterministic, sorted JSON export round-trips through the shim.
+    let json = snap.to_json();
+    assert!(json.contains("cliffguard.core.designer_call_ms"));
+}
