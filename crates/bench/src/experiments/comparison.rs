@@ -13,7 +13,7 @@ use cliffguard_core::gamma::GammaPolicy;
 use cliffguard_core::EngineExt;
 use cliffguard_designer::{CandidateGen, ColumnarCandidates, GreedyDesigner, RowCandidates};
 use cliffguard_distance::DeltaEuclidean;
-use cliffguard_sim::PhysicalDesign;
+use cliffguard_sim::{PhysicalDesign, PlanningEngine};
 use cliffguard_workload::generator::WorkloadProfile;
 use cliffguard_workload::Workload;
 
@@ -27,7 +27,7 @@ pub fn compare_all<E, G>(
     seed: u64,
 ) -> Vec<EvalSummary>
 where
-    E: EngineExt,
+    E: EngineExt + PlanningEngine,
     G: CandidateGen<E> + Copy,
     <E::Design as PhysicalDesign>::Structure: Clone,
 {

@@ -2,6 +2,7 @@
 
 mod basic;
 mod comparison;
+pub mod costkernel;
 mod knobs;
 pub mod resilience;
 pub mod telemetry;
@@ -30,6 +31,7 @@ pub const ALL_IDS: &[&str] = &[
     "fig16",
     "resilience",
     "telemetry",
+    "costkernel",
 ];
 
 /// Runs one experiment by id.
@@ -50,6 +52,7 @@ pub fn run_experiment(id: &str, scale: Scale, seed: u64) -> Option<Vec<Table>> {
         "fig16" => Some(fig16::run(scale, seed)),
         "resilience" => Some(resilience::run(scale, seed)),
         "telemetry" => Some(telemetry::run(scale, seed)),
+        "costkernel" => Some(costkernel::run(scale, seed)),
         _ => None,
     }
 }

@@ -407,6 +407,21 @@ fn cmd_design(opts: &Flags, clock: &SessionClock) -> Result<(), String> {
         let _ = cached.cost_f(w0, &design);
         let _ = cached.cost_f(w0, &design);
         cached.cache().publish_metrics();
+        // The session's cost kernel published its gauges while running;
+        // surface them here so a metrics run shows the dedup win without
+        // opening the snapshot file.
+        let interned = cliffguard::telemetry::gauge("cliffguard.sim.kernel.interned_queries")
+            .map_or(0.0, |g| g.get());
+        if interned > 0.0 {
+            let ratio = cliffguard::telemetry::gauge("cliffguard.sim.kernel.dedup_ratio")
+                .map_or(1.0, |g| g.get());
+            let reevals = cliffguard::telemetry::counter("cliffguard.designer.celf.reevaluations")
+                .map_or(0, |c| c.get());
+            eprintln!(
+                "cost kernel: {interned:.0} distinct queries interned, \
+                 {ratio:.2}x dedup, {reevals} CELF re-evaluations"
+            );
+        }
     }
 
     eprintln!(

@@ -96,8 +96,9 @@ pub mod prelude {
     };
     pub use cliffguard_robust::{descent_direction, testfns, BntOptimizer, CostFn};
     pub use cliffguard_sim::{
-        CacheStats, CachedEngine, ColumnarDesign, ColumnarEngine, CostCache, Engine, Index,
-        MatView, PhysicalDesign, Projection, RowDesign, RowEngine, RowStructure,
+        CacheStats, CachedEngine, ColumnarDesign, ColumnarEngine, CostCache, CostKernel,
+        DesignEpoch, Engine, Index, KernelStats, MatView, PhysicalDesign, PlanningEngine,
+        Projection, RowDesign, RowEngine, RowStructure,
     };
     pub use cliffguard_storage::{Catalog, CatalogGenerator, ColumnDef, ColumnStats, TableDef};
     pub use cliffguard_telemetry::{
@@ -108,7 +109,7 @@ pub mod prelude {
         DriftingGenerator, GeneratorConfig, SchemaShape, WorkloadProfile,
     };
     pub use cliffguard_workload::{
-        parser::parse_query, ColumnId, ColumnSet, PredOp, Query, QueryBuilder, QueryLog, TableId,
-        Workload,
+        parser::parse_query, ColumnId, ColumnSet, InternedWorkload, PredOp, Query, QueryBuilder,
+        QueryId, QueryLog, TableId, Workload, WorkloadInterner,
     };
 }

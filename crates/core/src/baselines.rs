@@ -8,7 +8,7 @@ use crate::session::{DesignSession, SessionOptions};
 use cliffguard_designer::{BenefitMatrix, CandidateGen, IlpSelector, NominalDesigner, Reliable};
 use cliffguard_distance::{NeighborhoodSampler, WorkloadDistance};
 use cliffguard_resilience::{FaultPlan, FaultyDesigner, SessionStats};
-use cliffguard_sim::{Engine, PhysicalDesign};
+use cliffguard_sim::{Engine, PhysicalDesign, PlanningEngine};
 use cliffguard_workload::{Query, Workload};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -214,7 +214,7 @@ impl<G, M> OptimalLocalSearchDesigner<G, M> {
 
 impl<E, G, M> DesignStrategy<E> for OptimalLocalSearchDesigner<G, M>
 where
-    E: Engine,
+    E: PlanningEngine,
     G: CandidateGen<E>,
     M: WorkloadDistance + Copy,
     <E::Design as PhysicalDesign>::Structure: Clone,
@@ -279,7 +279,7 @@ impl<G, M> GreedyLocalSearchDesigner<G, M> {
 
 impl<E, G, M> DesignStrategy<E> for GreedyLocalSearchDesigner<G, M>
 where
-    E: Engine,
+    E: PlanningEngine,
     G: CandidateGen<E>,
     M: WorkloadDistance + Copy,
     <E::Design as PhysicalDesign>::Structure: Clone,
@@ -370,7 +370,7 @@ impl<'d, D, M> CliffGuardStrategy<'d, D, M> {
 
 impl<E, D, M> DesignStrategy<E> for CliffGuardStrategy<'_, D, M>
 where
-    E: Engine,
+    E: PlanningEngine,
     D: NominalDesigner<E>,
     M: WorkloadDistance + Copy,
 {

@@ -4,7 +4,7 @@ use crate::config::{CliffGuardConfig, ConfigError};
 use crate::session::{DesignSession, SessionOptions};
 use cliffguard_designer::{NominalDesigner, Reliable};
 use cliffguard_distance::WorkloadDistance;
-use cliffguard_sim::Engine;
+use cliffguard_sim::{Engine, PlanningEngine};
 use cliffguard_workload::{Query, Workload};
 use std::sync::Arc;
 
@@ -45,7 +45,7 @@ pub struct CliffGuard<'a, E: Engine, D, M> {
 
 impl<'a, E, D, M> CliffGuard<'a, E, D, M>
 where
-    E: Engine,
+    E: PlanningEngine,
     D: NominalDesigner<E>,
     M: WorkloadDistance + Copy,
 {

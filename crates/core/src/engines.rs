@@ -2,7 +2,8 @@
 
 use cliffguard_designer::{ColumnarCandidates, RowCandidates};
 use cliffguard_sim::{
-    ColumnarDesign, ColumnarEngine, Engine, PhysicalDesign, RowDesign, RowEngine, WorkloadCost,
+    CachedEngine, ColumnarDesign, ColumnarEngine, Engine, PhysicalDesign, RowDesign, RowEngine,
+    WorkloadCost,
 };
 use cliffguard_workload::{Query, Workload};
 
@@ -77,6 +78,16 @@ impl EngineExt for ColumnarEngine {
 impl EngineExt for RowEngine {
     fn ideal_design_for(&self, q: &Query) -> RowDesign {
         RowDesign::from_structures(RowCandidates::tailored(self, q))
+    }
+}
+
+/// A cached engine is the same engine with memoized latencies (the cache
+/// returns the stored bits, so every derived quantity is bit-identical).
+/// Delegating the ideal-design construction lets the evaluation protocol
+/// run entirely against the cached wrapper.
+impl<E: EngineExt> EngineExt for CachedEngine<'_, E> {
+    fn ideal_design_for(&self, q: &Query) -> Self::Design {
+        self.inner().ideal_design_for(q)
     }
 }
 

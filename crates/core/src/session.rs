@@ -35,9 +35,9 @@ use crate::move_workload::move_workload;
 use cliffguard_designer::{DesignerFault, FallibleDesigner};
 use cliffguard_distance::{NeighborhoodSampler, WorkloadDistance};
 use cliffguard_resilience::{DegradedReason, RetryPolicy, SessionClock};
-use cliffguard_sim::{Engine, PhysicalDesign};
+use cliffguard_sim::{CostKernel, Engine, PhysicalDesign, PlanningEngine};
 use cliffguard_telemetry::{self as telemetry, Level};
-use cliffguard_workload::{Query, Workload};
+use cliffguard_workload::{InternedWorkload, Query, Workload};
 use serde::{map_get, Deserialize, Error as SerdeError, Serialize, Value};
 use std::sync::Arc;
 use std::time::Instant;
@@ -351,7 +351,7 @@ pub struct DesignSession<'a, E: Engine, F, M> {
 
 impl<'a, E, F, M> DesignSession<'a, E, F, M>
 where
-    E: Engine,
+    E: PlanningEngine,
     F: FallibleDesigner<E>,
     M: WorkloadDistance + Copy,
 {
@@ -465,10 +465,17 @@ where
         // the original workload is not a robust improvement.
         neighborhood.push(w0.clone());
 
-        let current_worst = self.worst_case(&neighborhood, &design);
+        // The dense cost kernel interns every query the descent will ever
+        // cost (the neighborhood plus W0, which was just pushed last) and
+        // compiles each distinct plan once. All descent-loop costing below
+        // goes through per-design latency epochs instead of re-planning.
+        let (kernel, interned) = CostKernel::build(self.engine, &neighborhood);
+        kernel.publish_metrics();
+
+        let current_worst = self.worst_case(&kernel, &interned, &design);
         trace.worst_case_per_iter.push(current_worst);
         let st = Descent {
-            w0_cap: self.w0_cost(w0, &design) * MAX_NOMINAL_REGRESSION,
+            w0_cap: self.w0_cost(&kernel, &interned, &design) * MAX_NOMINAL_REGRESSION,
             design,
             alpha: cfg.alpha0,
             current_worst,
@@ -482,6 +489,8 @@ where
             w0,
             budget_bytes,
             &neighborhood,
+            &kernel,
+            &interned,
             fingerprint,
             rng_words,
             st,
@@ -531,6 +540,8 @@ where
             });
         }
         neighborhood.push(w0.clone());
+        let (kernel, interned) = CostKernel::build(self.engine, &neighborhood);
+        kernel.publish_metrics();
         // Realign call-indexed designer state (fault schedules) with the
         // position an uninterrupted session would be at.
         self.designer.note_prior_attempts(checkpoint.attempts);
@@ -554,6 +565,8 @@ where
             w0,
             budget_bytes,
             &neighborhood,
+            &kernel,
+            &interned,
             fp,
             rng_words,
             st,
@@ -572,21 +585,33 @@ where
     }
 
     /// Worst-case objective: max over the sampled neighborhood of the
-    /// average query latency. Each workload is costed on a worker thread;
-    /// the max is folded serially in sample order, so the result is
-    /// bit-identical at any thread count.
-    fn worst_case(&self, neighborhood: &[Workload], d: &E::Design) -> f64 {
-        let engine = self.engine;
-        cliffguard_parallel::par_map_fold(
-            neighborhood,
-            |w| engine.workload_cost(w, d).avg_ms,
-            0.0,
-            f64::max,
-        )
+    /// average query latency. The design's latency epoch is filled by
+    /// worker threads in query order; the per-workload folds and the max
+    /// run serially in sample order, so the result is bit-identical at
+    /// any thread count.
+    fn worst_case(
+        &self,
+        kernel: &CostKernel<'_, E>,
+        interned: &[InternedWorkload],
+        d: &E::Design,
+    ) -> f64 {
+        let epoch = kernel.epoch(d);
+        interned
+            .iter()
+            .map(|w| kernel.workload_cost(w, &epoch).avg_ms)
+            .fold(0.0, f64::max)
     }
 
-    fn w0_cost(&self, w0: &Workload, d: &E::Design) -> f64 {
-        self.engine.workload_cost(w0, d).avg_ms
+    /// Cost of W0 under `d`. W0 is always pushed onto the neighborhood
+    /// last, so it is the final interned workload.
+    fn w0_cost(
+        &self,
+        kernel: &CostKernel<'_, E>,
+        interned: &[InternedWorkload],
+        d: &E::Design,
+    ) -> f64 {
+        let w0 = interned.last().expect("neighborhood contains W0");
+        kernel.workload_cost(w0, &kernel.epoch(d)).avg_ms
     }
 
     /// One *logical* designer call: retry with backoff until the call
@@ -717,6 +742,8 @@ where
         w0: &Workload,
         budget_bytes: u64,
         neighborhood: &[Workload],
+        kernel: &CostKernel<'_, E>,
+        interned: &[InternedWorkload],
         fingerprint: u64,
         rng_words: u64,
         mut st: Descent<E::Design>,
@@ -724,7 +751,6 @@ where
         observer: &mut dyn FnMut(&DescentCheckpoint<E::Design>),
     ) -> SessionEnd<E::Design> {
         let cfg = &self.config;
-        let engine = self.engine;
         // A resumed checkpoint may already have exhausted its patience
         // (the uninterrupted run stopped on its final iteration's break).
         if st.stale >= cfg.patience {
@@ -768,16 +794,18 @@ where
                 .entered();
 
             // Line 6: the worst neighbors under the current design (top
-            // worst_fraction, at least one). Scoring fans out per sample;
-            // indices attach afterwards in input order, and the sort is
-            // stable, so the ranking is independent of the thread count.
+            // worst_fraction, at least one). The kernel fills one latency
+            // epoch for the design (workers fan out per query, results
+            // land in query order); workload folds then run serially over
+            // dense vectors, and the sort is stable, so the ranking is
+            // independent of the thread count.
             let design_now = &st.design;
-            let mut scored: Vec<(usize, f64)> = cliffguard_parallel::par_map(neighborhood, |w| {
-                engine.workload_cost(w, design_now).avg_ms
-            })
-            .into_iter()
-            .enumerate()
-            .collect();
+            let epoch_now = kernel.epoch(design_now);
+            let mut scored: Vec<(usize, f64)> = interned
+                .iter()
+                .map(|w| kernel.workload_cost(w, &epoch_now).avg_ms)
+                .enumerate()
+                .collect();
             scored.sort_by(|a, b| b.1.total_cmp(&a.1));
             let keep = ((neighborhood.len() as f64 * cfg.worst_fraction).ceil() as usize)
                 .clamp(1, neighborhood.len());
@@ -791,12 +819,13 @@ where
             let worst_refs: Vec<&Workload> = merged_idx.iter().map(|&i| &neighborhood[i]).collect();
             iter_span.record_u64("neighbors", merged_idx.len() as u64);
 
-            // Line 8: move the workload toward the worst neighbors.
-            let design_ref = &st.design;
+            // Line 8: move the workload toward the worst neighbors. Every
+            // query here comes from the neighborhood (or W0 itself), so
+            // each lookup is a dense read from the epoch just filled.
             let moved = move_workload(
                 w0,
                 &worst_refs,
-                |q| engine.query_latency_ms(q, design_ref),
+                |q| kernel.query_latency_ms(q, design_now, &epoch_now),
                 st.alpha,
             );
 
@@ -835,9 +864,9 @@ where
 
             // Lines 10–15: accept on worst-case improvement; adapt α.
             let prev_worst = st.current_worst;
-            let candidate_worst = self.worst_case(neighborhood, &candidate);
-            let accepted =
-                candidate_worst < st.current_worst && self.w0_cost(w0, &candidate) <= st.w0_cap;
+            let candidate_worst = self.worst_case(kernel, interned, &candidate);
+            let accepted = candidate_worst < st.current_worst
+                && self.w0_cost(kernel, interned, &candidate) <= st.w0_cap;
             if accepted {
                 st.design = candidate;
                 st.current_worst = candidate_worst;

@@ -9,11 +9,43 @@
 //! all — which is precisely the brittleness CliffGuard exists to fix.
 
 use crate::traits::{CandidateGen, NominalDesigner};
-use cliffguard_sim::{Engine, PhysicalDesign};
+use cliffguard_sim::{PhysicalDesign, PlanningEngine};
 use cliffguard_workload::Workload;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 /// Minimum total-ms gain for a structure to be worth adding.
 const MIN_GAIN_MS: f64 = 1e-6;
+
+/// CELF heap entry: a (possibly stale) upper bound on one candidate's
+/// benefit-per-byte density, tagged with the selection round it was
+/// computed in.
+struct CelfEntry {
+    density: f64,
+    candidate: usize,
+    round: usize,
+}
+
+impl PartialEq for CelfEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for CelfEntry {}
+impl PartialOrd for CelfEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for CelfEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap: higher density first; exact ties broken toward the
+        // lower candidate index, matching the eager reference selection.
+        self.density
+            .total_cmp(&other.density)
+            .then_with(|| other.candidate.cmp(&self.candidate))
+    }
+}
 
 /// Precomputed per-(query, candidate) standalone latencies.
 ///
@@ -32,39 +64,44 @@ pub struct BenefitMatrix<S> {
 }
 
 impl<S: Clone> BenefitMatrix<S> {
-    /// Builds the matrix: one engine evaluation per (query, candidate).
+    /// Builds the matrix: one plan compilation per query, one plan
+    /// evaluation per (query, candidate).
     pub fn build<E>(engine: &E, w: &Workload, candidates: Vec<S>) -> Self
     where
-        E: Engine,
+        E: PlanningEngine,
         E::Design: PhysicalDesign<Structure = S>,
         S: Send + Sync,
     {
-        let queries: Vec<_> = w.iter().map(|(q, wt)| (q.clone(), wt)).collect();
+        // Compile each distinct query once; every row of the matrix then
+        // evaluates the same plans against a single-structure design,
+        // skipping the per-call decomposition entirely.
+        let weights: Vec<f64> = w.iter().map(|(_, wt)| wt).collect();
+        let plans: Vec<E::Plan> = w.iter().map(|(q, _)| engine.compile_plan(q)).collect();
         let empty = E::Design::default();
-        let base: Vec<f64> = queries
+        let base: Vec<f64> = plans
             .iter()
-            .map(|(q, _)| engine.query_latency_ms(q, &empty))
+            .map(|p| engine.plan_latency_ms(p, &empty))
             .collect();
         let prices: Vec<u64> = candidates
             .iter()
             .map(|c| E::Design::structure_price(c, engine.catalog()))
             .collect();
-        // The designer's hot loop: one engine evaluation per
+        // The designer's hot loop: one plan evaluation per
         // (candidate, query) pair. Candidates are independent, so each
         // row of the matrix is built on a worker thread; rows come back
         // in candidate order, so the matrix — and everything greedy
         // selection derives from it — is identical at any thread count.
         let lat: Vec<Vec<f64>> = cliffguard_parallel::par_map(&candidates, |c| {
             let d = E::Design::from_structures(vec![c.clone()]);
-            queries
+            plans
                 .iter()
-                .map(|(q, _)| engine.query_latency_ms(q, &d))
+                .map(|p| engine.plan_latency_ms(p, &d))
                 .collect()
         });
         Self {
             candidates,
             prices,
-            weights: queries.iter().map(|(_, wt)| *wt).collect(),
+            weights,
             base,
             lat,
         }
@@ -111,17 +148,94 @@ impl<S: Clone> BenefitMatrix<S> {
         self.gain(&self.base, c)
     }
 
-    /// Greedy benefit-per-byte selection under a byte budget. Returns the
-    /// chosen candidate indices in selection order.
+    /// Greedy benefit-per-byte selection under a byte budget (CELF lazy
+    /// greedy). Returns the chosen candidate indices in selection order.
     pub fn greedy_select(&self, budget_bytes: u64) -> Vec<usize> {
+        self.greedy_select_with_stats(budget_bytes).0
+    }
+
+    /// [`greedy_select`](Self::greedy_select) plus the number of lazy
+    /// re-evaluations performed — the work an eager rescan would have
+    /// multiplied by the full candidate count every round.
+    ///
+    /// The objective is submodular under the atomic-configuration model:
+    /// `current` only ever decreases pointwise, so a candidate's gain only
+    /// shrinks between rounds and a previously computed density is a valid
+    /// upper bound. The max-heap therefore only re-evaluates entries that
+    /// surface at the top (CELF); everything below keeps its stale bound.
+    /// Exact density ties break toward the lower candidate index, same as
+    /// [`greedy_select_eager`](Self::greedy_select_eager), so both paths
+    /// select identical sets in identical order.
+    pub fn greedy_select_with_stats(&self, budget_bytes: u64) -> (Vec<usize>, u64) {
         let mut current = self.base.clone();
         let mut remaining = budget_bytes;
         let mut chosen: Vec<usize> = Vec::new();
-        let mut available: Vec<usize> = (0..self.candidates.len()).collect();
+        let mut reevaluations: u64 = 0;
+        let mut heap: BinaryHeap<CelfEntry> = (0..self.candidates.len())
+            .filter_map(|c| {
+                let g = self.standalone_gain(c);
+                (g > MIN_GAIN_MS).then(|| CelfEntry {
+                    density: g / (self.prices[c].max(1) as f64),
+                    candidate: c,
+                    round: 0,
+                })
+            })
+            .collect();
+        while let Some(top) = heap.pop() {
+            let c = top.candidate;
+            if self.prices[c] > remaining {
+                // The budget only shrinks: never affordable again.
+                continue;
+            }
+            if top.round < chosen.len() {
+                // Stale upper bound: re-evaluate against the current
+                // latencies and re-push at the current round.
+                reevaluations += 1;
+                let g = self.gain(&current, c);
+                if g > MIN_GAIN_MS {
+                    heap.push(CelfEntry {
+                        density: g / (self.prices[c].max(1) as f64),
+                        candidate: c,
+                        round: chosen.len(),
+                    });
+                }
+                // Gains never grow, so a now-worthless candidate stays
+                // worthless: drop it for good.
+                continue;
+            }
+            // Fresh entry at the top: every other candidate's true density
+            // sits at or below its (stale) bound, hence at or below this
+            // one. Select it.
+            remaining -= self.prices[c];
+            for (q, cur) in current.iter_mut().enumerate() {
+                *cur = cur.min(self.lat[c][q]);
+            }
+            chosen.push(c);
+        }
+        if reevaluations > 0 {
+            if let Some(ct) =
+                cliffguard_telemetry::counter("cliffguard.designer.celf.reevaluations")
+            {
+                ct.incr(reevaluations);
+            }
+        }
+        (chosen, reevaluations)
+    }
+
+    /// The eager reference selection: recompute every candidate's gain each
+    /// round and take the densest affordable one (ties toward the lower
+    /// candidate index). O(rounds × candidates × queries) — kept as the
+    /// specification that [`greedy_select`](Self::greedy_select) is tested
+    /// against and as the bench comparison point.
+    pub fn greedy_select_eager(&self, budget_bytes: u64) -> Vec<usize> {
+        let mut current = self.base.clone();
+        let mut remaining = budget_bytes;
+        let mut chosen: Vec<usize> = Vec::new();
+        let mut taken = vec![false; self.candidates.len()];
         loop {
             let mut best: Option<(usize, f64)> = None;
-            for (slot, &c) in available.iter().enumerate() {
-                if self.prices[c] > remaining {
+            for (c, &already) in taken.iter().enumerate() {
+                if already || self.prices[c] > remaining {
                     continue;
                 }
                 let g = self.gain(&current, c);
@@ -130,11 +244,11 @@ impl<S: Clone> BenefitMatrix<S> {
                 }
                 let density = g / (self.prices[c].max(1) as f64);
                 if best.map_or(true, |(_, bd)| density > bd) {
-                    best = Some((slot, density));
+                    best = Some((c, density));
                 }
             }
-            let Some((slot, _)) = best else { break };
-            let c = available.swap_remove(slot);
+            let Some((c, _)) = best else { break };
+            taken[c] = true;
             remaining -= self.prices[c];
             for (q, cur) in current.iter_mut().enumerate() {
                 *cur = cur.min(self.lat[c][q]);
@@ -152,7 +266,7 @@ pub struct GreedyDesigner<'e, E, G> {
     label: String,
 }
 
-impl<'e, E: Engine, G: CandidateGen<E>> GreedyDesigner<'e, E, G> {
+impl<'e, E: PlanningEngine, G: CandidateGen<E>> GreedyDesigner<'e, E, G> {
     /// Creates the designer.
     pub fn new(engine: &'e E, generator: G, label: impl Into<String>) -> Self {
         Self {
@@ -175,7 +289,7 @@ impl<'e, E: Engine, G: CandidateGen<E>> GreedyDesigner<'e, E, G> {
     }
 }
 
-impl<E: Engine, G: CandidateGen<E>> NominalDesigner<E> for GreedyDesigner<'_, E, G> {
+impl<E: PlanningEngine, G: CandidateGen<E>> NominalDesigner<E> for GreedyDesigner<'_, E, G> {
     fn design(&self, w: &Workload, budget_bytes: u64) -> E::Design {
         if w.is_empty() {
             return E::Design::default();
@@ -199,7 +313,7 @@ impl<E: Engine, G: CandidateGen<E>> NominalDesigner<E> for GreedyDesigner<'_, E,
 mod tests {
     use super::*;
     use crate::candidates::ColumnarCandidates;
-    use cliffguard_sim::{ColumnarDesign, ColumnarEngine};
+    use cliffguard_sim::{ColumnarDesign, ColumnarEngine, Engine};
     use cliffguard_storage::{Catalog, ColumnDef, ColumnStats, TableDef};
     use cliffguard_workload::{PredOp, QueryBuilder, TableId};
 
@@ -308,5 +422,73 @@ mod tests {
         let small = m.cost_of_set(&m.greedy_select(500_000_000));
         let large = m.cost_of_set(&m.greedy_select(5_000_000_000));
         assert!(large <= small + 1e-9);
+    }
+
+    #[test]
+    fn celf_matches_eager_on_real_matrix() {
+        let e = ColumnarEngine::new(catalog());
+        let d = GreedyDesigner::new(&e, ColumnarCandidates, "DBD");
+        let m = d.matrix(&workload());
+        for budget in [0, 400_000_000, 2_000_000_000, u64::MAX] {
+            let (lazy, _) = m.greedy_select_with_stats(budget);
+            assert_eq!(lazy, m.greedy_select_eager(budget), "budget {budget}");
+        }
+    }
+
+    /// Deterministic pseudo-random matrix for exercising selection alone
+    /// (no engine involved; fields are crate-visible).
+    fn random_matrix(seed: u64, n_cand: usize, n_query: usize) -> BenefitMatrix<usize> {
+        // SplitMix64 stream — self-contained, reproducible.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let unit = |v: u64| (v >> 11) as f64 / (1u64 << 53) as f64;
+        let base: Vec<f64> = (0..n_query).map(|_| 100.0 + 900.0 * unit(next())).collect();
+        let lat: Vec<Vec<f64>> = (0..n_cand)
+            .map(|_| {
+                (0..n_query)
+                    // Sometimes better than base, sometimes worse.
+                    .map(|q| base[q] * (0.05 + 1.4 * unit(next())))
+                    .collect()
+            })
+            .collect();
+        BenefitMatrix {
+            candidates: (0..n_cand).collect(),
+            prices: (0..n_cand).map(|_| 1 + next() % 1000).collect(),
+            weights: (0..n_query).map(|_| 1.0 + 9.0 * unit(next())).collect(),
+            base,
+            lat,
+        }
+    }
+
+    #[test]
+    fn celf_matches_eager_on_random_matrices() {
+        for seed in 0..50u64 {
+            let m = random_matrix(seed, 1 + (seed as usize % 17), 1 + (seed as usize % 7));
+            for budget in [0, 50, 500, 5_000, u64::MAX] {
+                let (lazy, _) = m.greedy_select_with_stats(budget);
+                let eager = m.greedy_select_eager(budget);
+                assert_eq!(lazy, eager, "seed {seed} budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn celf_reevaluates_less_than_eager_rescans() {
+        let m = random_matrix(7, 40, 10);
+        let (chosen, reevals) = m.greedy_select_with_stats(u64::MAX);
+        assert!(!chosen.is_empty());
+        // An eager implementation rescans every remaining candidate each
+        // round; CELF must do strictly less re-evaluation work.
+        let eager_rescans = (chosen.len() as u64) * (m.len() as u64);
+        assert!(
+            reevals < eager_rescans,
+            "CELF {reevals} vs eager bound {eager_rescans}"
+        );
     }
 }

@@ -74,13 +74,20 @@ fn threads_from_env() -> Option<usize> {
         .filter(|&n| n > 0)
 }
 
+/// Fewer items per worker than this and the spawn + join overhead costs
+/// more than the map itself; [`par_map`] caps the thread count so every
+/// chunk holds at least this many items.
+const MIN_CHUNK: usize = 8;
+
 /// Maps `f` over `items`, returning results in input order.
 ///
 /// The slice is split into at most [`current_threads`] contiguous chunks,
 /// each mapped on its own scoped thread, and the per-chunk results are
 /// stitched back together in chunk order — so the output is exactly
 /// `items.iter().map(f).collect()` for any thread count. With one thread
-/// (or one item) no thread is spawned at all.
+/// (or one item) no thread is spawned at all, and small inputs use fewer
+/// threads so each chunk amortizes its spawn cost over at least a
+/// handful of items.
 ///
 /// Panics in `f` propagate to the caller.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
@@ -89,7 +96,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = current_threads().min(items.len());
+    let threads = current_threads().min(items.len().div_ceil(MIN_CHUNK));
     if threads <= 1 {
         if telemetry::metrics_enabled() {
             if let Some(c) = telemetry::counter("cliffguard.parallel.inline_calls") {
@@ -219,6 +226,24 @@ mod tests {
         let empty: Vec<i32> = vec![];
         assert!(par_map(&empty, |&x| x).is_empty());
         assert_eq!(par_map(&[7], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn small_inputs_cap_thread_count() {
+        let _guard = THREAD_KNOB.lock().unwrap();
+        set_threads(64);
+        // Fewer items than MIN_CHUNK: runs inline, output still exact.
+        let small: Vec<u64> = (0..MIN_CHUNK as u64 - 1).collect();
+        assert_eq!(
+            par_map(&small, |&x| x * 2),
+            small.iter().map(|&x| x * 2).collect::<Vec<_>>()
+        );
+        // A few multiples of MIN_CHUNK: parallel, but never a chunk of 1.
+        let medium: Vec<u64> = (0..3 * MIN_CHUNK as u64 + 1).collect();
+        assert_eq!(
+            par_map(&medium, |&x| x + 1),
+            medium.iter().map(|&x| x + 1).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -50,13 +50,24 @@ impl BntOptimizer {
         let mut x = x0.to_vec();
         let mut iterations = 0;
         let mut converged = false;
-        let mut worst = self.finder.worst_case_cost(f, &x);
+        // One Γ-ball exploration serves both the worst-case cost g(x)
+        // (its best entry) and line 5's worst-neighbor set — the two were
+        // previously recomputed from scratch for the same point, doubling
+        // the dominant cost of every iteration.
+        let mut neighbors = self.finder.worst_neighbors(f, &x);
+        let mut worst = neighbors
+            .first()
+            .map(|(_, c)| *c)
+            .unwrap_or_else(|| f.eval(&x));
 
         for k in 1..=self.max_iters {
             iterations = k;
-            // Neighborhood exploration (line 5).
-            let neighbors = self.finder.worst_neighbors(f, &x);
-            let offsets: Vec<Vec<f64>> = neighbors.into_iter().map(|(d, _)| d).collect();
+            // Neighborhood exploration (line 5) — already in `neighbors`,
+            // carried over from the accepted candidate's exploration.
+            let offsets: Vec<Vec<f64>> = std::mem::take(&mut neighbors)
+                .into_iter()
+                .map(|(d, _)| d)
+                .collect();
             // Robust local move (lines 7–16).
             let Some(dir) = descent_direction(&offsets, self.direction_tol) else {
                 converged = true; // line 9: no direction away from all of U
@@ -68,10 +79,15 @@ impl BntOptimizer {
             let mut moved = false;
             for _ in 0..8 {
                 let cand: Vec<f64> = x.iter().zip(&dir).map(|(a, d)| a + t * d).collect();
-                let cand_worst = self.finder.worst_case_cost(f, &cand);
+                let cand_neighbors = self.finder.worst_neighbors(f, &cand);
+                let cand_worst = cand_neighbors
+                    .first()
+                    .map(|(_, c)| *c)
+                    .unwrap_or_else(|| f.eval(&cand));
                 if cand_worst < worst {
                     x = cand;
                     worst = cand_worst;
+                    neighbors = cand_neighbors;
                     moved = true;
                     break;
                 }
@@ -164,6 +180,18 @@ mod tests {
         let r = opt.minimize(&f, &[2.0]);
         assert!(r.iterations >= 1);
         assert!(r.worst_case >= r.nominal - 1e-9);
+    }
+
+    #[test]
+    fn reported_worst_case_matches_a_fresh_exploration() {
+        // `worst` is carried across iterations from the accepted
+        // candidate's exploration instead of being recomputed; it must
+        // stay in sync with the final x.
+        let f = testfns::bnt_polynomial();
+        let opt = BntOptimizer::new(0.5);
+        let r = opt.minimize(&f, &[2.8, 4.0]);
+        let fresh = opt.finder.worst_case_cost(&f, &r.x);
+        assert_eq!(r.worst_case.to_bits(), fresh.to_bits());
     }
 
     #[test]

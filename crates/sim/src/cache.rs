@@ -397,6 +397,43 @@ mod tests {
     }
 
     #[test]
+    fn wholesale_shard_clear_counts_every_dropped_entry() {
+        // Regression lock on the eviction-counter semantics: an epoch
+        // eviction clears a whole shard, and must charge *every* dropped
+        // entry to `evictions` — not 1 per clear.
+        let cache = CostCache::with_capacity(3 * SHARDS); // shard_capacity = 3
+        let fp = 42u64;
+        let anchor = QuerySignature(0);
+        let same_shard: Vec<QuerySignature> = (0..100_000u64)
+            .map(QuerySignature)
+            .filter(|&s| std::ptr::eq(cache.shard(s, fp), cache.shard(anchor, fp)))
+            .take(4)
+            .collect();
+        assert_eq!(same_shard.len(), 4, "need four keys in one shard");
+        for (i, &s) in same_shard[..3].iter().enumerate() {
+            cache.get_or_insert_with(s, fp, || i as f64);
+        }
+        assert_eq!(
+            cache.stats().evictions,
+            0,
+            "shard at capacity, no clear yet"
+        );
+        // The 4th distinct key overflows the shard.
+        cache.get_or_insert_with(same_shard[3], fp, || 3.0);
+        assert_eq!(
+            cache.stats().evictions,
+            3,
+            "a wholesale clear must count all dropped entries"
+        );
+        assert_eq!(cache.len(), 1, "only the newcomer survives");
+        // An evicted key recomputes as a fresh miss without another clear
+        // until the shard refills.
+        cache.get_or_insert_with(same_shard[0], fp, || 0.0);
+        assert_eq!(cache.stats().evictions, 3);
+        assert_eq!(cache.stats().misses, 5);
+    }
+
+    #[test]
     fn clear_drops_entries_but_keeps_counters() {
         let cache = CostCache::default();
         cache.get_or_insert_with(QuerySignature(1), 1, || 1.0);

@@ -16,7 +16,7 @@
 //!    column compresses by the full RLE ratio, deeper sort columns by a
 //!    damped ratio, unsorted columns by a modest generic factor.
 
-use crate::engine::{Engine, PhysicalDesign};
+use crate::engine::{Engine, PhysicalDesign, PlanningEngine};
 use cliffguard_storage::{Catalog, CostConstants};
 use cliffguard_workload::{ColumnId, ColumnSet, PredOp, Predicate, Query, TableId};
 use serde::{Deserialize, Serialize};
@@ -129,6 +129,32 @@ impl PhysicalDesign for ColumnarDesign {
     }
 }
 
+/// One table slice of a compiled plan: the columns and predicates that land
+/// on this table, plus the prebuilt super-projection it falls back to.
+#[derive(Debug, Clone)]
+struct PlannedTable {
+    table: TableId,
+    referenced: ColumnSet,
+    preds: Vec<Predicate>,
+    super_proj: Projection,
+}
+
+/// A compiled columnar plan.
+///
+/// Everything `query_latency_ms` derives from the [`Query`] — the per-table
+/// column/predicate decomposition and the super-projection fallbacks — is
+/// hoisted here once, so repeated costing of the same query against many
+/// designs (the design-epoch kernel's fill loop) does no per-call
+/// allocation or catalog lookups.
+#[derive(Debug, Clone)]
+pub struct ColumnarPlan {
+    tables: Vec<PlannedTable>,
+    aggregates: bool,
+    group_by: ColumnSet,
+    order_by: Vec<ColumnId>,
+    predicates: Vec<Predicate>,
+}
+
 /// One table access in an explain plan.
 #[derive(Debug, Clone)]
 pub struct TableAccess {
@@ -175,8 +201,9 @@ impl ColumnarEngine {
         &self.cost
     }
 
-    /// Splits a query's referenced columns and predicates by table.
-    fn per_table<'q>(&self, q: &'q Query) -> Vec<(TableId, ColumnSet, Vec<&'q Predicate>)> {
+    /// Splits a query's referenced columns and predicates by table, and
+    /// builds each table's super-projection fallback.
+    fn per_table(&self, q: &Query) -> Vec<PlannedTable> {
         let mut tables = vec![q.anchor];
         for &t in &q.joins {
             if !tables.contains(&t) {
@@ -191,19 +218,32 @@ impl ColumnarEngine {
                     .iter()
                     .filter(|&c| self.catalog.table_of(c) == t)
                     .collect();
-                let preds: Vec<&Predicate> = q
+                let preds: Vec<Predicate> = q
                     .predicates
                     .iter()
                     .filter(|p| self.catalog.table_of(p.column) == t)
+                    .copied()
                     .collect();
-                (t, referenced, preds)
+                // Super-projection: every column, unsorted — full scan of
+                // the referenced columns at generic compression, no pruning.
+                let super_proj = Projection {
+                    table: t,
+                    columns: self.catalog.columns_of(t).collect(),
+                    sort_order: Vec::new(),
+                };
+                PlannedTable {
+                    table: t,
+                    referenced,
+                    preds,
+                    super_proj,
+                }
             })
             .collect()
     }
 
     /// Scan fraction implied by matching `preds` against a sort order, and
     /// the number of leading sort columns consumed by equality predicates.
-    fn prefix_match(sort_order: &[ColumnId], preds: &[&Predicate]) -> (f64, usize) {
+    fn prefix_match(sort_order: &[ColumnId], preds: &[Predicate]) -> (f64, usize) {
         let mut frac = 1.0;
         let mut eq_depth = 0;
         for &c in sort_order {
@@ -234,7 +274,7 @@ impl ColumnarEngine {
         &self,
         p: &Projection,
         referenced: &ColumnSet,
-        preds: &[&Predicate],
+        preds: &[Predicate],
     ) -> (f64, f64) {
         let rows = self.catalog.table(p.table).rows as f64;
         let (frac, _) = Self::prefix_match(&p.sort_order, preds);
@@ -260,30 +300,23 @@ impl ColumnarEngine {
     }
 
     /// Best (cheapest) access for one table: the covering projections of
-    /// the design compete with the super-projection.
-    fn table_access_ms(
+    /// the design compete with the super-projection. The chosen projection
+    /// is borrowed from the design (`None` = super-projection).
+    fn table_access_ms<'d>(
         &self,
-        d: &ColumnarDesign,
-        t: TableId,
-        referenced: &ColumnSet,
-        preds: &[&Predicate],
-    ) -> (f64, f64, Option<Projection>) {
-        // Super-projection: every column, unsorted — full scan of the
-        // referenced columns at generic compression, no pruning.
-        let super_proj = Projection {
-            table: t,
-            columns: self.catalog.columns_of(t).collect(),
-            sort_order: Vec::new(),
-        };
-        let (mut best_ms, mut survived) = self.projection_access_ms(&super_proj, referenced, preds);
+        d: &'d ColumnarDesign,
+        pt: &PlannedTable,
+    ) -> (f64, f64, Option<&'d Projection>) {
+        let (mut best_ms, mut survived) =
+            self.projection_access_ms(&pt.super_proj, &pt.referenced, &pt.preds);
         let mut chosen = None;
         for p in &d.projections {
-            if p.table == t && p.covers(referenced) {
-                let (ms, surv) = self.projection_access_ms(p, referenced, preds);
+            if p.table == pt.table && p.covers(&pt.referenced) {
+                let (ms, surv) = self.projection_access_ms(p, &pt.referenced, &pt.preds);
                 if ms < best_ms {
                     best_ms = ms;
                     survived = surv;
-                    chosen = Some(p.clone());
+                    chosen = Some(p);
                 }
             }
         }
@@ -294,49 +327,53 @@ impl ColumnarEngine {
     /// The projection the optimizer would pick for the query's anchor table
     /// (None = super-projection). Exposed for tests and explain output.
     pub fn chosen_projection(&self, q: &Query, d: &ColumnarDesign) -> Option<Projection> {
-        let per = self.per_table(q);
-        let (t, referenced, preds) = &per[0];
-        self.table_access_ms(d, *t, referenced, preds).2
+        let plan = self.compile_plan(q);
+        self.table_access_ms(d, &plan.tables[0]).2.cloned()
     }
 
     /// Explains the optimizer's choices for a query under a design: per
     /// touched table, the chosen projection (`None` = super-projection)
     /// and the estimated access latency.
     pub fn explain(&self, q: &Query, d: &ColumnarDesign) -> ColumnarExplain {
+        let plan = self.compile_plan(q);
         let mut accesses = Vec::new();
-        for (t, referenced, preds) in self.per_table(q) {
-            let (ms, _, chosen) = self.table_access_ms(d, t, &referenced, &preds);
+        for pt in &plan.tables {
+            let (ms, _, chosen) = self.table_access_ms(d, pt);
             accesses.push(TableAccess {
-                table: t,
-                projection: chosen,
+                table: pt.table,
+                projection: chosen.cloned(),
                 est_ms: ms,
             });
         }
         ColumnarExplain {
-            total_ms: self.query_latency_ms(q, d),
+            total_ms: self.plan_latency_ms(&plan, d),
             accesses,
         }
     }
 
     /// Aggregation + ordering cost on the anchor's surviving rows.
-    fn post_processing_ms(&self, q: &Query, survived: f64, chosen: Option<&Projection>) -> f64 {
+    fn post_processing_ms(
+        &self,
+        plan: &ColumnarPlan,
+        survived: f64,
+        chosen: Option<&Projection>,
+    ) -> f64 {
         let mut ms = 0.0;
         let mut out_rows = survived;
-        if q.aggregates && !q.group_by.is_empty() {
+        if plan.aggregates && !plan.group_by.is_empty() {
             // Expected group count: capped product of group-column NDVs.
             let mut groups = 1.0f64;
-            for c in q.group_by.iter() {
+            for c in plan.group_by.iter() {
                 groups = (groups * self.catalog.column(c).stats.ndv as f64).min(survived);
             }
             // Streaming aggregation if the group-by columns sit in the
             // projection's sort prefix (after the equality-matched columns).
             let streaming = chosen.is_some_and(|p| {
-                let preds: Vec<&Predicate> = q.predicates.iter().collect();
-                let (_, eq_depth) = Self::prefix_match(&p.sort_order, &preds);
-                q.group_by.iter().all(|g| {
+                let (_, eq_depth) = Self::prefix_match(&p.sort_order, &plan.predicates);
+                plan.group_by.iter().all(|g| {
                     p.sort_order
                         .iter()
-                        .take(eq_depth + q.group_by.len())
+                        .take(eq_depth + plan.group_by.len())
                         .any(|&s| s == g)
                 })
             });
@@ -346,18 +383,18 @@ impl ColumnarEngine {
                 self.cost.cpu_ms(survived * 1.2)
             };
             out_rows = groups;
-        } else if q.aggregates {
+        } else if plan.aggregates {
             // Scalar aggregate: single pass, one output row.
             ms += self.cost.cpu_ms(survived * 0.3);
             out_rows = 1.0;
         }
-        if !q.order_by.is_empty() {
+        if !plan.order_by.is_empty() {
             // Free if the chosen projection is already sorted that way and
             // no aggregation re-shuffled the rows.
-            let presorted = !q.aggregates
+            let presorted = !plan.aggregates
                 && chosen.is_some_and(|p| {
-                    q.order_by.len() <= p.sort_order.len()
-                        && q.order_by.iter().zip(&p.sort_order).all(|(a, b)| a == b)
+                    plan.order_by.len() <= p.sort_order.len()
+                        && plan.order_by.iter().zip(&p.sort_order).all(|(a, b)| a == b)
                 });
             if !presorted {
                 ms += self.cost.sort_ms(out_rows);
@@ -371,26 +408,10 @@ impl Engine for ColumnarEngine {
     type Design = ColumnarDesign;
 
     fn query_latency_ms(&self, q: &Query, d: &ColumnarDesign) -> f64 {
-        let mut total = self.cost.fixed_overhead_ms;
-        let per = self.per_table(q);
-        let mut anchor_survived = 0.0;
-        let mut anchor_chosen = None;
-        for (i, (t, referenced, preds)) in per.iter().enumerate() {
-            if referenced.is_empty() && i > 0 {
-                continue;
-            }
-            let (ms, survived, chosen) = self.table_access_ms(d, *t, referenced, preds);
-            total += ms;
-            if i == 0 {
-                anchor_survived = survived;
-                anchor_chosen = chosen;
-            } else {
-                // Hash join: build on the smaller side, probe with the other.
-                total += self.cost.cpu_ms(survived + anchor_survived * 0.5);
-            }
-        }
-        total += self.post_processing_ms(q, anchor_survived, anchor_chosen.as_ref());
-        total
+        // The direct path compiles and evaluates in one shot; the kernel
+        // compiles once and re-evaluates the plan across many designs.
+        // Both run the exact same arithmetic, so costs are bit-identical.
+        self.plan_latency_ms(&self.compile_plan(q), d)
     }
 
     fn catalog(&self) -> &Catalog {
@@ -406,6 +427,42 @@ impl Engine for ColumnarEngine {
                 self.cost.build_ms(bytes) + self.cost.sort_ms(rows)
             })
             .sum()
+    }
+}
+
+impl PlanningEngine for ColumnarEngine {
+    type Plan = ColumnarPlan;
+
+    fn compile_plan(&self, q: &Query) -> ColumnarPlan {
+        ColumnarPlan {
+            tables: self.per_table(q),
+            aggregates: q.aggregates,
+            group_by: q.group_by.clone(),
+            order_by: q.order_by.clone(),
+            predicates: q.predicates.clone(),
+        }
+    }
+
+    fn plan_latency_ms(&self, plan: &ColumnarPlan, d: &ColumnarDesign) -> f64 {
+        let mut total = self.cost.fixed_overhead_ms;
+        let mut anchor_survived = 0.0;
+        let mut anchor_chosen = None;
+        for (i, pt) in plan.tables.iter().enumerate() {
+            if pt.referenced.is_empty() && i > 0 {
+                continue;
+            }
+            let (ms, survived, chosen) = self.table_access_ms(d, pt);
+            total += ms;
+            if i == 0 {
+                anchor_survived = survived;
+                anchor_chosen = chosen;
+            } else {
+                // Hash join: build on the smaller side, probe with the other.
+                total += self.cost.cpu_ms(survived + anchor_survived * 0.5);
+            }
+        }
+        total += self.post_processing_ms(plan, anchor_survived, anchor_chosen);
+        total
     }
 }
 

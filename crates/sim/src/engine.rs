@@ -159,6 +159,30 @@ pub trait Engine: Sync {
     fn deployment_ms(&self, d: &Self::Design) -> f64;
 }
 
+/// An engine whose optimizer can split query costing into a one-time
+/// **compile** step and a cheap per-design **evaluate** step.
+///
+/// `compile_plan` hoists everything derivable from the query alone — the
+/// per-table column/predicate decomposition, fallback access paths — out of
+/// the latency computation, so the design-epoch kernel can cost the same
+/// query against a stream of designs with no per-call allocation.
+///
+/// **Contract:** `plan_latency_ms(&compile_plan(q), d)` must be
+/// bit-identical to `query_latency_ms(q, d)` for every query and design
+/// (the engines here guarantee it by routing both paths through the same
+/// arithmetic).
+pub trait PlanningEngine: Engine {
+    /// The compiled form of one query.
+    type Plan: Send + Sync;
+
+    /// Compiles a query once, independent of any design.
+    fn compile_plan(&self, q: &Query) -> Self::Plan;
+
+    /// Latency (ms) of a compiled query under a design; bit-identical to
+    /// [`Engine::query_latency_ms`] on the query the plan was compiled from.
+    fn plan_latency_ms(&self, plan: &Self::Plan, d: &Self::Design) -> f64;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,385 @@
+//! The design-epoch cost kernel.
+//!
+//! CliffGuard's descent re-costs a *fixed* set of workloads (the target
+//! plus its Γ-neighborhood samples) against a stream of candidate designs.
+//! The memoizing [`CachedEngine`](crate::CachedEngine) already avoids
+//! recomputing the cost model, but still pays a full structural query hash
+//! plus a sharded-mutex map probe on **every** lookup. The kernel removes
+//! both:
+//!
+//! 1. All workloads are interned once through a
+//!    [`WorkloadInterner`], assigning dense [`QueryId`]s and turning each
+//!    workload into a frequency vector.
+//! 2. Each query is compiled once into an engine [`Plan`]
+//!    ([`PlanningEngine::compile_plan`]), hoisting the per-table
+//!    decomposition out of the latency computation.
+//! 3. Per design, one [`DesignEpoch`] materializes the full latency vector
+//!    (`Vec<f64>` indexed by [`QueryId`]) via the chunked parallel map —
+//!    after which every cost is an array read and `cost(w, d)` a weighted
+//!    dot product.
+//!
+//! One-off queries that were never interned (none arise in the descent
+//! loop, but callers may ask) fall back to a plain [`CostCache`].
+//!
+//! # Determinism
+//!
+//! `par_map` returns input-ordered results and the per-workload cost fold
+//! visits entries in the source workload's order, so every number the
+//! kernel produces is **bit-identical** to direct `Engine` evaluation at
+//! any thread count (`PlanningEngine`'s compile/evaluate contract supplies
+//! per-query equality; the fold here mirrors `Engine::workload_cost`).
+//!
+//! Telemetry is metrics-only (`cliffguard.sim.kernel.*`): the kernel never
+//! emits trace events, keeping traces byte-identical with and without it.
+
+use crate::cache::{CacheStats, CostCache};
+use crate::engine::{PhysicalDesign, PlanningEngine, WorkloadCost};
+use cliffguard_workload::{InternedWorkload, Query, QueryId, Workload, WorkloadInterner};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Epochs kept in the kernel's internal memo. The descent loop only ever
+/// alternates between the incumbent design and one candidate, so a handful
+/// of slots suffices.
+const EPOCH_MEMO_CAPACITY: usize = 4;
+
+/// The latency vector of one design: `lat[QueryId]` for every interned
+/// query, filled once by [`CostKernel::epoch`].
+#[derive(Debug)]
+pub struct DesignEpoch {
+    fingerprint: u64,
+    lat: Vec<f64>,
+}
+
+impl DesignEpoch {
+    /// Fingerprint of the design this epoch was built for.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Latency (ms) of one interned query under this epoch's design.
+    pub fn latency_ms(&self, id: QueryId) -> f64 {
+        self.lat[id.index()]
+    }
+
+    /// The full latency vector, indexed by dense [`QueryId`].
+    pub fn latencies(&self) -> &[f64] {
+        &self.lat
+    }
+}
+
+/// Counter snapshot of a [`CostKernel`].
+#[derive(Debug, Clone, Copy)]
+pub struct KernelStats {
+    /// Distinct queries interned.
+    pub interned_queries: usize,
+    /// Workload entries seen before deduplication.
+    pub raw_entries: u64,
+    /// `raw_entries / interned_queries`.
+    pub dedup_ratio: f64,
+    /// Epochs materialized (full latency-vector fills).
+    pub epoch_builds: u64,
+    /// Epoch requests answered from the memo.
+    pub epoch_reuses: u64,
+    /// Fallback cache counters (un-interned one-off queries).
+    pub fallback: CacheStats,
+}
+
+/// The dense cost kernel: interned queries, compiled plans, and per-design
+/// latency epochs over a [`PlanningEngine`].
+pub struct CostKernel<'e, E: PlanningEngine> {
+    engine: &'e E,
+    interner: WorkloadInterner,
+    plans: Vec<E::Plan>,
+    fallback: CostCache,
+    memo: Mutex<Vec<Arc<DesignEpoch>>>,
+    epoch_builds: AtomicU64,
+    epoch_reuses: AtomicU64,
+}
+
+impl<'e, E: PlanningEngine> CostKernel<'e, E> {
+    /// Interns `workloads` (preserving each one's entry order) and compiles
+    /// every distinct query once. Returns the kernel plus the interned
+    /// workloads, aligned with the input slice.
+    pub fn build(engine: &'e E, workloads: &[Workload]) -> (Self, Vec<InternedWorkload>) {
+        let mut interner = WorkloadInterner::new();
+        let interned: Vec<InternedWorkload> =
+            workloads.iter().map(|w| interner.intern(w)).collect();
+        let plans: Vec<E::Plan> = interner
+            .queries()
+            .iter()
+            .map(|q| engine.compile_plan(q))
+            .collect();
+        let kernel = Self {
+            engine,
+            interner,
+            plans,
+            fallback: CostCache::default(),
+            memo: Mutex::new(Vec::with_capacity(EPOCH_MEMO_CAPACITY)),
+            epoch_builds: AtomicU64::new(0),
+            epoch_reuses: AtomicU64::new(0),
+        };
+        (kernel, interned)
+    }
+
+    /// The engine this kernel evaluates against.
+    pub fn engine(&self) -> &'e E {
+        self.engine
+    }
+
+    /// The interner (for id lookups and dedup statistics).
+    pub fn interner(&self) -> &WorkloadInterner {
+        &self.interner
+    }
+
+    /// The latency epoch for `d`: memoized by design fingerprint, built by
+    /// filling the full latency vector through the chunked parallel map on
+    /// a miss. Results are input-ordered, so the vector — and everything
+    /// derived from it — is identical at any thread count.
+    pub fn epoch(&self, d: &E::Design) -> Arc<DesignEpoch> {
+        let fingerprint = d.fingerprint();
+        {
+            let mut memo = self.memo.lock();
+            if let Some(i) = memo.iter().position(|e| e.fingerprint == fingerprint) {
+                let hit = memo.remove(i);
+                memo.push(Arc::clone(&hit)); // most-recently-used last
+                self.epoch_reuses.fetch_add(1, Ordering::Relaxed);
+                return hit;
+            }
+        }
+        // Build outside the lock: epoch fills are the kernel's one heavy
+        // step and must not serialize against memo probes. The descent
+        // loop is sequential at this level, so duplicate concurrent fills
+        // do not arise in practice (and would be harmless — pure).
+        let epoch = Arc::new(self.build_epoch(fingerprint, d));
+        let mut memo = self.memo.lock();
+        if memo.len() >= EPOCH_MEMO_CAPACITY {
+            memo.remove(0); // least-recently-used first
+        }
+        memo.push(Arc::clone(&epoch));
+        epoch
+    }
+
+    fn build_epoch(&self, fingerprint: u64, d: &E::Design) -> DesignEpoch {
+        let t0 = std::time::Instant::now();
+        let lat = cliffguard_parallel::par_map(&self.plans, |p| self.engine.plan_latency_ms(p, d));
+        self.epoch_builds.fetch_add(1, Ordering::Relaxed);
+        if cliffguard_telemetry::metrics_enabled() {
+            if let Some(h) = cliffguard_telemetry::histogram("cliffguard.sim.kernel.build_ms") {
+                h.record(cliffguard_telemetry::elapsed_ms(t0));
+            }
+        }
+        DesignEpoch { fingerprint, lat }
+    }
+
+    /// Aggregate cost of an interned workload under an epoch. Same fold,
+    /// in the same entry order, as [`Engine::workload_cost`] — results are
+    /// bit-identical to costing the source workload directly.
+    pub fn workload_cost(&self, w: &InternedWorkload, epoch: &DesignEpoch) -> WorkloadCost {
+        if w.is_empty() {
+            return WorkloadCost::zero();
+        }
+        let mut total = 0.0;
+        let mut max: f64 = 0.0;
+        let mut weight = 0.0;
+        for &(id, wt) in w.entries() {
+            let l = epoch.latency_ms(id);
+            total += l * wt;
+            weight += wt;
+            max = max.max(l);
+        }
+        WorkloadCost {
+            avg_ms: total / weight,
+            max_ms: max,
+            total_ms: total,
+        }
+    }
+
+    /// Latency of one query under the epoch's design: a dense array read
+    /// for interned queries, the fallback [`CostCache`] (keyed like
+    /// [`CachedEngine`](crate::CachedEngine)) for one-off queries the
+    /// kernel has never seen.
+    pub fn query_latency_ms(&self, q: &Query, d: &E::Design, epoch: &DesignEpoch) -> f64 {
+        match self.interner.id_of(q) {
+            Some(id) => epoch.latency_ms(id),
+            None => self
+                .fallback
+                .get_or_insert_with(q.signature(), epoch.fingerprint, || {
+                    self.engine.query_latency_ms(q, d)
+                }),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> KernelStats {
+        KernelStats {
+            interned_queries: self.interner.len(),
+            raw_entries: self.interner.raw_entries(),
+            dedup_ratio: self.interner.dedup_ratio(),
+            epoch_builds: self.epoch_builds.load(Ordering::Relaxed),
+            epoch_reuses: self.epoch_reuses.load(Ordering::Relaxed),
+            fallback: self.fallback.stats(),
+        }
+    }
+
+    /// Publishes interner gauges (`cliffguard.sim.kernel.interned_queries`,
+    /// `cliffguard.sim.kernel.dedup_ratio`) into the installed telemetry
+    /// registry. Metrics only — the kernel never writes trace events. A
+    /// no-op when metrics are off.
+    pub fn publish_metrics(&self) {
+        if !cliffguard_telemetry::metrics_enabled() {
+            return;
+        }
+        let stats = self.stats();
+        for (name, v) in [
+            (
+                "cliffguard.sim.kernel.interned_queries",
+                stats.interned_queries as f64,
+            ),
+            ("cliffguard.sim.kernel.dedup_ratio", stats.dedup_ratio),
+        ] {
+            if let Some(g) = cliffguard_telemetry::gauge(name) {
+                g.set(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::columnar::{ColumnarDesign, ColumnarEngine, Projection};
+    use crate::engine::Engine;
+    use cliffguard_storage::{Catalog, ColumnDef, ColumnStats, TableDef};
+    use cliffguard_workload::{ColumnSet, PredOp, QueryBuilder, TableId};
+
+    fn catalog() -> Catalog {
+        Catalog::new(vec![TableDef {
+            name: "fact".into(),
+            columns: (0..8)
+                .map(|i| ColumnDef {
+                    name: format!("c{i}"),
+                    width_bytes: 8,
+                    stats: ColumnStats::uniform(10_000),
+                })
+                .collect(),
+            rows: 4_000_000,
+        }])
+    }
+
+    fn design(cols: &[u32], sort: &[u32]) -> ColumnarDesign {
+        ColumnarDesign::from_structures(vec![Projection::new(
+            TableId(0),
+            ColumnSet::from_ids(cols),
+            sort.iter()
+                .map(|&c| cliffguard_workload::ColumnId(c))
+                .collect(),
+        )])
+    }
+
+    fn workloads() -> Vec<Workload> {
+        let q = |sel: u32, f: f64| {
+            QueryBuilder::new(TableId(0))
+                .select(&[sel])
+                .filter((sel + 1) % 8, PredOp::Eq, f)
+                .build()
+        };
+        vec![
+            Workload::from_queries([(q(1, 0.01), 3.0), (q(2, 0.05), 1.0)]),
+            Workload::from_queries([(q(2, 0.05), 2.0), (q(3, 0.2), 5.0)]),
+            Workload::from_queries([(q(1, 0.01), 1.0)]),
+        ]
+    }
+
+    #[test]
+    fn kernel_costs_match_direct_engine_bitwise() {
+        let engine = ColumnarEngine::new(catalog());
+        let ws = workloads();
+        let (kernel, interned) = CostKernel::build(&engine, &ws);
+        for d in [
+            design(&[1, 2], &[2]),
+            design(&[1, 2, 3, 4], &[3]),
+            ColumnarDesign::empty(),
+        ] {
+            let epoch = kernel.epoch(&d);
+            for (w, iw) in ws.iter().zip(&interned) {
+                let direct = engine.workload_cost(w, &d);
+                let dense = kernel.workload_cost(iw, &epoch);
+                assert_eq!(direct.total_ms.to_bits(), dense.total_ms.to_bits());
+                assert_eq!(direct.avg_ms.to_bits(), dense.avg_ms.to_bits());
+                assert_eq!(direct.max_ms.to_bits(), dense.max_ms.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_memo_reuses_designs() {
+        let engine = ColumnarEngine::new(catalog());
+        let ws = workloads();
+        let (kernel, _) = CostKernel::build(&engine, &ws);
+        let d = design(&[1, 2], &[1]);
+        let a = kernel.epoch(&d);
+        let b = kernel.epoch(&d);
+        assert!(Arc::ptr_eq(&a, &b), "same design must reuse its epoch");
+        let s = kernel.stats();
+        assert_eq!(s.epoch_builds, 1);
+        assert_eq!(s.epoch_reuses, 1);
+        // A structurally equal design built in a different order also hits.
+        let d2 = design(&[1, 2], &[1]);
+        let c = kernel.epoch(&d2);
+        assert!(Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn memo_evicts_least_recently_used() {
+        let engine = ColumnarEngine::new(catalog());
+        let ws = workloads();
+        let (kernel, _) = CostKernel::build(&engine, &ws);
+        let designs: Vec<ColumnarDesign> = (0..=EPOCH_MEMO_CAPACITY as u32)
+            .map(|i| design(&[1, 2 + i % 5], &[]))
+            .collect();
+        for d in &designs {
+            let _ = kernel.epoch(d);
+        }
+        // First design was evicted; asking again rebuilds.
+        let builds_before = kernel.stats().epoch_builds;
+        let _ = kernel.epoch(&designs[0]);
+        assert_eq!(kernel.stats().epoch_builds, builds_before + 1);
+    }
+
+    #[test]
+    fn uninterned_query_uses_fallback_cache() {
+        let engine = ColumnarEngine::new(catalog());
+        let ws = workloads();
+        let (kernel, _) = CostKernel::build(&engine, &ws);
+        let d = design(&[1, 2], &[1]);
+        let epoch = kernel.epoch(&d);
+        let stranger = QueryBuilder::new(TableId(0))
+            .select(&[6, 7])
+            .filter(5, PredOp::Range, 0.4)
+            .build();
+        let direct = engine.query_latency_ms(&stranger, &d);
+        let via_kernel = kernel.query_latency_ms(&stranger, &d, &epoch);
+        assert_eq!(direct.to_bits(), via_kernel.to_bits());
+        let _ = kernel.query_latency_ms(&stranger, &d, &epoch);
+        let fb = kernel.stats().fallback;
+        assert_eq!(fb.misses, 1);
+        assert_eq!(fb.hits, 1);
+        // Interned queries never touch the fallback.
+        let (q0, _) = ws[0].iter().next().unwrap();
+        let _ = kernel.query_latency_ms(q0, &d, &epoch);
+        assert_eq!(kernel.stats().fallback.lookups(), 2);
+    }
+
+    #[test]
+    fn dedup_ratio_reflects_sharing() {
+        let engine = ColumnarEngine::new(catalog());
+        let ws = workloads();
+        let (kernel, _) = CostKernel::build(&engine, &ws);
+        let s = kernel.stats();
+        assert_eq!(s.interned_queries, 3, "three distinct queries");
+        assert_eq!(s.raw_entries, 5, "five entries across the workloads");
+        assert!((s.dedup_ratio - 5.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -30,11 +30,15 @@
 mod cache;
 mod columnar;
 mod engine;
+mod kernel;
 mod row;
 
 pub mod ddl;
 
 pub use cache::{CacheStats, CachedEngine, CostCache};
-pub use columnar::{ColumnarDesign, ColumnarEngine, ColumnarExplain, Projection, TableAccess};
-pub use engine::{Engine, PhysicalDesign, WorkloadCost};
-pub use row::{Index, MatView, RowDesign, RowEngine, RowPath, RowStructure};
+pub use columnar::{
+    ColumnarDesign, ColumnarEngine, ColumnarExplain, ColumnarPlan, Projection, TableAccess,
+};
+pub use engine::{Engine, PhysicalDesign, PlanningEngine, WorkloadCost};
+pub use kernel::{CostKernel, DesignEpoch, KernelStats};
+pub use row::{Index, MatView, RowDesign, RowEngine, RowPath, RowPlan, RowStructure};

@@ -15,7 +15,7 @@
 //!   rows; an exact group-by match is free of re-aggregation, a coarser
 //!   query re-aggregates the view's rows.
 
-use crate::engine::{Engine, PhysicalDesign};
+use crate::engine::{Engine, PhysicalDesign, PlanningEngine};
 use cliffguard_storage::{Catalog, CostConstants};
 use cliffguard_workload::{ColumnId, ColumnSet, PredOp, Predicate, Query, TableId};
 use serde::{Deserialize, Serialize};
@@ -229,6 +229,27 @@ struct Access {
     path: RowPath,
 }
 
+/// One table slice of a compiled row plan.
+#[derive(Debug, Clone)]
+struct RowPlannedTable {
+    table: TableId,
+    referenced: ColumnSet,
+    preds: Vec<Predicate>,
+}
+
+/// A compiled row-store plan: the per-table decomposition and the query
+/// attributes the access-path chooser and post-processing read, hoisted out
+/// of `query_latency_ms` so the design-epoch kernel's fill loop does no
+/// repeated allocation.
+#[derive(Debug, Clone)]
+pub struct RowPlan {
+    tables: Vec<RowPlannedTable>,
+    aggregates: bool,
+    group_by: ColumnSet,
+    filter: ColumnSet,
+    has_order_by: bool,
+}
+
 impl RowEngine {
     /// Creates the engine with default cost constants.
     pub fn new(catalog: Catalog) -> Self {
@@ -244,7 +265,7 @@ impl RowEngine {
     }
 
     /// Matched selectivity of predicates against an index key prefix.
-    fn prefix_selectivity(key: &[ColumnId], preds: &[&Predicate]) -> f64 {
+    fn prefix_selectivity(key: &[ColumnId], preds: &[Predicate]) -> f64 {
         let mut sel = 1.0;
         let mut matched = false;
         for &c in key {
@@ -282,13 +303,14 @@ impl RowEngine {
     /// Best access path for one table of the query.
     fn table_access(
         &self,
-        q: &Query,
+        plan: &RowPlan,
         d: &RowDesign,
-        t: TableId,
-        referenced: &ColumnSet,
-        preds: &[&Predicate],
+        pt: &RowPlannedTable,
         is_anchor: bool,
     ) -> Access {
+        let t = pt.table;
+        let referenced = &pt.referenced;
+        let preds = &pt.preds;
         let table = self.catalog.table(t);
         let rows = table.rows as f64;
         let survived = rows
@@ -343,15 +365,15 @@ impl RowEngine {
 
         // Materialized views (anchor only; view rewrites over joins are out
         // of scope, as in most commercial MV matchers of the era).
-        if is_anchor && q.aggregates && !q.group_by.is_empty() {
+        if is_anchor && plan.aggregates && !plan.group_by.is_empty() {
             for v in d.views.iter().filter(|v| v.table == t) {
-                let filters_ok = q
+                let filters_ok = plan
                     .filter
                     .iter()
                     .filter(|&c| self.catalog.table_of(c) == t)
                     .all(|c| v.group_by.contains(c));
                 if !referenced.is_subset(&v.columns)
-                    || !q.group_by.is_subset(&v.group_by)
+                    || !plan.group_by.is_subset(&v.group_by)
                     || !filters_ok
                 {
                     continue;
@@ -374,7 +396,7 @@ impl RowEngine {
                     best = Access {
                         ms,
                         survived: vsurvived,
-                        agg_done: v.group_by == q.group_by,
+                        agg_done: v.group_by == plan.group_by,
                         path: RowPath::MatView(v.clone()),
                     };
                 }
@@ -385,17 +407,18 @@ impl RowEngine {
 
     /// Explains the optimizer's per-table access-path choices for a query.
     pub fn explain(&self, q: &Query, d: &RowDesign) -> Vec<(TableId, RowPath, f64)> {
-        self.per_table(q)
-            .into_iter()
+        let plan = self.compile_plan(q);
+        plan.tables
+            .iter()
             .enumerate()
-            .map(|(i, (t, referenced, preds))| {
-                let acc = self.table_access(q, d, t, &referenced, &preds, i == 0);
-                (t, acc.path, acc.ms)
+            .map(|(i, pt)| {
+                let acc = self.table_access(&plan, d, pt, i == 0);
+                (pt.table, acc.path, acc.ms)
             })
             .collect()
     }
 
-    fn per_table<'q>(&self, q: &'q Query) -> Vec<(TableId, ColumnSet, Vec<&'q Predicate>)> {
+    fn per_table(&self, q: &Query) -> Vec<RowPlannedTable> {
         let mut tables = vec![q.anchor];
         for &t in &q.joins {
             if !tables.contains(&t) {
@@ -410,12 +433,17 @@ impl RowEngine {
                     .iter()
                     .filter(|&c| self.catalog.table_of(c) == t)
                     .collect();
-                let preds: Vec<&Predicate> = q
+                let preds: Vec<Predicate> = q
                     .predicates
                     .iter()
                     .filter(|p| self.catalog.table_of(p.column) == t)
+                    .copied()
                     .collect();
-                (t, referenced, preds)
+                RowPlannedTable {
+                    table: t,
+                    referenced,
+                    preds,
+                }
             })
             .collect()
     }
@@ -425,43 +453,9 @@ impl Engine for RowEngine {
     type Design = RowDesign;
 
     fn query_latency_ms(&self, q: &Query, d: &RowDesign) -> f64 {
-        let mut total = self.cost.fixed_overhead_ms;
-        let per = self.per_table(q);
-        let mut anchor = Access {
-            ms: 0.0,
-            survived: 1.0,
-            agg_done: false,
-            path: RowPath::SeqScan,
-        };
-        for (i, (t, referenced, preds)) in per.iter().enumerate() {
-            let acc = self.table_access(q, d, *t, referenced, preds, i == 0);
-            total += acc.ms;
-            if i == 0 {
-                anchor = acc;
-            } else {
-                total += self.cost.cpu_ms(acc.survived + anchor.survived * 0.5);
-            }
-        }
-        // Aggregation.
-        let mut out_rows = anchor.survived;
-        if q.aggregates && !q.group_by.is_empty() {
-            let mut groups = 1.0f64;
-            for c in q.group_by.iter() {
-                groups = (groups * self.catalog.column(c).stats.ndv as f64).min(anchor.survived);
-            }
-            if !anchor.agg_done {
-                total += self.cost.cpu_ms(anchor.survived * 1.2);
-            }
-            out_rows = groups;
-        } else if q.aggregates {
-            total += self.cost.cpu_ms(anchor.survived * 0.3);
-            out_rows = 1.0;
-        }
-        // Ordering (row stores always sort here).
-        if !q.order_by.is_empty() {
-            total += self.cost.sort_ms(out_rows);
-        }
-        total
+        // Compile-then-evaluate: shares every arithmetic step with the
+        // kernel's reused-plan path, so costs are bit-identical.
+        self.plan_latency_ms(&self.compile_plan(q), d)
     }
 
     fn catalog(&self) -> &Catalog {
@@ -479,6 +473,59 @@ impl Engine for RowEngine {
             ms += self.cost.build_ms(v.size_bytes(&self.catalog) as f64) + self.cost.cpu_ms(rows);
         }
         ms
+    }
+}
+
+impl PlanningEngine for RowEngine {
+    type Plan = RowPlan;
+
+    fn compile_plan(&self, q: &Query) -> RowPlan {
+        RowPlan {
+            tables: self.per_table(q),
+            aggregates: q.aggregates,
+            group_by: q.group_by.clone(),
+            filter: q.filter.clone(),
+            has_order_by: !q.order_by.is_empty(),
+        }
+    }
+
+    fn plan_latency_ms(&self, plan: &RowPlan, d: &RowDesign) -> f64 {
+        let mut total = self.cost.fixed_overhead_ms;
+        let mut anchor = Access {
+            ms: 0.0,
+            survived: 1.0,
+            agg_done: false,
+            path: RowPath::SeqScan,
+        };
+        for (i, pt) in plan.tables.iter().enumerate() {
+            let acc = self.table_access(plan, d, pt, i == 0);
+            total += acc.ms;
+            if i == 0 {
+                anchor = acc;
+            } else {
+                total += self.cost.cpu_ms(acc.survived + anchor.survived * 0.5);
+            }
+        }
+        // Aggregation.
+        let mut out_rows = anchor.survived;
+        if plan.aggregates && !plan.group_by.is_empty() {
+            let mut groups = 1.0f64;
+            for c in plan.group_by.iter() {
+                groups = (groups * self.catalog.column(c).stats.ndv as f64).min(anchor.survived);
+            }
+            if !anchor.agg_done {
+                total += self.cost.cpu_ms(anchor.survived * 1.2);
+            }
+            out_rows = groups;
+        } else if plan.aggregates {
+            total += self.cost.cpu_ms(anchor.survived * 0.3);
+            out_rows = 1.0;
+        }
+        // Ordering (row stores always sort here).
+        if plan.has_order_by {
+            total += self.cost.sort_ms(out_rows);
+        }
+        total
     }
 }
 

@@ -1,0 +1,208 @@
+//! Workload interning: dense query ids across a family of workloads.
+//!
+//! CliffGuard's descent loop re-costs the *same* Γ-neighborhood samples
+//! against a stream of candidate designs. The samples share most of their
+//! queries (they are perturbations of one target workload), so costing them
+//! through per-query hashing wastes both the structural hash and a sharded
+//! map probe on every lookup. [`WorkloadInterner`] assigns each distinct
+//! query (by [`QuerySignature`]) a dense [`QueryId`] and re-expresses every
+//! workload as a frequency vector over those ids, so that
+//! `cost(w, d) = Σ freq[i] · lat[d][i]` becomes a weighted dot product over
+//! a per-design latency array.
+//!
+//! The interner is deliberately order-preserving: an [`InternedWorkload`]
+//! keeps its source workload's entry order, so downstream cost folds visit
+//! queries in exactly the order `Workload::iter` would — a requirement for
+//! bit-identical f64 reductions.
+
+use crate::query::{Query, QuerySignature};
+use crate::workload::Workload;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Dense identifier of a distinct query inside a [`WorkloadInterner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u32);
+
+impl QueryId {
+    /// The id as a usize index into per-design latency vectors.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A workload re-expressed as `(QueryId, weight)` pairs, preserving the
+/// source workload's entry order.
+#[derive(Debug, Clone, Default)]
+pub struct InternedWorkload {
+    entries: Vec<(QueryId, f64)>,
+}
+
+impl InternedWorkload {
+    /// Iterates `(id, raw_weight)` in the source workload's entry order.
+    pub fn entries(&self) -> &[(QueryId, f64)] {
+        &self.entries
+    }
+
+    /// Number of distinct queries in the source workload.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the source workload was empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum of raw weights (matches `Workload::total_weight` up to f64
+    /// summation order, which is identical because entry order is kept).
+    pub fn total_weight(&self) -> f64 {
+        self.entries.iter().map(|&(_, w)| w).sum()
+    }
+}
+
+/// Dedupes structurally identical queries across many workloads into dense
+/// [`QueryId`]s.
+///
+/// Typical use: intern the target workload and every Γ-neighborhood sample
+/// once per design session, then cost each `(workload, design)` pair as a
+/// dot product against a per-design latency vector (`DesignEpoch` in
+/// `cliffguard-sim`).
+#[derive(Debug, Default)]
+pub struct WorkloadInterner {
+    queries: Vec<Arc<Query>>,
+    by_sig: HashMap<QuerySignature, u32>,
+    raw_entries: u64,
+}
+
+impl WorkloadInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a single query, returning its dense id (existing or new).
+    pub fn intern_query(&mut self, query: &Arc<Query>) -> QueryId {
+        let sig = query.signature();
+        match self.by_sig.get(&sig) {
+            Some(&id) => QueryId(id),
+            None => {
+                let id = u32::try_from(self.queries.len()).expect("more than u32::MAX queries");
+                self.by_sig.insert(sig, id);
+                self.queries.push(Arc::clone(query));
+                QueryId(id)
+            }
+        }
+    }
+
+    /// Interns every entry of `workload`, preserving entry order.
+    pub fn intern(&mut self, workload: &Workload) -> InternedWorkload {
+        let entries = workload
+            .iter()
+            .map(|(q, wt)| {
+                self.raw_entries += 1;
+                (self.intern_query(q), wt)
+            })
+            .collect();
+        InternedWorkload { entries }
+    }
+
+    /// Looks up the id of an already-interned query (`None` if unseen).
+    pub fn id_of(&self, query: &Query) -> Option<QueryId> {
+        self.by_sig.get(&query.signature()).map(|&id| QueryId(id))
+    }
+
+    /// The query behind a dense id.
+    pub fn query(&self, id: QueryId) -> &Arc<Query> {
+        &self.queries[id.index()]
+    }
+
+    /// All distinct queries, indexed by [`QueryId`].
+    pub fn queries(&self) -> &[Arc<Query>] {
+        &self.queries
+    }
+
+    /// Number of distinct queries interned so far.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Total workload entries fed through [`WorkloadInterner::intern`]
+    /// (before deduplication).
+    pub fn raw_entries(&self) -> u64 {
+        self.raw_entries
+    }
+
+    /// `raw_entries / distinct` — how much work interning saves. 1.0 means
+    /// no cross-workload sharing; Γ-neighborhoods typically sit well above.
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.queries.is_empty() {
+            1.0
+        } else {
+            self.raw_entries as f64 / self.queries.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TableId;
+    use crate::query::QueryBuilder;
+
+    fn q(sel: &[u32]) -> Query {
+        QueryBuilder::new(TableId(0)).select(sel).build()
+    }
+
+    #[test]
+    fn dedupes_across_workloads() {
+        let a = Workload::from_queries([(q(&[1]), 2.0), (q(&[2]), 1.0)]);
+        let b = Workload::from_queries([(q(&[2]), 5.0), (q(&[3]), 1.0)]);
+        let mut interner = WorkloadInterner::new();
+        let ia = interner.intern(&a);
+        let ib = interner.intern(&b);
+        assert_eq!(interner.len(), 3);
+        assert_eq!(interner.raw_entries(), 4);
+        assert!((interner.dedup_ratio() - 4.0 / 3.0).abs() < 1e-12);
+        // Shared query maps to the same id in both workloads.
+        assert_eq!(ia.entries()[1].0, ib.entries()[0].0);
+    }
+
+    #[test]
+    fn preserves_entry_order_and_weights() {
+        let w = Workload::from_queries([(q(&[3]), 1.5), (q(&[1]), 2.5), (q(&[2]), 0.5)]);
+        let mut interner = WorkloadInterner::new();
+        let iw = interner.intern(&w);
+        let weights: Vec<f64> = iw.entries().iter().map(|&(_, wt)| wt).collect();
+        assert_eq!(weights, vec![1.5, 2.5, 0.5]);
+        for ((id, _), (query, _)) in iw.entries().iter().zip(w.iter()) {
+            assert_eq!(
+                interner.query(*id).signature(),
+                query.signature(),
+                "entry order must match the source workload"
+            );
+        }
+        assert_eq!(iw.total_weight(), w.total_weight());
+    }
+
+    #[test]
+    fn id_of_finds_interned_only() {
+        let w = Workload::from_queries([(q(&[1]), 1.0)]);
+        let mut interner = WorkloadInterner::new();
+        let _ = interner.intern(&w);
+        assert!(interner.id_of(&q(&[1])).is_some());
+        assert!(interner.id_of(&q(&[9])).is_none());
+    }
+
+    #[test]
+    fn empty_interner_ratio_is_one() {
+        let interner = WorkloadInterner::new();
+        assert!(interner.is_empty());
+        assert_eq!(interner.dedup_ratio(), 1.0);
+    }
+}

@@ -17,6 +17,9 @@
 //!   paper's Figure 5 drift analysis.
 //! * [`Workload`] — a weighted multiset of queries with normalized
 //!   frequencies, unions, and template histograms.
+//! * [`WorkloadInterner`] — dense [`QueryId`]s deduplicating structurally
+//!   identical queries across a family of workloads (the target plus its
+//!   Γ-neighborhood samples), turning cost evaluation into dot products.
 //! * [`QueryLog`] — a timestamped query trace, split into the fixed-size
 //!   windows (7/14/21/28 days) the evaluation section uses.
 //! * [`generator`] — seeded generative models for the paper's three
@@ -29,6 +32,7 @@
 
 mod colset;
 mod ids;
+mod interner;
 mod log;
 mod query;
 mod resolve;
@@ -41,6 +45,7 @@ pub mod parser;
 
 pub use colset::ColumnSet;
 pub use ids::{ColumnId, TableId};
+pub use interner::{InternedWorkload, QueryId, WorkloadInterner};
 pub use log::{LogEntry, QueryLog, SECS_PER_DAY};
 pub use query::{PredOp, Predicate, Query, QueryBuilder, QuerySignature};
 pub use resolve::{NameResolver, SimpleResolver};

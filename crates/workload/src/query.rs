@@ -28,7 +28,7 @@ pub enum PredOp {
 
 /// A filter predicate on a single column with an estimated selectivity in
 /// `(0, 1]` (fraction of rows that survive the filter).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Predicate {
     /// Filtered column.
     pub column: ColumnId,

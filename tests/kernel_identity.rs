@@ -1,0 +1,141 @@
+//! Property tests for the dense cost kernel's bit-identity contract.
+//!
+//! The kernel's entire value proposition rests on one invariant: for any
+//! workload, any design, and any thread count, [`CostKernel`] returns the
+//! **exact bits** that a direct (uncached, serial) [`Engine`] evaluation
+//! would. These tests draw random workload families and random designs and
+//! check that invariant at 1 and 8 worker threads, plus the interner's
+//! round-trip guarantee (re-materializing an interned workload preserves
+//! its engine cost bit-for-bit).
+//!
+//! The thread count is process-global, so every test serializes on one
+//! lock — same pattern as `parallel_equivalence.rs`.
+
+use cliffguard::prelude::*;
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+
+static THREAD_KNOB: Mutex<()> = Mutex::new(());
+
+/// Thread counts the identity must hold at (1 = fully inline baseline).
+const THREAD_COUNTS: [usize; 2] = [1, 8];
+
+/// Builds a small drifting-workload fixture: an engine plus a family of
+/// workload windows that share most of their queries (the shape the
+/// interner is built for).
+fn fixture(seed: u64) -> (ColumnarEngine, Vec<Workload>) {
+    let mut config = WorkloadProfile::R1.config(seed).scaled(0.15);
+    config.n_windows = 3;
+    let mut generator = DriftingGenerator::new(config.clone());
+    let shape = generator.shape().clone();
+    let windows = generator.generate().windows_days(config.window_days);
+    let catalog = CatalogGenerator::default().generate(&shape);
+    (ColumnarEngine::new(catalog), windows)
+}
+
+/// A design assembled from candidate structures picked by two free indices
+/// (any pair of indices yields a valid design for the fixture's catalog).
+fn design_from(engine: &ColumnarEngine, w: &Workload, a: usize, b: usize) -> ColumnarDesign {
+    let candidates = ColumnarCandidates.candidates(engine, w);
+    assert!(!candidates.is_empty(), "fixture must yield candidates");
+    ColumnarDesign::from_structures(vec![
+        candidates[a % candidates.len()].clone(),
+        candidates[b % candidates.len()].clone(),
+    ])
+}
+
+proptest! {
+    // Each case builds a generator fixture and compiles plans, so keep the
+    // case count modest; seeds still cover many distinct workload shapes.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Kernel costs == direct engine costs, bit-for-bit, at 1 and 8 threads.
+    #[test]
+    fn kernel_matches_direct_engine_bit_identically(
+        seed in 0u64..10_000,
+        a in 0usize..64,
+        b in 0usize..64,
+    ) {
+        let _guard = THREAD_KNOB.lock().unwrap();
+        let (engine, windows) = fixture(seed);
+        let design = design_from(&engine, &windows[0], a, b);
+
+        // Direct reference: serial, no cache, no kernel.
+        set_threads(1);
+        let reference: Vec<(u64, u64, u64)> = windows
+            .iter()
+            .map(|w| {
+                let c = engine.workload_cost(w, &design);
+                (c.avg_ms.to_bits(), c.max_ms.to_bits(), c.total_ms.to_bits())
+            })
+            .collect();
+
+        for threads in THREAD_COUNTS {
+            set_threads(threads);
+            let (kernel, interned) = CostKernel::build(&engine, &windows);
+            let epoch = kernel.epoch(&design);
+            for (i, (iw, want)) in interned.iter().zip(&reference).enumerate() {
+                let c = kernel.workload_cost(iw, &epoch);
+                let got = (c.avg_ms.to_bits(), c.max_ms.to_bits(), c.total_ms.to_bits());
+                prop_assert_eq!(
+                    got, *want,
+                    "kernel diverged from direct engine at window {} with {} threads",
+                    i, threads
+                );
+            }
+            // Per-query path (the descent's move_workload closure) must
+            // agree with the engine too, including for queries the kernel
+            // never interned (fallback-cache path).
+            for q in windows[0].queries().take(8) {
+                prop_assert_eq!(
+                    kernel.query_latency_ms(q, &design, &epoch).to_bits(),
+                    engine.query_latency_ms(q, &design).to_bits(),
+                    "per-query latency diverged at {} threads", threads
+                );
+            }
+        }
+        set_threads(1);
+    }
+
+    /// Interning then re-materializing a workload preserves its cost
+    /// bit-for-bit: the interner neither reorders entries nor alters
+    /// weights, so the engine's fold visits identical values in an
+    /// identical order.
+    #[test]
+    fn interner_roundtrip_preserves_workload_cost(
+        seed in 0u64..10_000,
+        a in 0usize..64,
+        b in 0usize..64,
+    ) {
+        let _guard = THREAD_KNOB.lock().unwrap();
+        set_threads(1);
+        let (engine, windows) = fixture(seed);
+        let design = design_from(&engine, &windows[0], a, b);
+
+        let mut interner = WorkloadInterner::new();
+        for w in &windows {
+            let interned = interner.intern(w);
+            prop_assert_eq!(interned.len(), w.len());
+            prop_assert_eq!(
+                interned.total_weight().to_bits(),
+                w.total_weight().to_bits(),
+                "interning must not perturb the weight sum"
+            );
+
+            // Rebuild a workload from the interner's dense ids and weights.
+            let mut rebuilt = Workload::new();
+            for &(id, wt) in interned.entries() {
+                rebuilt.add(Arc::clone(interner.query(id)), wt);
+            }
+            let want = engine.workload_cost(w, &design);
+            let got = engine.workload_cost(&rebuilt, &design);
+            prop_assert_eq!(got.avg_ms.to_bits(), want.avg_ms.to_bits());
+            prop_assert_eq!(got.max_ms.to_bits(), want.max_ms.to_bits());
+            prop_assert_eq!(got.total_ms.to_bits(), want.total_ms.to_bits());
+        }
+        // Dedup across the family: distinct queries never exceed raw
+        // entries, and drifting windows share queries so they are fewer.
+        prop_assert!(interner.len() as u64 <= interner.raw_entries());
+        prop_assert!(interner.dedup_ratio() >= 1.0);
+    }
+}
