@@ -5,6 +5,7 @@ mod comparison;
 pub mod costkernel;
 mod knobs;
 pub mod resilience;
+pub mod serve;
 pub mod telemetry;
 
 pub use basic::{fig05, fig06, fig16, table1};
@@ -32,6 +33,7 @@ pub const ALL_IDS: &[&str] = &[
     "resilience",
     "telemetry",
     "costkernel",
+    "serve",
 ];
 
 /// Runs one experiment by id.
@@ -53,6 +55,7 @@ pub fn run_experiment(id: &str, scale: Scale, seed: u64) -> Option<Vec<Table>> {
         "resilience" => Some(resilience::run(scale, seed)),
         "telemetry" => Some(telemetry::run(scale, seed)),
         "costkernel" => Some(costkernel::run(scale, seed)),
+        "serve" => Some(serve::run(scale, seed)),
         _ => None,
     }
 }

@@ -1,0 +1,110 @@
+//! Serving throughput: N tenants through the in-process `serve` daemon.
+//!
+//! Not a figure from the paper — an operational experiment for the
+//! advisor-as-a-service layer. Each row drives the same multi-tenant
+//! request tape through an in-process daemon at a different worker count
+//! and records wall-clock throughput and mean per-session latency. The
+//! determinism contract says worker count must be unobservable in the
+//! output stream, so the last column checks that every row produced
+//! byte-identical responses to the single-worker run.
+
+use crate::scale::Scale;
+use crate::table::{fnum, Table};
+use cliffguard_serve::harness::{design_line, ServeHarness};
+use cliffguard_serve::testdata;
+use std::time::Instant;
+
+fn tenant_count(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 3,
+        Scale::Quick => 6,
+        Scale::Full => 12,
+    }
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
+    let n_tenants = tenant_count(scale);
+    let mut tape: Vec<String> = (0..n_tenants)
+        .map(|i| {
+            design_line(&testdata::design_request(
+                &format!("tenant-{i:02}"),
+                seed + i as u64,
+            ))
+        })
+        .collect();
+    tape.push(r#"{"op":"drain"}"#.into());
+
+    let mut workers: Vec<usize> = vec![1, 2, cliffguard_parallel::current_threads()];
+    workers.sort_unstable();
+    workers.dedup();
+
+    let mut t = Table::new(
+        "serve",
+        "multi-tenant serve daemon: throughput vs worker count",
+        &[
+            "Workers",
+            "Tenants",
+            "Wall (ms)",
+            "Sessions/s",
+            "Mean session (ms)",
+            "Output vs 1 worker",
+        ],
+    );
+    let mut reference: Option<String> = None;
+    for n in workers {
+        let mut harness = ServeHarness::new().with_max_concurrent(n);
+        // Same admission config at every worker count: the determinism
+        // contract compares outputs across worker counts only when the
+        // rest of the configuration is identical, and the throughput
+        // comparison wants zero queue-full rejections.
+        harness.config.max_queue = n_tenants + 1;
+        // One warm-up pass per worker count so allocator and thread-pool
+        // startup are not billed to the measured run.
+        let _ = harness.run_tape(&tape);
+        let start = Instant::now();
+        let out = harness.run_tape(&tape);
+        let wall = start.elapsed();
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        let identical = match &reference {
+            None => {
+                reference = Some(out);
+                "(reference)".to_string()
+            }
+            Some(r) => {
+                if *r == out {
+                    "identical".to_string()
+                } else {
+                    "DIVERGED".to_string()
+                }
+            }
+        };
+        t.row(vec![
+            n.to_string(),
+            n_tenants.to_string(),
+            fnum(wall_ms),
+            fnum(n_tenants as f64 / wall.as_secs_f64()),
+            fnum(wall_ms / n_tenants as f64),
+            identical,
+        ]);
+    }
+    t.note("expected shape: throughput scales with workers until sessions outnumber cores;");
+    t.note("the response stream is byte-identical at every worker count (determinism contract)");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_serve_experiment_runs_and_stays_deterministic() {
+        let tables = run(Scale::Tiny, 7);
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert!(t.rows.len() >= 2, "at least two worker counts");
+        for row in &t.rows[1..] {
+            assert_eq!(row[5], "identical", "{row:?}");
+        }
+    }
+}

@@ -12,10 +12,10 @@
 //! cliffguard evaluate --catalog catalog.json --log log.tsv
 //! ```
 
+use cliffguard::cli::{parse_flags, Flags};
 use cliffguard::prelude::*;
 use cliffguard::sim::ddl;
 use cliffguard::trace_schema::TraceSchema;
-use std::collections::HashMap;
 use std::process::exit;
 use std::sync::Arc;
 
@@ -25,7 +25,13 @@ fn main() {
         usage();
         exit(2);
     };
-    let opts = parse_flags(&args[1..]);
+    let opts = match parse_flags(&args[1..]) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(2);
+        }
+    };
     if let Some(t) = opts.get("threads") {
         match t.parse::<usize>() {
             Ok(n) if n > 0 => cliffguard::parallel::set_threads(n),
@@ -43,7 +49,10 @@ fn main() {
     } else {
         SessionClock::system()
     };
-    let telemetry = match init_telemetry(&opts, &clock) {
+    // The serve daemon keeps a metrics registry regardless of
+    // --metrics-out: its `metrics` protocol verb reports the snapshot to
+    // clients on demand.
+    let telemetry = match init_telemetry(&opts, &clock, cmd == "serve") {
         Ok(g) => g,
         Err(e) => {
             eprintln!("error: {e}");
@@ -54,6 +63,7 @@ fn main() {
         "generate" => cmd_generate(&opts),
         "stats" => cmd_stats(&opts),
         "design" => cmd_design(&opts, &clock),
+        "serve" => cmd_serve(&opts),
         "evaluate" => cmd_evaluate(&opts),
         "validate-trace" => cmd_validate_trace(&opts),
         "--help" | "-h" | "help" => {
@@ -81,6 +91,9 @@ fn usage() {
                      [--budget auto|BYTES] [--window-days N] [--nominal]\n\
                      [--max-retries N] [--designer-deadline-ms N]\n\
                      [--session-deadline-ms N] [--faults SPEC]\n\
+           serve     [--listen ADDR:PORT] [--state-dir DIR] [--max-concurrent N]\n\
+                     [--max-queue N] [--tenant-deadline-ms N]\n\
+                     [--checkpoint-every N] [--faults SPEC]\n\
            evaluate  --catalog CATALOG.json --log LOG.tsv [--budget auto|BYTES]\n\
                      [--window-days N]\n\
            validate-trace --trace TRACE.jsonl --schema SCHEMA.json\n\
@@ -102,43 +115,26 @@ fn usage() {
          (budget, non-emptiness) and retried with capped exponential backoff;\n\
          on exhausted retries it degrades to the best design so far. --faults\n\
          (or the CLIFFGUARD_FAULTS env var) injects a deterministic fault\n\
-         plan for drills, e.g. `seed=7,rate=0.2` or `fail@1,stall@3:50`"
+         plan for drills, e.g. `seed=7,rate=0.2` or `fail@1,stall@3:50`\n\
+         \n\
+         serve runs the multi-tenant advisor daemon: newline-delimited JSON\n\
+         requests (design|status|metrics|drain|shutdown) on stdin/stdout, or\n\
+         on a TCP socket with --listen; --state-dir makes sessions durable\n\
+         (a killed daemon resumes them bit-identically on restart)"
     );
-}
-
-type Flags = HashMap<String, String>;
-
-fn parse_flags(args: &[String]) -> Flags {
-    let mut flags = Flags::new();
-    let mut i = 0;
-    while i < args.len() {
-        if let Some(name) = args[i].strip_prefix("--") {
-            match args.get(i + 1) {
-                // `--nominal --gamma 0.1`: a following flag token means
-                // this one is a bare boolean, not `--nominal "--gamma"`.
-                Some(next) if !next.starts_with("--") => {
-                    flags.insert(name.to_string(), next.clone());
-                    i += 2;
-                }
-                _ => {
-                    flags.insert(name.to_string(), String::new());
-                    i += 1;
-                }
-            }
-        } else {
-            i += 1;
-        }
-    }
-    flags
 }
 
 /// Installs the telemetry layer when `--trace-out` or `--metrics-out`
 /// asks for it; otherwise leaves it disabled (the zero-overhead default).
 /// Trace timestamps come from the session clock, so `--virtual-clock`
 /// makes them deterministic.
-fn init_telemetry(opts: &Flags, clock: &SessionClock) -> Result<Option<TelemetryGuard>, String> {
+fn init_telemetry(
+    opts: &Flags,
+    clock: &SessionClock,
+    always_metrics: bool,
+) -> Result<Option<TelemetryGuard>, String> {
     let mut trace_out = opts.get("trace-out").filter(|s| !s.is_empty()).cloned();
-    let want_metrics = opts.contains_key("metrics-out");
+    let want_metrics = always_metrics || opts.contains_key("metrics-out");
     if trace_out.is_none() && !want_metrics {
         return Ok(None);
     }
@@ -432,6 +428,84 @@ fn cmd_design(opts: &Flags, clock: &SessionClock) -> Result<(), String> {
     );
     print!("{}", ddl::columnar_script(&design, engine.catalog()));
     Ok(())
+}
+
+// ---------------------------------------------------------------- serve --
+
+/// Runs the multi-tenant advisor daemon (`cliffguard-serve`) over
+/// stdin/stdout, or over TCP with `--listen`.
+fn cmd_serve(opts: &Flags) -> Result<(), String> {
+    use cliffguard::serve::{Daemon, ServeConfig};
+
+    fn numeric<T: std::str::FromStr>(opts: &Flags, name: &str) -> Result<Option<T>, String> {
+        match opts.get(name) {
+            None => Ok(None),
+            Some(s) => s
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("bad --{name} `{s}`")),
+        }
+    }
+
+    let mut config = ServeConfig {
+        virtual_time: opts.contains_key("virtual-clock"),
+        state_dir: opts
+            .get("state-dir")
+            .filter(|s| !s.is_empty())
+            .map(Into::into),
+        ..ServeConfig::default()
+    };
+    if let Some(n) = numeric::<usize>(opts, "max-concurrent")? {
+        if n == 0 {
+            return Err("--max-concurrent needs a positive integer".into());
+        }
+        config.max_concurrent = n;
+    }
+    if let Some(n) = numeric::<usize>(opts, "max-queue")? {
+        if n == 0 {
+            return Err("--max-queue needs a positive integer".into());
+        }
+        config.max_queue = n;
+    }
+    config.tenant_deadline_ms = numeric(opts, "tenant-deadline-ms")?;
+    if let Some(k) = numeric::<usize>(opts, "checkpoint-every")? {
+        config.checkpoint_every = k;
+    }
+    // Like `design`, the daemon honors --faults / CLIFFGUARD_FAULTS. The
+    // spec is validated here and resolved into each request's envelope at
+    // admission, so a persisted session re-runs identically after a
+    // restart regardless of the new daemon's defaults.
+    let faults = match opts.get("faults") {
+        Some(spec) => Some(spec.clone()),
+        None => std::env::var(FAULTS_ENV).ok().filter(|s| !s.is_empty()),
+    };
+    if let Some(spec) = &faults {
+        FaultPlan::from_spec(spec).map_err(|e| format!("--faults: {e}"))?;
+    }
+    config.default_faults = faults;
+
+    let mut daemon = Daemon::new(config).map_err(|e| format!("serve: {e}"))?;
+    match opts.get("listen").filter(|s| !s.is_empty()) {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr.as_str())
+                .map_err(|e| format!("bind {addr}: {e}"))?;
+            if let Ok(local) = listener.local_addr() {
+                eprintln!("serve: listening on {local}");
+            }
+            daemon
+                .serve_tcp(listener)
+                .map_err(|e| format!("serve: {e}"))
+        }
+        None => {
+            eprintln!("serve: reading NDJSON frames from stdin");
+            let stdin = std::io::stdin();
+            let mut stdout = std::io::stdout().lock();
+            daemon
+                .run(stdin.lock(), &mut stdout)
+                .map(|_| ())
+                .map_err(|e| format!("serve: {e}"))
+        }
+    }
 }
 
 // --------------------------------------------------------- validate-trace --

@@ -1,0 +1,103 @@
+//! Flag parsing for the `cliffguard` binary.
+//!
+//! The grammar is deliberately tiny: `--name value` pairs and bare
+//! `--name` booleans, in any order. Two rules keep it unambiguous:
+//!
+//! * a token starting with `--` immediately after a flag name means the
+//!   first flag is a bare boolean (`--nominal --gamma 0.1` is *not*
+//!   `--nominal "--gamma"`);
+//! * a repeated flag is an **error**, not a silent last-wins overwrite —
+//!   `--seed 1 --seed 2` almost always means a mangled invocation (a
+//!   shell-history edit, a wrapper script appending defaults), and
+//!   silently taking one of the two values turns that typo into a wrong
+//!   but plausible-looking run.
+
+use std::collections::HashMap;
+
+/// Parsed flags: name (without the `--` prefix) → value (empty string for
+/// bare booleans).
+pub type Flags = HashMap<String, String>;
+
+/// Parses command-line tokens into [`Flags`].
+///
+/// Rejects duplicate flags with an error naming the offender. Tokens that
+/// are not flags and not consumed as a flag's value are ignored, matching
+/// the binary's historical tolerance for stray arguments.
+pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            let value = match args.get(i + 1) {
+                // `--nominal --gamma 0.1`: a following flag token means
+                // this one is a bare boolean, not `--nominal "--gamma"`.
+                Some(next) if !next.starts_with("--") => {
+                    i += 2;
+                    next.clone()
+                }
+                _ => {
+                    i += 1;
+                    String::new()
+                }
+            };
+            if flags.insert(name.to_string(), value).is_some() {
+                return Err(format!(
+                    "flag --{name} given more than once (each flag takes exactly one value)"
+                ));
+            }
+        } else {
+            i += 1;
+        }
+    }
+    Ok(flags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn pairs_and_bare_booleans_parse() {
+        let flags = parse_flags(&argv("--gamma 0.1 --nominal --seed 7")).unwrap();
+        assert_eq!(flags.get("gamma").map(String::as_str), Some("0.1"));
+        assert_eq!(flags.get("nominal").map(String::as_str), Some(""));
+        assert_eq!(flags.get("seed").map(String::as_str), Some("7"));
+    }
+
+    #[test]
+    fn trailing_bare_boolean_parses() {
+        let flags = parse_flags(&argv("--catalog c.json --virtual-clock")).unwrap();
+        assert_eq!(flags.get("virtual-clock").map(String::as_str), Some(""));
+    }
+
+    #[test]
+    fn duplicate_flags_are_an_error_not_last_wins() {
+        let err = parse_flags(&argv("--seed 1 --gamma auto --seed 2")).unwrap_err();
+        assert!(err.contains("--seed"), "{err}");
+        assert!(err.contains("more than once"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_bare_booleans_are_also_an_error() {
+        let err = parse_flags(&argv("--virtual-clock --virtual-clock")).unwrap_err();
+        assert!(err.contains("--virtual-clock"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_detection_covers_boolean_then_valued_form() {
+        // The same flag in both shapes is still a duplicate.
+        let err = parse_flags(&argv("--nominal --gamma 0.1 --nominal true")).unwrap_err();
+        assert!(err.contains("--nominal"), "{err}");
+    }
+
+    #[test]
+    fn non_flag_tokens_are_skipped() {
+        let flags = parse_flags(&argv("stray --seed 7 also-stray")).unwrap();
+        assert_eq!(flags.len(), 1);
+        assert_eq!(flags.get("seed").map(String::as_str), Some("7"));
+    }
+}

@@ -21,6 +21,9 @@
 //! * [`resilience`] — the fault-injected, deadline-aware session runtime:
 //!   seeded fault plans (`CLIFFGUARD_FAULTS`), retry/backoff policies on a
 //!   virtual clock, and graceful degradation.
+//! * [`serve`] — the multi-tenant advisor-as-a-service daemon behind
+//!   `cliffguard serve`: an NDJSON protocol, bounded admission, durable
+//!   checkpointed sessions, and a deterministic serve-test harness.
 //! * [`telemetry`] — first-party structured tracing (JSONL spans/events)
 //!   and a metrics registry (counters, gauges, quantile histograms),
 //!   disabled by default and wired through every layer above.
@@ -60,11 +63,13 @@ pub use cliffguard_distance as distance;
 pub use cliffguard_parallel as parallel;
 pub use cliffguard_resilience as resilience;
 pub use cliffguard_robust as robust;
+pub use cliffguard_serve as serve;
 pub use cliffguard_sim as sim;
 pub use cliffguard_storage as storage;
 pub use cliffguard_telemetry as telemetry;
 pub use cliffguard_workload as workload;
 
+pub mod cli;
 pub mod trace_schema;
 
 /// One-stop imports for examples and applications.

@@ -39,6 +39,7 @@ use cliffguard_sim::{CostKernel, Engine, PhysicalDesign, PlanningEngine};
 use cliffguard_telemetry::{self as telemetry, Level};
 use cliffguard_workload::{InternedWorkload, Query, Workload};
 use serde::{map_get, Deserialize, Error as SerdeError, Serialize, Value};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -62,6 +63,19 @@ pub struct SessionOptions {
     /// uninterrupted run would have had at that point. Test hook for
     /// kill/resume coverage.
     pub abort_after_iterations: Option<usize>,
+    /// Externally-driven kill switch. When the flag is raised the session
+    /// stops at the next iteration boundary and returns
+    /// [`SessionEnd::Interrupted`] with a resumable checkpoint — this is
+    /// how a serving daemon turns SIGTERM into "persist and exit" instead
+    /// of losing in-flight descents. `None` (the default) never stops.
+    pub stop: Option<Arc<AtomicBool>>,
+    /// Invoke the per-iteration checkpoint observer only every k-th
+    /// completed iteration (`1` = every iteration, the default). A daemon
+    /// that persists every checkpoint to disk uses this to trade recovery
+    /// granularity against write amplification; resuming from a stale
+    /// checkpoint replays the skipped iterations exactly, so the final
+    /// design is bit-identical either way.
+    pub checkpoint_every: usize,
 }
 
 impl Default for SessionOptions {
@@ -71,6 +85,8 @@ impl Default for SessionOptions {
             clock: SessionClock::virtual_clock(),
             validate: true,
             abort_after_iterations: None,
+            stop: None,
+            checkpoint_every: 1,
         }
     }
 }
@@ -85,7 +101,16 @@ impl SessionOptions {
             clock: SessionClock::virtual_clock(),
             validate: false,
             abort_after_iterations: None,
+            stop: None,
+            checkpoint_every: 1,
         }
+    }
+
+    /// Whether the external kill switch has been raised.
+    fn stop_requested(&self) -> bool {
+        self.stop
+            .as_ref()
+            .is_some_and(|s| s.load(Ordering::Relaxed))
     }
 }
 
@@ -758,15 +783,18 @@ where
         }
         for iter in st.next_iter..cfg.max_iters {
             st.next_iter = iter;
-            if let Some(k) = self.options.abort_after_iterations {
-                if iter >= k {
-                    return SessionEnd::Interrupted(Box::new(self.snapshot(
-                        &st,
-                        &trace,
-                        fingerprint,
-                        rng_words,
-                    )));
-                }
+            let abort = self
+                .options
+                .abort_after_iterations
+                .is_some_and(|k| iter >= k)
+                || self.options.stop_requested();
+            if abort {
+                return SessionEnd::Interrupted(Box::new(self.snapshot(
+                    &st,
+                    &trace,
+                    fingerprint,
+                    rng_words,
+                )));
             }
             if let Some(deadline_ms) = self.options.retry.session_deadline_ms {
                 let now = self.options.clock.now_ms();
@@ -894,7 +922,9 @@ where
             }
             trace.worst_case_per_iter.push(st.current_worst);
             st.next_iter = iter + 1;
-            observer(&self.snapshot(&st, &trace, fingerprint, rng_words));
+            if st.next_iter % self.options.checkpoint_every.max(1) == 0 {
+                observer(&self.snapshot(&st, &trace, fingerprint, rng_words));
+            }
             if st.stale >= cfg.patience {
                 break; // Line 17: many iterations with no improvement.
             }
@@ -1403,5 +1433,93 @@ mod tests {
         assert_eq!(t_res.worst_case_per_iter, t_full.worst_case_per_iter);
         assert_eq!(t_res.retries, t_full.retries);
         assert_eq!(t_res.faults, t_full.faults);
+    }
+
+    #[test]
+    fn stop_switch_interrupts_and_resume_completes_identically() {
+        let e = ColumnarEngine::new(catalog());
+        let nominal = GreedyDesigner::new(&e, ColumnarCandidates, "DBD");
+        let metric = DeltaEuclidean::new(12);
+        let cfg = CliffGuardConfig::new(0.005);
+        let (d_full, t_full) = DesignSession::new(
+            &e,
+            Reliable(&nominal),
+            metric,
+            cfg.clone(),
+            SessionOptions::default(),
+        )
+        .expect("valid config")
+        .run(&w0(), BUDGET, &pool())
+        .into_design();
+
+        // Switch raised before the descent starts: the session checkpoints
+        // at iteration 0 instead of running — the daemon-kill path.
+        let stop = Arc::new(AtomicBool::new(true));
+        let killed = DesignSession::new(
+            &e,
+            Reliable(&nominal),
+            metric,
+            cfg.clone(),
+            SessionOptions {
+                stop: Some(Arc::clone(&stop)),
+                ..SessionOptions::default()
+            },
+        )
+        .expect("valid config");
+        let SessionEnd::Interrupted(ckpt) = killed.run(&w0(), BUDGET, &pool()) else {
+            panic!("raised stop switch must interrupt the session")
+        };
+        assert_eq!(ckpt.next_iter, 0);
+
+        stop.store(false, Ordering::Relaxed);
+        let (d_res, t_res) = killed
+            .resume(&w0(), BUDGET, &pool(), &ckpt)
+            .expect("checkpoint accepted")
+            .into_design();
+        assert_eq!(d_res, d_full, "resume after a stop must be bit-identical");
+        assert_eq!(t_res.worst_case_per_iter, t_full.worst_case_per_iter);
+    }
+
+    #[test]
+    fn sparse_checkpoint_cadence_still_resumes_bit_identically() {
+        let e = ColumnarEngine::new(catalog());
+        let nominal = GreedyDesigner::new(&e, ColumnarCandidates, "DBD");
+        let metric = DeltaEuclidean::new(12);
+        let cfg = CliffGuardConfig::new(0.005);
+        let mk = |every: usize| {
+            DesignSession::new(
+                &e,
+                Reliable(&nominal),
+                metric,
+                cfg.clone(),
+                SessionOptions {
+                    checkpoint_every: every,
+                    ..SessionOptions::default()
+                },
+            )
+            .expect("valid config")
+        };
+        let mut dense: Vec<DescentCheckpoint<ColumnarDesign>> = Vec::new();
+        let (d_full, _) = mk(1)
+            .run_with_observer(&w0(), BUDGET, &pool(), &mut |c| dense.push(c.clone()))
+            .into_design();
+        let mut sparse: Vec<DescentCheckpoint<ColumnarDesign>> = Vec::new();
+        let (d_sparse, _) = mk(2)
+            .run_with_observer(&w0(), BUDGET, &pool(), &mut |c| sparse.push(c.clone()))
+            .into_design();
+        assert_eq!(d_full, d_sparse, "cadence must not change the descent");
+        assert!(
+            sparse.len() < dense.len(),
+            "cadence 2 must skip checkpoints"
+        );
+        // Resuming from the *stale* (every-2nd) checkpoints replays the
+        // skipped iterations exactly.
+        for c in &sparse {
+            let (d_res, _) = mk(1)
+                .resume(&w0(), BUDGET, &pool(), c)
+                .expect("checkpoint accepted")
+                .into_design();
+            assert_eq!(d_res, d_full, "resume from iter {}", c.next_iter);
+        }
     }
 }

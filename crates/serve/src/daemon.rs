@@ -1,0 +1,499 @@
+//! The `cliffguard serve` daemon: intake, admission, drain, recovery.
+//!
+//! One intake thread reads NDJSON frames and assigns each a sequence
+//! number; design requests are admitted onto the shared worker pool, and
+//! every other verb (`status`/`metrics`/`drain`/`shutdown`) — plus end of
+//! input — is a **drain barrier**: the daemon waits for all admitted
+//! sessions in admission order, emits their responses, and only then
+//! answers the verb.
+//!
+//! # Determinism contract
+//!
+//! The output stream is a pure function of the input tape and the daemon
+//! configuration (with `virtual_time`), independent of worker count and
+//! completion order:
+//!
+//! * responses for design requests are emitted **only at barriers**, in
+//!   admission (`seq`) order;
+//! * queue occupancy changes only at admissions and barriers — both
+//!   tape-driven — so a "queue full" rejection is deterministic;
+//! * each session runs on its own fresh virtual clock and seeded sampler,
+//!   so concurrent tenants cannot perturb each other's descents.
+//!
+//! # Recovery
+//!
+//! With a state directory, every admitted request is persisted before it
+//! runs and its checkpoints are persisted as the descent progresses. A
+//! daemon that dies mid-session leaves those sessions *pending*; the next
+//! daemon started on the same directory re-admits them (in original
+//! admission order, before reading any new input) and their responses are
+//! emitted with `"resumed": true` — final design and audit trail
+//! bit-identical to an uninterrupted run, per the session-layer resume
+//! guarantee.
+
+use crate::protocol::{parse_request, DesignStatus, Request, Response};
+use crate::runner::{run_design, RunOutcome, RunnerOptions};
+use crate::scheduler::WorkerPool;
+use crate::store::CheckpointStore;
+use crate::tenant::TenantRegistry;
+use cliffguard_telemetry::{self as telemetry, Level};
+use serde::Value;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+/// Daemon configuration (the `cliffguard serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Where to persist session state; `None` disables durability (a kill
+    /// then loses in-flight sessions).
+    pub state_dir: Option<PathBuf>,
+    /// Worker threads running design sessions concurrently.
+    pub max_concurrent: usize,
+    /// Admission cap: in-flight (admitted, not yet drained) sessions
+    /// beyond this are rejected with a reason.
+    pub max_queue: usize,
+    /// Default per-session deadline (ms) for requests that carry none.
+    pub tenant_deadline_ms: Option<u64>,
+    /// Persist every k-th checkpoint (1 = every iteration).
+    pub checkpoint_every: usize,
+    /// Run sessions on fresh virtual clocks (deterministic output).
+    pub virtual_time: bool,
+    /// Fault-plan spec applied to requests that carry none (the daemon's
+    /// `CLIFFGUARD_FAULTS`, resolved once at startup).
+    pub default_faults: Option<String>,
+    /// Test hook: abort every session before this 0-based iteration, as
+    /// if the daemon were killed there. Interrupted sessions persist
+    /// their checkpoint and emit **no** response; a restart on the same
+    /// state directory completes them.
+    pub kill_after_iterations: Option<usize>,
+    /// External kill switch shared with a signal handler: raised →
+    /// sessions checkpoint and the daemon stops admitting.
+    pub stop: Option<Arc<AtomicBool>>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let threads = cliffguard_parallel::current_threads();
+        Self {
+            state_dir: None,
+            max_concurrent: threads,
+            max_queue: threads * 4,
+            tenant_deadline_ms: None,
+            checkpoint_every: 1,
+            virtual_time: false,
+            default_faults: None,
+            kill_after_iterations: None,
+            stop: None,
+        }
+    }
+}
+
+struct InFlight {
+    seq: u64,
+    tenant: String,
+    resumed: bool,
+}
+
+/// A running advisor-as-a-service instance. Feed it frames with
+/// [`run`](Daemon::run) (stdin/stdout or any reader/writer pair) or
+/// [`serve_tcp`](Daemon::serve_tcp).
+pub struct Daemon {
+    config: ServeConfig,
+    store: Option<CheckpointStore>,
+    pool: WorkerPool<RunOutcome>,
+    tenants: TenantRegistry,
+    in_flight: Vec<InFlight>,
+    next_seq: u64,
+    completed: u64,
+}
+
+impl Daemon {
+    /// Builds the daemon and re-admits any pending sessions found in the
+    /// state directory (their responses are emitted at the first
+    /// barrier).
+    pub fn new(config: ServeConfig) -> io::Result<Self> {
+        let store = match &config.state_dir {
+            Some(dir) => Some(CheckpointStore::open(dir.clone())?),
+            None => None,
+        };
+        let next_seq = match &store {
+            Some(s) => s.max_seq()? + 1,
+            None => 1,
+        };
+        telemetry::event(Level::Info, "cliffguard.serve.start")
+            .u64("max_concurrent", config.max_concurrent as u64)
+            .u64("max_queue", config.max_queue as u64)
+            .bool("durable", store.is_some())
+            .emit();
+        let mut daemon = Self {
+            pool: WorkerPool::new(config.max_concurrent),
+            store,
+            config,
+            tenants: TenantRegistry::new(),
+            in_flight: Vec::new(),
+            next_seq,
+            completed: 0,
+        };
+        daemon.recover()?;
+        Ok(daemon)
+    }
+
+    fn runner_options(&self) -> RunnerOptions {
+        RunnerOptions {
+            virtual_time: self.config.virtual_time,
+            tenant_deadline_ms: self.config.tenant_deadline_ms,
+            checkpoint_every: self.config.checkpoint_every,
+            stop: self.config.stop.clone(),
+            abort_after_iterations: self.config.kill_after_iterations,
+            // Envelopes persist their fault spec at admission, so the
+            // runner never needs a daemon-level fallback.
+            default_faults: None,
+        }
+    }
+
+    /// Re-admits pending sessions from the store, original seq first.
+    fn recover(&mut self) -> io::Result<()> {
+        let Some(store) = &self.store else {
+            return Ok(());
+        };
+        let pending = store.pending()?;
+        if pending.is_empty() {
+            return Ok(());
+        }
+        telemetry::event(Level::Info, "cliffguard.serve.recover")
+            .u64("pending", pending.len() as u64)
+            .emit();
+        for p in pending {
+            let Ok(Request::Design(req)) = parse_request(&p.request_line) else {
+                // A corrupt envelope cannot be re-run; leave it on disk
+                // for inspection rather than failing recovery.
+                continue;
+            };
+            let row = self.tenants.stats_mut(&p.tenant);
+            row.admitted += 1;
+            row.resumed += 1;
+            self.submit(p.seq, *req, p.checkpoint_json, true);
+        }
+        Ok(())
+    }
+
+    /// Queues one design session on the pool.
+    fn submit(
+        &mut self,
+        seq: u64,
+        req: crate::protocol::DesignRequest,
+        checkpoint: Option<String>,
+        resumed: bool,
+    ) {
+        let tenant = req.tenant.clone();
+        self.in_flight.push(InFlight {
+            seq,
+            tenant: tenant.clone(),
+            resumed,
+        });
+        let opts = self.runner_options();
+        let store = self.store.clone();
+        self.pool.submit(
+            seq,
+            Box::new(move || {
+                run_design(&req, &opts, checkpoint.as_deref(), &mut |ckpt| {
+                    if let Some(store) = &store {
+                        let _ = store.save_checkpoint(&tenant, seq, ckpt);
+                    }
+                })
+            }),
+        );
+    }
+
+    /// Drain barrier: waits for every in-flight session in admission
+    /// order, emits its response (interrupted sessions emit none), and
+    /// frees all queue slots. Returns the number of design responses
+    /// emitted.
+    fn drain(&mut self, out: &mut dyn Write) -> io::Result<u64> {
+        let mut emitted = 0u64;
+        for flight in std::mem::take(&mut self.in_flight) {
+            let InFlight {
+                seq,
+                tenant,
+                resumed,
+            } = flight;
+            let (status, reason, report) = match self.pool.wait(seq) {
+                Ok(RunOutcome::Done(report)) => match report.degraded.clone() {
+                    Some(r) => (DesignStatus::Degraded, Some(r), Some(*report)),
+                    None => (DesignStatus::Done, None, Some(*report)),
+                },
+                Ok(RunOutcome::Rejected(reason)) => (DesignStatus::Rejected, Some(reason), None),
+                Ok(RunOutcome::Interrupted(ckpt)) => {
+                    // The session checkpointed under a stop/kill: persist
+                    // the final checkpoint and leave it pending — the
+                    // restarted daemon owes the tenant this response.
+                    if let Some(store) = &self.store {
+                        let _ = store.save_checkpoint(&tenant, seq, &ckpt);
+                    }
+                    self.tenants.record_outcome(&tenant, "interrupted", None);
+                    continue;
+                }
+                Err(panic_msg) => (
+                    DesignStatus::Rejected,
+                    Some(format!("internal error: {panic_msg}")),
+                    None,
+                ),
+            };
+            let outcome = status.name();
+            let fingerprint = report.as_ref().map(|r| r.fingerprint);
+            let response = Response::Design {
+                seq,
+                tenant: tenant.clone(),
+                status,
+                reason,
+                report,
+                resumed,
+            };
+            let line = response.to_line();
+            if let Some(store) = &self.store {
+                // Result first, then the wire: a crash between the two
+                // re-emits nothing (the session is complete on disk) —
+                // better than re-running a session the tenant saw finish.
+                let _ = store.save_result(&tenant, seq, &line);
+            }
+            writeln!(out, "{line}")?;
+            self.tenants.record_outcome(&tenant, outcome, fingerprint);
+            if status != DesignStatus::Rejected {
+                self.completed += 1;
+            }
+            telemetry::event(Level::Info, "cliffguard.serve.session.end")
+                .u64("seq", seq)
+                .str("tenant", &tenant)
+                .str("status", outcome)
+                .emit();
+            emitted += 1;
+        }
+        Ok(emitted)
+    }
+
+    fn status_snapshot(&self) -> Value {
+        Value::Map(vec![
+            (
+                "max_concurrent".into(),
+                Value::U64(self.config.max_concurrent as u64),
+            ),
+            ("max_queue".into(), Value::U64(self.config.max_queue as u64)),
+            ("virtual_time".into(), Value::Bool(self.config.virtual_time)),
+            (
+                "durable".into(),
+                Value::Bool(self.config.state_dir.is_some()),
+            ),
+            ("tenants".into(), Value::U64(self.tenants.len() as u64)),
+            ("completed".into(), Value::U64(self.completed)),
+            ("tenant_stats".into(), self.tenants.to_value()),
+        ])
+    }
+
+    fn registry_snapshot() -> Option<Value> {
+        let json = telemetry::registry()?.snapshot().to_json();
+        serde_json::from_str(&json).ok()
+    }
+
+    /// Processes one NDJSON stream to end of input (or `shutdown`).
+    /// Returns `true` when a `shutdown` frame asked the whole daemon to
+    /// stop — [`serve_tcp`](Self::serve_tcp) then stops accepting.
+    pub fn run<R: BufRead, W: Write>(&mut self, input: R, out: &mut W) -> io::Result<bool> {
+        for line in input.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            if let Some(c) = telemetry::counter("cliffguard.serve.frames") {
+                c.incr(1);
+            }
+            match parse_request(&line) {
+                Err(e) => {
+                    writeln!(
+                        out,
+                        "{}",
+                        Response::Error {
+                            seq,
+                            reason: e.to_string()
+                        }
+                        .to_line()
+                    )?;
+                    out.flush()?;
+                }
+                Ok(Request::Design(mut req)) => {
+                    telemetry::event(Level::Info, "cliffguard.serve.request")
+                        .u64("seq", seq)
+                        .str("tenant", &req.tenant)
+                        .emit();
+                    if self.in_flight.len() >= self.config.max_queue {
+                        let reason = format!(
+                            "queue full: {} sessions in flight, limit {} \
+                             (send a drain/status/metrics frame to collect them)",
+                            self.in_flight.len(),
+                            self.config.max_queue
+                        );
+                        self.tenants.record_outcome(&req.tenant, "rejected", None);
+                        writeln!(
+                            out,
+                            "{}",
+                            Response::Design {
+                                seq,
+                                tenant: req.tenant.clone(),
+                                status: DesignStatus::Rejected,
+                                reason: Some(reason),
+                                report: None,
+                                resumed: false,
+                            }
+                            .to_line()
+                        )?;
+                        out.flush()?;
+                        continue;
+                    }
+                    // Resolve the fault spec *into* the envelope, so the
+                    // persisted request re-runs identically even if the
+                    // restarted daemon has different defaults.
+                    if req.faults.is_none() {
+                        req.faults = self.config.default_faults.clone();
+                    }
+                    self.tenants.stats_mut(&req.tenant).admitted += 1;
+                    if let Some(store) = &self.store {
+                        store.save_request(
+                            &req.tenant,
+                            seq,
+                            &Request::Design(req.clone()).to_line(),
+                        )?;
+                    }
+                    self.submit(seq, *req, None, false);
+                }
+                Ok(Request::Status) => {
+                    self.drain(out)?;
+                    writeln!(
+                        out,
+                        "{}",
+                        Response::Status {
+                            seq,
+                            snapshot: self.status_snapshot()
+                        }
+                        .to_line()
+                    )?;
+                    out.flush()?;
+                }
+                Ok(Request::Metrics) => {
+                    self.drain(out)?;
+                    writeln!(
+                        out,
+                        "{}",
+                        Response::Metrics {
+                            seq,
+                            tenants: self.tenants.to_value(),
+                            registry: Self::registry_snapshot(),
+                        }
+                        .to_line()
+                    )?;
+                    out.flush()?;
+                }
+                Ok(Request::Drain) => {
+                    let completed = self.drain(out)?;
+                    writeln!(out, "{}", Response::Drained { seq, completed }.to_line())?;
+                    out.flush()?;
+                }
+                Ok(Request::Shutdown) => {
+                    self.drain(out)?;
+                    writeln!(out, "{}", Response::Shutdown { seq }.to_line())?;
+                    out.flush()?;
+                    telemetry::event(Level::Info, "cliffguard.serve.shutdown")
+                        .u64("seq", seq)
+                        .emit();
+                    return Ok(true);
+                }
+            }
+        }
+        // End of input is the final barrier: every admitted session still
+        // terminates in a response (or a persisted pending checkpoint).
+        self.drain(out)?;
+        out.flush()?;
+        Ok(false)
+    }
+
+    /// Serves connections from `listener`, one at a time, until a client
+    /// sends `shutdown`. Sequence numbers and tenant state carry across
+    /// connections; a dropped connection simply ends at its final drain
+    /// barrier.
+    pub fn serve_tcp(&mut self, listener: TcpListener) -> io::Result<()> {
+        for stream in listener.incoming() {
+            let stream = stream?;
+            let reader = BufReader::new(stream.try_clone()?);
+            let mut writer = stream;
+            if self.run(reader, &mut writer)? {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::harness::{design_line, ServeHarness};
+
+    #[test]
+    fn garbage_frames_get_error_responses_and_the_daemon_survives() {
+        let harness = ServeHarness::new();
+        let out = harness.run_tape(&[
+            "this is not json".into(),
+            r#"{"op":"teleport"}"#.into(),
+            r#"{"op":"drain"}"#.into(),
+        ]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3, "{out}");
+        assert!(lines[0].contains(r#""op":"error""#), "{}", lines[0]);
+        assert!(lines[1].contains(r#""op":"error""#), "{}", lines[1]);
+        assert!(lines[2].contains(r#""op":"drain""#), "{}", lines[2]);
+    }
+
+    #[test]
+    fn queue_full_rejections_are_deterministic() {
+        let mut harness = ServeHarness::new();
+        harness.config.max_queue = 2;
+        let mut tape: Vec<String> = (0..4)
+            .map(|i| design_line(&crate::testdata::design_request(&format!("t{i}"), 7)))
+            .collect();
+        tape.push(r#"{"op":"drain"}"#.into());
+        let out1 = harness.run_tape(&tape);
+        let out2 = harness.run_tape(&tape);
+        assert_eq!(out1, out2, "same tape must produce identical bytes");
+        // Frames 3 and 4 overflow the 2-slot queue and are rejected
+        // immediately; 1 and 2 complete at the drain barrier.
+        let lines: Vec<&str> = out1.lines().collect();
+        assert_eq!(lines.len(), 5, "{out1}");
+        assert!(lines[0].contains(r#""status":"rejected""#), "{}", lines[0]);
+        assert!(lines[0].contains("queue full"), "{}", lines[0]);
+        assert!(lines[1].contains(r#""status":"rejected""#), "{}", lines[1]);
+        assert!(lines[2].contains(r#""seq":1"#), "{}", lines[2]);
+        assert!(lines[3].contains(r#""seq":2"#), "{}", lines[3]);
+        assert!(lines[4].contains(r#""op":"drain""#), "{}", lines[4]);
+    }
+
+    #[test]
+    fn status_and_metrics_report_tenant_stats() {
+        let harness = ServeHarness::new();
+        let out = harness.run_tape(&[
+            design_line(&crate::testdata::design_request("acme", 7)),
+            r#"{"op":"status"}"#.into(),
+            r#"{"op":"metrics"}"#.into(),
+            r#"{"op":"shutdown"}"#.into(),
+        ]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4, "{out}");
+        assert!(lines[0].contains(r#""tenant":"acme""#), "{}", lines[0]);
+        assert!(lines[1].contains(r#""op":"status""#), "{}", lines[1]);
+        assert!(lines[1].contains(r#""completed":1"#), "{}", lines[1]);
+        assert!(lines[1].contains(r#""acme""#), "{}", lines[1]);
+        assert!(lines[2].contains(r#""op":"metrics""#), "{}", lines[2]);
+        assert!(lines[3].contains(r#""op":"shutdown""#), "{}", lines[3]);
+    }
+}

@@ -1,0 +1,127 @@
+//! The deterministic in-process serve harness.
+//!
+//! End-to-end daemon tests need three things real deployments make hard:
+//! a **virtual clock** (so backoffs and deadlines cost no wall time and
+//! perturb nothing), a **scripted request tape** (the daemon's whole
+//! input decided up front), and **reproducible scheduling** (output
+//! independent of worker interleaving). [`ServeHarness`] packages all
+//! three: it builds a fresh [`Daemon`] per run over an in-memory
+//! reader/writer pair and returns the complete output stream as a
+//! string, which tests compare byte-for-byte across reruns, thread
+//! counts, and kill/restart boundaries.
+//!
+//! ```
+//! use cliffguard_serve::harness::{design_line, ServeHarness};
+//! use cliffguard_serve::testdata;
+//!
+//! let harness = ServeHarness::new();
+//! let tape = vec![
+//!     design_line(&testdata::design_request("acme", 7)),
+//!     r#"{"op":"drain"}"#.to_string(),
+//! ];
+//! let out = harness.run_tape(&tape);
+//! assert_eq!(out, harness.run_tape(&tape), "byte-identical reruns");
+//! assert!(out.lines().next().unwrap().contains("\"status\":\"done\""));
+//! ```
+
+use crate::daemon::{Daemon, ServeConfig};
+use crate::protocol::{DesignRequest, Request};
+use std::io::{BufReader, Cursor};
+use std::path::PathBuf;
+
+/// Renders a design request as the protocol line a client would send.
+pub fn design_line(req: &DesignRequest) -> String {
+    Request::Design(Box::new(req.clone())).to_line()
+}
+
+/// A deterministic, in-process driver for [`Daemon`].
+#[derive(Debug, Clone)]
+pub struct ServeHarness {
+    /// The daemon configuration each [`run_tape`](Self::run_tape) starts
+    /// from. Always `virtual_time: true` — the harness exists to make
+    /// runs reproducible.
+    pub config: ServeConfig,
+}
+
+impl Default for ServeHarness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeHarness {
+    /// A harness with virtual time, one worker slot per core, and no
+    /// state directory.
+    pub fn new() -> Self {
+        Self {
+            config: ServeConfig {
+                virtual_time: true,
+                ..ServeConfig::default()
+            },
+        }
+    }
+
+    /// Caps concurrent sessions at `n` (the queue scales with it).
+    pub fn with_max_concurrent(mut self, n: usize) -> Self {
+        self.config.max_concurrent = n.max(1);
+        self.config.max_queue = self.config.max_queue.max(n * 4);
+        self
+    }
+
+    /// Persists session state under `dir` (enables kill/resume runs).
+    pub fn with_state_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.state_dir = Some(dir.into());
+        self
+    }
+
+    /// Simulates a daemon killed before iteration `k` of every session:
+    /// checkpoints persist, no responses are emitted for them.
+    pub fn with_kill_after(mut self, k: usize) -> Self {
+        self.config.kill_after_iterations = Some(k);
+        self
+    }
+
+    /// Applies a default fault-plan spec to every request on this tape.
+    pub fn with_faults(mut self, spec: impl Into<String>) -> Self {
+        self.config.default_faults = Some(spec.into());
+        self
+    }
+
+    /// Runs a fresh daemon over the tape (one frame per element) through
+    /// end-of-input, returning everything it wrote. Panics on I/O errors
+    /// — in-memory I/O cannot fail, and a test harness should be loud.
+    pub fn run_tape(&self, tape: &[String]) -> String {
+        let mut input = tape.join("\n");
+        input.push('\n');
+        let mut out: Vec<u8> = Vec::new();
+        let mut daemon = Daemon::new(self.config.clone()).expect("daemon builds");
+        daemon
+            .run(BufReader::new(Cursor::new(input)), &mut out)
+            .expect("in-memory serve run");
+        String::from_utf8(out).expect("protocol output is UTF-8")
+    }
+}
+
+/// Parses every line of a harness output stream into JSON values,
+/// asserting each is one well-formed object (helper for tests).
+pub fn parse_output(out: &str) -> Vec<serde::Value> {
+    out.lines()
+        .map(|l| serde_json::from_str(l).unwrap_or_else(|e| panic!("bad response line `{l}`: {e}")))
+        .collect()
+}
+
+/// Extracts the `report` objects of `design` responses, in order,
+/// re-serialized as canonical JSON strings (the per-tenant audit trail
+/// tests compare byte-for-byte).
+pub fn design_reports(out: &str) -> Vec<String> {
+    parse_output(out)
+        .iter()
+        .filter_map(|v| {
+            let m = v.as_map()?;
+            match serde::map_get(m, "report") {
+                serde::Value::Null => None,
+                report => Some(serde_json::to_string(report).expect("report renders")),
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,623 @@
+//! The newline-delimited JSON protocol of `cliffguard serve`.
+//!
+//! One request per line in, one response per line out. The grammar is
+//! deliberately tiny — five verbs — and every frame is a single JSON
+//! object, so any language with a JSON library is a client:
+//!
+//! ```text
+//! {"op":"design","tenant":"acme","catalog":{...},"log":"<tsv>","gamma":"auto"}
+//! {"op":"status"}
+//! {"op":"metrics"}
+//! {"op":"drain"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Parsing is total: a malformed frame yields a [`ProtocolError`], never a
+//! panic, and the daemon answers it with an `error` response instead of
+//! dying. Requests round-trip through [`Request::to_line`] /
+//! [`parse_request`] bit-exactly (floats travel as IEEE-754 bit patterns,
+//! like the checkpoint format), which is what lets the daemon persist a
+//! request envelope and re-run it after a crash with identical inputs.
+
+use serde::{map_get, Deserialize, Error as SerdeError, Serialize, Value};
+
+/// Maximum accepted frame length (bytes). A daemon reading a socket must
+/// bound memory per frame; 64 MiB comfortably fits a multi-month query
+/// log embedded in a request.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Maximum tenant-id length.
+pub const MAX_TENANT_LEN: usize = 64;
+
+/// Why a frame was not accepted as a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError(pub String);
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn err(msg: impl Into<String>) -> ProtocolError {
+    ProtocolError(msg.into())
+}
+
+/// Γ for a design request: resolved from drift history or pinned.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GammaSpec {
+    /// `"auto"`: 1.5 × the maximum past inter-window δ.
+    Auto,
+    /// A fixed Γ ≥ 0.
+    Fixed(f64),
+}
+
+/// Storage budget for a design request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetSpec {
+    /// `"auto"`: 30% of the raw data size.
+    Auto,
+    /// A fixed byte budget.
+    Bytes(u64),
+}
+
+/// A `design` request: everything one tenant's design session needs,
+/// self-contained (the daemon persists this envelope verbatim so a killed
+/// session restarts from identical inputs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignRequest {
+    /// Tenant id: `[A-Za-z0-9_.-]{1,64}` (it names a state directory).
+    pub tenant: String,
+    /// The catalog, as the same JSON object `cliffguard generate` writes.
+    pub catalog: Value,
+    /// The query log, as TSV text (`timestamp\tSQL` per line).
+    pub log: String,
+    /// Robustness knob.
+    pub gamma: GammaSpec,
+    /// Storage budget.
+    pub budget: BudgetSpec,
+    /// Window length for splitting the log (days).
+    pub window_days: u64,
+    /// Seed for the Γ-neighborhood sampler.
+    pub seed: u64,
+    /// Designer retry budget override (else the daemon default).
+    pub max_retries: Option<u32>,
+    /// Per-designer-call deadline override (ms).
+    pub designer_deadline_ms: Option<u64>,
+    /// Per-session deadline override (ms, else the daemon's
+    /// `--tenant-deadline-ms`).
+    pub deadline_ms: Option<u64>,
+    /// Fault-plan spec for drills (else the daemon's `CLIFFGUARD_FAULTS`).
+    pub faults: Option<String>,
+}
+
+impl DesignRequest {
+    /// A request with the protocol defaults for `tenant` over
+    /// `catalog`/`log`.
+    pub fn new(tenant: impl Into<String>, catalog: Value, log: impl Into<String>) -> Self {
+        Self {
+            tenant: tenant.into(),
+            catalog,
+            log: log.into(),
+            gamma: GammaSpec::Auto,
+            budget: BudgetSpec::Auto,
+            window_days: 28,
+            seed: 42,
+            max_retries: None,
+            designer_deadline_ms: None,
+            deadline_ms: None,
+            faults: None,
+        }
+    }
+}
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run a design session for one tenant.
+    Design(Box<DesignRequest>),
+    /// Drain in-flight work, then report daemon + per-tenant state.
+    Status,
+    /// Drain in-flight work, then report the metrics registry snapshot.
+    Metrics,
+    /// Drain in-flight work (an explicit flow-control sync point).
+    Drain,
+    /// Drain, respond, and stop the daemon.
+    Shutdown,
+}
+
+/// Is `t` a valid tenant id (non-empty, bounded, path- and label-safe)?
+pub fn valid_tenant(t: &str) -> bool {
+    !t.is_empty()
+        && t.len() <= MAX_TENANT_LEN
+        && t.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'.' || b == b'-')
+        && !t.starts_with('.')
+}
+
+/// Parses one NDJSON frame into a [`Request`]. Total: every failure mode
+/// is an `Err`, never a panic.
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    if line.len() > MAX_FRAME_BYTES {
+        return Err(err(format!(
+            "frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte limit",
+            line.len()
+        )));
+    }
+    let v: Value = serde_json::from_str(line).map_err(|e| err(format!("bad JSON: {e}")))?;
+    let m = v
+        .as_map()
+        .ok_or_else(|| err("frame must be a JSON object"))?;
+    let op = match map_get(m, "op") {
+        Value::Str(s) => s.as_str(),
+        Value::Null => return Err(err("missing \"op\"")),
+        _ => return Err(err("\"op\" must be a string")),
+    };
+    match op {
+        "status" => Ok(Request::Status),
+        "metrics" => Ok(Request::Metrics),
+        "drain" => Ok(Request::Drain),
+        "shutdown" => Ok(Request::Shutdown),
+        "design" => Ok(Request::Design(Box::new(parse_design(m)?))),
+        other => Err(err(format!(
+            "unknown op `{other}` (want design|status|metrics|drain|shutdown)"
+        ))),
+    }
+}
+
+fn parse_design(m: &[(String, Value)]) -> Result<DesignRequest, ProtocolError> {
+    let tenant = match map_get(m, "tenant") {
+        Value::Str(s) => s.clone(),
+        _ => return Err(err("design: missing string \"tenant\"")),
+    };
+    if !valid_tenant(&tenant) {
+        return Err(err(format!(
+            "design: tenant `{tenant}` is not [A-Za-z0-9_.-]{{1,{MAX_TENANT_LEN}}} \
+             (and must not start with '.')"
+        )));
+    }
+    let catalog = match map_get(m, "catalog") {
+        Value::Map(_) => map_get(m, "catalog").clone(),
+        _ => return Err(err("design: missing object \"catalog\"")),
+    };
+    let log = match map_get(m, "log") {
+        Value::Str(s) => s.clone(),
+        _ => return Err(err("design: missing string \"log\"")),
+    };
+    let gamma = match map_get(m, "gamma") {
+        Value::Null => GammaSpec::Auto,
+        Value::Str(s) if s == "auto" => GammaSpec::Auto,
+        // Bit-exact transport: a persisted envelope must re-run with the
+        // exact Γ the original request carried.
+        Value::U64(bits) => GammaSpec::Fixed(f64::from_bits(*bits)),
+        Value::F64(g) if *g >= 0.0 => GammaSpec::Fixed(*g),
+        Value::I64(_) | Value::F64(_) => return Err(err("design: gamma must be >= 0")),
+        _ => return Err(err("design: gamma must be \"auto\" or a number")),
+    };
+    if let GammaSpec::Fixed(g) = gamma {
+        if !g.is_finite() || g < 0.0 {
+            return Err(err("design: gamma must be a finite number >= 0"));
+        }
+    }
+    let budget = match map_get(m, "budget") {
+        Value::Null => BudgetSpec::Auto,
+        Value::Str(s) if s == "auto" => BudgetSpec::Auto,
+        Value::U64(b) if *b > 0 => BudgetSpec::Bytes(*b),
+        _ => return Err(err("design: budget must be \"auto\" or a positive integer")),
+    };
+    let u64_field = |key: &str, default: u64| -> Result<u64, ProtocolError> {
+        match map_get(m, key) {
+            Value::Null => Ok(default),
+            Value::U64(n) => Ok(*n),
+            _ => Err(err(format!("design: {key} must be a non-negative integer"))),
+        }
+    };
+    let opt_u64 = |key: &str| -> Result<Option<u64>, ProtocolError> {
+        match map_get(m, key) {
+            Value::Null => Ok(None),
+            Value::U64(n) => Ok(Some(*n)),
+            _ => Err(err(format!("design: {key} must be a non-negative integer"))),
+        }
+    };
+    let window_days = u64_field("window_days", 28)?;
+    if window_days == 0 {
+        return Err(err("design: window_days must be >= 1"));
+    }
+    let faults = match map_get(m, "faults") {
+        Value::Null => None,
+        Value::Str(s) => Some(s.clone()),
+        _ => return Err(err("design: faults must be a fault-spec string")),
+    };
+    Ok(DesignRequest {
+        tenant,
+        catalog,
+        log,
+        gamma,
+        budget,
+        window_days,
+        seed: u64_field("seed", 42)?,
+        max_retries: opt_u64("max_retries")?.map(|n| n.min(u32::MAX as u64) as u32),
+        designer_deadline_ms: opt_u64("designer_deadline_ms")?,
+        deadline_ms: opt_u64("deadline_ms")?,
+        faults,
+    })
+}
+
+impl Serialize for Request {
+    fn to_value(&self) -> Value {
+        match self {
+            Request::Status => Value::Map(vec![("op".into(), Value::Str("status".into()))]),
+            Request::Metrics => Value::Map(vec![("op".into(), Value::Str("metrics".into()))]),
+            Request::Drain => Value::Map(vec![("op".into(), Value::Str("drain".into()))]),
+            Request::Shutdown => Value::Map(vec![("op".into(), Value::Str("shutdown".into()))]),
+            Request::Design(d) => {
+                let mut m = vec![
+                    ("op".into(), Value::Str("design".into())),
+                    ("tenant".into(), Value::Str(d.tenant.clone())),
+                    ("catalog".into(), d.catalog.clone()),
+                    ("log".into(), Value::Str(d.log.clone())),
+                    (
+                        "gamma".into(),
+                        match d.gamma {
+                            GammaSpec::Auto => Value::Str("auto".into()),
+                            // U64 bit pattern: survives JSON exactly.
+                            GammaSpec::Fixed(g) => Value::U64(g.to_bits()),
+                        },
+                    ),
+                    (
+                        "budget".into(),
+                        match d.budget {
+                            BudgetSpec::Auto => Value::Str("auto".into()),
+                            BudgetSpec::Bytes(b) => Value::U64(b),
+                        },
+                    ),
+                    ("window_days".into(), Value::U64(d.window_days)),
+                    ("seed".into(), Value::U64(d.seed)),
+                ];
+                if let Some(n) = d.max_retries {
+                    m.push(("max_retries".into(), Value::U64(n as u64)));
+                }
+                if let Some(n) = d.designer_deadline_ms {
+                    m.push(("designer_deadline_ms".into(), Value::U64(n)));
+                }
+                if let Some(n) = d.deadline_ms {
+                    m.push(("deadline_ms".into(), Value::U64(n)));
+                }
+                if let Some(s) = &d.faults {
+                    m.push(("faults".into(), Value::Str(s.clone())));
+                }
+                Value::Map(m)
+            }
+        }
+    }
+}
+
+impl Request {
+    /// Renders the request as one NDJSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+    }
+}
+
+// ------------------------------------------------------------ responses --
+
+/// Terminal status of a design request. Every admitted or refused request
+/// ends in exactly one of these — the protocol has no silent drops (the
+/// one exception is a daemon killed mid-session, whose restart emits the
+/// response with `resumed: true`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DesignStatus {
+    /// The session finished cleanly.
+    Done,
+    /// The session finished by graceful degradation (see `reason`).
+    Degraded,
+    /// The request was refused (queue full, bad inputs) — see `reason`.
+    Rejected,
+}
+
+impl DesignStatus {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DesignStatus::Done => "done",
+            DesignStatus::Degraded => "degraded",
+            DesignStatus::Rejected => "rejected",
+        }
+    }
+}
+
+/// The audited outcome of one completed design session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignReport {
+    /// Order-insensitive structure hash of the final design.
+    pub fingerprint: u64,
+    /// Number of structures (projections) in the design.
+    pub structures: usize,
+    /// Storage price of the design (bytes).
+    pub price_bytes: u64,
+    /// The Γ the session ran with (resolved if the request said `auto`).
+    pub gamma: f64,
+    /// The budget the session ran with (resolved if `auto`).
+    pub budget_bytes: u64,
+    /// Designer calls made (logical, not counting retries).
+    pub designer_calls: usize,
+    /// Retries absorbed.
+    pub retries: usize,
+    /// Faults observed.
+    pub faults: usize,
+    /// Degradation reason, when the session degraded.
+    pub degraded: Option<String>,
+    /// Worst-case objective per iteration, as IEEE-754 bit patterns (the
+    /// audit trail a kill/resume test compares byte-for-byte).
+    pub worst_case_bits: Vec<u64>,
+    /// The design, rendered as DDL.
+    pub ddl: String,
+}
+
+impl Serialize for DesignReport {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("fingerprint".into(), Value::U64(self.fingerprint)),
+            ("structures".into(), Value::U64(self.structures as u64)),
+            ("price_bytes".into(), Value::U64(self.price_bytes)),
+            ("gamma_bits".into(), Value::U64(self.gamma.to_bits())),
+            ("budget_bytes".into(), Value::U64(self.budget_bytes)),
+            (
+                "designer_calls".into(),
+                Value::U64(self.designer_calls as u64),
+            ),
+            ("retries".into(), Value::U64(self.retries as u64)),
+            ("faults".into(), Value::U64(self.faults as u64)),
+            (
+                "degraded".into(),
+                match &self.degraded {
+                    Some(r) => Value::Str(r.clone()),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "worst_case_bits".into(),
+                Value::Seq(
+                    self.worst_case_bits
+                        .iter()
+                        .map(|&b| Value::U64(b))
+                        .collect(),
+                ),
+            ),
+            ("ddl".into(), Value::Str(self.ddl.clone())),
+        ])
+    }
+}
+
+impl Deserialize for DesignReport {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| SerdeError::msg("report: expected map"))?;
+        let bits: Vec<u64> = Vec::from_value(map_get(m, "worst_case_bits"))?;
+        Ok(Self {
+            fingerprint: u64::from_value(map_get(m, "fingerprint"))?,
+            structures: u64::from_value(map_get(m, "structures"))? as usize,
+            price_bytes: u64::from_value(map_get(m, "price_bytes"))?,
+            gamma: f64::from_bits(u64::from_value(map_get(m, "gamma_bits"))?),
+            budget_bytes: u64::from_value(map_get(m, "budget_bytes"))?,
+            designer_calls: u64::from_value(map_get(m, "designer_calls"))? as usize,
+            retries: u64::from_value(map_get(m, "retries"))? as usize,
+            faults: u64::from_value(map_get(m, "faults"))? as usize,
+            degraded: Option::<String>::from_value(map_get(m, "degraded"))?,
+            worst_case_bits: bits,
+            ddl: String::from_value(map_get(m, "ddl"))?,
+        })
+    }
+}
+
+/// A protocol response, rendered as one NDJSON line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Terminal answer to a design request.
+    Design {
+        /// Sequence number of the request this answers.
+        seq: u64,
+        /// The tenant.
+        tenant: String,
+        /// Terminal status.
+        status: DesignStatus,
+        /// Reason, for `rejected` (and `degraded` carries it in the
+        /// report too).
+        reason: Option<String>,
+        /// The audited outcome (absent on rejection).
+        report: Option<DesignReport>,
+        /// Whether this session was recovered from the state directory
+        /// after a daemon restart.
+        resumed: bool,
+    },
+    /// Answer to `status`.
+    Status {
+        /// Sequence number of the request this answers.
+        seq: u64,
+        /// The daemon + per-tenant state, pre-rendered as a JSON value.
+        snapshot: Value,
+    },
+    /// Answer to `metrics`.
+    Metrics {
+        /// Sequence number of the request this answers.
+        seq: u64,
+        /// Per-tenant session stats.
+        tenants: Value,
+        /// The metrics-registry snapshot, when telemetry metrics are
+        /// installed (`null` otherwise).
+        registry: Option<Value>,
+    },
+    /// Answer to `drain`: all previously admitted sessions have completed
+    /// and their responses were emitted before this line.
+    Drained {
+        /// Sequence number of the request this answers.
+        seq: u64,
+        /// Design sessions completed by this drain.
+        completed: u64,
+    },
+    /// Answer to an unparseable frame.
+    Error {
+        /// Sequence number assigned to the bad frame.
+        seq: u64,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// Final line before the daemon exits on `shutdown`.
+    Shutdown {
+        /// Sequence number of the request this answers.
+        seq: u64,
+    },
+}
+
+impl Serialize for Response {
+    fn to_value(&self) -> Value {
+        match self {
+            Response::Design {
+                seq,
+                tenant,
+                status,
+                reason,
+                report,
+                resumed,
+            } => {
+                let mut m = vec![
+                    ("seq".into(), Value::U64(*seq)),
+                    ("op".into(), Value::Str("design".into())),
+                    ("tenant".into(), Value::Str(tenant.clone())),
+                    ("status".into(), Value::Str(status.name().into())),
+                ];
+                if let Some(r) = reason {
+                    m.push(("reason".into(), Value::Str(r.clone())));
+                }
+                if let Some(rep) = report {
+                    m.push(("report".into(), rep.to_value()));
+                }
+                m.push(("resumed".into(), Value::Bool(*resumed)));
+                Value::Map(m)
+            }
+            Response::Status { seq, snapshot } => Value::Map(vec![
+                ("seq".into(), Value::U64(*seq)),
+                ("op".into(), Value::Str("status".into())),
+                ("daemon".into(), snapshot.clone()),
+            ]),
+            Response::Metrics {
+                seq,
+                tenants,
+                registry,
+            } => Value::Map(vec![
+                ("seq".into(), Value::U64(*seq)),
+                ("op".into(), Value::Str("metrics".into())),
+                ("tenants".into(), tenants.clone()),
+                ("registry".into(), registry.clone().unwrap_or(Value::Null)),
+            ]),
+            Response::Drained { seq, completed } => Value::Map(vec![
+                ("seq".into(), Value::U64(*seq)),
+                ("op".into(), Value::Str("drain".into())),
+                ("completed".into(), Value::U64(*completed)),
+            ]),
+            Response::Error { seq, reason } => Value::Map(vec![
+                ("seq".into(), Value::U64(*seq)),
+                ("op".into(), Value::Str("error".into())),
+                ("reason".into(), Value::Str(reason.clone())),
+            ]),
+            Response::Shutdown { seq } => Value::Map(vec![
+                ("seq".into(), Value::U64(*seq)),
+                ("op".into(), Value::Str("shutdown".into())),
+            ]),
+        }
+    }
+}
+
+impl Response {
+    /// Renders the response as one NDJSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_catalog_value() -> Value {
+        Value::Map(vec![("tables".into(), Value::Seq(vec![]))])
+    }
+
+    #[test]
+    fn verbs_parse() {
+        assert_eq!(parse_request(r#"{"op":"status"}"#), Ok(Request::Status));
+        assert_eq!(parse_request(r#"{"op":"metrics"}"#), Ok(Request::Metrics));
+        assert_eq!(parse_request(r#"{"op":"drain"}"#), Ok(Request::Drain));
+        assert_eq!(parse_request(r#"{"op":"shutdown"}"#), Ok(Request::Shutdown));
+    }
+
+    #[test]
+    fn malformed_frames_error_without_panicking() {
+        for bad in [
+            "",
+            "not json",
+            "[]",
+            "42",
+            r#"{"op":7}"#,
+            r#"{"op":"teleport"}"#,
+            r#"{"op":"design"}"#,
+            r#"{"op":"design","tenant":""}"#,
+            r#"{"op":"design","tenant":"../etc","catalog":{},"log":"x"}"#,
+            r#"{"op":"design","tenant":".hidden","catalog":{},"log":"x"}"#,
+            r#"{"op":"design","tenant":"t","catalog":{},"log":"x","gamma":-0.5}"#,
+            r#"{"op":"design","tenant":"t","catalog":{},"log":"x","budget":0}"#,
+            r#"{"op":"design","tenant":"t","catalog":{},"log":"x","window_days":0}"#,
+            r#"{"op":"design","tenant":"t","catalog":[],"log":"x"}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "must reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn design_round_trips_with_newlines_and_gamma_bits() {
+        let mut req = DesignRequest::new("acme-1", tiny_catalog_value(), "1\tSELECT a FROM t;\n");
+        req.gamma = GammaSpec::Fixed(0.1 + 0.2); // not decimal-clean
+        req.budget = BudgetSpec::Bytes(1 << 30);
+        req.seed = 7;
+        req.faults = Some("seed=1,rate=0.3".into());
+        req.deadline_ms = Some(5_000);
+        let line = Request::Design(Box::new(req.clone())).to_line();
+        assert!(!line.contains('\n'), "NDJSON frames are one line: {line}");
+        let back = parse_request(&line).expect("round trip");
+        assert_eq!(back, Request::Design(Box::new(req)));
+    }
+
+    #[test]
+    fn responses_are_single_lines() {
+        let r = Response::Design {
+            seq: 3,
+            tenant: "t".into(),
+            status: DesignStatus::Done,
+            reason: None,
+            report: Some(DesignReport {
+                fingerprint: 0xabc,
+                structures: 2,
+                price_bytes: 10,
+                gamma: 0.1 + 0.2,
+                budget_bytes: 100,
+                designer_calls: 4,
+                retries: 1,
+                faults: 1,
+                degraded: None,
+                worst_case_bits: vec![1.5f64.to_bits()],
+                ddl: "CREATE PROJECTION p (\n  a\n);\n".into(),
+            }),
+            resumed: false,
+        };
+        let line = r.to_line();
+        assert!(!line.contains('\n'), "{line}");
+        // The report round-trips through the wire value bit-exactly.
+        let v: Value = serde_json::from_str(&line).unwrap();
+        let rep = DesignReport::from_value(map_get(v.as_map().unwrap(), "report")).unwrap();
+        assert_eq!(rep.gamma.to_bits(), (0.1f64 + 0.2).to_bits());
+        assert!(rep.ddl.contains('\n'));
+    }
+}

@@ -1,0 +1,157 @@
+//! The daemon's shared worker pool.
+//!
+//! A fixed set of workers drains a FIFO job queue; the intake thread
+//! [`submit`](WorkerPool::submit)s one job per admitted design request and
+//! later [`wait`](WorkerPool::wait)s on its id at a drain barrier. Job
+//! panics are caught and surfaced as `Err` from `wait` — a wedged request
+//! must terminate in a response, never take the daemon down or vanish.
+//!
+//! Determinism: the pool intentionally has **no** influence on the
+//! protocol output. Jobs are independent (each owns its session, clock,
+//! and RNG), results are keyed by id, and the daemon collects them in
+//! admission order at barriers — so worker count and completion order are
+//! unobservable in the output stream.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job<T> = Box<dyn FnOnce() -> T + Send>;
+
+struct Shared<T> {
+    queue: Mutex<Queue<T>>,
+    /// Signals workers: a job was queued, or shutdown began.
+    work: Condvar,
+    /// Signals waiters: a result landed.
+    done: Condvar,
+}
+
+struct Queue<T> {
+    jobs: VecDeque<(u64, Job<T>)>,
+    results: HashMap<u64, Result<T, String>>,
+    shutdown: bool,
+}
+
+/// A fixed-size worker pool with id-addressed results.
+pub struct WorkerPool<T> {
+    shared: Arc<Shared<T>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> WorkerPool<T> {
+    /// Spawns `n` workers (at least one).
+    pub fn new(n: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                results: HashMap::new(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (0..n.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Queues a job under `id`. Ids must be unique across the pool's
+    /// lifetime (the daemon uses the request sequence number).
+    pub fn submit(&self, id: u64, job: Job<T>) {
+        let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.jobs.push_back((id, job));
+        drop(q);
+        self.shared.work.notify_one();
+    }
+
+    /// Blocks until job `id` finishes; `Err` carries a panic message.
+    pub fn wait(&self, id: u64) -> Result<T, String> {
+        let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(r) = q.results.remove(&id) {
+                return r;
+            }
+            q = self.shared.done.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+fn worker_loop<T: Send>(shared: &Shared<T>) {
+    loop {
+        let (id, job) = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.work.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let result = catch_unwind(AssertUnwindSafe(job)).map_err(|payload| {
+            payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker panicked".into())
+        });
+        let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.results.insert(id, result);
+        drop(q);
+        shared.done.notify_all();
+    }
+}
+
+impl<T> Drop for WorkerPool<T> {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_keyed_by_id_not_completion_order() {
+        let pool: WorkerPool<u64> = WorkerPool::new(4);
+        for id in 0..32u64 {
+            pool.submit(
+                id,
+                Box::new(move || {
+                    // Stagger finish order.
+                    std::thread::sleep(std::time::Duration::from_millis((32 - id) % 5));
+                    id * 10
+                }),
+            );
+        }
+        for id in 0..32u64 {
+            assert_eq!(pool.wait(id), Ok(id * 10));
+        }
+    }
+
+    #[test]
+    fn panics_become_errors_and_workers_survive() {
+        let pool: WorkerPool<u64> = WorkerPool::new(1);
+        pool.submit(1, Box::new(|| panic!("session exploded")));
+        pool.submit(2, Box::new(|| 7));
+        let err = pool.wait(1).expect_err("panic must surface");
+        assert!(err.contains("session exploded"), "{err}");
+        // The single worker absorbed the panic and keeps serving.
+        assert_eq!(pool.wait(2), Ok(7));
+    }
+}

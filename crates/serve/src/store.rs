@@ -1,0 +1,208 @@
+//! The daemon's durable session state.
+//!
+//! Layout under `--state-dir`:
+//!
+//! ```text
+//! <state-dir>/tenants/<tenant>/<seq>/request.json     the admitted request
+//! <state-dir>/tenants/<tenant>/<seq>/checkpoint.json  latest descent checkpoint
+//! <state-dir>/tenants/<tenant>/<seq>/result.json      the emitted response
+//! ```
+//!
+//! A session is **pending** iff its `request.json` exists and its
+//! `result.json` does not; a restarted daemon replays exactly those, in
+//! admission (`seq`) order, resuming from `checkpoint.json` when present.
+//! Every write goes through a same-directory `.tmp` + rename, so a kill
+//! mid-write leaves either the old file or the new one, never a torn one.
+//! (Tenant ids are validated by the protocol layer — `[A-Za-z0-9_.-]`,
+//! no leading dot — so a tenant name can never escape `tenants/`.)
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One not-yet-completed session found in the state directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingSession {
+    /// Admission sequence number (directory name).
+    pub seq: u64,
+    /// The tenant that owns the session.
+    pub tenant: String,
+    /// The persisted request envelope (one protocol line).
+    pub request_line: String,
+    /// The latest persisted checkpoint, when one was written.
+    pub checkpoint_json: Option<String>,
+}
+
+/// Filesystem store for per-session request/checkpoint/result triples.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    root: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(root.join("tenants"))?;
+        Ok(Self { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn session_dir(&self, tenant: &str, seq: u64) -> PathBuf {
+        self.root.join("tenants").join(tenant).join(seq.to_string())
+    }
+
+    fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, contents)?;
+        fs::rename(&tmp, path)
+    }
+
+    /// Persists the admitted request envelope for (`tenant`, `seq`).
+    pub fn save_request(&self, tenant: &str, seq: u64, line: &str) -> io::Result<()> {
+        let dir = self.session_dir(tenant, seq);
+        fs::create_dir_all(&dir)?;
+        Self::write_atomic(&dir.join("request.json"), line)
+    }
+
+    /// Persists the latest checkpoint for (`tenant`, `seq`), replacing any
+    /// previous one.
+    pub fn save_checkpoint(&self, tenant: &str, seq: u64, json: &str) -> io::Result<()> {
+        Self::write_atomic(&self.session_dir(tenant, seq).join("checkpoint.json"), json)
+    }
+
+    /// Persists the emitted response for (`tenant`, `seq`), marking the
+    /// session complete.
+    pub fn save_result(&self, tenant: &str, seq: u64, line: &str) -> io::Result<()> {
+        Self::write_atomic(&self.session_dir(tenant, seq).join("result.json"), line)
+    }
+
+    /// The persisted checkpoint of (`tenant`, `seq`), if any.
+    pub fn load_checkpoint(&self, tenant: &str, seq: u64) -> Option<String> {
+        fs::read_to_string(self.session_dir(tenant, seq).join("checkpoint.json")).ok()
+    }
+
+    /// All pending sessions (request persisted, no result), in admission
+    /// order. Unreadable entries (e.g. a directory that is not a number)
+    /// are skipped rather than failing the whole recovery.
+    pub fn pending(&self) -> io::Result<Vec<PendingSession>> {
+        let mut out = Vec::new();
+        let tenants = self.root.join("tenants");
+        for tenant_entry in fs::read_dir(&tenants)? {
+            let tenant_entry = tenant_entry?;
+            let Ok(tenant) = tenant_entry.file_name().into_string() else {
+                continue;
+            };
+            if !tenant_entry.file_type()?.is_dir() {
+                continue;
+            }
+            for sess_entry in fs::read_dir(tenant_entry.path())? {
+                let sess_entry = sess_entry?;
+                let Some(seq) = sess_entry
+                    .file_name()
+                    .to_str()
+                    .and_then(|s| s.parse::<u64>().ok())
+                else {
+                    continue;
+                };
+                let dir = sess_entry.path();
+                if dir.join("result.json").exists() {
+                    continue;
+                }
+                let Ok(request_line) = fs::read_to_string(dir.join("request.json")) else {
+                    continue;
+                };
+                out.push(PendingSession {
+                    seq,
+                    tenant: tenant.clone(),
+                    request_line,
+                    checkpoint_json: fs::read_to_string(dir.join("checkpoint.json")).ok(),
+                });
+            }
+        }
+        out.sort_by_key(|p| p.seq);
+        Ok(out)
+    }
+
+    /// The highest sequence number of any persisted session (pending or
+    /// complete), so a restarted daemon numbers new requests above it.
+    pub fn max_seq(&self) -> io::Result<u64> {
+        let mut max = 0;
+        for tenant_entry in fs::read_dir(self.root.join("tenants"))? {
+            let tenant_entry = tenant_entry?;
+            if !tenant_entry.file_type()?.is_dir() {
+                continue;
+            }
+            for sess_entry in fs::read_dir(tenant_entry.path())? {
+                if let Some(seq) = sess_entry?
+                    .file_name()
+                    .to_str()
+                    .and_then(|s| s.parse::<u64>().ok())
+                {
+                    max = max.max(seq);
+                }
+            }
+        }
+        Ok(max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_store(name: &str) -> CheckpointStore {
+        let dir = std::env::temp_dir().join(format!(
+            "cliffguard-serve-store-{name}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        CheckpointStore::open(dir).expect("store opens")
+    }
+
+    #[test]
+    fn pending_tracks_result_files_in_seq_order() {
+        let store = tmp_store("pending");
+        store.save_request("b", 2, "req-2").unwrap();
+        store.save_request("a", 1, "req-1").unwrap();
+        store.save_request("a", 3, "req-3").unwrap();
+        store.save_checkpoint("a", 3, "ckpt-3").unwrap();
+        store.save_result("b", 2, "resp-2").unwrap();
+
+        let pending = store.pending().unwrap();
+        assert_eq!(
+            pending
+                .iter()
+                .map(|p| (p.seq, p.tenant.as_str()))
+                .collect::<Vec<_>>(),
+            vec![(1, "a"), (3, "a")],
+            "completed seq 2 must not be pending; order is by seq"
+        );
+        assert_eq!(pending[0].checkpoint_json, None);
+        assert_eq!(pending[1].checkpoint_json.as_deref(), Some("ckpt-3"));
+        assert_eq!(store.max_seq().unwrap(), 3);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn checkpoints_overwrite_atomically() {
+        let store = tmp_store("atomic");
+        store.save_request("t", 1, "req").unwrap();
+        store.save_checkpoint("t", 1, "v1").unwrap();
+        store.save_checkpoint("t", 1, "v2").unwrap();
+        assert_eq!(store.load_checkpoint("t", 1).as_deref(), Some("v2"));
+        // No stray .tmp files survive a completed write.
+        let dir = store.session_dir("t", 1);
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = fs::remove_dir_all(store.root());
+    }
+}

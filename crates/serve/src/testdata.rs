@@ -1,0 +1,38 @@
+//! Canned tenant inputs for the serve tests and benchmarks.
+//!
+//! The daemon's end-to-end suites all need the same thing: a small,
+//! seeded (catalog, log) pair that drifts enough for the robust descent
+//! to do real work. This module generates one with the workspace's own
+//! R1 drifting generator — the same data `cliffguard generate` writes to
+//! disk, kept in memory as the protocol carries it (catalog as a JSON
+//! value, log as TSV text).
+
+use crate::protocol::DesignRequest;
+use cliffguard_storage::CatalogGenerator;
+use cliffguard_workload::generator::{DriftingGenerator, WorkloadProfile};
+use serde::{Serialize, Value};
+
+/// A seeded small catalog (as the JSON value the protocol carries) and
+/// its drifting R1 query log (as TSV text).
+pub fn catalog_and_log(seed: u64) -> (Value, String) {
+    let mut config = WorkloadProfile::R1.config(seed).scaled(0.2);
+    config.n_windows = 4;
+    let mut generator = DriftingGenerator::new(config);
+    let shape = generator.shape().clone();
+    let log = generator.generate();
+    let catalog = CatalogGenerator {
+        seed,
+        ..CatalogGenerator::default()
+    }
+    .generate(&shape);
+    (catalog.to_value(), catalog.export_log(&log))
+}
+
+/// A complete `design` request for `tenant`, seeded with `seed` (which
+/// drives both the generated inputs and the session's sampler).
+pub fn design_request(tenant: &str, seed: u64) -> DesignRequest {
+    let (catalog, log) = catalog_and_log(seed);
+    let mut req = DesignRequest::new(tenant, catalog, log);
+    req.seed = seed;
+    req
+}

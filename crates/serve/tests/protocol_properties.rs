@@ -1,0 +1,168 @@
+//! Property tests over the serve protocol layer.
+//!
+//! Three guarantees, each exercised with generated inputs:
+//!
+//! 1. every well-formed request round-trips through its wire line
+//!    bit-exactly (floats travel as IEEE-754 bit patterns);
+//! 2. the parser is total — arbitrary garbage (and near-miss JSON) is
+//!    rejected with an error, never a panic;
+//! 3. the daemon's admission control is deterministic: the same tape
+//!    yields byte-identical output regardless of worker count.
+
+use cliffguard_serve::harness::{design_line, ServeHarness};
+use cliffguard_serve::protocol::{
+    parse_request, valid_tenant, BudgetSpec, DesignRequest, GammaSpec, Request,
+};
+use cliffguard_serve::testdata;
+use proptest::prelude::*;
+use serde::Value;
+use std::sync::OnceLock;
+
+/// One generated (catalog, log) pair shared across cases — generating it
+/// per case would dominate the test's runtime.
+fn shared_inputs() -> &'static (Value, String) {
+    static INPUTS: OnceLock<(Value, String)> = OnceLock::new();
+    INPUTS.get_or_init(|| testdata::catalog_and_log(5))
+}
+
+fn arb_request() -> impl Strategy<Value = DesignRequest> {
+    (
+        "[a-zA-Z0-9_][a-zA-Z0-9_.-]{0,20}",
+        "([0-9]{1,6}\tSELECT a FROM t;\n){0,4}",
+        (0.0..2.0f64, 0u64..3),
+        (1u64..1_000_000_000_000, 0u64..3),
+        (1u64..400, 0u64..u64::MAX),
+    )
+        .prop_map(
+            |(tenant, log, (gamma, gamma_mode), (budget, budget_mode), (window_days, seed))| {
+                let mut req = DesignRequest::new(
+                    tenant,
+                    Value::Map(vec![("tables".into(), Value::Seq(vec![]))]),
+                    log,
+                );
+                req.gamma = match gamma_mode {
+                    0 => GammaSpec::Auto,
+                    // Exercise awkward bit patterns, not just round floats.
+                    1 => GammaSpec::Fixed(gamma / 3.0),
+                    _ => GammaSpec::Fixed(gamma),
+                };
+                req.budget = match budget_mode {
+                    0 => BudgetSpec::Auto,
+                    _ => BudgetSpec::Bytes(budget),
+                };
+                req.window_days = window_days;
+                req.seed = seed;
+                req.max_retries = (seed % 3 == 0).then_some((seed % 7) as u32);
+                req.designer_deadline_ms = (seed % 5 == 0).then_some(seed % 10_000);
+                req.deadline_ms = (seed % 4 == 0).then_some(seed % 100_000);
+                req.faults = (seed % 6 == 0).then(|| format!("seed={seed},rate=0.2"));
+                req
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn requests_round_trip_bit_exactly(req in arb_request()) {
+        let line = design_line(&req);
+        prop_assert!(!line.contains('\n'), "one frame per line: {}", line);
+        let back = parse_request(&line);
+        prop_assert_eq!(back, Ok(Request::Design(Box::new(req))));
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(frame in "[ -~\t]{0,120}") {
+        // Any outcome is fine; panicking or hanging is not.
+        let _ = parse_request(&frame);
+    }
+
+    #[test]
+    fn parser_never_panics_on_near_miss_json(
+        op in "[a-z]{0,10}",
+        tenant in "[ -~]{0,24}",
+        extra in "[a-z_]{1,8}",
+        n in 0u64..1_000_000,
+    ) {
+        let frame = format!(
+            r#"{{"op":"{op}","tenant":{tenant:?},"{extra}":{n},"catalog":{{}},"log":7}}"#
+        );
+        let _ = parse_request(&frame);
+        // Tenant validation agrees with the parser: a design frame with a
+        // valid shape is accepted iff the tenant id is valid.
+        let shaped = format!(
+            r#"{{"op":"design","tenant":{tenant:?},"catalog":{{}},"log":"x"}}"#
+        );
+        prop_assert_eq!(parse_request(&shaped).is_ok(), valid_tenant(&tenant));
+    }
+
+    #[test]
+    fn verb_frames_with_noise_fields_still_parse(
+        verb in 0usize..4,
+        key in "[a-z]{1,8}",
+        val in 0u64..100,
+    ) {
+        let op = ["status", "metrics", "drain", "shutdown"][verb];
+        let frame = format!(r#"{{"op":"{op}","{key}":{val}}}"#);
+        // Unknown fields are ignored, as protocol evolution requires.
+        prop_assert!(parse_request(&frame).is_ok(), "{}", frame);
+    }
+}
+
+proptest! {
+    // Each case runs real daemon sessions; keep the count small. Γ = 0
+    // degenerates to one nominal designer call per request, so a case is
+    // milliseconds, not seconds.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn admission_is_deterministic_across_worker_counts(
+        n_requests in 1usize..6,
+        max_queue in 1usize..4,
+        barrier_at in 0usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let (catalog, log) = shared_inputs().clone();
+        let mut tape: Vec<String> = Vec::new();
+        for i in 0..n_requests {
+            let mut req = DesignRequest::new(
+                format!("tenant-{}", (seed + i as u64) % 3),
+                catalog.clone(),
+                log.clone(),
+            );
+            req.gamma = GammaSpec::Fixed(0.0);
+            req.seed = seed + i as u64;
+            tape.push(design_line(&req));
+            if i == barrier_at {
+                tape.push(r#"{"op":"drain"}"#.into());
+            }
+        }
+        tape.push(r#"{"op":"status"}"#.into());
+
+        let mut one = ServeHarness::new().with_max_concurrent(1);
+        one.config.max_queue = max_queue;
+        let mut eight = ServeHarness::new().with_max_concurrent(8);
+        eight.config.max_queue = max_queue;
+        let out1 = one.run_tape(&tape);
+        let out8 = eight.run_tape(&tape);
+        // The status response legitimately echoes the daemon's
+        // configuration (worker count included); everything else must be
+        // independent of it.
+        let sans_status = |out: &str| -> Vec<String> {
+            out.lines()
+                .filter(|l| !l.contains(r#""op":"status""#))
+                .map(str::to_string)
+                .collect()
+        };
+        prop_assert_eq!(
+            sans_status(&out1),
+            sans_status(&out8),
+            "worker count changed the output"
+        );
+        prop_assert_eq!(&out1, &one.run_tape(&tape), "rerun changed the output");
+        // Every design frame terminated in exactly one response.
+        let responses = out1.lines().filter(|l| l.contains(r#""op":"design""#)).count();
+        prop_assert_eq!(responses, n_requests);
+    }
+}

@@ -140,6 +140,26 @@ pub fn elapsed_ms(start: std::time::Instant) -> f64 {
     start.elapsed().as_secs_f64() * 1e3
 }
 
+/// Renders a metric name with one label in Prometheus style, e.g.
+/// `labeled("cliffguard.serve.sessions", "tenant", "acme")` →
+/// `cliffguard.serve.sessions{tenant="acme"}`.
+///
+/// The registry keys metrics by flat name, so a labeled series is simply
+/// a distinct name; snapshots and merges treat each label value as its
+/// own counter/gauge/histogram. Characters that would corrupt the rendered
+/// name (`{`, `}`, `"`, newlines) are replaced with `_` — callers pass
+/// tenant ids and similar externally-supplied strings here.
+pub fn labeled(name: &str, key: &str, value: &str) -> String {
+    let clean: String = value
+        .chars()
+        .map(|c| match c {
+            '{' | '}' | '"' | '\n' | '\r' => '_',
+            c => c,
+        })
+        .collect();
+    format!("{name}{{{key}=\"{clean}\"}}")
+}
+
 pub(crate) fn current_subscriber() -> Option<Arc<subscriber::Shared>> {
     SUBSCRIBER.lock().unwrap_or_else(|e| e.into_inner()).clone()
 }
@@ -163,4 +183,21 @@ pub(crate) mod test_lock {
     /// install them serialize on this lock (same idiom as the
     /// thread-knob lock in `cliffguard-parallel`).
     pub static GLOBALS: Mutex<()> = Mutex::new(());
+}
+
+#[cfg(test)]
+mod label_tests {
+    use super::labeled;
+
+    #[test]
+    fn labeled_renders_and_sanitizes() {
+        assert_eq!(
+            labeled("cliffguard.serve.sessions", "tenant", "acme"),
+            "cliffguard.serve.sessions{tenant=\"acme\"}"
+        );
+        // Hostile label values cannot corrupt the rendered name.
+        assert_eq!(labeled("m", "tenant", "a\"}{b\n"), "m{tenant=\"a___b_\"}");
+        // Distinct label values are distinct registry keys.
+        assert_ne!(labeled("m", "t", "a"), labeled("m", "t", "b"));
+    }
 }

@@ -225,6 +225,67 @@ fn traced_design_is_deterministic_and_schema_valid() {
 }
 
 #[test]
+fn serve_daemon_round_trips_over_stdin() {
+    use cliffguard::serve::{harness::design_line, testdata};
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let mut child = Command::new(bin())
+        .args(["serve", "--virtual-clock", "--max-concurrent", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut stdin = child.stdin.take().unwrap();
+    writeln!(
+        stdin,
+        "{}",
+        design_line(&testdata::design_request("acme", 7))
+    )
+    .unwrap();
+    writeln!(stdin, r#"{{"op":"metrics"}}"#).unwrap();
+    writeln!(stdin, r#"{{"op":"shutdown"}}"#).unwrap();
+    drop(stdin);
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "{stdout}");
+    assert!(lines[0].contains(r#""status":"done""#), "{}", lines[0]);
+    assert!(lines[0].contains(r#""tenant":"acme""#), "{}", lines[0]);
+    assert!(lines[1].contains(r#""op":"metrics""#), "{}", lines[1]);
+    // The daemon keeps a metrics registry even without --metrics-out, so
+    // the `metrics` verb reports real counters.
+    assert!(lines[1].contains("cliffguard.serve"), "{}", lines[1]);
+    assert!(lines[2].contains(r#""op":"shutdown""#), "{}", lines[2]);
+}
+
+#[test]
+fn duplicate_flags_are_rejected() {
+    let out = Command::new(bin())
+        .args([
+            "stats",
+            "--catalog",
+            "a.json",
+            "--catalog",
+            "b.json",
+            "--log",
+            "l.tsv",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--catalog"), "{stderr}");
+    assert!(stderr.contains("more than once"), "{stderr}");
+}
+
+#[test]
 fn cli_rejects_bad_input() {
     // unknown command
     let out = Command::new(bin()).arg("frobnicate").output().unwrap();

@@ -1,0 +1,279 @@
+//! End-to-end tests of the `cliffguard serve` daemon.
+//!
+//! All runs go through the deterministic [`ServeHarness`]: virtual
+//! clocks, scripted request tapes, in-memory I/O. The assertions are the
+//! daemon's core promises — daemon output equals one-shot pipeline
+//! output bit-for-bit, output is byte-identical across worker counts and
+//! reruns, killed sessions resume bit-identically from the state
+//! directory, and every request terminates in a response under every
+//! fault plan.
+
+use cliffguard_serve::harness::{design_line, design_reports, parse_output, ServeHarness};
+use cliffguard_serve::{run_design, testdata, RunOutcome, RunnerOptions};
+use serde::{map_get, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+
+/// The CI fault matrix: the same three plans the `fault-matrix` job
+/// exports as `CLIFFGUARD_FAULTS` (keep in sync with
+/// `.github/workflows/ci.yml` and `tests/resilience.rs`).
+const FAULT_SPECS: [&str; 3] = [
+    "seed=101,rate=0.3",
+    "seed=202,rate=0.6,stall-ms=20",
+    "fail@1,stall@2:40,overbudget@3,empty@4,stale@5",
+];
+
+const TENANT_SEEDS: [(&str, u64); 4] = [("acme", 11), ("bravo", 22), ("corp", 33), ("delta", 44)];
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cliffguard-serve-e2e-{name}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tenant_tape() -> Vec<String> {
+    let mut tape: Vec<String> = TENANT_SEEDS
+        .iter()
+        .map(|(tenant, seed)| design_line(&testdata::design_request(tenant, *seed)))
+        .collect();
+    tape.push(r#"{"op":"drain"}"#.into());
+    tape
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> &'a Value {
+    map_get(v.as_map().expect("response is an object"), key)
+}
+
+fn str_field(v: &Value, key: &str) -> String {
+    match field(v, key) {
+        Value::Str(s) => s.clone(),
+        other => panic!("field {key}: expected string, got {other:?}"),
+    }
+}
+
+fn u64_field(v: &Value, key: &str) -> u64 {
+    match field(v, key) {
+        Value::U64(n) => *n,
+        other => panic!("field {key}: expected u64, got {other:?}"),
+    }
+}
+
+#[test]
+fn concurrent_tenants_match_one_shot_pipeline_at_1_and_8_workers() {
+    // Ground truth: each tenant's request run one-shot, no daemon.
+    let oneshot_opts = RunnerOptions {
+        virtual_time: true,
+        ..RunnerOptions::default()
+    };
+    let expected: Vec<u64> = TENANT_SEEDS
+        .iter()
+        .map(|(tenant, seed)| {
+            let req = testdata::design_request(tenant, *seed);
+            match run_design(&req, &oneshot_opts, None, &mut |_| {}) {
+                RunOutcome::Done(report) => report.fingerprint,
+                other => panic!("one-shot run for {tenant} did not finish: {other:?}"),
+            }
+        })
+        .collect();
+
+    let tape = tenant_tape();
+    let out1 = ServeHarness::new().with_max_concurrent(1).run_tape(&tape);
+    let out8 = ServeHarness::new().with_max_concurrent(8).run_tape(&tape);
+    assert_eq!(
+        out1, out8,
+        "worker count must be unobservable in the output stream"
+    );
+
+    let responses = parse_output(&out1);
+    assert_eq!(responses.len(), TENANT_SEEDS.len() + 1, "{out1}");
+    for (i, (tenant, _)) in TENANT_SEEDS.iter().enumerate() {
+        let resp = &responses[i];
+        assert_eq!(str_field(resp, "status"), "done", "tenant {tenant}");
+        assert_eq!(str_field(resp, "tenant"), *tenant);
+        assert_eq!(u64_field(resp, "seq"), i as u64 + 1, "admission order");
+        let report = field(resp, "report");
+        assert_eq!(
+            u64_field(report, "fingerprint"),
+            expected[i],
+            "daemon design for {tenant} must be bit-identical to the one-shot pipeline"
+        );
+        assert!(u64_field(report, "structures") > 0);
+    }
+    assert_eq!(
+        u64_field(&responses[TENANT_SEEDS.len()], "completed"),
+        TENANT_SEEDS.len() as u64
+    );
+
+    // And the whole stream is reproducible.
+    assert_eq!(
+        out1,
+        ServeHarness::new().with_max_concurrent(1).run_tape(&tape)
+    );
+}
+
+#[test]
+fn killed_daemon_resumes_bit_identically_from_state_dir() {
+    let tape = tenant_tape();
+
+    // Reference: an uninterrupted daemon on its own state directory.
+    let clean_dir = tmpdir("clean");
+    let clean_out = ServeHarness::new()
+        .with_state_dir(&clean_dir)
+        .run_tape(&tape);
+    let clean_reports = design_reports(&clean_out);
+    assert_eq!(clean_reports.len(), TENANT_SEEDS.len(), "{clean_out}");
+
+    // Kill: every session aborts before iteration 1, checkpoints persist,
+    // no design responses are emitted.
+    let kill_dir = tmpdir("killed");
+    let killed_out = ServeHarness::new()
+        .with_state_dir(&kill_dir)
+        .with_kill_after(1)
+        .run_tape(&tape);
+    assert!(
+        design_reports(&killed_out).is_empty(),
+        "killed sessions must not answer: {killed_out}"
+    );
+
+    // Restart on the same directory: pending sessions are re-admitted in
+    // original order and complete before the new drain frame answers.
+    let restart_out = ServeHarness::new()
+        .with_state_dir(&kill_dir)
+        .run_tape(&[r#"{"op":"drain"}"#.into()]);
+    let responses = parse_output(&restart_out);
+    assert_eq!(responses.len(), TENANT_SEEDS.len() + 1, "{restart_out}");
+    for (i, (tenant, _)) in TENANT_SEEDS.iter().enumerate() {
+        let resp = &responses[i];
+        assert_eq!(str_field(resp, "tenant"), *tenant);
+        assert_eq!(str_field(resp, "status"), "done");
+        assert_eq!(field(resp, "resumed"), &Value::Bool(true));
+        assert_eq!(
+            u64_field(resp, "seq"),
+            i as u64 + 1,
+            "resumed sessions keep their original sequence numbers"
+        );
+    }
+
+    // The audit trail — final design, worst-case trace, call counts, DDL —
+    // is byte-identical to the uninterrupted run's.
+    assert_eq!(design_reports(&restart_out), clean_reports);
+
+    // A second restart finds nothing pending: results were persisted.
+    let idle_out = ServeHarness::new()
+        .with_state_dir(&kill_dir)
+        .run_tape(&[r#"{"op":"drain"}"#.into()]);
+    assert!(
+        design_reports(&idle_out).is_empty(),
+        "completed sessions must not re-run: {idle_out}"
+    );
+
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&kill_dir);
+}
+
+#[test]
+fn every_fault_plan_terminates_every_request() {
+    for spec in FAULT_SPECS {
+        let mut tape: Vec<String> = TENANT_SEEDS[..2]
+            .iter()
+            .map(|(tenant, seed)| design_line(&testdata::design_request(tenant, *seed)))
+            .collect();
+        tape.push("definitely not json".into());
+        tape.push(r#"{"op":"drain"}"#.into());
+        let harness = ServeHarness::new().with_faults(spec);
+        let out = harness.run_tape(&tape);
+        let responses = parse_output(&out);
+        // One response per frame: garbage gets `error`, every design
+        // request terminates — no panics, no silent drops.
+        assert_eq!(responses.len(), tape.len(), "plan `{spec}`: {out}");
+        let mut design_count = 0;
+        for resp in &responses {
+            match str_field(resp, "op").as_str() {
+                "design" => {
+                    design_count += 1;
+                    let status = str_field(resp, "status");
+                    assert!(
+                        ["done", "degraded", "rejected"].contains(&status.as_str()),
+                        "plan `{spec}`: unexpected terminal status {status}"
+                    );
+                }
+                "error" | "drain" => {}
+                other => panic!("plan `{spec}`: unexpected op {other}"),
+            }
+        }
+        assert_eq!(design_count, 2, "plan `{spec}`: {out}");
+        // Faulty runs are still deterministic.
+        assert_eq!(out, harness.run_tape(&tape), "plan `{spec}`");
+    }
+}
+
+#[test]
+fn per_request_fault_spec_shows_up_in_the_audit() {
+    let (tenant, seed) = TENANT_SEEDS[0];
+    let mut req = testdata::design_request(tenant, seed);
+    req.faults = Some("fail@1,fail@2".into());
+    let out = ServeHarness::new().run_tape(&[design_line(&req), r#"{"op":"drain"}"#.into()]);
+    let responses = parse_output(&out);
+    let report = field(&responses[0], "report");
+    assert_eq!(u64_field(report, "faults"), 2, "{out}");
+    assert_eq!(u64_field(report, "retries"), 2, "{out}");
+    // Retries absorb the faults: same design as a clean run.
+    let clean = testdata::design_request(tenant, seed);
+    let RunOutcome::Done(clean_report) = run_design(
+        &clean,
+        &RunnerOptions {
+            virtual_time: true,
+            ..RunnerOptions::default()
+        },
+        None,
+        &mut |_| {},
+    ) else {
+        panic!("clean run must finish");
+    };
+    assert_eq!(u64_field(report, "fingerprint"), clean_report.fingerprint);
+}
+
+#[test]
+fn tcp_listener_serves_the_same_protocol() {
+    use cliffguard_serve::{Daemon, ServeConfig};
+    use std::net::{TcpListener, TcpStream};
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let mut daemon = Daemon::new(ServeConfig {
+            virtual_time: true,
+            ..ServeConfig::default()
+        })
+        .expect("daemon builds");
+        daemon.serve_tcp(listener).expect("serve_tcp runs");
+    });
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let (tenant, seed) = TENANT_SEEDS[0];
+    writeln!(
+        writer,
+        "{}",
+        design_line(&testdata::design_request(tenant, seed))
+    )
+    .unwrap();
+    writeln!(writer, r#"{{"op":"shutdown"}}"#).unwrap();
+    writer.flush().unwrap();
+
+    let mut design_resp = String::new();
+    reader.read_line(&mut design_resp).unwrap();
+    assert!(design_resp.contains(r#""status":"done""#), "{design_resp}");
+    assert!(design_resp.contains(&format!(r#""tenant":"{tenant}""#)));
+    let mut shutdown_resp = String::new();
+    reader.read_line(&mut shutdown_resp).unwrap();
+    assert!(
+        shutdown_resp.contains(r#""op":"shutdown""#),
+        "{shutdown_resp}"
+    );
+    server.join().expect("server thread exits after shutdown");
+}
