@@ -31,7 +31,7 @@
 //! bit-identical to an uninterrupted run, per the session-layer resume
 //! guarantee.
 
-use crate::protocol::{parse_request, DesignStatus, Request, Response};
+use crate::protocol::{parse_request, DesignStatus, Request, Response, MAX_FRAME_BYTES};
 use crate::runner::{run_design, RunOutcome, RunnerOptions};
 use crate::scheduler::WorkerPool;
 use crate::store::CheckpointStore;
@@ -95,6 +95,64 @@ struct InFlight {
     seq: u64,
     tenant: String,
     resumed: bool,
+}
+
+/// One frame read from the wire by [`read_frame`].
+enum Frame {
+    /// A complete line (newline stripped) within the size limit.
+    Line(String),
+    /// A frame refused at the I/O layer (oversize or not UTF-8). It still
+    /// consumes a sequence number and gets an `error` response.
+    Refused(String),
+    /// End of input.
+    Eof,
+}
+
+/// Reads one newline-delimited frame without ever buffering more than
+/// [`MAX_FRAME_BYTES`] (plus the reader's own block): once a frame
+/// exceeds the limit, the rest of it is consumed and *discarded*, so a
+/// client streaming gigabytes without a newline costs counting, not
+/// memory. Invalid UTF-8 is likewise refused here instead of surfacing as
+/// an I/O error that would end the stream.
+fn read_frame<R: BufRead>(input: &mut R) -> io::Result<Frame> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut oversize = 0usize; // total frame length, once past the limit
+    let mut saw_any = false;
+    loop {
+        let chunk = input.fill_buf()?;
+        if chunk.is_empty() {
+            if !saw_any {
+                return Ok(Frame::Eof);
+            }
+            break;
+        }
+        saw_any = true;
+        let (take, saw_newline) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => (pos, true),
+            None => (chunk.len(), false),
+        };
+        if oversize > 0 {
+            oversize += take;
+        } else if buf.len() + take > MAX_FRAME_BYTES {
+            oversize = buf.len() + take;
+            buf = Vec::new(); // drop what was buffered; the frame is refused
+        } else {
+            buf.extend_from_slice(&chunk[..take]);
+        }
+        input.consume(take + usize::from(saw_newline));
+        if saw_newline {
+            break;
+        }
+    }
+    if oversize > 0 {
+        return Ok(Frame::Refused(format!(
+            "frame of {oversize} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )));
+    }
+    match String::from_utf8(buf) {
+        Ok(line) => Ok(Frame::Line(line)),
+        Err(_) => Ok(Frame::Refused("frame is not valid UTF-8".into())),
+    }
 }
 
 /// A running advisor-as-a-service instance. Feed it frames with
@@ -212,8 +270,15 @@ impl Daemon {
     /// order, emits its response (interrupted sessions emit none), and
     /// frees all queue slots. Returns the number of design responses
     /// emitted.
+    ///
+    /// A broken writer (a TCP client that disconnected mid-drain) must
+    /// not abort the barrier: every session still completes, persists its
+    /// result, and updates tenant stats; the first write error is
+    /// returned only after the queue is empty, so the daemon is left in a
+    /// consistent state for the next connection.
     fn drain(&mut self, out: &mut dyn Write) -> io::Result<u64> {
         let mut emitted = 0u64;
+        let mut write_err: Option<io::Error> = None;
         for flight in std::mem::take(&mut self.in_flight) {
             let InFlight {
                 seq,
@@ -259,7 +324,11 @@ impl Daemon {
                 // better than re-running a session the tenant saw finish.
                 let _ = store.save_result(&tenant, seq, &line);
             }
-            writeln!(out, "{line}")?;
+            if write_err.is_none() {
+                if let Err(e) = writeln!(out, "{line}") {
+                    write_err = Some(e);
+                }
+            }
             self.tenants.record_outcome(&tenant, outcome, fingerprint);
             if status != DesignStatus::Rejected {
                 self.completed += 1;
@@ -271,7 +340,10 @@ impl Daemon {
                 .emit();
             emitted += 1;
         }
-        Ok(emitted)
+        match write_err {
+            Some(e) => Err(e),
+            None => Ok(emitted),
+        }
     }
 
     fn status_snapshot(&self) -> Value {
@@ -297,17 +369,42 @@ impl Daemon {
         serde_json::from_str(&json).ok()
     }
 
+    /// Assigns the next sequence number, persisting the high-water mark
+    /// so a restarted daemon never reuses a seq a client may have seen
+    /// (error/verb frames leave no session directory to recover it from).
+    fn take_seq(&mut self) -> io::Result<u64> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let Some(store) = &self.store {
+            store.record_seq(seq)?;
+        }
+        Ok(seq)
+    }
+
     /// Processes one NDJSON stream to end of input (or `shutdown`).
     /// Returns `true` when a `shutdown` frame asked the whole daemon to
     /// stop — [`serve_tcp`](Self::serve_tcp) then stops accepting.
-    pub fn run<R: BufRead, W: Write>(&mut self, input: R, out: &mut W) -> io::Result<bool> {
-        for line in input.lines() {
-            let line = line?;
+    pub fn run<R: BufRead, W: Write>(&mut self, mut input: R, out: &mut W) -> io::Result<bool> {
+        loop {
+            let line = match read_frame(&mut input)? {
+                Frame::Eof => break,
+                Frame::Refused(reason) => {
+                    // Oversize or non-UTF-8: refused at the I/O layer,
+                    // answered like any other malformed frame.
+                    let seq = self.take_seq()?;
+                    if let Some(c) = telemetry::counter("cliffguard.serve.frames") {
+                        c.incr(1);
+                    }
+                    writeln!(out, "{}", Response::Error { seq, reason }.to_line())?;
+                    out.flush()?;
+                    continue;
+                }
+                Frame::Line(line) => line,
+            };
             if line.trim().is_empty() {
                 continue;
             }
-            let seq = self.next_seq;
-            self.next_seq += 1;
+            let seq = self.take_seq()?;
             if let Some(c) = telemetry::counter("cliffguard.serve.frames") {
                 c.incr(1);
             }
@@ -421,15 +518,34 @@ impl Daemon {
 
     /// Serves connections from `listener`, one at a time, until a client
     /// sends `shutdown`. Sequence numbers and tenant state carry across
-    /// connections; a dropped connection simply ends at its final drain
-    /// barrier.
+    /// connections. A connection-level failure — a client that
+    /// disconnects before its drain barrier, a mid-stream socket error —
+    /// ends that client only: its in-flight sessions still complete (and
+    /// persist, with a state directory), and the daemon keeps accepting.
+    /// Only listener/accept errors and `shutdown` stop the daemon.
     pub fn serve_tcp(&mut self, listener: TcpListener) -> io::Result<()> {
         for stream in listener.incoming() {
             let stream = stream?;
+            let peer = stream
+                .peer_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "?".into());
             let reader = BufReader::new(stream.try_clone()?);
             let mut writer = stream;
-            if self.run(reader, &mut writer)? {
-                return Ok(());
+            match self.run(reader, &mut writer) {
+                Ok(true) => return Ok(()),
+                Ok(false) => {}
+                Err(e) => {
+                    // The responses are undeliverable (the client is
+                    // gone), but the sessions are not lost: drain to a
+                    // sink so each one completes, persists its result,
+                    // and frees its queue slot before the next client.
+                    let _ = self.drain(&mut io::sink());
+                    telemetry::event(Level::Warn, "cliffguard.serve.conn.error")
+                        .str("peer", &peer)
+                        .str("error", &e.to_string())
+                        .emit();
+                }
             }
         }
         Ok(())
@@ -438,7 +554,102 @@ impl Daemon {
 
 #[cfg(test)]
 mod tests {
+    use super::{read_frame, Frame};
     use crate::harness::{design_line, ServeHarness};
+    use crate::protocol::MAX_FRAME_BYTES;
+    use std::io::{BufReader, Cursor};
+
+    #[test]
+    fn read_frame_splits_lines_and_reports_eof() {
+        let mut input = BufReader::new(Cursor::new(b"one\n\ntwo".to_vec()));
+        assert!(matches!(read_frame(&mut input).unwrap(), Frame::Line(l) if l == "one"));
+        assert!(matches!(read_frame(&mut input).unwrap(), Frame::Line(l) if l.is_empty()));
+        assert!(matches!(read_frame(&mut input).unwrap(), Frame::Line(l) if l == "two"));
+        assert!(matches!(read_frame(&mut input).unwrap(), Frame::Eof));
+    }
+
+    #[test]
+    fn read_frame_refuses_oversize_frames_without_buffering_them() {
+        // One giant newline-less frame, then a normal one: the giant frame
+        // is refused with its true length, and the stream keeps working.
+        let huge_len = MAX_FRAME_BYTES + 3;
+        let mut bytes = vec![b'x'; huge_len];
+        bytes.extend_from_slice(b"\n{\"op\":\"drain\"}\n");
+        // A tiny BufReader block proves the refusal can't come from one
+        // fill_buf seeing the whole frame.
+        let mut input = BufReader::with_capacity(4096, Cursor::new(bytes));
+        match read_frame(&mut input).unwrap() {
+            Frame::Refused(reason) => {
+                assert!(reason.contains(&huge_len.to_string()), "{reason}");
+                assert!(reason.contains("exceeds"), "{reason}");
+            }
+            _ => panic!("oversize frame must be refused"),
+        }
+        assert!(
+            matches!(read_frame(&mut input).unwrap(), Frame::Line(l) if l == "{\"op\":\"drain\"}")
+        );
+    }
+
+    #[test]
+    fn non_utf8_frames_get_an_error_response_and_the_daemon_survives() {
+        let mut bytes = vec![0xff, 0xfe, 0x80];
+        bytes.extend_from_slice(b"\n{\"op\":\"drain\"}\n");
+        let mut daemon = super::Daemon::new(super::ServeConfig {
+            virtual_time: true,
+            ..super::ServeConfig::default()
+        })
+        .expect("daemon builds");
+        let mut out: Vec<u8> = Vec::new();
+        daemon
+            .run(BufReader::new(Cursor::new(bytes)), &mut out)
+            .expect("a bad frame must not end the stream");
+        let out = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "{out}");
+        assert!(lines[0].contains(r#""op":"error""#), "{}", lines[0]);
+        assert!(lines[0].contains("UTF-8"), "{}", lines[0]);
+        assert!(lines[1].contains(r#""op":"drain""#), "{}", lines[1]);
+    }
+
+    struct FailingWriter;
+
+    impl std::io::Write for FailingWriter {
+        fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "client gone",
+            ))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn broken_writer_completes_the_drain_before_surfacing_the_error() {
+        let mut daemon = super::Daemon::new(super::ServeConfig {
+            virtual_time: true,
+            ..super::ServeConfig::default()
+        })
+        .expect("daemon builds");
+        let mut tape = String::new();
+        for (tenant, seed) in [("acme", 7u64), ("bravo", 8)] {
+            tape.push_str(&design_line(&crate::testdata::design_request(tenant, seed)));
+            tape.push('\n');
+        }
+        tape.push_str("{\"op\":\"drain\"}\n");
+        let err = daemon
+            .run(BufReader::new(Cursor::new(tape)), &mut FailingWriter)
+            .expect_err("a dead client's drain must surface its write error");
+        assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+        // The barrier still ran to completion: both sessions finished,
+        // the queue is empty, and the daemon serves the next stream.
+        let mut out: Vec<u8> = Vec::new();
+        let input = BufReader::new(Cursor::new("{\"op\":\"status\"}\n".to_string()));
+        daemon.run(input, &mut out).expect("daemon still serves");
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains(r#""completed":2"#), "{out}");
+    }
 
     #[test]
     fn garbage_frames_get_error_responses_and_the_daemon_survives() {

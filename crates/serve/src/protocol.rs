@@ -15,9 +15,12 @@
 //! Parsing is total: a malformed frame yields a [`ProtocolError`], never a
 //! panic, and the daemon answers it with an `error` response instead of
 //! dying. Requests round-trip through [`Request::to_line`] /
-//! [`parse_request`] bit-exactly (floats travel as IEEE-754 bit patterns,
-//! like the checkpoint format), which is what lets the daemon persist a
-//! request envelope and re-run it after a crash with identical inputs.
+//! [`parse_request`] bit-exactly, which is what lets the daemon persist a
+//! request envelope and re-run it after a crash with identical inputs. A
+//! fixed Γ travels under its own key, `gamma_bits`, as an IEEE-754 bit
+//! pattern (like the checkpoint format); the human-facing `gamma` key
+//! accepts `"auto"` or a plain non-negative number, so `{"gamma":2}` and
+//! `{"gamma":2.0}` both mean Γ = 2 — the two keys are mutually exclusive.
 
 use serde::{map_get, Deserialize, Error as SerdeError, Serialize, Value};
 
@@ -186,15 +189,30 @@ fn parse_design(m: &[(String, Value)]) -> Result<DesignRequest, ProtocolError> {
         Value::Str(s) => s.clone(),
         _ => return Err(err("design: missing string \"log\"")),
     };
-    let gamma = match map_get(m, "gamma") {
-        Value::Null => GammaSpec::Auto,
-        Value::Str(s) if s == "auto" => GammaSpec::Auto,
+    let gamma = match (map_get(m, "gamma_bits"), map_get(m, "gamma")) {
         // Bit-exact transport: a persisted envelope must re-run with the
         // exact Γ the original request carried.
-        Value::U64(bits) => GammaSpec::Fixed(f64::from_bits(*bits)),
-        Value::F64(g) if *g >= 0.0 => GammaSpec::Fixed(*g),
-        Value::I64(_) | Value::F64(_) => return Err(err("design: gamma must be >= 0")),
-        _ => return Err(err("design: gamma must be \"auto\" or a number")),
+        (Value::U64(bits), Value::Null) => GammaSpec::Fixed(f64::from_bits(*bits)),
+        (Value::U64(_), _) => {
+            return Err(err(
+                "design: give gamma or gamma_bits, not both (they could disagree)",
+            ))
+        }
+        (Value::Null, Value::Null) => GammaSpec::Auto,
+        (Value::Null, Value::Str(s)) if s == "auto" => GammaSpec::Auto,
+        // A plain number is the numeric Γ, whether the client spelled it
+        // as an integer or a float: {"gamma":2} == {"gamma":2.0} == 2.0.
+        (Value::Null, Value::U64(g)) => GammaSpec::Fixed(*g as f64),
+        (Value::Null, Value::F64(g)) if *g >= 0.0 => GammaSpec::Fixed(*g),
+        (Value::Null, Value::I64(_) | Value::F64(_)) => {
+            return Err(err("design: gamma must be >= 0"))
+        }
+        (Value::Null, _) => return Err(err("design: gamma must be \"auto\" or a number")),
+        (_, _) => {
+            return Err(err(
+                "design: gamma_bits must be a non-negative integer (an f64 bit pattern)",
+            ))
+        }
     };
     if let GammaSpec::Fixed(g) = gamma {
         if !g.is_finite() || g < 0.0 {
@@ -258,14 +276,12 @@ impl Serialize for Request {
                     ("tenant".into(), Value::Str(d.tenant.clone())),
                     ("catalog".into(), d.catalog.clone()),
                     ("log".into(), Value::Str(d.log.clone())),
-                    (
-                        "gamma".into(),
-                        match d.gamma {
-                            GammaSpec::Auto => Value::Str("auto".into()),
-                            // U64 bit pattern: survives JSON exactly.
-                            GammaSpec::Fixed(g) => Value::U64(g.to_bits()),
-                        },
-                    ),
+                    match d.gamma {
+                        GammaSpec::Auto => ("gamma".into(), Value::Str("auto".into())),
+                        // U64 bit pattern under its own key: survives JSON
+                        // exactly, and cannot be mistaken for a numeric Γ.
+                        GammaSpec::Fixed(g) => ("gamma_bits".into(), Value::U64(g.to_bits())),
+                    },
                     (
                         "budget".into(),
                         match d.budget {
@@ -568,12 +584,37 @@ mod tests {
             r#"{"op":"design","tenant":"../etc","catalog":{},"log":"x"}"#,
             r#"{"op":"design","tenant":".hidden","catalog":{},"log":"x"}"#,
             r#"{"op":"design","tenant":"t","catalog":{},"log":"x","gamma":-0.5}"#,
+            r#"{"op":"design","tenant":"t","catalog":{},"log":"x","gamma":-2}"#,
+            r#"{"op":"design","tenant":"t","catalog":{},"log":"x","gamma_bits":1.5}"#,
+            r#"{"op":"design","tenant":"t","catalog":{},"log":"x","gamma":1.0,"gamma_bits":7}"#,
             r#"{"op":"design","tenant":"t","catalog":{},"log":"x","budget":0}"#,
             r#"{"op":"design","tenant":"t","catalog":{},"log":"x","window_days":0}"#,
             r#"{"op":"design","tenant":"t","catalog":[],"log":"x"}"#,
         ] {
             assert!(parse_request(bad).is_err(), "must reject: {bad}");
         }
+    }
+
+    #[test]
+    fn integer_and_float_gamma_mean_the_same_number() {
+        // {"gamma":2} must be Γ = 2.0, not f64::from_bits(2) ≈ 1e-323 —
+        // the bit-exact transport lives under gamma_bits, never gamma.
+        let int = r#"{"op":"design","tenant":"t","catalog":{},"log":"x","gamma":2}"#;
+        let float = r#"{"op":"design","tenant":"t","catalog":{},"log":"x","gamma":2.0}"#;
+        for frame in [int, float] {
+            let Ok(Request::Design(req)) = parse_request(frame) else {
+                panic!("must parse: {frame}");
+            };
+            assert_eq!(req.gamma, GammaSpec::Fixed(2.0), "{frame}");
+        }
+        let bits = format!(
+            r#"{{"op":"design","tenant":"t","catalog":{{}},"log":"x","gamma_bits":{}}}"#,
+            2.0f64.to_bits()
+        );
+        let Ok(Request::Design(req)) = parse_request(&bits) else {
+            panic!("must parse: {bits}");
+        };
+        assert_eq!(req.gamma, GammaSpec::Fixed(2.0));
     }
 
     #[test]

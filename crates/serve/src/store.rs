@@ -3,16 +3,20 @@
 //! Layout under `--state-dir`:
 //!
 //! ```text
+//! <state-dir>/seq                                     highest seq ever assigned
 //! <state-dir>/tenants/<tenant>/<seq>/request.json     the admitted request
 //! <state-dir>/tenants/<tenant>/<seq>/checkpoint.json  latest descent checkpoint
 //! <state-dir>/tenants/<tenant>/<seq>/result.json      the emitted response
 //! ```
 //!
 //! A session is **pending** iff its `request.json` exists and its
-//! `result.json` does not; a restarted daemon replays exactly those, in
-//! admission (`seq`) order, resuming from `checkpoint.json` when present.
-//! Every write goes through a same-directory `.tmp` + rename, so a kill
-//! mid-write leaves either the old file or the new one, never a torn one.
+//! `result.json` does not parse as JSON; a restarted daemon replays
+//! exactly those, in admission (`seq`) order, resuming from
+//! `checkpoint.json` when present. Every write goes through write +
+//! fsync + same-directory `.tmp` + rename, so a kill — or a power loss —
+//! mid-write leaves either the old file or the new one, never a torn
+//! one; validating `result.json` in [`CheckpointStore::pending`] backs
+//! that up on filesystems where the rename itself can still be lost.
 //! (Tenant ids are validated by the protocol layer — `[A-Za-z0-9_.-]`,
 //! no leading dot — so a tenant name can never escape `tenants/`.)
 
@@ -58,8 +62,22 @@ impl CheckpointStore {
 
     fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
         let tmp = path.with_extension("tmp");
-        fs::write(&tmp, contents)?;
-        fs::rename(&tmp, path)
+        let mut file = fs::File::create(&tmp)?;
+        io::Write::write_all(&mut file, contents.as_bytes())?;
+        // fsync before the rename: a power loss must never leave the
+        // final name pointing at an empty or torn file (a torn
+        // result.json would mark a session complete and drop its
+        // response).
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp, path)?;
+        // Best-effort directory sync so the rename itself is durable.
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
     }
 
     /// Persists the admitted request envelope for (`tenant`, `seq`).
@@ -110,8 +128,14 @@ impl CheckpointStore {
                     continue;
                 };
                 let dir = sess_entry.path();
-                if dir.join("result.json").exists() {
-                    continue;
+                // Complete only if the result actually parses: an empty
+                // or torn result.json (crash during an un-fsynced write)
+                // must re-run the session, not silently drop its
+                // response.
+                if let Ok(result) = fs::read_to_string(dir.join("result.json")) {
+                    if serde_json::from_str::<serde::Value>(&result).is_ok() {
+                        continue;
+                    }
                 }
                 let Ok(request_line) = fs::read_to_string(dir.join("request.json")) else {
                     continue;
@@ -128,10 +152,29 @@ impl CheckpointStore {
         Ok(out)
     }
 
-    /// The highest sequence number of any persisted session (pending or
-    /// complete), so a restarted daemon numbers new requests above it.
+    /// Records `seq` as assigned. Frames that leave no session directory
+    /// behind (errors, rejections, status/metrics/drain/shutdown) still
+    /// consume sequence numbers; without this high-water mark a restarted
+    /// daemon would reuse them, and clients correlating on `seq` would
+    /// see duplicates across restarts.
+    pub fn record_seq(&self, seq: u64) -> io::Result<()> {
+        Self::write_atomic(&self.root.join("seq"), &seq.to_string())
+    }
+
+    /// The persisted high-water mark from [`record_seq`](Self::record_seq)
+    /// (0 when absent or unreadable).
+    fn recorded_seq(&self) -> u64 {
+        fs::read_to_string(self.root.join("seq"))
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(0)
+    }
+
+    /// The highest sequence number ever assigned — the max over persisted
+    /// sessions (pending or complete) and the recorded high-water mark —
+    /// so a restarted daemon numbers new frames above it.
     pub fn max_seq(&self) -> io::Result<u64> {
-        let mut max = 0;
+        let mut max = self.recorded_seq();
         for tenant_entry in fs::read_dir(self.root.join("tenants"))? {
             let tenant_entry = tenant_entry?;
             if !tenant_entry.file_type()?.is_dir() {
@@ -171,7 +214,9 @@ mod tests {
         store.save_request("a", 1, "req-1").unwrap();
         store.save_request("a", 3, "req-3").unwrap();
         store.save_checkpoint("a", 3, "ckpt-3").unwrap();
-        store.save_result("b", 2, "resp-2").unwrap();
+        store
+            .save_result("b", 2, r#"{"seq":2,"op":"design"}"#)
+            .unwrap();
 
         let pending = store.pending().unwrap();
         assert_eq!(
@@ -185,6 +230,40 @@ mod tests {
         assert_eq!(pending[0].checkpoint_json, None);
         assert_eq!(pending[1].checkpoint_json.as_deref(), Some("ckpt-3"));
         assert_eq!(store.max_seq().unwrap(), 3);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn torn_result_leaves_the_session_pending() {
+        let store = tmp_store("torn");
+        store.save_request("t", 1, "req-1").unwrap();
+        store.save_result("t", 1, r#"{"seq":1}"#).unwrap();
+        assert!(
+            store.pending().unwrap().is_empty(),
+            "valid result completes"
+        );
+        // Simulate a power-loss-torn result: exists but is not JSON.
+        fs::write(store.session_dir("t", 1).join("result.json"), "{\"se").unwrap();
+        let pending = store.pending().unwrap();
+        assert_eq!(
+            pending.len(),
+            1,
+            "torn result must not complete the session"
+        );
+        assert_eq!(pending[0].request_line, "req-1");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn recorded_seq_raises_max_seq_without_session_dirs() {
+        let store = tmp_store("seq");
+        assert_eq!(store.max_seq().unwrap(), 0);
+        store.save_request("t", 2, "req-2").unwrap();
+        // Frames 3..=5 were errors/verbs: no session dirs, only the mark.
+        store.record_seq(5).unwrap();
+        assert_eq!(store.max_seq().unwrap(), 5, "high-water mark counts");
+        store.save_request("t", 7, "req-7").unwrap();
+        assert_eq!(store.max_seq().unwrap(), 7, "session dirs still count");
         let _ = fs::remove_dir_all(store.root());
     }
 

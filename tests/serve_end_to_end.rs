@@ -237,6 +237,67 @@ fn per_request_fault_spec_shows_up_in_the_audit() {
 }
 
 #[test]
+fn dropped_tcp_client_does_not_kill_the_daemon() {
+    use cliffguard_serve::{Daemon, ServeConfig};
+    use std::net::{TcpListener, TcpStream};
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let mut daemon = Daemon::new(ServeConfig {
+            virtual_time: true,
+            ..ServeConfig::default()
+        })
+        .expect("daemon builds");
+        daemon
+            .serve_tcp(listener)
+            .expect("a dropped client must not end the daemon");
+    });
+
+    // First client admits a session and vanishes without ever reading —
+    // the daemon hits end-of-input (or a broken pipe at the final drain
+    // barrier) with a response it cannot deliver, absorbs it, and keeps
+    // accepting.
+    {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone stream");
+        let (tenant, seed) = TENANT_SEEDS[1];
+        writeln!(
+            writer,
+            "{}",
+            design_line(&testdata::design_request(tenant, seed))
+        )
+        .unwrap();
+        writer.flush().unwrap();
+    }
+
+    // Second client gets a full request/response cycle.
+    let stream = TcpStream::connect(addr).expect("reconnect after a dropped client");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let (tenant, seed) = TENANT_SEEDS[2];
+    writeln!(
+        writer,
+        "{}",
+        design_line(&testdata::design_request(tenant, seed))
+    )
+    .unwrap();
+    writeln!(writer, r#"{{"op":"shutdown"}}"#).unwrap();
+    writer.flush().unwrap();
+    let mut design_resp = String::new();
+    reader.read_line(&mut design_resp).unwrap();
+    assert!(design_resp.contains(r#""status":"done""#), "{design_resp}");
+    assert!(design_resp.contains(&format!(r#""tenant":"{tenant}""#)));
+    let mut shutdown_resp = String::new();
+    reader.read_line(&mut shutdown_resp).unwrap();
+    assert!(
+        shutdown_resp.contains(r#""op":"shutdown""#),
+        "{shutdown_resp}"
+    );
+    server.join().expect("server thread exits after shutdown");
+}
+
+#[test]
 fn tcp_listener_serves_the_same_protocol() {
     use cliffguard_serve::{Daemon, ServeConfig};
     use std::net::{TcpListener, TcpStream};
