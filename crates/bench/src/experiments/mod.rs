@@ -4,6 +4,7 @@ mod basic;
 mod comparison;
 pub mod costkernel;
 mod knobs;
+pub mod replica;
 pub mod resilience;
 pub mod serve;
 pub mod telemetry;
@@ -34,6 +35,7 @@ pub const ALL_IDS: &[&str] = &[
     "telemetry",
     "costkernel",
     "serve",
+    "replica",
 ];
 
 /// Runs one experiment by id.
@@ -56,6 +58,7 @@ pub fn run_experiment(id: &str, scale: Scale, seed: u64) -> Option<Vec<Table>> {
         "telemetry" => Some(telemetry::run(scale, seed)),
         "costkernel" => Some(costkernel::run(scale, seed)),
         "serve" => Some(serve::run(scale, seed)),
+        "replica" => Some(replica::run(scale, seed)),
         _ => None,
     }
 }

@@ -91,6 +91,7 @@ fn usage() {
                      [--budget auto|BYTES] [--window-days N] [--nominal]\n\
                      [--max-retries N] [--designer-deadline-ms N]\n\
                      [--session-deadline-ms N] [--faults SPEC]\n\
+                     [--replicas R] [--max-failures K]\n\
            serve     [--listen ADDR:PORT] [--state-dir DIR] [--max-concurrent N]\n\
                      [--max-queue N] [--tenant-deadline-ms N]\n\
                      [--checkpoint-every N] [--faults SPEC]\n\
@@ -116,6 +117,12 @@ fn usage() {
          on exhausted retries it degrades to the best design so far. --faults\n\
          (or the CLIFFGUARD_FAULTS env var) injects a deterministic fault\n\
          plan for drills, e.g. `seed=7,rate=0.2` or `fail@1,stall@3:50`\n\
+         \n\
+         --replicas R designs a fleet of R divergent per-node designs (each\n\
+         within the budget) robust to the worst crash of up to --max-failures\n\
+         replicas on top of workload drift; queries route to their cheapest\n\
+         surviving replica. `replica-crash@N:R` / `replica-slow@N:R` fault\n\
+         specs inject mid-design replica loss; the audit records failovers\n\
          \n\
          serve runs the multi-tenant advisor daemon: newline-delimited JSON\n\
          requests (design|status|metrics|drain|shutdown) on stdin/stdout, or\n\
@@ -311,6 +318,24 @@ fn cmd_design(opts: &Flags, clock: &SessionClock) -> Result<(), String> {
     let metric = DeltaEuclidean::new(engine.catalog().column_count());
     let nominal = GreedyDesigner::new(&engine, ColumnarCandidates, "DBD");
 
+    // Resolved once: the same plan drives the design session and, with
+    // --replicas, the failure-aware fleet step afterwards.
+    let plan = match opts.get("faults") {
+        Some(spec) => Some(FaultPlan::from_spec(spec).map_err(|e| format!("--faults: {e}"))?),
+        None => FaultPlan::from_env().map_err(|e| format!("{FAULTS_ENV}: {e}"))?,
+    };
+    let replicas: usize = match opts.get("replicas") {
+        None => 1,
+        Some(s) => s.parse().map_err(|_| format!("bad --replicas `{s}`"))?,
+    };
+    if !(1..=MAX_REPLICAS).contains(&replicas) {
+        return Err(format!("--replicas must be in 1..={MAX_REPLICAS}"));
+    }
+    let max_failures: usize = match opts.get("max-failures") {
+        None => 0,
+        Some(s) => s.parse().map_err(|_| format!("bad --max-failures `{s}`"))?,
+    };
+
     let design = if opts.contains_key("nominal") {
         eprintln!("designing nominally for the last window");
         nominal.design(w0, budget)
@@ -349,10 +374,7 @@ fn cmd_design(opts: &Flags, clock: &SessionClock) -> Result<(), String> {
                 .map_err(|_| format!("bad --session-deadline-ms `{ms}`"))?;
             retry = retry.with_session_deadline_ms(ms);
         }
-        let plan = match opts.get("faults") {
-            Some(spec) => Some(FaultPlan::from_spec(spec).map_err(|e| format!("--faults: {e}"))?),
-            None => FaultPlan::from_env().map_err(|e| format!("{FAULTS_ENV}: {e}"))?,
-        };
+        let plan = plan.clone();
         let clock = clock.clone();
         let options = SessionOptions {
             retry,
@@ -426,6 +448,53 @@ fn cmd_design(opts: &Flags, clock: &SessionClock) -> Result<(), String> {
         design.price_bytes(engine.catalog()) as f64 / (1 << 20) as f64,
         budget as f64 / (1 << 20) as f64
     );
+
+    if replicas > 1 {
+        // Failure-aware fleet step: diverge R per-node designs from the
+        // robust base, minimax over drift windows x crash masks, with the
+        // resolved fault plan injecting replica-crash/-slow mid-run.
+        let ropts = ReplicaOptions {
+            replicas,
+            max_failures,
+            faults: plan,
+            ..ReplicaOptions::default()
+        };
+        let outcome = design_replicated(&engine, &nominal, &design, &windows, budget, &ropts)
+            .map_err(|e| format!("replicated design: {e}"))?;
+        let audit = &outcome.audit;
+        eprintln!(
+            "fleet: R={} k={} {} worst-case {:.1} ms (uniform {:.1} ms), \
+             worst mask {:#06b}, {} failover(s), set fingerprint {:016x}",
+            audit.replicas,
+            audit.max_failures,
+            if audit.divergent {
+                "divergent"
+            } else {
+                "uniform (divergence lost)"
+            },
+            audit.worst_case(),
+            audit.uniform_worst_case(),
+            audit.worst_mask,
+            audit.failovers.len(),
+            audit.set_fingerprint
+        );
+        let shares: Vec<String> = audit
+            .routing_shares()
+            .iter()
+            .map(|s| format!("{s:.3}"))
+            .collect();
+        eprintln!("fleet routing shares: [{}]", shares.join(", "));
+        eprintln!("fleet audit: {}", audit.to_json());
+        for (i, replica) in outcome.design.replicas.iter().enumerate() {
+            print!(
+                "-- replica {i}: {} projections\n{}",
+                replica.len(),
+                ddl::columnar_script(replica, engine.catalog())
+            );
+        }
+        return Ok(());
+    }
+
     print!("{}", ddl::columnar_script(&design, engine.catalog()));
     Ok(())
 }

@@ -82,9 +82,11 @@ pub mod prelude {
     };
     pub use cliffguard_core::evaluate::{evaluate_strategy, EvalOptions, EvalSummary};
     pub use cliffguard_core::gamma::{consecutive_deltas, DeltaStats, GammaPolicy};
+    pub use cliffguard_core::replica::MAX_REPLICAS;
     pub use cliffguard_core::{
-        move_workload, CliffGuard, CliffGuardConfig, ConfigError, DescentCheckpoint, DesignSession,
-        EngineExt, ResumeError, SessionEnd, SessionOptions,
+        design_replicated, move_workload, CliffGuard, CliffGuardConfig, ConfigError,
+        DescentCheckpoint, DesignSession, EngineExt, FailoverEvent, ReplicaAudit, ReplicaError,
+        ReplicaOptions, ReplicaOutcome, ReplicatedDesign, ResumeError, SessionEnd, SessionOptions,
     };
     pub use cliffguard_designer::{
         BenefitMatrix, CandidateGen, ColumnarCandidates, CompressingDesigner, DesignerFault,

@@ -22,6 +22,10 @@
 //!   descent run against a *fallible* designer, with retry/backoff,
 //!   deadlines, output validation, graceful degradation, and
 //!   checkpoint/resume.
+//! * [`replica`] — failure-aware divergent replica designs: a two-axis
+//!   minimax (drift scenarios × replica-crash masks) over a fleet of
+//!   per-replica designs with argmin query routing and fault-injected
+//!   failover.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,10 +39,15 @@ pub mod adaptive;
 pub mod baselines;
 pub mod evaluate;
 pub mod gamma;
+pub mod replica;
 pub mod session;
 
 pub use cliffguard::{CliffGuard, CliffGuardTrace};
 pub use config::{CliffGuardConfig, ConfigError};
 pub use engines::EngineExt;
 pub use move_workload::move_workload;
+pub use replica::{
+    design_replicated, FailoverEvent, ReplicaAudit, ReplicaError, ReplicaOptions, ReplicaOutcome,
+    ReplicatedDesign,
+};
 pub use session::{DescentCheckpoint, DesignSession, ResumeError, SessionEnd, SessionOptions};

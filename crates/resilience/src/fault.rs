@@ -14,6 +14,14 @@ pub enum FaultKind {
     /// The call returns a stale design from a *previous* invocation
     /// (a cached answer for the wrong workload).
     Stale,
+    /// Replica with this index crashes at this point in the session.
+    /// Consumed by the replicated-design layer (the designer itself keeps
+    /// working); explicit-only — never chosen by the random layer.
+    ReplicaCrash(u32),
+    /// Replica with this index degrades (latencies inflate by the plan's
+    /// slow factor) at this point in the session. Explicit-only, consumed
+    /// by the replicated-design layer.
+    ReplicaSlow(u32),
 }
 
 impl FaultKind {
@@ -25,6 +33,8 @@ impl FaultKind {
             FaultKind::OverBudget => "overbudget",
             FaultKind::Empty => "empty",
             FaultKind::Stale => "stale",
+            FaultKind::ReplicaCrash(_) => "replica-crash",
+            FaultKind::ReplicaSlow(_) => "replica-slow",
         }
     }
 }
@@ -64,20 +74,29 @@ impl std::error::Error for FaultSpecError {}
 /// seed=7            seed of the random layer
 /// rate=0.25         per-call fault probability of the random layer
 /// stall-ms=50       stall duration used by randomly chosen stalls
+/// slow-factor=4     latency inflation applied by replica-slow faults
 /// fail@3            explicit: call 3 fails
 /// stall@5:80        explicit: call 5 stalls 80 ms
 /// overbudget@2      explicit: call 2 returns an over-budget design
 /// empty@4           explicit: call 4 returns an empty design
 /// stale@6           explicit: call 6 returns a stale design
+/// replica-crash@2:1 explicit: at call 2, replica 1 crashes
+/// replica-slow@3:0  explicit: at call 3, replica 0 degrades
 /// ```
 ///
 /// e.g. `CLIFFGUARD_FAULTS="seed=7,rate=0.3,stall-ms=120,fail@1"`.
+///
+/// The replica kinds are **explicit-only**: the seeded random layer never
+/// chooses them, so adding them did not reshuffle any existing seeded
+/// schedule. The replica index defaults to `0` when the `:R` argument is
+/// omitted.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     explicit: Vec<(u64, FaultKind)>,
     seed: u64,
     rate: f64,
     stall_ms: u64,
+    slow_factor: f64,
 }
 
 impl Default for FaultPlan {
@@ -87,6 +106,7 @@ impl Default for FaultPlan {
 }
 
 const DEFAULT_STALL_MS: u64 = 50;
+const DEFAULT_SLOW_FACTOR: f64 = 4.0;
 
 impl FaultPlan {
     /// A plan injecting nothing.
@@ -96,16 +116,16 @@ impl FaultPlan {
             seed: 0,
             rate: 0.0,
             stall_ms: DEFAULT_STALL_MS,
+            slow_factor: DEFAULT_SLOW_FACTOR,
         }
     }
 
     /// A seeded random plan faulting each call with probability `rate`.
     pub fn seeded(seed: u64, rate: f64) -> Self {
         Self {
-            explicit: Vec::new(),
-            seed,
             rate: rate.clamp(0.0, 1.0),
-            stall_ms: DEFAULT_STALL_MS,
+            seed,
+            ..Self::none()
         }
     }
 
@@ -130,6 +150,20 @@ impl FaultPlan {
     /// The stall duration of the random layer (ms).
     pub fn stall_ms(&self) -> u64 {
         self.stall_ms
+    }
+
+    /// The latency inflation factor applied by
+    /// [`FaultKind::ReplicaSlow`] faults (≥ 1.0; default 4.0).
+    pub fn slow_factor(&self) -> f64 {
+        self.slow_factor
+    }
+
+    /// Sets the replica-slow latency inflation factor (clamped to
+    /// ≥ 1.0 — a factor below one would make a "degraded" replica
+    /// faster).
+    pub fn with_slow_factor(mut self, factor: f64) -> Self {
+        self.slow_factor = factor.max(1.0);
+        self
     }
 
     /// Parses a spec string (see the type-level grammar).
@@ -164,6 +198,16 @@ impl FaultPlan {
                             .parse()
                             .map_err(|_| FaultSpecError(format!("stall-ms `{value}`")))?
                     }
+                    "slow-factor" => {
+                        let f: f64 = value
+                            .trim()
+                            .parse()
+                            .map_err(|_| FaultSpecError(format!("slow-factor `{value}`")))?;
+                        if !f.is_finite() || f < 1.0 {
+                            return Err(FaultSpecError(format!("slow-factor `{value}` below 1")));
+                        }
+                        plan.slow_factor = f;
+                    }
                     other => return Err(FaultSpecError(format!("unknown key `{other}`"))),
                 }
             } else if let Some((kind, at)) = entry.split_once('@') {
@@ -193,6 +237,8 @@ impl FaultPlan {
                     "overbudget" => FaultKind::OverBudget,
                     "empty" => FaultKind::Empty,
                     "stale" => FaultKind::Stale,
+                    "replica-crash" => FaultKind::ReplicaCrash(parse_replica_arg(arg)?),
+                    "replica-slow" => FaultKind::ReplicaSlow(parse_replica_arg(arg)?),
                     other => return Err(FaultSpecError(format!("unknown fault kind `{other}`"))),
                 };
                 plan = plan.at(call, kind);
@@ -235,6 +281,18 @@ impl FaultPlan {
             }
         }
         None
+    }
+}
+
+/// Parses the `:R` replica-index argument of a replica fault entry
+/// (defaulting to replica 0 when omitted).
+fn parse_replica_arg(arg: Option<&str>) -> Result<u32, FaultSpecError> {
+    match arg {
+        Some(a) => a
+            .trim()
+            .parse()
+            .map_err(|_| FaultSpecError(format!("replica index `{a}`"))),
+        None => Ok(0),
     }
 }
 
@@ -313,6 +371,32 @@ mod tests {
             "stall-ms=-3",
         ] {
             assert!(FaultPlan::from_spec(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn replica_kinds_parse_with_index_arg() {
+        let p = FaultPlan::from_spec("replica-crash@2:1, replica-slow@3, slow-factor=2.5").unwrap();
+        assert_eq!(p.fault_for_call(2), Some(FaultKind::ReplicaCrash(1)));
+        assert_eq!(
+            p.fault_for_call(3),
+            Some(FaultKind::ReplicaSlow(0)),
+            "omitted index defaults to replica 0"
+        );
+        assert_eq!(p.slow_factor(), 2.5);
+        assert!(FaultPlan::from_spec("replica-crash@1:x").is_err());
+        assert!(FaultPlan::from_spec("slow-factor=0.5").is_err());
+    }
+
+    #[test]
+    fn seeded_layer_never_chooses_replica_kinds() {
+        let p = FaultPlan::seeded(11, 1.0);
+        for call in 1..=500 {
+            let kind = p.fault_for_call(call).expect("rate 1.0 always faults");
+            assert!(
+                !matches!(kind, FaultKind::ReplicaCrash(_) | FaultKind::ReplicaSlow(_)),
+                "call {call} drew an explicit-only kind from the random layer"
+            );
         }
     }
 

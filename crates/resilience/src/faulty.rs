@@ -24,6 +24,10 @@ pub struct FaultCounts {
     pub empty: u64,
     /// Stale designs returned.
     pub stale: u64,
+    /// Replica crashes injected (consumed by the replica layer).
+    pub replica_crash: u64,
+    /// Replica slowdowns injected (consumed by the replica layer).
+    pub replica_slow: u64,
 }
 
 impl FaultCounts {
@@ -35,6 +39,8 @@ impl FaultCounts {
             FaultKind::OverBudget => self.over_budget += 1,
             FaultKind::Empty => self.empty += 1,
             FaultKind::Stale => self.stale += 1,
+            FaultKind::ReplicaCrash(_) => self.replica_crash += 1,
+            FaultKind::ReplicaSlow(_) => self.replica_slow += 1,
         }
     }
 }
@@ -153,6 +159,16 @@ where
                         "injected stale response with no prior design (call {call})"
                     ))),
                 }
+            }
+            // Replica faults target the *replicated-design layer*, not the
+            // designer: the designer itself keeps working. Count the
+            // injection and answer cleanly; the replica layer reads the
+            // same plan by call index and applies the crash/slowdown.
+            Some(kind @ (FaultKind::ReplicaCrash(_) | FaultKind::ReplicaSlow(_))) => {
+                st.injected.record(kind);
+                let d = self.inner.design(w, budget_bytes);
+                st.last_ok = Some(d.clone());
+                Ok(d)
             }
         }
     }

@@ -30,10 +30,15 @@
 
 mod bnt;
 mod descent;
+mod failure;
 mod function;
 mod neighborhood;
 
 pub use bnt::{BntOptimizer, BntReport};
 pub use descent::{descent_direction, min_norm_point};
+pub use failure::{
+    capacity_inflation, enumerate_masks, is_crashed, survivors, worst_over_masks, FailureMask,
+    MAX_REPLICAS,
+};
 pub use function::{testfns, CostFn, FnCost};
 pub use neighborhood::WorstNeighborFinder;

@@ -384,13 +384,33 @@ impl Daemon {
     /// Processes one NDJSON stream to end of input (or `shutdown`).
     /// Returns `true` when a `shutdown` frame asked the whole daemon to
     /// stop — [`serve_tcp`](Self::serve_tcp) then stops accepting.
-    pub fn run<R: BufRead, W: Write>(&mut self, mut input: R, out: &mut W) -> io::Result<bool> {
+    pub fn run<R: BufRead, W: Write>(&mut self, input: R, out: &mut W) -> io::Result<bool> {
+        self.run_stream(input, out, false)
+    }
+
+    /// [`run`](Self::run) with an optional scrape fast path: when
+    /// `scrape` is set and the stream's **first** frame is a plain
+    /// `status` or `metrics`, the daemon answers from the current
+    /// snapshot immediately — no drain barrier — and ends the stream so
+    /// the connection closes cleanly. A monitoring client gets its
+    /// answer without waiting on (or perturbing) in-flight sessions.
+    /// Any other first frame, and every later frame, keeps the ordinary
+    /// semantics: status/metrics mid-stream are still drain barriers, so
+    /// their answers still reflect everything the same client submitted.
+    fn run_stream<R: BufRead, W: Write>(
+        &mut self,
+        mut input: R,
+        out: &mut W,
+        scrape: bool,
+    ) -> io::Result<bool> {
+        let mut first = true;
         loop {
             let line = match read_frame(&mut input)? {
                 Frame::Eof => break,
                 Frame::Refused(reason) => {
                     // Oversize or non-UTF-8: refused at the I/O layer,
                     // answered like any other malformed frame.
+                    first = false;
                     let seq = self.take_seq()?;
                     if let Some(c) = telemetry::counter("cliffguard.serve.frames") {
                         c.incr(1);
@@ -404,6 +424,7 @@ impl Daemon {
             if line.trim().is_empty() {
                 continue;
             }
+            let fresh = std::mem::take(&mut first);
             let seq = self.take_seq()?;
             if let Some(c) = telemetry::counter("cliffguard.serve.frames") {
                 c.incr(1);
@@ -467,7 +488,10 @@ impl Daemon {
                     self.submit(seq, *req, None, false);
                 }
                 Ok(Request::Status) => {
-                    self.drain(out)?;
+                    let snap = scrape && fresh;
+                    if !snap {
+                        self.drain(out)?;
+                    }
                     writeln!(
                         out,
                         "{}",
@@ -478,9 +502,16 @@ impl Daemon {
                         .to_line()
                     )?;
                     out.flush()?;
+                    if snap {
+                        // A scrape connection: answered, close cleanly.
+                        return Ok(false);
+                    }
                 }
                 Ok(Request::Metrics) => {
-                    self.drain(out)?;
+                    let snap = scrape && fresh;
+                    if !snap {
+                        self.drain(out)?;
+                    }
                     writeln!(
                         out,
                         "{}",
@@ -492,6 +523,9 @@ impl Daemon {
                         .to_line()
                     )?;
                     out.flush()?;
+                    if snap {
+                        return Ok(false);
+                    }
                 }
                 Ok(Request::Drain) => {
                     let completed = self.drain(out)?;
@@ -532,7 +566,10 @@ impl Daemon {
                 .unwrap_or_else(|_| "?".into());
             let reader = BufReader::new(stream.try_clone()?);
             let mut writer = stream;
-            match self.run(reader, &mut writer) {
+            // Fresh TCP connections get the scrape fast path: a leading
+            // status/metrics frame is answered from the live snapshot
+            // without a drain barrier, and the connection closes.
+            match self.run_stream(reader, &mut writer, true) {
                 Ok(true) => return Ok(()),
                 Ok(false) => {}
                 Err(e) => {
@@ -664,6 +701,63 @@ mod tests {
         assert!(lines[0].contains(r#""op":"error""#), "{}", lines[0]);
         assert!(lines[1].contains(r#""op":"error""#), "{}", lines[1]);
         assert!(lines[2].contains(r#""op":"drain""#), "{}", lines[2]);
+    }
+
+    #[test]
+    fn a_leading_scrape_frame_answers_immediately_and_ends_the_stream() {
+        let mut daemon = super::Daemon::new(super::ServeConfig {
+            virtual_time: true,
+            ..super::ServeConfig::default()
+        })
+        .expect("daemon builds");
+        // Scrape stream: a leading status is answered from the snapshot
+        // and the stream ends — the frames behind it are never read.
+        let tape = format!(
+            "{{\"op\":\"status\"}}\n{}\n{{\"op\":\"drain\"}}\n",
+            design_line(&crate::testdata::design_request("acme", 7))
+        );
+        let mut out: Vec<u8> = Vec::new();
+        let shutdown = daemon
+            .run_stream(BufReader::new(Cursor::new(tape.clone())), &mut out, true)
+            .expect("scrape stream runs");
+        assert!(!shutdown);
+        let out = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 1, "scrape must answer exactly once: {out}");
+        assert!(lines[0].contains(r#""op":"status""#), "{}", lines[0]);
+        assert!(lines[0].contains(r#""completed":0"#), "{}", lines[0]);
+        // The same tape without the scrape flag keeps the barrier
+        // semantics: every frame is read and answered.
+        let mut out: Vec<u8> = Vec::new();
+        daemon
+            .run_stream(BufReader::new(Cursor::new(tape)), &mut out, false)
+            .expect("plain stream runs");
+        let out = String::from_utf8(out).unwrap();
+        assert_eq!(out.lines().count(), 3, "{out}");
+    }
+
+    #[test]
+    fn a_mid_stream_scrape_frame_is_still_a_drain_barrier() {
+        let mut daemon = super::Daemon::new(super::ServeConfig {
+            virtual_time: true,
+            ..super::ServeConfig::default()
+        })
+        .expect("daemon builds");
+        // Even on a scrape-capable stream, a status behind a design frame
+        // drains first, so the answer reflects the submitted session.
+        let tape = format!(
+            "{}\n{{\"op\":\"metrics\"}}\n",
+            design_line(&crate::testdata::design_request("acme", 7))
+        );
+        let mut out: Vec<u8> = Vec::new();
+        daemon
+            .run_stream(BufReader::new(Cursor::new(tape)), &mut out, true)
+            .expect("stream runs");
+        let out = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "{out}");
+        assert!(lines[0].contains(r#""status":"done""#), "{}", lines[0]);
+        assert!(lines[1].contains(r#""op":"metrics""#), "{}", lines[1]);
     }
 
     #[test]

@@ -26,8 +26,40 @@
 
 use crate::daemon::{Daemon, ServeConfig};
 use crate::protocol::{DesignRequest, Request};
-use std::io::{BufReader, Cursor};
+use std::fmt;
+use std::io::{self, BufReader, Cursor};
 use std::path::PathBuf;
+
+/// Why a harness run could not produce an output stream.
+///
+/// Both variants carry the underlying I/O error: the harness itself is
+/// in-memory, so a failure always comes from the scripted configuration
+/// (an unusable state directory, a corrupt persisted envelope) — exactly
+/// the cases a test wants to assert on rather than die in.
+#[derive(Debug)]
+pub enum HarnessError {
+    /// [`Daemon::new`] rejected the scripted [`ServeConfig`].
+    Build(io::Error),
+    /// The daemon failed mid-stream (e.g. a poisoned state directory).
+    Run(io::Error),
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Build(e) => write!(f, "daemon failed to build from the harness config: {e}"),
+            Self::Run(e) => write!(f, "in-memory serve run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Build(e) | Self::Run(e) => Some(e),
+        }
+    }
+}
 
 /// Renders a design request as the protocol line a client would send.
 pub fn design_line(req: &DesignRequest) -> String {
@@ -88,17 +120,25 @@ impl ServeHarness {
     }
 
     /// Runs a fresh daemon over the tape (one frame per element) through
-    /// end-of-input, returning everything it wrote. Panics on I/O errors
-    /// — in-memory I/O cannot fail, and a test harness should be loud.
+    /// end-of-input, returning everything it wrote. Panics with the
+    /// [`HarnessError`] message on failure — a test harness should be
+    /// loud; use [`try_run_tape`](Self::try_run_tape) to assert on the
+    /// failure instead.
     pub fn run_tape(&self, tape: &[String]) -> String {
+        self.try_run_tape(tape).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`run_tape`](Self::run_tape), but surfacing build/run failures as
+    /// a structured [`HarnessError`] instead of panicking.
+    pub fn try_run_tape(&self, tape: &[String]) -> Result<String, HarnessError> {
         let mut input = tape.join("\n");
         input.push('\n');
         let mut out: Vec<u8> = Vec::new();
-        let mut daemon = Daemon::new(self.config.clone()).expect("daemon builds");
+        let mut daemon = Daemon::new(self.config.clone()).map_err(HarnessError::Build)?;
         daemon
             .run(BufReader::new(Cursor::new(input)), &mut out)
-            .expect("in-memory serve run");
-        String::from_utf8(out).expect("protocol output is UTF-8")
+            .map_err(HarnessError::Run)?;
+        Ok(String::from_utf8(out).expect("protocol output is UTF-8"))
     }
 }
 
@@ -124,4 +164,34 @@ pub fn design_reports(out: &str) -> Vec<String> {
             }
         })
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn an_unusable_state_dir_is_a_structured_build_error() {
+        // A state directory that is actually a regular file cannot be
+        // opened as a checkpoint store: the harness must surface that as
+        // a Build error a test can assert on, not a bare panic.
+        let dir = std::env::temp_dir().join(format!(
+            "cliffguard-harness-err-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::write(&dir, b"not a directory").expect("write blocker file");
+        let harness = ServeHarness::new().with_state_dir(&dir);
+        let err = harness
+            .try_run_tape(&[r#"{"op":"status"}"#.into()])
+            .expect_err("a file for a state dir must fail the build");
+        assert!(matches!(err, HarnessError::Build(_)), "{err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("failed to build"), "{msg}");
+        assert!(
+            std::error::Error::source(&err).is_some(),
+            "the underlying I/O error must be preserved"
+        );
+        let _ = std::fs::remove_file(&dir);
+    }
 }

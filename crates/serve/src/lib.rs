@@ -39,7 +39,7 @@ pub mod tenant;
 pub mod testdata;
 
 pub use daemon::{Daemon, ServeConfig};
-pub use harness::{design_line, ServeHarness};
+pub use harness::{design_line, HarnessError, ServeHarness};
 pub use protocol::{
     parse_request, BudgetSpec, DesignReport, DesignRequest, DesignStatus, GammaSpec, ProtocolError,
     Request, Response,

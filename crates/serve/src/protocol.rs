@@ -94,6 +94,11 @@ pub struct DesignRequest {
     pub deadline_ms: Option<u64>,
     /// Fault-plan spec for drills (else the daemon's `CLIFFGUARD_FAULTS`).
     pub faults: Option<String>,
+    /// Replica fleet size R (1 = unreplicated; >1 runs the failure-aware
+    /// divergent replica design after the session).
+    pub replicas: u64,
+    /// Crash budget k of the failure adversary (clamped to R−1).
+    pub max_failures: u64,
 }
 
 impl DesignRequest {
@@ -112,6 +117,8 @@ impl DesignRequest {
             designer_deadline_ms: None,
             deadline_ms: None,
             faults: None,
+            replicas: 1,
+            max_failures: 0,
         }
     }
 }
@@ -248,6 +255,10 @@ fn parse_design(m: &[(String, Value)]) -> Result<DesignRequest, ProtocolError> {
         Value::Str(s) => Some(s.clone()),
         _ => return Err(err("design: faults must be a fault-spec string")),
     };
+    let replicas = u64_field("replicas", 1)?;
+    if replicas == 0 {
+        return Err(err("design: replicas must be >= 1"));
+    }
     Ok(DesignRequest {
         tenant,
         catalog,
@@ -260,6 +271,8 @@ fn parse_design(m: &[(String, Value)]) -> Result<DesignRequest, ProtocolError> {
         designer_deadline_ms: opt_u64("designer_deadline_ms")?,
         deadline_ms: opt_u64("deadline_ms")?,
         faults,
+        replicas,
+        max_failures: u64_field("max_failures", 0)?,
     })
 }
 
@@ -303,6 +316,14 @@ impl Serialize for Request {
                 }
                 if let Some(s) = &d.faults {
                     m.push(("faults".into(), Value::Str(s.clone())));
+                }
+                // Replica fields travel only when non-default, so PR-5-era
+                // persisted envelopes and this serializer stay aligned.
+                if d.replicas != 1 {
+                    m.push(("replicas".into(), Value::U64(d.replicas)));
+                }
+                if d.max_failures != 0 {
+                    m.push(("max_failures".into(), Value::U64(d.max_failures)));
                 }
                 Value::Map(m)
             }
@@ -370,11 +391,21 @@ pub struct DesignReport {
     pub worst_case_bits: Vec<u64>,
     /// The design, rendered as DDL.
     pub ddl: String,
+    /// Replica fleet size the request asked for (1 = unreplicated; the
+    /// three replica fields below are absent on the wire when 1, so
+    /// PR-5-era persisted results still parse).
+    pub replicas: u64,
+    /// Order-insensitive fingerprint of the replicated design *set*
+    /// (0 when unreplicated).
+    pub replica_set_fingerprint: u64,
+    /// The deterministic replica audit (JSON, see
+    /// `cliffguard_core::ReplicaAudit::to_json`), when `replicas > 1`.
+    pub replica_audit: Option<String>,
 }
 
 impl Serialize for DesignReport {
     fn to_value(&self) -> Value {
-        Value::Map(vec![
+        let mut v = Value::Map(vec![
             ("fingerprint".into(), Value::U64(self.fingerprint)),
             ("structures".into(), Value::U64(self.structures as u64)),
             ("price_bytes".into(), Value::U64(self.price_bytes)),
@@ -403,7 +434,23 @@ impl Serialize for DesignReport {
                 ),
             ),
             ("ddl".into(), Value::Str(self.ddl.clone())),
-        ])
+        ]);
+        if self.replicas > 1 {
+            let Value::Map(m) = &mut v else { unreachable!() };
+            m.push(("replicas".into(), Value::U64(self.replicas)));
+            m.push((
+                "replica_set_fingerprint".into(),
+                Value::U64(self.replica_set_fingerprint),
+            ));
+            m.push((
+                "replica_audit".into(),
+                match &self.replica_audit {
+                    Some(a) => Value::Str(a.clone()),
+                    None => Value::Null,
+                },
+            ));
+        }
+        v
     }
 }
 
@@ -425,6 +472,17 @@ impl Deserialize for DesignReport {
             degraded: Option::<String>::from_value(map_get(m, "degraded"))?,
             worst_case_bits: bits,
             ddl: String::from_value(map_get(m, "ddl"))?,
+            // Replica fields default when absent: result.json files
+            // persisted before replication existed must still parse.
+            replicas: match map_get(m, "replicas") {
+                Value::Null => 1,
+                v => u64::from_value(v)?,
+            },
+            replica_set_fingerprint: match map_get(m, "replica_set_fingerprint") {
+                Value::Null => 0,
+                v => u64::from_value(v)?,
+            },
+            replica_audit: Option::<String>::from_value(map_get(m, "replica_audit"))?,
         })
     }
 }
@@ -618,6 +676,65 @@ mod tests {
     }
 
     #[test]
+    fn replica_fields_round_trip_and_default_when_absent() {
+        let mut req = DesignRequest::new("acme", tiny_catalog_value(), "1\tSELECT a FROM t;\n");
+        req.replicas = 3;
+        req.max_failures = 1;
+        let line = Request::Design(Box::new(req.clone())).to_line();
+        assert_eq!(parse_request(&line), Ok(Request::Design(Box::new(req))));
+        // A PR-5-era frame with no replica keys parses with R=1, k=0, and
+        // serializes without them.
+        let old = r#"{"op":"design","tenant":"t","catalog":{},"log":"x"}"#;
+        let Ok(Request::Design(req)) = parse_request(old) else {
+            panic!("must parse: {old}");
+        };
+        assert_eq!((req.replicas, req.max_failures), (1, 0));
+        let line = Request::Design(req).to_line();
+        assert!(!line.contains("replicas"), "{line}");
+        // Bad values are refused.
+        for bad in [
+            r#"{"op":"design","tenant":"t","catalog":{},"log":"x","replicas":0}"#,
+            r#"{"op":"design","tenant":"t","catalog":{},"log":"x","replicas":"two"}"#,
+            r#"{"op":"design","tenant":"t","catalog":{},"log":"x","max_failures":-1}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "must reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn replica_report_fields_survive_the_wire_and_default_when_absent() {
+        let rep = DesignReport {
+            fingerprint: 1,
+            structures: 2,
+            price_bytes: 3,
+            gamma: 0.5,
+            budget_bytes: 4,
+            designer_calls: 5,
+            retries: 0,
+            faults: 0,
+            degraded: None,
+            worst_case_bits: vec![],
+            ddl: "x".into(),
+            replicas: 3,
+            replica_set_fingerprint: 0xfeed,
+            replica_audit: Some("{\"replicas\":3}".into()),
+        };
+        let back = DesignReport::from_value(&rep.to_value()).unwrap();
+        assert_eq!(back, rep);
+        // An unreplicated report carries no replica keys...
+        let uni = DesignReport {
+            replicas: 1,
+            replica_set_fingerprint: 0,
+            replica_audit: None,
+            ..rep
+        };
+        let v = uni.to_value();
+        assert_eq!(map_get(v.as_map().unwrap(), "replicas"), &Value::Null);
+        // ...and still round-trips via the absence defaults.
+        assert_eq!(DesignReport::from_value(&v).unwrap(), uni);
+    }
+
+    #[test]
     fn design_round_trips_with_newlines_and_gamma_bits() {
         let mut req = DesignRequest::new("acme-1", tiny_catalog_value(), "1\tSELECT a FROM t;\n");
         req.gamma = GammaSpec::Fixed(0.1 + 0.2); // not decimal-clean
@@ -650,6 +767,9 @@ mod tests {
                 degraded: None,
                 worst_case_bits: vec![1.5f64.to_bits()],
                 ddl: "CREATE PROJECTION p (\n  a\n);\n".into(),
+                replicas: 1,
+                replica_set_fingerprint: 0,
+                replica_audit: None,
             }),
             resumed: false,
         };

@@ -15,8 +15,10 @@
 
 use crate::protocol::{BudgetSpec, DesignReport, DesignRequest, GammaSpec};
 use cliffguard_core::gamma::{consecutive_deltas, GammaPolicy};
+use cliffguard_core::replica::MAX_REPLICAS;
 use cliffguard_core::{
-    CliffGuardConfig, DescentCheckpoint, DesignSession, SessionEnd, SessionOptions,
+    design_replicated, CliffGuardConfig, DescentCheckpoint, DesignSession, ReplicaOptions,
+    SessionEnd, SessionOptions,
 };
 use cliffguard_designer::{ColumnarCandidates, GreedyDesigner, Reliable};
 use cliffguard_distance::DeltaEuclidean;
@@ -83,6 +85,12 @@ pub fn run_design(
         return RunOutcome::Rejected(format!(
             "no parseable queries in the log ({} unparseable, {} malformed)",
             report.skipped_sql, report.skipped_malformed
+        ));
+    }
+    if !(1..=MAX_REPLICAS as u64).contains(&req.replicas) {
+        return RunOutcome::Rejected(format!(
+            "replicas must be in 1..={MAX_REPLICAS}, got {}",
+            req.replicas
         ));
     }
     let windows = log.windows_days(req.window_days);
@@ -157,6 +165,9 @@ pub fn run_design(
         },
         None => None,
     };
+    // The replica layer reads the same plan (its replica-crash /
+    // replica-slow entries fire by round index there).
+    let replica_plan = plan.clone();
 
     // The two designer arms differ only in the wrapper type, so the whole
     // run/resume/report tail is shared via this closure-shaped helper.
@@ -183,6 +194,35 @@ pub fn run_design(
             match end {
                 SessionEnd::Interrupted(ckpt) => RunOutcome::Interrupted(ckpt.to_json()),
                 SessionEnd::Finished { design, trace } => {
+                    // The failure-aware replica layer runs after the
+                    // session: the session's robust design seeds a fleet
+                    // of R divergent replicas, scored over drift windows ×
+                    // crash masks. Replica faults in the same plan fire by
+                    // round index; a crash mid-run fails over to the best
+                    // surviving routing instead of erroring out.
+                    let (replica_set_fingerprint, replica_audit) = if req.replicas > 1 {
+                        let ropts = ReplicaOptions {
+                            replicas: req.replicas as usize,
+                            max_failures: req.max_failures as usize,
+                            faults: replica_plan.clone(),
+                            ..ReplicaOptions::default()
+                        };
+                        match design_replicated(
+                            &engine,
+                            &nominal,
+                            &design,
+                            &windows,
+                            budget_bytes,
+                            &ropts,
+                        ) {
+                            Ok(out) => (out.design.set_fingerprint(), Some(out.audit.to_json())),
+                            Err(e) => {
+                                return RunOutcome::Rejected(format!("bad replica setup: {e}"))
+                            }
+                        }
+                    } else {
+                        (0, None)
+                    };
                     RunOutcome::Done(Box::new(DesignReport {
                         fingerprint: design.fingerprint(),
                         structures: design.len(),
@@ -199,6 +239,9 @@ pub fn run_design(
                             .map(|x| x.to_bits())
                             .collect(),
                         ddl: ddl::columnar_script(&design, engine.catalog()),
+                        replicas: req.replicas,
+                        replica_set_fingerprint,
+                        replica_audit,
                     }))
                 }
             }
@@ -256,6 +299,39 @@ mod tests {
             (RunOutcome::Done(a), RunOutcome::Done(b)) => assert_eq!(a, b),
             other => panic!("expected two Done outcomes, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn replicated_requests_carry_an_audit_and_survive_a_crash_fault() {
+        let mut req = testdata::design_request("t0", 7);
+        req.replicas = 3;
+        req.max_failures = 1;
+        req.faults = Some("replica-crash@1:1".into());
+        let opts = RunnerOptions {
+            virtual_time: true,
+            ..RunnerOptions::default()
+        };
+        let RunOutcome::Done(report) = run_design(&req, &opts, None, &mut |_| {}) else {
+            panic!("replicated run must finish");
+        };
+        assert_eq!(report.replicas, 3);
+        assert_ne!(report.replica_set_fingerprint, 0);
+        let audit = report.replica_audit.as_deref().expect("audit present");
+        assert!(audit.contains("\"crashed_mask\":2"), "{audit}");
+        assert!(audit.contains("\"kind\":\"replica-crash\""), "{audit}");
+        // Byte-identical rerun (the acceptance criterion's audit check).
+        let RunOutcome::Done(again) = run_design(&req, &opts, None, &mut |_| {}) else {
+            panic!("rerun must finish");
+        };
+        assert_eq!(again, report);
+    }
+
+    #[test]
+    fn oversized_fleets_are_rejected_up_front() {
+        let mut req = testdata::design_request("t0", 7);
+        req.replicas = 64;
+        let out = run_design(&req, &RunnerOptions::default(), None, &mut |_| {});
+        assert!(matches!(out, RunOutcome::Rejected(_)), "{out:?}");
     }
 
     #[test]

@@ -53,6 +53,14 @@ pub struct DesignEpoch {
 }
 
 impl DesignEpoch {
+    /// Builds an epoch from raw parts — a fingerprint and a dense latency
+    /// vector indexed by [`QueryId`]. The kernel builds epochs itself via
+    /// [`CostKernel::epoch`]; this constructor exists for router tests and
+    /// benches that synthesize latency surfaces directly.
+    pub fn from_parts(fingerprint: u64, lat: Vec<f64>) -> Self {
+        Self { fingerprint, lat }
+    }
+
     /// Fingerprint of the design this epoch was built for.
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint

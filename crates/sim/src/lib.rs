@@ -31,6 +31,7 @@ mod cache;
 mod columnar;
 mod engine;
 mod kernel;
+mod replica;
 mod row;
 
 pub mod ddl;
@@ -41,4 +42,5 @@ pub use columnar::{
 };
 pub use engine::{Engine, PhysicalDesign, PlanningEngine, WorkloadCost};
 pub use kernel::{CostKernel, DesignEpoch, KernelStats};
+pub use replica::{combine_fingerprints, QueryRouter};
 pub use row::{Index, MatView, RowDesign, RowEngine, RowPath, RowPlan, RowStructure};

@@ -298,6 +298,59 @@ fn dropped_tcp_client_does_not_kill_the_daemon() {
 }
 
 #[test]
+fn tcp_scrape_connections_get_an_immediate_snapshot_and_a_clean_close() {
+    use cliffguard_serve::{Daemon, ServeConfig};
+    use std::net::{TcpListener, TcpStream};
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let mut daemon = Daemon::new(ServeConfig {
+            virtual_time: true,
+            ..ServeConfig::default()
+        })
+        .expect("daemon builds");
+        daemon.serve_tcp(listener).expect("serve_tcp runs");
+    });
+
+    // A monitoring client sends a bare status/metrics frame and — unlike
+    // a protocol client — never half-closes its write side. The daemon
+    // must answer from the live snapshot and close the connection itself;
+    // without the scrape fast path this client would wedge the daemon.
+    for op in ["status", "metrics"] {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone stream");
+        let mut reader = BufReader::new(stream);
+        writeln!(writer, r#"{{"op":"{op}"}}"#).unwrap();
+        writer.flush().unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("scrape answered");
+        assert!(resp.contains(&format!(r#""op":"{op}""#)), "{resp}");
+        let mut rest = String::new();
+        let n = reader.read_line(&mut rest).expect("read until server close");
+        assert_eq!(n, 0, "server must close the scrape connection: {rest}");
+    }
+
+    // The daemon is still fully functional for protocol clients.
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let (tenant, seed) = TENANT_SEEDS[0];
+    writeln!(
+        writer,
+        "{}",
+        design_line(&testdata::design_request(tenant, seed))
+    )
+    .unwrap();
+    writeln!(writer, r#"{{"op":"shutdown"}}"#).unwrap();
+    writer.flush().unwrap();
+    let mut design_resp = String::new();
+    reader.read_line(&mut design_resp).unwrap();
+    assert!(design_resp.contains(r#""status":"done""#), "{design_resp}");
+    server.join().expect("server thread exits after shutdown");
+}
+
+#[test]
 fn tcp_listener_serves_the_same_protocol() {
     use cliffguard_serve::{Daemon, ServeConfig};
     use std::net::{TcpListener, TcpStream};
