@@ -176,7 +176,10 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
         "divergent beat uniform".into(),
         audit.divergent.to_string(),
     ]);
-    t.row(vec!["worst failure mask".into(), format!("{:#06b}", audit.worst_mask)]);
+    t.row(vec![
+        "worst failure mask".into(),
+        format!("{:#06b}", audit.worst_mask),
+    ]);
     t.row(vec![
         "worst-mask regret (ms)".into(),
         fnum(audit.worst_mask_regret()),
@@ -185,10 +188,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
         "injected failovers".into(),
         audit.failovers.len().to_string(),
     ]);
-    t.row(vec![
-        "fleet design time (ms)".into(),
-        fnum(divergent_ms),
-    ]);
+    t.row(vec!["fleet design time (ms)".into(), fnum(divergent_ms)]);
     t.row(vec![
         "router table lookups/s".into(),
         fnum(n as f64 / (table_ms / 1e3)),

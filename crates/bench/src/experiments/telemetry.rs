@@ -6,9 +6,13 @@
 //! in-memory JSONL trace, runs a design session on a virtual clock, and
 //! reports the resulting snapshot: session counters, designer-call and
 //! per-iteration latency quantiles, cost-cache hit rate, parallel fan-out
-//! counters, and the number of trace lines captured. The row lands in
-//! `results_full.json`, so a harness run records what its own telemetry
-//! would have shown an operator.
+//! counters, and the number of trace lines captured. It then measures the
+//! ops-plane costs: the flight recorder's wall-clock overhead on an
+//! otherwise-untraced session (best-of-N with and without an installed
+//! ring, asserted within 2% plus a small absolute floor for timer noise)
+//! and `render_prometheus` throughput over the session's own snapshot.
+//! The rows land in `results_full.json`, so a harness run records what
+//! its own telemetry would have shown an operator.
 
 use crate::scale::Scale;
 use crate::setup::columnar_setup;
@@ -125,7 +129,85 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
         ),
     ]);
     t.row(vec!["trace lines".into(), trace_lines.to_string()]);
+
+    // Flight-recorder overhead: the same seeded session with no telemetry
+    // installed, with and without a thread-installed ring. With nothing
+    // installed each emission site is one atomic load; with a recorder it
+    // formats the line and appends to the ring — the cost a serve session
+    // pays for its always-on black box.
+    let run_once = |recorder: Option<&Arc<tel::FlightRecorder>>| {
+        let clock = SessionClock::virtual_clock();
+        let _flight = recorder.map(|rec| {
+            let c = clock.clone();
+            rec.set_clock(Arc::new(move || c.now_ms()));
+            tel::record_on_thread(rec)
+        });
+        let plan = FaultPlan::from_spec("seed=1,rate=0.3").expect("valid fault spec");
+        let injector: FaultyDesigner<ColumnarEngine, _> =
+            FaultyDesigner::new(&nominal, plan, clock.clone());
+        let session = DesignSession::new(
+            &setup.engine,
+            injector,
+            DeltaEuclidean::new(setup.n_columns),
+            CliffGuardConfig::new(gamma),
+            SessionOptions {
+                clock,
+                ..SessionOptions::default()
+            },
+        )
+        .expect("valid config");
+        let start = std::time::Instant::now();
+        let _ = std::hint::black_box(session.run(w0, setup.budget, &pool).into_design());
+        start.elapsed().as_secs_f64() * 1e3
+    };
+    const REPS: usize = 3;
+    let off_best = (0..REPS)
+        .map(|_| run_once(None))
+        .fold(f64::INFINITY, f64::min);
+    let on_best = (0..REPS)
+        .map(|_| {
+            let rec = Arc::new(tel::FlightRecorder::new(tel::DEFAULT_FLIGHT_CAPACITY));
+            run_once(Some(&rec))
+        })
+        .fold(f64::INFINITY, f64::min);
+    // The contract the serve daemon relies on: recording is cheap enough
+    // to leave on for every session. 2% relative, plus an absolute floor
+    // so sub-millisecond sessions don't fail on scheduler jitter.
+    assert!(
+        on_best <= off_best * 1.02 + 10.0,
+        "flight recorder overhead out of contract: {on_best:.3} ms recorded \
+         vs {off_best:.3} ms bare"
+    );
+    t.row(vec![
+        format!("session best-of-{REPS} ms (recorder off)"),
+        fnum(off_best),
+    ]);
+    t.row(vec![
+        format!("session best-of-{REPS} ms (recorder on)"),
+        fnum(on_best),
+    ]);
+    t.row(vec![
+        "recorder overhead".into(),
+        format!("{:+.2}%", (on_best / off_best - 1.0) * 100.0),
+    ]);
+
+    // Prometheus exposition throughput over this session's own snapshot.
+    let body = tel::render_prometheus(&snap);
+    let renders = 200;
+    let start = std::time::Instant::now();
+    let mut bytes = 0usize;
+    for _ in 0..renders {
+        bytes += std::hint::black_box(tel::render_prometheus(&snap)).len();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    t.row(vec!["prometheus body bytes".into(), body.len().to_string()]);
+    t.row(vec![
+        "prometheus renders/sec".into(),
+        fnum(renders as f64 / elapsed.max(1e-9)),
+    ]);
+    assert_eq!(bytes, body.len() * renders, "renders are deterministic");
+
     t.note("counters and the trace are deterministic: virtual clock + seeded faults");
-    t.note("latency quantiles are wall-clock and vary run to run");
+    t.note("latency quantiles and recorder/exposition timings are wall-clock and vary run to run");
     vec![t]
 }

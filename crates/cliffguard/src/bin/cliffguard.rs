@@ -66,6 +66,7 @@ fn main() {
         "serve" => cmd_serve(&opts),
         "evaluate" => cmd_evaluate(&opts),
         "validate-trace" => cmd_validate_trace(&opts),
+        "trace" => cmd_trace(&args[1..], &opts),
         "--help" | "-h" | "help" => {
             usage();
             return;
@@ -97,7 +98,10 @@ fn usage() {
                      [--checkpoint-every N] [--faults SPEC]\n\
            evaluate  --catalog CATALOG.json --log LOG.tsv [--budget auto|BYTES]\n\
                      [--window-days N]\n\
-           validate-trace --trace TRACE.jsonl --schema SCHEMA.json\n\
+           validate-trace --trace TRACE.jsonl|- --schema SCHEMA.json\n\
+           trace report TRACE.jsonl|- [--json]\n\
+           trace diff BASELINE.jsonl CANDIDATE.jsonl [--json]\n\
+                     [--max-worst-case-pct P] [--max-time-pct P]\n\
          \n\
          every command accepts --threads N (default: CLIFFGUARD_THREADS, else\n\
          all cores); results are identical at any thread count\n\
@@ -579,17 +583,29 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
 
 // --------------------------------------------------------- validate-trace --
 
+/// Reads a trace operand: a file path, or `-` for stdin (so a trace can
+/// be piped straight out of a run or a flight dump without a temp file).
+fn read_trace_input(path: &str) -> Result<String, String> {
+    if path == "-" {
+        use std::io::Read as _;
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .map_err(|e| format!("read stdin: {e}"))?;
+        Ok(text)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))
+    }
+}
+
 /// Checks every line of a JSONL trace file against a golden schema; CI
 /// runs this on a seeded session so a renamed event or dropped field
 /// fails the build instead of silently breaking trace consumers.
 fn cmd_validate_trace(opts: &Flags) -> Result<(), String> {
     let trace_path = flag(opts, "trace")?;
     let schema_path = flag(opts, "schema")?;
-    let schema_text =
-        std::fs::read_to_string(schema_path).map_err(|e| format!("read {schema_path}: {e}"))?;
-    let schema = TraceSchema::parse(&schema_text).map_err(|e| format!("{schema_path}: {e}"))?;
-    let trace =
-        std::fs::read_to_string(trace_path).map_err(|e| format!("read {trace_path}: {e}"))?;
+    let schema = TraceSchema::load(std::path::Path::new(schema_path))?;
+    let trace = read_trace_input(trace_path)?;
     match schema.check_trace(&trace) {
         Ok(n) => {
             println!("{trace_path}: {n} lines conform to {schema_path}");
@@ -601,6 +617,73 @@ fn cmd_validate_trace(opts: &Flags) -> Result<(), String> {
             }
             Err(format!("{} schema violation(s)", violations.len()))
         }
+    }
+}
+
+// ---------------------------------------------------------------- trace --
+
+/// `cliffguard trace report|diff`: offline analysis of JSONL traces.
+/// Both renderings are deterministic — byte-identical traces produce
+/// byte-identical reports — so CI compares them against golden files.
+fn cmd_trace(args: &[String], opts: &Flags) -> Result<(), String> {
+    use cliffguard::cli::positionals;
+    use cliffguard::trace_analysis::{diff, parse_trace, DiffThresholds, Report};
+
+    let pos = positionals(args);
+    let json = opts.contains_key("json");
+    let load = |path: &str| -> Result<Report, String> {
+        let text = read_trace_input(path)?;
+        Ok(Report::build(
+            parse_trace(&text).map_err(|e| format!("{path}: {e}"))?,
+        ))
+    };
+    match pos.first().map(String::as_str) {
+        Some("report") => {
+            let path = pos
+                .get(1)
+                .ok_or("usage: cliffguard trace report TRACE.jsonl|- [--json]")?;
+            let report = load(path)?;
+            if json {
+                println!("{}", report.render_json(path));
+            } else {
+                print!("{}", report.render_text(path));
+            }
+            Ok(())
+        }
+        Some("diff") => {
+            let usage = "usage: cliffguard trace diff BASELINE.jsonl CANDIDATE.jsonl \
+                         [--json] [--max-worst-case-pct P] [--max-time-pct P]";
+            let a = pos.get(1).ok_or(usage)?;
+            let b = pos.get(2).ok_or(usage)?;
+            let mut thresholds = DiffThresholds::default();
+            let pct = |name: &str| -> Result<Option<f64>, String> {
+                match opts.get(name) {
+                    None => Ok(None),
+                    Some(s) => match s.parse::<f64>() {
+                        Ok(p) if p >= 0.0 => Ok(Some(p / 100.0)),
+                        _ => Err(format!("bad --{name} `{s}` (want a percentage)")),
+                    },
+                }
+            };
+            if let Some(p) = pct("max-worst-case-pct")? {
+                thresholds.worst_case_pct = p;
+            }
+            if let Some(p) = pct("max-time-pct")? {
+                thresholds.elapsed_pct = p;
+            }
+            let d = diff(&load(a)?, &load(b)?, &thresholds);
+            if json {
+                println!("{}", d.render_json(a, b));
+            } else {
+                print!("{}", d.render_text(a, b));
+            }
+            if d.regressed() {
+                Err(format!("{} trace regression(s)", d.regressions.len()))
+            } else {
+                Ok(())
+            }
+        }
+        _ => Err("usage: cliffguard trace report|diff … (see --help)".into()),
     }
 }
 

@@ -52,6 +52,30 @@ pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
     Ok(flags)
 }
 
+/// The positional (non-flag) tokens of `args`, in order, mirroring
+/// exactly which tokens [`parse_flags`] would *not* consume: a token
+/// following a `--name` flag is that flag's value, not a positional.
+/// Subcommands with positional operands (`trace report FILE`) use this
+/// next to `parse_flags` so the two never disagree about a token.
+pub fn positionals(args: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            // Skip the flag, and its value when the next token is not
+            // itself a flag (same lookahead rule as parse_flags).
+            i += match args.get(i + 1) {
+                Some(next) if !next.starts_with("--") => 2,
+                _ => 1,
+            };
+        } else {
+            out.push(args[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +123,21 @@ mod tests {
         let flags = parse_flags(&argv("stray --seed 7 also-stray")).unwrap();
         assert_eq!(flags.len(), 1);
         assert_eq!(flags.get("seed").map(String::as_str), Some("7"));
+    }
+
+    #[test]
+    fn positionals_mirror_flag_consumption() {
+        // `7` is --seed's value, never a positional; the rest are, in
+        // order — including one after a bare boolean.
+        let args = argv("report a.jsonl --seed 7 b.jsonl --json");
+        assert_eq!(positionals(&args), vec!["report", "a.jsonl", "b.jsonl"]);
+        // A non-flag token right after a bare-looking flag is consumed
+        // as its value, exactly as parse_flags sees it.
+        let args = argv("--json report a.jsonl");
+        assert_eq!(positionals(&args), vec!["a.jsonl"]);
+        assert_eq!(
+            parse_flags(&args).unwrap().get("json").map(String::as_str),
+            Some("report")
+        );
     }
 }

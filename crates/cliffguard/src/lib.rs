@@ -70,6 +70,7 @@ pub use cliffguard_telemetry as telemetry;
 pub use cliffguard_workload as workload;
 
 pub mod cli;
+pub mod trace_analysis;
 pub mod trace_schema;
 
 /// One-stop imports for examples and applications.
@@ -109,8 +110,8 @@ pub mod prelude {
     };
     pub use cliffguard_storage::{Catalog, CatalogGenerator, ColumnDef, ColumnStats, TableDef};
     pub use cliffguard_telemetry::{
-        install, Level, MetricsRegistry, MetricsSnapshot, TelemetryConfig, TelemetryGuard,
-        TraceClock, TraceSink, LOG_ENV,
+        install, render_prometheus, FlightRecorder, Level, MetricsRegistry, MetricsSnapshot,
+        TelemetryConfig, TelemetryGuard, TraceClock, TraceSink, LOG_ENV,
     };
     pub use cliffguard_workload::generator::{
         DriftingGenerator, GeneratorConfig, SchemaShape, WorkloadProfile,

@@ -1,0 +1,873 @@
+//! Analysis of CliffGuard JSONL traces: `cliffguard trace report` and
+//! `cliffguard trace diff`.
+//!
+//! A trace is the audit trail of one run — one JSON object per line, as
+//! written by the telemetry subscriber (or retained by a flight
+//! recorder). This module turns that stream back into operator-facing
+//! structure:
+//!
+//! * [`parse_trace`] — total parsing with line-attributed errors;
+//! * [`Report`] — span-tree reconstruction, per-name time breakdown,
+//!   the descent iteration table (Γ, worst-case, delta per iteration),
+//!   span-duration histogram summaries, and a worst-case-regret summary
+//!   derived from the descent series;
+//! * [`diff`] — a structural + quantitative comparison of two reports
+//!   with configurable thresholds, for CI regression gating.
+//!
+//! Both the text and JSON renderings are **deterministic**: byte-identical
+//! traces produce byte-identical reports, so CI can compare a fresh
+//! report against a committed golden file with `cmp`.
+
+use serde::{map_get, Value};
+use std::fmt::Write as _;
+
+/// One parsed trace line.
+#[derive(Debug, Clone)]
+pub struct TraceLine {
+    /// Timestamp (ms on the run's clock). For spans this is the **close**
+    /// time; the span started at `t - dur_ms`.
+    pub t: u64,
+    /// `"event"` or `"span"`.
+    pub kind: String,
+    /// Severity level string.
+    pub level: String,
+    /// Dotted event name (`cliffguard.<crate>.<name>`).
+    pub name: String,
+    /// Span duration; `None` for events.
+    pub dur_ms: Option<u64>,
+    /// Structured payload, in emission order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl TraceLine {
+    /// Start time: events are instants, spans open `dur_ms` before `t`.
+    pub fn start(&self) -> u64 {
+        self.t.saturating_sub(self.dur_ms.unwrap_or(0))
+    }
+
+    fn field(&self, key: &str) -> &Value {
+        map_get(&self.fields, key)
+    }
+
+    fn field_u64(&self, key: &str) -> Option<u64> {
+        match self.field(key) {
+            Value::U64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn field_f64(&self, key: &str) -> Option<f64> {
+        match self.field(key) {
+            Value::F64(x) => Some(*x),
+            Value::U64(n) => Some(*n as f64),
+            Value::I64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    fn field_bool(&self, key: &str) -> Option<bool> {
+        match self.field(key) {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn field_str(&self, key: &str) -> Option<&str> {
+        match self.field(key) {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSONL trace, attributing every failure to its 1-based line.
+/// Blank lines are skipped; anything else must be a well-formed trace
+/// object (`t`/`kind`/`level`/`name`/`fields`, plus `dur_ms` on spans).
+pub fn parse_trace(text: &str) -> Result<Vec<TraceLine>, String> {
+    let mut lines = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let parse = |raw: &str| -> Result<TraceLine, String> {
+            let v: Value = serde_json::from_str(raw).map_err(|e| format!("not JSON: {e}"))?;
+            let m = v.as_map().ok_or("not a JSON object")?;
+            let t = match map_get(m, "t") {
+                Value::U64(n) => *n,
+                _ => return Err("`t` must be a non-negative integer".into()),
+            };
+            let get_str = |key: &str| -> Result<String, String> {
+                match map_get(m, key) {
+                    Value::Str(s) => Ok(s.clone()),
+                    _ => Err(format!("`{key}` must be a string")),
+                }
+            };
+            let kind = get_str("kind")?;
+            let dur_ms = match map_get(m, "dur_ms") {
+                Value::U64(n) => Some(*n),
+                Value::Null if kind != "span" => None,
+                _ => return Err("`dur_ms` must be a non-negative integer on spans".into()),
+            };
+            let fields = match map_get(m, "fields") {
+                Value::Map(f) => f.clone(),
+                _ => return Err("`fields` must be an object".into()),
+            };
+            Ok(TraceLine {
+                t,
+                kind,
+                level: get_str("level")?,
+                name: get_str("name")?,
+                dur_ms,
+                fields,
+            })
+        };
+        lines.push(parse(raw).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(lines)
+}
+
+// ------------------------------------------------------------ span tree --
+
+/// A node of the reconstructed span tree.
+#[derive(Debug, Clone)]
+pub struct TreeNode {
+    /// Index into the parsed line list.
+    pub line: usize,
+    /// Children, in trace order.
+    pub children: Vec<TreeNode>,
+}
+
+/// Rebuilds span nesting from a close-ordered trace. The subscriber
+/// writes a span when it **closes**, so children always precede their
+/// parent in the file and nesting follows stack discipline: when a span
+/// closes, every trailing root whose lifetime falls inside it becomes a
+/// child.
+///
+/// Close-only records cannot distinguish "nested" from "sibling" when
+/// intervals coincide exactly — the common case on a virtual clock,
+/// where back-to-back iterations all close as `[t, t]`. Two tie-break
+/// rules keep the reconstruction honest instead of chaining siblings:
+/// a zero-width span adopts nothing (nothing measurable happened inside
+/// it), and a span never adopts another span with its exact interval.
+pub fn span_tree(lines: &[TraceLine]) -> Vec<TreeNode> {
+    let mut roots: Vec<TreeNode> = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let mut node = TreeNode {
+            line: i,
+            children: Vec::new(),
+        };
+        if line.kind == "span" && line.dur_ms.unwrap_or(0) > 0 {
+            let start = line.start();
+            let mut first_child = roots.len();
+            while first_child > 0 {
+                let cand = &lines[roots[first_child - 1].line];
+                let contained = cand.start() >= start && cand.t <= line.t;
+                let twin = cand.kind == "span" && cand.start() == start && cand.t == line.t;
+                if contained && !twin {
+                    first_child -= 1;
+                } else {
+                    break;
+                }
+            }
+            node.children = roots.split_off(first_child);
+        }
+        roots.push(node);
+    }
+    roots
+}
+
+// --------------------------------------------------------------- report --
+
+/// Per-name aggregate: counts and span time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NameRow {
+    /// The dotted trace name.
+    pub name: String,
+    /// Event occurrences.
+    pub events: u64,
+    /// Span occurrences.
+    pub spans: u64,
+    /// Total span time (ms); 0 for pure event names.
+    pub total_ms: u64,
+    /// Shortest span (ms).
+    pub min_ms: u64,
+    /// Longest span (ms).
+    pub max_ms: u64,
+}
+
+/// One row of the descent iteration table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterRow {
+    /// 0-based iteration index.
+    pub iter: u64,
+    /// Γ in effect.
+    pub gamma: f64,
+    /// Step size α at iteration start.
+    pub alpha: f64,
+    /// Accumulated worst-neighbor count.
+    pub neighbors: u64,
+    /// Whether the candidate was accepted.
+    pub accepted: bool,
+    /// Worst-case cost after the iteration.
+    pub worst_case: f64,
+    /// Improvement over the previous iteration (positive = better).
+    pub delta: f64,
+    /// Iteration span duration (ms).
+    pub dur_ms: u64,
+}
+
+/// Worst-case trajectory summary over the descent series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegretSummary {
+    /// Worst case after the first iteration.
+    pub first: f64,
+    /// Best (minimum) worst case ever reached.
+    pub best: f64,
+    /// Worst case after the final iteration.
+    pub last: f64,
+    /// `last - best`: how far the run ended from its own best point.
+    pub regret: f64,
+    /// Accepted iterations.
+    pub accepted: u64,
+    /// Rejected iterations.
+    pub rejected: u64,
+}
+
+/// The full analysis of one trace.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Parsed lines, in file order.
+    pub lines: Vec<TraceLine>,
+    /// Reconstructed span forest over those lines.
+    pub tree: Vec<TreeNode>,
+    /// Per-name aggregates, sorted by name.
+    pub names: Vec<NameRow>,
+    /// The descent iteration table, in iteration order.
+    pub iterations: Vec<IterRow>,
+    /// Worst-case-regret summary (absent when no iteration closed).
+    pub regret: Option<RegretSummary>,
+    /// Faults recorded (`session.fault` events).
+    pub faults: u64,
+    /// Retries recorded (`session.retry` events).
+    pub retries: u64,
+    /// Degradation reason, when the session degraded.
+    pub degraded: Option<String>,
+}
+
+impl Report {
+    /// Analyzes a parsed trace.
+    pub fn build(lines: Vec<TraceLine>) -> Self {
+        let tree = span_tree(&lines);
+        let mut names: Vec<NameRow> = Vec::new();
+        for line in &lines {
+            let row = match names.iter_mut().find(|r| r.name == line.name) {
+                Some(row) => row,
+                None => {
+                    names.push(NameRow {
+                        name: line.name.clone(),
+                        events: 0,
+                        spans: 0,
+                        total_ms: 0,
+                        min_ms: u64::MAX,
+                        max_ms: 0,
+                    });
+                    names.last_mut().expect("just pushed")
+                }
+            };
+            match line.dur_ms {
+                Some(d) => {
+                    row.spans += 1;
+                    row.total_ms += d;
+                    row.min_ms = row.min_ms.min(d);
+                    row.max_ms = row.max_ms.max(d);
+                }
+                None => row.events += 1,
+            }
+        }
+        for row in &mut names {
+            if row.spans == 0 {
+                row.min_ms = 0;
+            }
+        }
+        names.sort_by(|a, b| a.name.cmp(&b.name));
+
+        let mut iterations: Vec<IterRow> = lines
+            .iter()
+            .filter(|l| l.name.ends_with(".descent.iter") && l.kind == "span")
+            .map(|l| IterRow {
+                iter: l.field_u64("iter").unwrap_or(0),
+                gamma: l.field_f64("gamma").unwrap_or(0.0),
+                alpha: l.field_f64("alpha").unwrap_or(0.0),
+                neighbors: l.field_u64("neighbors").unwrap_or(0),
+                accepted: l.field_bool("accepted").unwrap_or(false),
+                worst_case: l.field_f64("worst_case").unwrap_or(0.0),
+                delta: l.field_f64("delta").unwrap_or(0.0),
+                dur_ms: l.dur_ms.unwrap_or(0),
+            })
+            .collect();
+        iterations.sort_by_key(|r| r.iter);
+
+        let regret = iterations.first().map(|first| {
+            let best = iterations
+                .iter()
+                .map(|r| r.worst_case)
+                .fold(f64::INFINITY, f64::min);
+            let last = iterations.last().expect("non-empty").worst_case;
+            RegretSummary {
+                first: first.worst_case,
+                best,
+                last,
+                regret: last - best,
+                accepted: iterations.iter().filter(|r| r.accepted).count() as u64,
+                rejected: iterations.iter().filter(|r| !r.accepted).count() as u64,
+            }
+        });
+
+        let count = |suffix: &str| lines.iter().filter(|l| l.name.ends_with(suffix)).count() as u64;
+        let degraded = lines
+            .iter()
+            .rev()
+            .find(|l| l.name.ends_with(".session.degraded"))
+            .and_then(|l| l.field_str("reason").map(str::to_string));
+        Self {
+            tree,
+            names,
+            iterations,
+            regret,
+            faults: count(".session.fault"),
+            retries: count(".session.retry"),
+            degraded,
+            lines,
+        }
+    }
+
+    /// Events in the trace.
+    pub fn event_count(&self) -> u64 {
+        self.lines.iter().filter(|l| l.kind != "span").count() as u64
+    }
+
+    /// Spans in the trace.
+    pub fn span_count(&self) -> u64 {
+        self.lines.iter().filter(|l| l.kind == "span").count() as u64
+    }
+
+    /// Clock span (ms) from first to last timestamp.
+    pub fn elapsed_ms(&self) -> u64 {
+        match (self.lines.first(), self.lines.last()) {
+            (Some(a), Some(b)) => b.t.saturating_sub(a.start().min(a.t)),
+            _ => 0,
+        }
+    }
+
+    /// Deterministic plain-text rendering.
+    pub fn render_text(&self, source: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "trace report: {source}");
+        let _ = writeln!(
+            out,
+            "  {} lines ({} events, {} spans), {} ms on the trace clock",
+            self.lines.len(),
+            self.event_count(),
+            self.span_count(),
+            self.elapsed_ms()
+        );
+        let _ = writeln!(
+            out,
+            "  faults {}, retries {}, degraded: {}",
+            self.faults,
+            self.retries,
+            self.degraded.as_deref().unwrap_or("no")
+        );
+
+        let _ = writeln!(out, "\nper-name breakdown:");
+        let _ = writeln!(
+            out,
+            "  {:<42} {:>7} {:>6} {:>9} {:>7} {:>7}",
+            "name", "events", "spans", "total ms", "min ms", "max ms"
+        );
+        for r in &self.names {
+            let _ = writeln!(
+                out,
+                "  {:<42} {:>7} {:>6} {:>9} {:>7} {:>7}",
+                r.name, r.events, r.spans, r.total_ms, r.min_ms, r.max_ms
+            );
+        }
+
+        if !self.iterations.is_empty() {
+            let _ = writeln!(out, "\ndescent iterations:");
+            let _ = writeln!(
+                out,
+                "  {:>4} {:>10} {:>8} {:>9} {:>8} {:>12} {:>10} {:>6}",
+                "iter", "gamma", "alpha", "neighbors", "accepted", "worst_case", "delta", "ms"
+            );
+            for r in &self.iterations {
+                let _ = writeln!(
+                    out,
+                    "  {:>4} {:>10.5} {:>8.4} {:>9} {:>8} {:>12.3} {:>10.3} {:>6}",
+                    r.iter,
+                    r.gamma,
+                    r.alpha,
+                    r.neighbors,
+                    if r.accepted { "yes" } else { "no" },
+                    r.worst_case,
+                    r.delta,
+                    r.dur_ms
+                );
+            }
+        }
+        if let Some(s) = &self.regret {
+            let _ = writeln!(out, "\nworst-case summary:");
+            let _ = writeln!(
+                out,
+                "  first {:.3}  best {:.3}  final {:.3}  regret {:.3}  \
+                 ({} accepted, {} rejected)",
+                s.first, s.best, s.last, s.regret, s.accepted, s.rejected
+            );
+        }
+
+        let _ = writeln!(out, "\nspan tree:");
+        fn walk(out: &mut String, lines: &[TraceLine], nodes: &[TreeNode], depth: usize) {
+            for node in nodes {
+                let l = &lines[node.line];
+                let head = format!("{:indent$}{}", "", l.name, indent = depth * 2);
+                match l.dur_ms {
+                    Some(d) => {
+                        let _ = writeln!(out, "  {head} [t={} +{d}ms]", l.start());
+                    }
+                    None => {
+                        let _ = writeln!(out, "  {head} [t={}] ({})", l.t, l.level);
+                    }
+                }
+                walk(out, lines, &node.children, depth + 1);
+            }
+        }
+        walk(&mut out, &self.lines, &self.tree, 0);
+        out
+    }
+
+    /// Deterministic JSON rendering (stable key order, byte-identical
+    /// for byte-identical traces).
+    pub fn render_json(&self, source: &str) -> String {
+        fn tree_value(lines: &[TraceLine], nodes: &[TreeNode]) -> Value {
+            Value::Seq(
+                nodes
+                    .iter()
+                    .map(|n| {
+                        let l = &lines[n.line];
+                        let mut m = vec![
+                            ("name".into(), Value::Str(l.name.clone())),
+                            ("t".into(), Value::U64(l.start())),
+                        ];
+                        if let Some(d) = l.dur_ms {
+                            m.push(("dur_ms".into(), Value::U64(d)));
+                        }
+                        if !n.children.is_empty() {
+                            m.push(("children".into(), tree_value(lines, &n.children)));
+                        }
+                        Value::Map(m)
+                    })
+                    .collect(),
+            )
+        }
+        let names = Value::Seq(
+            self.names
+                .iter()
+                .map(|r| {
+                    Value::Map(vec![
+                        ("name".into(), Value::Str(r.name.clone())),
+                        ("events".into(), Value::U64(r.events)),
+                        ("spans".into(), Value::U64(r.spans)),
+                        ("total_ms".into(), Value::U64(r.total_ms)),
+                        ("min_ms".into(), Value::U64(r.min_ms)),
+                        ("max_ms".into(), Value::U64(r.max_ms)),
+                    ])
+                })
+                .collect(),
+        );
+        let iterations = Value::Seq(
+            self.iterations
+                .iter()
+                .map(|r| {
+                    Value::Map(vec![
+                        ("iter".into(), Value::U64(r.iter)),
+                        ("gamma".into(), Value::F64(r.gamma)),
+                        ("alpha".into(), Value::F64(r.alpha)),
+                        ("neighbors".into(), Value::U64(r.neighbors)),
+                        ("accepted".into(), Value::Bool(r.accepted)),
+                        ("worst_case".into(), Value::F64(r.worst_case)),
+                        ("delta".into(), Value::F64(r.delta)),
+                        ("dur_ms".into(), Value::U64(r.dur_ms)),
+                    ])
+                })
+                .collect(),
+        );
+        let regret = match &self.regret {
+            Some(s) => Value::Map(vec![
+                ("first".into(), Value::F64(s.first)),
+                ("best".into(), Value::F64(s.best)),
+                ("last".into(), Value::F64(s.last)),
+                ("regret".into(), Value::F64(s.regret)),
+                ("accepted".into(), Value::U64(s.accepted)),
+                ("rejected".into(), Value::U64(s.rejected)),
+            ]),
+            None => Value::Null,
+        };
+        let root = Value::Map(vec![
+            ("source".into(), Value::Str(source.into())),
+            ("lines".into(), Value::U64(self.lines.len() as u64)),
+            ("events".into(), Value::U64(self.event_count())),
+            ("spans".into(), Value::U64(self.span_count())),
+            ("elapsed_ms".into(), Value::U64(self.elapsed_ms())),
+            ("faults".into(), Value::U64(self.faults)),
+            ("retries".into(), Value::U64(self.retries)),
+            (
+                "degraded".into(),
+                match &self.degraded {
+                    Some(r) => Value::Str(r.clone()),
+                    None => Value::Null,
+                },
+            ),
+            ("names".into(), names),
+            ("iterations".into(), iterations),
+            ("worst_case".into(), regret),
+            ("tree".into(), tree_value(&self.lines, &self.tree)),
+        ]);
+        serde_json::to_string(&root).expect("report JSON renders")
+    }
+}
+
+// ----------------------------------------------------------------- diff --
+
+/// Regression thresholds for [`diff`]. Percentages are relative to the
+/// baseline (`a`); absolute slack covers near-zero baselines.
+#[derive(Debug, Clone)]
+pub struct DiffThresholds {
+    /// Allowed relative growth of the final worst-case cost (0.02 = 2%).
+    pub worst_case_pct: f64,
+    /// Allowed relative growth of total trace-clock time.
+    pub elapsed_pct: f64,
+}
+
+impl Default for DiffThresholds {
+    fn default() -> Self {
+        Self {
+            worst_case_pct: 0.02,
+            elapsed_pct: 0.10,
+        }
+    }
+}
+
+/// The outcome of comparing a candidate trace against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Hard failures: new degradation, more faults/retries, threshold
+    /// breaches. Non-empty ⇒ the diff gate fails.
+    pub regressions: Vec<String>,
+    /// Structural observations that are not failures by themselves.
+    pub notes: Vec<String>,
+}
+
+impl DiffReport {
+    /// Whether the candidate regressed.
+    pub fn regressed(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+
+    /// Deterministic plain-text rendering.
+    pub fn render_text(&self, a: &str, b: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "trace diff: {a} (baseline) vs {b} (candidate)");
+        if self.regressions.is_empty() {
+            let _ = writeln!(out, "  no regressions");
+        } else {
+            let _ = writeln!(out, "  {} regression(s):", self.regressions.len());
+            for r in &self.regressions {
+                let _ = writeln!(out, "    REGRESSION {r}");
+            }
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "    note: {n}");
+        }
+        out
+    }
+
+    /// Deterministic JSON rendering.
+    pub fn render_json(&self, a: &str, b: &str) -> String {
+        let strs = |v: &[String]| Value::Seq(v.iter().map(|s| Value::Str(s.clone())).collect());
+        let root = Value::Map(vec![
+            ("baseline".into(), Value::Str(a.into())),
+            ("candidate".into(), Value::Str(b.into())),
+            ("regressed".into(), Value::Bool(self.regressed())),
+            ("regressions".into(), strs(&self.regressions)),
+            ("notes".into(), strs(&self.notes)),
+        ]);
+        serde_json::to_string(&root).expect("diff JSON renders")
+    }
+}
+
+/// Compares candidate `b` against baseline `a`: resilience regressions
+/// (new degradation, more faults or retries), quantitative regressions
+/// beyond `thresholds` (final worst case, total trace time), and
+/// structural drift (names appearing or disappearing, iteration-count
+/// changes) as notes.
+pub fn diff(a: &Report, b: &Report, thresholds: &DiffThresholds) -> DiffReport {
+    let mut d = DiffReport::default();
+
+    match (&a.degraded, &b.degraded) {
+        (None, Some(reason)) => d.regressions.push(format!("candidate degraded: {reason}")),
+        (Some(_), None) => d.notes.push("candidate no longer degrades".into()),
+        _ => {}
+    }
+    if b.faults > a.faults {
+        d.regressions
+            .push(format!("faults increased: {} -> {}", a.faults, b.faults));
+    }
+    if b.retries > a.retries {
+        d.regressions
+            .push(format!("retries increased: {} -> {}", a.retries, b.retries));
+    }
+
+    if let (Some(ra), Some(rb)) = (&a.regret, &b.regret) {
+        let cap = ra.last.abs() * (1.0 + thresholds.worst_case_pct) + 1e-9;
+        if rb.last.abs() > cap {
+            d.regressions.push(format!(
+                "final worst-case regressed beyond {:.1}%: {:.3} -> {:.3}",
+                100.0 * thresholds.worst_case_pct,
+                ra.last,
+                rb.last
+            ));
+        }
+    }
+    let cap = a.elapsed_ms() as f64 * (1.0 + thresholds.elapsed_pct) + 1.0;
+    if b.elapsed_ms() as f64 > cap {
+        d.regressions.push(format!(
+            "trace time regressed beyond {:.0}%: {} ms -> {} ms",
+            100.0 * thresholds.elapsed_pct,
+            a.elapsed_ms(),
+            b.elapsed_ms()
+        ));
+    }
+
+    let names = |r: &Report| r.names.iter().map(|n| n.name.clone()).collect::<Vec<_>>();
+    for name in names(b) {
+        if !names(a).contains(&name) {
+            d.notes.push(format!("new name in candidate: {name}"));
+        }
+    }
+    for name in names(a) {
+        if !names(b).contains(&name) {
+            d.notes.push(format!("name missing from candidate: {name}"));
+        }
+    }
+    if a.iterations.len() != b.iterations.len() {
+        d.notes.push(format!(
+            "iteration count changed: {} -> {}",
+            a.iterations.len(),
+            b.iterations.len()
+        ));
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRACE: &str = concat!(
+        r#"{"t":0,"kind":"event","level":"info","name":"cliffguard.core.session.start","fields":{"gamma":0.05,"n_samples":20}}"#,
+        "\n",
+        r#"{"t":1,"kind":"event","level":"warn","name":"cliffguard.core.session.fault","fields":{"attempt":1,"fault":"injected outage (call 2)"}}"#,
+        "\n",
+        r#"{"t":2,"kind":"event","level":"warn","name":"cliffguard.core.session.retry","fields":{"attempt":1,"backoff_ms":8}}"#,
+        "\n",
+        r#"{"t":10,"kind":"span","level":"info","name":"cliffguard.core.descent.iter","dur_ms":10,"fields":{"iter":0,"gamma":0.05,"alpha":1.0,"neighbors":3,"accepted":true,"worst_case":90.0,"delta":10.0}}"#,
+        "\n",
+        r#"{"t":14,"kind":"span","level":"info","name":"cliffguard.core.descent.iter","dur_ms":4,"fields":{"iter":1,"gamma":0.05,"alpha":1.1,"neighbors":5,"accepted":false,"worst_case":90.0,"delta":0.0}}"#,
+        "\n",
+        r#"{"t":15,"kind":"event","level":"info","name":"cliffguard.core.session.finish","fields":{"designer_calls":3,"retries":1,"faults":1,"iters":2,"degraded":false}}"#,
+        "\n",
+    );
+
+    #[test]
+    fn parse_attributes_errors_to_lines() {
+        let lines = parse_trace(TRACE).expect("valid trace parses");
+        assert_eq!(lines.len(), 6);
+        assert_eq!(lines[3].dur_ms, Some(10));
+        assert_eq!(lines[3].start(), 0);
+        let err = parse_trace(concat!(
+            r#"{"t":0,"kind":"event","level":"info","name":"cliffguard.x","fields":{}}"#,
+            "\n{nope\n"
+        ))
+        .expect_err("bad JSON fails");
+        assert!(err.contains("line 2"), "{err}");
+        let err = parse_trace(r#"{"t":-3,"kind":"event","level":"info","name":"x","fields":{}}"#)
+            .expect_err("negative t fails");
+        assert!(err.contains("line 1") && err.contains("`t`"), "{err}");
+    }
+
+    #[test]
+    fn report_builds_iteration_table_and_regret() {
+        let report = Report::build(parse_trace(TRACE).unwrap());
+        assert_eq!(report.event_count(), 4);
+        assert_eq!(report.span_count(), 2);
+        assert_eq!(report.faults, 1);
+        assert_eq!(report.retries, 1);
+        assert_eq!(report.degraded, None);
+        assert_eq!(report.iterations.len(), 2);
+        assert_eq!(report.iterations[0].iter, 0);
+        assert!(report.iterations[0].accepted);
+        assert_eq!(report.iterations[1].neighbors, 5);
+        let regret = report.regret.as_ref().expect("iterations ran");
+        assert_eq!(regret.first, 90.0);
+        assert_eq!(regret.best, 90.0);
+        assert_eq!(regret.last, 90.0);
+        assert_eq!(regret.regret, 0.0);
+        assert_eq!((regret.accepted, regret.rejected), (1, 1));
+    }
+
+    #[test]
+    fn span_tree_nests_contained_lines() {
+        // Events at t=1,2 and the inner span [3,5] close before the
+        // outer span [0,10]; all three become its children.
+        let trace = concat!(
+            r#"{"t":1,"kind":"event","level":"info","name":"cliffguard.a","fields":{}}"#,
+            "\n",
+            r#"{"t":5,"kind":"span","level":"info","name":"cliffguard.inner","dur_ms":2,"fields":{}}"#,
+            "\n",
+            r#"{"t":10,"kind":"span","level":"info","name":"cliffguard.outer","dur_ms":10,"fields":{}}"#,
+            "\n",
+            r#"{"t":11,"kind":"event","level":"info","name":"cliffguard.after","fields":{}}"#,
+            "\n",
+        );
+        let lines = parse_trace(trace).unwrap();
+        let tree = span_tree(&lines);
+        assert_eq!(tree.len(), 2, "outer span and trailing event");
+        assert_eq!(lines[tree[0].line].name, "cliffguard.outer");
+        assert_eq!(tree[0].children.len(), 2);
+        assert_eq!(lines[tree[0].children[0].line].name, "cliffguard.a");
+        assert_eq!(lines[tree[0].children[1].line].name, "cliffguard.inner");
+        assert_eq!(lines[tree[1].line].name, "cliffguard.after");
+    }
+
+    #[test]
+    fn zero_width_spans_stay_siblings_under_a_virtual_clock() {
+        // On a virtual clock every fast iteration closes as [t, t].
+        // Close-only records cannot tell nesting from siblinghood there,
+        // so the tree must keep them flat rather than chaining each
+        // iteration inside the next.
+        let trace = concat!(
+            r#"{"t":0,"kind":"event","level":"info","name":"cliffguard.core.session.start","fields":{}}"#,
+            "\n",
+            r#"{"t":0,"kind":"span","level":"info","name":"cliffguard.core.descent.iter","dur_ms":0,"fields":{"iter":0}}"#,
+            "\n",
+            r#"{"t":0,"kind":"span","level":"info","name":"cliffguard.core.descent.iter","dur_ms":0,"fields":{"iter":1}}"#,
+            "\n",
+            r#"{"t":0,"kind":"event","level":"info","name":"cliffguard.core.session.finish","fields":{}}"#,
+            "\n",
+        );
+        let lines = parse_trace(trace).unwrap();
+        let tree = span_tree(&lines);
+        assert_eq!(tree.len(), 4, "all four lines are roots");
+        assert!(tree.iter().all(|n| n.children.is_empty()));
+        // Equal nonzero intervals are twins, not parent/child, while a
+        // genuinely wider span still adopts both.
+        let trace = concat!(
+            r#"{"t":5,"kind":"span","level":"info","name":"cliffguard.twin_a","dur_ms":5,"fields":{}}"#,
+            "\n",
+            r#"{"t":5,"kind":"span","level":"info","name":"cliffguard.twin_b","dur_ms":5,"fields":{}}"#,
+            "\n",
+            r#"{"t":6,"kind":"span","level":"info","name":"cliffguard.outer","dur_ms":6,"fields":{}}"#,
+            "\n",
+        );
+        let lines = parse_trace(trace).unwrap();
+        let tree = span_tree(&lines);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(lines[tree[0].line].name, "cliffguard.outer");
+        assert_eq!(tree[0].children.len(), 2);
+    }
+
+    #[test]
+    fn renderings_are_deterministic_and_structured() {
+        let report = Report::build(parse_trace(TRACE).unwrap());
+        let text = report.render_text("t.jsonl");
+        assert_eq!(text, report.render_text("t.jsonl"), "text is stable");
+        assert!(text.contains("descent iterations:"), "{text}");
+        assert!(text.contains("worst-case summary:"), "{text}");
+        assert!(text.contains("span tree:"), "{text}");
+        let json = report.render_json("t.jsonl");
+        assert_eq!(json, report.render_json("t.jsonl"), "json is stable");
+        let v: Value = serde_json::from_str(&json).expect("report json parses");
+        let m = v.as_map().unwrap();
+        assert_eq!(map_get(m, "lines"), &Value::U64(6));
+        assert_eq!(map_get(m, "faults"), &Value::U64(1));
+        assert!(matches!(map_get(m, "iterations"), Value::Seq(s) if s.len() == 2));
+    }
+
+    #[test]
+    fn diff_flags_degradation_faults_and_thresholds() {
+        let clean = Report::build(parse_trace(TRACE).unwrap());
+        let degraded_trace = format!(
+            "{TRACE}{}\n",
+            r#"{"t":16,"kind":"event","level":"warn","name":"cliffguard.core.session.degraded","fields":{"reason":"retries exhausted at iteration 1"}}"#
+        );
+        let degraded = Report::build(parse_trace(&degraded_trace).unwrap());
+
+        let d = diff(&clean, &degraded, &DiffThresholds::default());
+        assert!(d.regressed());
+        assert!(
+            d.regressions.iter().any(|r| r.contains("degraded")),
+            "{d:?}"
+        );
+        // The reverse direction is an improvement, not a regression.
+        let d = diff(&degraded, &clean, &DiffThresholds::default());
+        assert!(!d.regressed(), "{d:?}");
+        assert!(d.notes.iter().any(|n| n.contains("no longer")), "{d:?}");
+        // Identical reports never regress.
+        let d = diff(&clean, &clean, &DiffThresholds::default());
+        assert!(!d.regressed(), "{d:?}");
+        assert!(d.notes.is_empty(), "{d:?}");
+        // Renderings are deterministic.
+        let r = diff(&clean, &degraded, &DiffThresholds::default());
+        assert_eq!(r.render_text("a", "b"), r.render_text("a", "b"));
+        assert_eq!(r.render_json("a", "b"), r.render_json("a", "b"));
+        assert!(r.render_json("a", "b").contains(r#""regressed":true"#));
+    }
+
+    #[test]
+    fn diff_applies_quantitative_thresholds() {
+        let mk = |worst: f64, t_last: u64| {
+            let trace = format!(
+                concat!(
+                    r#"{{"t":10,"kind":"span","level":"info","name":"cliffguard.core.descent.iter","dur_ms":10,"#,
+                    r#""fields":{{"iter":0,"gamma":0.05,"alpha":1.0,"neighbors":3,"accepted":true,"worst_case":{},"delta":0.0}}}}"#,
+                    "\n",
+                    r#"{{"t":{},"kind":"event","level":"info","name":"cliffguard.core.session.finish","fields":{{}}}}"#,
+                    "\n",
+                ),
+                worst, t_last
+            );
+            Report::build(parse_trace(&trace).unwrap())
+        };
+        let base = mk(100.0, 20);
+        // +1% worst case: inside the default 2% gate.
+        assert!(!diff(&base, &mk(101.0, 20), &DiffThresholds::default()).regressed());
+        // +5% worst case: regression.
+        let d = diff(&base, &mk(105.0, 20), &DiffThresholds::default());
+        assert!(
+            d.regressions.iter().any(|r| r.contains("worst-case")),
+            "{d:?}"
+        );
+        // Slower trace clock beyond 10%: regression.
+        let d = diff(&base, &mk(100.0, 40), &DiffThresholds::default());
+        assert!(
+            d.regressions.iter().any(|r| r.contains("trace time")),
+            "{d:?}"
+        );
+        // Tightened threshold flips the 1% case.
+        let tight = DiffThresholds {
+            worst_case_pct: 0.005,
+            elapsed_pct: 0.10,
+        };
+        assert!(diff(&base, &mk(101.0, 20), &tight).regressed());
+    }
+}

@@ -98,6 +98,16 @@ impl TraceSchema {
         })
     }
 
+    /// Reads and parses a schema file, attributing both I/O and parse
+    /// failures to the path — a proper `Result` path for callers (the
+    /// `validate-trace` command, CI) instead of a panic on a missing
+    /// file.
+    pub fn load(path: &std::path::Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read schema {}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("schema {}: {e}", path.display()))
+    }
+
     /// Validates one trace line (without its trailing newline).
     pub fn check_line(&self, line: &str) -> Result<(), String> {
         let v: Value = serde_json::from_str(line).map_err(|e| format!("not valid JSON: {e}"))?;
@@ -276,13 +286,23 @@ mod tests {
     }
 
     #[test]
+    fn load_attributes_errors_to_the_path() {
+        let err = TraceSchema::load(std::path::Path::new("/nonexistent/trace.schema.json"))
+            .expect_err("missing file must be an error, not a panic");
+        assert!(err.contains("/nonexistent/trace.schema.json"), "{err}");
+        assert!(err.contains("cannot read"), "{err}");
+    }
+
+    #[test]
     fn golden_schema_file_parses_and_covers_production_names() {
         let path = concat!(
             env!("CARGO_MANIFEST_DIR"),
             "/../../schemas/trace.schema.json"
         );
-        let text = std::fs::read_to_string(path).expect("golden schema present");
-        let s = TraceSchema::parse(&text).expect("golden schema parses");
+        let s = match TraceSchema::load(std::path::Path::new(path)) {
+            Ok(s) => s,
+            Err(e) => panic!("golden schema must load: {e}"),
+        };
         for name in [
             "cliffguard.core.session.start",
             "cliffguard.core.session.finish",

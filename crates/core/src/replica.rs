@@ -318,11 +318,7 @@ fn fleet_worst(
 /// The adversary masks actually scored: every enumerated mask OR-ed with
 /// the already-crashed set (live crashes are not optional for the
 /// adversary), deduplicated, ascending, fleet-killers dropped.
-fn adversary_masks(
-    replicas: usize,
-    max_failures: usize,
-    crashed: FailureMask,
-) -> Vec<FailureMask> {
+fn adversary_masks(replicas: usize, max_failures: usize, crashed: FailureMask) -> Vec<FailureMask> {
     let mut masks: Vec<FailureMask> = enumerate_masks(replicas, max_failures)
         .into_iter()
         .map(|m| m | crashed)
@@ -382,11 +378,12 @@ where
     if r > 1 {
         for round in 1..=opts.rounds.max(1) {
             rounds_run = round;
-            let slow_factor = opts
+            let slow_factor = opts.faults.as_ref().map_or(1.0, |p| p.slow_factor());
+            match opts
                 .faults
                 .as_ref()
-                .map_or(1.0, |p| p.slow_factor());
-            match opts.faults.as_ref().and_then(|p| p.fault_for_call(round as u64)) {
+                .and_then(|p| p.fault_for_call(round as u64))
+            {
                 Some(FaultKind::ReplicaCrash(n)) => {
                     let idx = n as usize % r;
                     let bit = 1u32 << idx;
@@ -464,7 +461,8 @@ where
 
     let masks = adversary_masks(r, k, crashed);
     let divergent_router = build_router(&kernel, &designs, &scales);
-    let (div_mask, div_worst) = fleet_worst(&divergent_router, &interned, &masks, opts.inflation, r);
+    let (div_mask, div_worst) =
+        fleet_worst(&divergent_router, &interned, &masks, opts.inflation, r);
 
     let uniform_designs: Vec<E::Design> = vec![base.clone(); r];
     let uniform_router = build_router(&kernel, &uniform_designs, &scales);
@@ -700,7 +698,12 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.audit.crashed_mask, 0b01, "only the first crash lands");
-        let suppressed: Vec<_> = out.audit.failovers.iter().filter(|f| f.suppressed).collect();
+        let suppressed: Vec<_> = out
+            .audit
+            .failovers
+            .iter()
+            .filter(|f| f.suppressed)
+            .collect();
         assert_eq!(suppressed.len(), 1, "second crash recorded but suppressed");
         assert_eq!(suppressed[0].replica, 1);
         // The surviving replica serves the whole workload.

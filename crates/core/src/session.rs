@@ -953,6 +953,12 @@ fn finished<D>(design: D, trace: CliffGuardTrace) -> SessionEnd<D> {
 }
 
 /// Telemetry for a degradation decision; the caller sets the trace field.
+///
+/// Besides the warn event and counter, this freezes the thread's flight
+/// recorder (when the session runs under one, as serve sessions do) so
+/// the last moments before the degradation are preserved as a dump.
+/// The freeze happens *after* the event is emitted, so the degradation
+/// record itself is the final line of the black box.
 fn note_degraded(reason: &str) {
     telemetry::event(Level::Warn, "cliffguard.core.session.degraded")
         .str("reason", reason)
@@ -960,6 +966,7 @@ fn note_degraded(reason: &str) {
     if let Some(c) = telemetry::counter("cliffguard.core.degraded_sessions") {
         c.incr(1);
     }
+    telemetry::freeze_current(reason);
 }
 
 /// Hash of the session inputs, used to reject checkpoints taken for a

@@ -22,6 +22,11 @@ pub enum FaultKind {
     /// slow factor) at this point in the session. Explicit-only, consumed
     /// by the replicated-design layer.
     ReplicaSlow(u32),
+    /// The call panics outright — the worker-crash failure mode, used to
+    /// exercise the serve pool's panic isolation and the flight
+    /// recorder's dump-on-panic path. Explicit-only — never chosen by
+    /// the random layer, so existing seeded schedules are unchanged.
+    Panic,
 }
 
 impl FaultKind {
@@ -35,6 +40,7 @@ impl FaultKind {
             FaultKind::Stale => "stale",
             FaultKind::ReplicaCrash(_) => "replica-crash",
             FaultKind::ReplicaSlow(_) => "replica-slow",
+            FaultKind::Panic => "panic",
         }
     }
 }
@@ -82,14 +88,15 @@ impl std::error::Error for FaultSpecError {}
 /// stale@6           explicit: call 6 returns a stale design
 /// replica-crash@2:1 explicit: at call 2, replica 1 crashes
 /// replica-slow@3:0  explicit: at call 3, replica 0 degrades
+/// panic@2           explicit: call 2 panics (worker crash)
 /// ```
 ///
 /// e.g. `CLIFFGUARD_FAULTS="seed=7,rate=0.3,stall-ms=120,fail@1"`.
 ///
-/// The replica kinds are **explicit-only**: the seeded random layer never
-/// chooses them, so adding them did not reshuffle any existing seeded
-/// schedule. The replica index defaults to `0` when the `:R` argument is
-/// omitted.
+/// The replica kinds and `panic` are **explicit-only**: the seeded
+/// random layer never chooses them, so adding them did not reshuffle any
+/// existing seeded schedule. The replica index defaults to `0` when the
+/// `:R` argument is omitted.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     explicit: Vec<(u64, FaultKind)>,
@@ -239,6 +246,7 @@ impl FaultPlan {
                     "stale" => FaultKind::Stale,
                     "replica-crash" => FaultKind::ReplicaCrash(parse_replica_arg(arg)?),
                     "replica-slow" => FaultKind::ReplicaSlow(parse_replica_arg(arg)?),
+                    "panic" => FaultKind::Panic,
                     other => return Err(FaultSpecError(format!("unknown fault kind `{other}`"))),
                 };
                 plan = plan.at(call, kind);
@@ -394,10 +402,21 @@ mod tests {
         for call in 1..=500 {
             let kind = p.fault_for_call(call).expect("rate 1.0 always faults");
             assert!(
-                !matches!(kind, FaultKind::ReplicaCrash(_) | FaultKind::ReplicaSlow(_)),
+                !matches!(
+                    kind,
+                    FaultKind::ReplicaCrash(_) | FaultKind::ReplicaSlow(_) | FaultKind::Panic
+                ),
                 "call {call} drew an explicit-only kind from the random layer"
             );
         }
+    }
+
+    #[test]
+    fn panic_kind_parses_and_is_explicit_only() {
+        let p = FaultPlan::from_spec("panic@2").unwrap();
+        assert_eq!(p.fault_for_call(1), None);
+        assert_eq!(p.fault_for_call(2), Some(FaultKind::Panic));
+        assert_eq!(FaultKind::Panic.name(), "panic");
     }
 
     #[test]

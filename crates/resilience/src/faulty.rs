@@ -28,6 +28,8 @@ pub struct FaultCounts {
     pub replica_crash: u64,
     /// Replica slowdowns injected (consumed by the replica layer).
     pub replica_slow: u64,
+    /// Panics injected (the worker-crash failure mode).
+    pub panic: u64,
 }
 
 impl FaultCounts {
@@ -41,6 +43,7 @@ impl FaultCounts {
             FaultKind::Stale => self.stale += 1,
             FaultKind::ReplicaCrash(_) => self.replica_crash += 1,
             FaultKind::ReplicaSlow(_) => self.replica_slow += 1,
+            FaultKind::Panic => self.panic += 1,
         }
     }
 }
@@ -169,6 +172,16 @@ where
                 let d = self.inner.design(w, budget_bytes);
                 st.last_ok = Some(d.clone());
                 Ok(d)
+            }
+            // The worker-crash failure mode: the call unwinds instead of
+            // returning. The counter is recorded (and the lock released)
+            // first, so a catcher that inspects the wrapper afterwards
+            // sees a coherent state. The fixed message keeps panic dumps
+            // byte-deterministic.
+            Some(kind @ FaultKind::Panic) => {
+                st.injected.record(kind);
+                drop(st);
+                panic!("injected panic (call {call})");
             }
         }
     }

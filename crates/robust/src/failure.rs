@@ -67,7 +67,9 @@ pub fn enumerate_masks(replicas: usize, max_failures: usize) -> Vec<FailureMask>
         "replicas must be in 1..={MAX_REPLICAS}, got {replicas}"
     );
     let k = max_failures.min(replicas - 1) as u32;
-    (0..1u32 << replicas).filter(|m| m.count_ones() <= k).collect()
+    (0..1u32 << replicas)
+        .filter(|m| m.count_ones() <= k)
+        .collect()
 }
 
 /// The capacity inflation factor survivors pay under a crash: with

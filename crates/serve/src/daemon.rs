@@ -2,10 +2,21 @@
 //!
 //! One intake thread reads NDJSON frames and assigns each a sequence
 //! number; design requests are admitted onto the shared worker pool, and
-//! every other verb (`status`/`metrics`/`drain`/`shutdown`) — plus end of
-//! input — is a **drain barrier**: the daemon waits for all admitted
-//! sessions in admission order, emits their responses, and only then
-//! answers the verb.
+//! every other verb (`status`/`metrics`/`dump`/`drain`/`shutdown`) — plus
+//! end of input — is a **drain barrier**: the daemon waits for all
+//! admitted sessions in admission order, emits their responses, and only
+//! then answers the verb.
+//!
+//! # Flight recorder
+//!
+//! Every admitted session carries its own bounded
+//! [`FlightRecorder`](cliffguard_telemetry::FlightRecorder) retaining the
+//! last trace events at **all** levels. When a session degrades (frozen
+//! by the session core) or its worker panics (frozen by the submit
+//! closure's catch), the drain barrier persists the dump as
+//! `flight-<tenant>-<seq>.jsonl` in the state directory and the `dump`
+//! verb serves the most recent one. In virtual-time mode the dump is
+//! byte-identical across reruns and worker counts.
 //!
 //! # Determinism contract
 //!
@@ -31,12 +42,16 @@
 //! bit-identical to an uninterrupted run, per the session-layer resume
 //! guarantee.
 
-use crate::protocol::{parse_request, DesignStatus, Request, Response, MAX_FRAME_BYTES};
+use crate::protocol::{
+    parse_request, DesignStatus, FlightInfo, MetricsFormat, Request, Response, MAX_FRAME_BYTES,
+};
 use crate::runner::{run_design, RunOutcome, RunnerOptions};
 use crate::scheduler::WorkerPool;
 use crate::store::CheckpointStore;
 use crate::tenant::TenantRegistry;
-use cliffguard_telemetry::{self as telemetry, Level};
+use cliffguard_telemetry::{
+    self as telemetry, render_prometheus, FlightRecorder, Level, DEFAULT_FLIGHT_CAPACITY,
+};
 use serde::Value;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpListener;
@@ -95,6 +110,23 @@ struct InFlight {
     seq: u64,
     tenant: String,
     resumed: bool,
+    /// The session's flight recorder: frozen by the session on
+    /// degradation (via `telemetry::freeze_current`) or by the worker's
+    /// panic catch, then collected at the drain barrier.
+    recorder: Arc<FlightRecorder>,
+}
+
+/// Best-effort panic-payload rendering, matching the worker pool's own
+/// downcast so the frozen flight dump and the wire response carry the
+/// same message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
 }
 
 /// One frame read from the wire by [`read_frame`].
@@ -166,6 +198,9 @@ pub struct Daemon {
     in_flight: Vec<InFlight>,
     next_seq: u64,
     completed: u64,
+    /// Most recent flight-recorder dump collected at a drain barrier,
+    /// served by the `dump` verb.
+    last_flight: Option<FlightInfo>,
 }
 
 impl Daemon {
@@ -194,6 +229,7 @@ impl Daemon {
             in_flight: Vec::new(),
             next_seq,
             completed: 0,
+            last_flight: None,
         };
         daemon.recover()?;
         Ok(daemon)
@@ -209,7 +245,40 @@ impl Daemon {
             // Envelopes persist their fault spec at admission, so the
             // runner never needs a daemon-level fallback.
             default_faults: None,
+            // Set per submission: every session gets its own recorder.
+            recorder: None,
         }
+    }
+
+    /// Prometheus text exposition of the live metrics registry (empty
+    /// when telemetry metrics are not installed).
+    fn prometheus_body() -> String {
+        telemetry::registry()
+            .map(|r| render_prometheus(&r.snapshot()))
+            .unwrap_or_default()
+    }
+
+    /// Answers a raw `GET <path>` request line with a minimal HTTP/1.0
+    /// response and closes. `/metrics` serves the Prometheus text
+    /// format; everything else is a 404. Request headers (if the client
+    /// sent any) are never read — the connection closes after the body,
+    /// which HTTP/1.0 clients and Prometheus scrapers both accept.
+    fn answer_http_scrape(line: &str, out: &mut dyn Write) -> io::Result<()> {
+        let path = line.split_whitespace().nth(1).unwrap_or("");
+        let (status, body) = if path == "/metrics" || path.starts_with("/metrics?") {
+            ("200 OK", Self::prometheus_body())
+        } else {
+            ("404 Not Found", String::new())
+        };
+        write!(
+            out,
+            "HTTP/1.0 {status}\r\n\
+             Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+             Content-Length: {}\r\n\
+             Connection: close\r\n\r\n{body}",
+            body.len()
+        )?;
+        out.flush()
     }
 
     /// Re-admits pending sessions from the store, original seq first.
@@ -247,21 +316,40 @@ impl Daemon {
         resumed: bool,
     ) {
         let tenant = req.tenant.clone();
+        let recorder = Arc::new(FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY));
         self.in_flight.push(InFlight {
             seq,
             tenant: tenant.clone(),
             resumed,
+            recorder: recorder.clone(),
         });
-        let opts = self.runner_options();
+        let mut opts = self.runner_options();
+        opts.recorder = Some(recorder.clone());
         let store = self.store.clone();
         self.pool.submit(
             seq,
             Box::new(move || {
-                run_design(&req, &opts, checkpoint.as_deref(), &mut |ckpt| {
-                    if let Some(store) = &store {
-                        let _ = store.save_checkpoint(&tenant, seq, ckpt);
+                // The inner catch exists only to freeze the session's
+                // black box with the panic message; the payload is
+                // re-raised so the pool still reports the panic as
+                // `Err` and the drain barrier answers the tenant.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_design(&req, &opts, checkpoint.as_deref(), &mut |ckpt| {
+                        if let Some(store) = &store {
+                            let _ = store.save_checkpoint(&tenant, seq, ckpt);
+                        }
+                    })
+                }));
+                match result {
+                    Ok(outcome) => outcome,
+                    Err(payload) => {
+                        recorder.freeze(&format!(
+                            "worker panic: {}",
+                            panic_message(payload.as_ref())
+                        ));
+                        std::panic::resume_unwind(payload);
                     }
-                })
+                }
             }),
         );
     }
@@ -284,6 +372,7 @@ impl Daemon {
                 seq,
                 tenant,
                 resumed,
+                recorder,
             } = flight;
             let (status, reason, report) = match self.pool.wait(seq) {
                 Ok(RunOutcome::Done(report)) => match report.degraded.clone() {
@@ -307,6 +396,26 @@ impl Daemon {
                     None,
                 ),
             };
+            // A frozen recorder means the session hit its black-box
+            // trigger — degradation (frozen by the session core) or a
+            // worker panic (frozen by the submit closure). Persist the
+            // dump and surface it through the `dump` verb. Clean and
+            // rejected sessions never freeze, so `take_dump` is `None`.
+            if let Some(dump) = recorder.take_dump() {
+                if let Some(store) = &self.store {
+                    let _ = store.save_flight(&tenant, seq, &dump.jsonl);
+                }
+                self.tenants.stats_mut(&tenant).flights += 1;
+                if let Some(c) = telemetry::counter("cliffguard.serve.flight_dumps") {
+                    c.incr(1);
+                }
+                self.last_flight = Some(FlightInfo {
+                    tenant: tenant.clone(),
+                    session_seq: seq,
+                    reason: dump.reason,
+                    flight: dump.jsonl,
+                });
+            }
             let outcome = status.name();
             let fingerprint = report.as_ref().map(|r| r.fingerprint);
             let response = Response::Design {
@@ -390,10 +499,11 @@ impl Daemon {
 
     /// [`run`](Self::run) with an optional scrape fast path: when
     /// `scrape` is set and the stream's **first** frame is a plain
-    /// `status` or `metrics`, the daemon answers from the current
-    /// snapshot immediately — no drain barrier — and ends the stream so
-    /// the connection closes cleanly. A monitoring client gets its
-    /// answer without waiting on (or perturbing) in-flight sessions.
+    /// `status` or `metrics` — or a raw HTTP `GET /metrics` request
+    /// line — the daemon answers from the current snapshot immediately —
+    /// no drain barrier — and ends the stream so the connection closes
+    /// cleanly. A monitoring client gets its answer without waiting on
+    /// (or perturbing) in-flight sessions.
     /// Any other first frame, and every later frame, keeps the ordinary
     /// semantics: status/metrics mid-stream are still drain barriers, so
     /// their answers still reflect everything the same client submitted.
@@ -423,6 +533,15 @@ impl Daemon {
             };
             if line.trim().is_empty() {
                 continue;
+            }
+            if scrape && first && line.starts_with("GET ") {
+                // A raw HTTP scrape (`GET /metrics`) on a fresh
+                // connection: answered from the live registry with
+                // Prometheus text exposition — no drain barrier, no
+                // sequence number consumed — then the connection
+                // closes. Any other path gets a 404 and closes too.
+                Self::answer_http_scrape(&line, out)?;
+                return Ok(false);
             }
             let fresh = std::mem::take(&mut first);
             let seq = self.take_seq()?;
@@ -507,25 +626,45 @@ impl Daemon {
                         return Ok(false);
                     }
                 }
-                Ok(Request::Metrics) => {
+                Ok(Request::Metrics { format }) => {
                     let snap = scrape && fresh;
                     if !snap {
                         self.drain(out)?;
                     }
-                    writeln!(
-                        out,
-                        "{}",
-                        Response::Metrics {
+                    let line = match format {
+                        MetricsFormat::Json => Response::Metrics {
                             seq,
                             tenants: self.tenants.to_value(),
                             registry: Self::registry_snapshot(),
                         }
-                        .to_line()
-                    )?;
+                        .to_line(),
+                        MetricsFormat::Prometheus => Response::MetricsText {
+                            seq,
+                            body: Self::prometheus_body(),
+                        }
+                        .to_line(),
+                    };
+                    writeln!(out, "{line}")?;
                     out.flush()?;
                     if snap {
                         return Ok(false);
                     }
+                }
+                Ok(Request::Dump) => {
+                    // Like every other verb, `dump` is a drain barrier,
+                    // so the answer reflects dumps from everything this
+                    // client already submitted.
+                    self.drain(out)?;
+                    writeln!(
+                        out,
+                        "{}",
+                        Response::Dump {
+                            seq,
+                            dump: self.last_flight.clone(),
+                        }
+                        .to_line()
+                    )?;
+                    out.flush()?;
                 }
                 Ok(Request::Drain) => {
                     let completed = self.drain(out)?;
@@ -781,6 +920,227 @@ mod tests {
         assert!(lines[2].contains(r#""seq":1"#), "{}", lines[2]);
         assert!(lines[3].contains(r#""seq":2"#), "{}", lines[3]);
         assert!(lines[4].contains(r#""op":"drain""#), "{}", lines[4]);
+    }
+
+    /// A unique temp dir for one test (removed by the test itself).
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cliffguard-daemon-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn a_leading_http_get_scrapes_prometheus_text_and_closes() {
+        let mut daemon = super::Daemon::new(super::ServeConfig {
+            virtual_time: true,
+            ..super::ServeConfig::default()
+        })
+        .expect("daemon builds");
+        // A raw HTTP request line, then frames that must never be read:
+        // the scrape answers from the live registry and ends the stream.
+        let tape = format!(
+            "GET /metrics HTTP/1.0\n{}\n{{\"op\":\"drain\"}}\n",
+            design_line(&crate::testdata::design_request("acme", 7))
+        );
+        let mut out: Vec<u8> = Vec::new();
+        let shutdown = daemon
+            .run_stream(BufReader::new(Cursor::new(tape)), &mut out, true)
+            .expect("scrape stream runs");
+        assert!(!shutdown);
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.starts_with("HTTP/1.0 200 OK\r\n"), "{out}");
+        assert!(
+            out.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"),
+            "{out}"
+        );
+        assert!(out.contains("Connection: close\r\n"), "{out}");
+        let body = out.split("\r\n\r\n").nth(1).expect("header/body split");
+        let len: usize = out
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("length header")
+            .trim()
+            .parse()
+            .expect("numeric length");
+        assert_eq!(len, body.len(), "Content-Length must match the body");
+        assert!(
+            !out.contains(r#""op":"#),
+            "no NDJSON frame may leak into an HTTP scrape: {out}"
+        );
+        // The scrape consumed no sequence number: the next stream's
+        // first frame is still seq 1.
+        let mut out: Vec<u8> = Vec::new();
+        let input = BufReader::new(Cursor::new("{\"op\":\"status\"}\n".to_string()));
+        daemon.run(input, &mut out).expect("daemon still serves");
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains(r#""seq":1"#), "{out}");
+        // Unknown paths get a 404, still closing cleanly.
+        let mut out: Vec<u8> = Vec::new();
+        let input = BufReader::new(Cursor::new("GET /other HTTP/1.0\n".to_string()));
+        daemon
+            .run_stream(input, &mut out, true)
+            .expect("404 path runs");
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.starts_with("HTTP/1.0 404 Not Found\r\n"), "{out}");
+    }
+
+    #[test]
+    fn a_mid_stream_prometheus_metrics_frame_is_still_a_drain_barrier() {
+        let mut daemon = super::Daemon::new(super::ServeConfig {
+            virtual_time: true,
+            ..super::ServeConfig::default()
+        })
+        .expect("daemon builds");
+        let tape = format!(
+            "{}\n{{\"op\":\"metrics\",\"format\":\"prometheus\"}}\n",
+            design_line(&crate::testdata::design_request("acme", 7))
+        );
+        let mut out: Vec<u8> = Vec::new();
+        daemon
+            .run_stream(BufReader::new(Cursor::new(tape)), &mut out, true)
+            .expect("stream runs");
+        let out = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "{out}");
+        assert!(lines[0].contains(r#""status":"done""#), "{}", lines[0]);
+        assert!(lines[1].contains(r#""op":"metrics""#), "{}", lines[1]);
+        assert!(
+            lines[1].contains(r#""format":"prometheus""#),
+            "{}",
+            lines[1]
+        );
+        assert!(lines[1].contains(r#""body":""#), "{}", lines[1]);
+    }
+
+    #[test]
+    fn a_malformed_metrics_format_gets_an_error_frame() {
+        let harness = ServeHarness::new();
+        let out = harness.run_tape(&[
+            r#"{"op":"metrics","format":"xml"}"#.into(),
+            r#"{"op":"metrics","format":7}"#.into(),
+            r#"{"op":"drain"}"#.into(),
+        ]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3, "{out}");
+        assert!(lines[0].contains(r#""op":"error""#), "{}", lines[0]);
+        assert!(lines[0].contains("format"), "{}", lines[0]);
+        assert!(lines[1].contains(r#""op":"error""#), "{}", lines[1]);
+        assert!(lines[2].contains(r#""op":"drain""#), "{}", lines[2]);
+    }
+
+    #[test]
+    fn dump_reports_unavailable_when_no_session_froze_a_recorder() {
+        let harness = ServeHarness::new();
+        let out = harness.run_tape(&[
+            design_line(&crate::testdata::design_request("acme", 7)),
+            r#"{"op":"dump"}"#.into(),
+        ]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "{out}");
+        assert!(lines[0].contains(r#""status":"done""#), "{}", lines[0]);
+        assert!(lines[1].contains(r#""op":"dump""#), "{}", lines[1]);
+        assert!(lines[1].contains(r#""available":false"#), "{}", lines[1]);
+    }
+
+    #[test]
+    fn a_panicking_worker_answers_the_tenant_and_leaves_a_flight_dump() {
+        let dir = scratch_dir("panic-dump");
+        let mut req = crate::testdata::design_request("acme", 7);
+        req.faults = Some("panic@1".into());
+        let tape = vec![design_line(&req), r#"{"op":"dump"}"#.into()];
+        let run = |workers: usize| {
+            ServeHarness::new()
+                .with_max_concurrent(workers)
+                .with_state_dir(dir.join(format!("w{workers}")))
+                .run_tape(&tape)
+        };
+        let out = run(1);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "{out}");
+        assert!(lines[0].contains(r#""status":"rejected""#), "{}", lines[0]);
+        assert!(
+            lines[0].contains("internal error: injected panic (call 1)"),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[1].contains(r#""available":true"#), "{}", lines[1]);
+        assert!(lines[1].contains(r#""tenant":"acme""#), "{}", lines[1]);
+        assert!(
+            lines[1].contains("worker panic: injected panic (call 1)"),
+            "{}",
+            lines[1]
+        );
+        // The black box is persisted next to the session state.
+        let on_disk = std::fs::read_to_string(dir.join("w1").join("flight-acme-1.jsonl"))
+            .expect("flight dump persists");
+        assert!(!on_disk.is_empty());
+        assert!(on_disk.ends_with('\n'), "dump is newline-terminated");
+        for line in on_disk.lines() {
+            assert!(
+                line.starts_with("{\"t\":"),
+                "flight lines are trace JSONL: {line}"
+            );
+        }
+        // Byte-identical across reruns and worker counts: the recorder
+        // rides the session's own virtual clock and thread.
+        assert_eq!(out, run(8), "dump must not depend on worker count");
+        let on_disk_8 = std::fs::read_to_string(dir.join("w8").join("flight-acme-1.jsonl"))
+            .expect("flight dump persists at 8 workers");
+        assert_eq!(on_disk, on_disk_8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_degraded_session_leaves_a_flight_dump_ending_in_the_degradation() {
+        let dir = scratch_dir("degraded-dump");
+        let mut req = crate::testdata::design_request("acme", 7);
+        // Call 1 (the nominal design) and call 2 (iteration 0) succeed;
+        // the next call fails with no retry budget, degrading the
+        // session mid-descent — so the black box shows completed
+        // iterations before the failure.
+        req.faults = Some("fail@3,fail@4,fail@5,fail@6".into());
+        req.max_retries = Some(0);
+        let tape = vec![design_line(&req), r#"{"op":"dump"}"#.into()];
+        // Reruns use fresh state dirs: a reused dir would advance the
+        // persisted seq high-water mark and legitimately change `seq`.
+        let run = |tag: &str| {
+            ServeHarness::new()
+                .with_state_dir(dir.join(tag))
+                .run_tape(&tape)
+        };
+        let out = run("a");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "{out}");
+        assert!(lines[0].contains(r#""status":"degraded""#), "{}", lines[0]);
+        assert!(lines[1].contains(r#""op":"dump""#), "{}", lines[1]);
+        assert!(lines[1].contains(r#""available":true"#), "{}", lines[1]);
+        let on_disk = std::fs::read_to_string(dir.join("a").join("flight-acme-1.jsonl"))
+            .expect("flight dump persists");
+        let last = on_disk.lines().last().expect("dump has lines");
+        assert!(
+            last.contains("cliffguard.core.session.degraded"),
+            "the degradation event must be the last line of the black box: {last}"
+        );
+        // No subscriber is installed in this test, yet the black box
+        // still holds the descent history leading up to the failure.
+        assert!(
+            on_disk.contains("cliffguard.core.descent.iter"),
+            "flight dumps hold the descent history:\n{on_disk}"
+        );
+        assert!(
+            on_disk.contains(r#""kind":"span""#),
+            "iteration spans are retained:\n{on_disk}"
+        );
+        assert!(
+            on_disk.contains("cliffguard.core.session.fault"),
+            "the injected fault is on record:\n{on_disk}"
+        );
+        assert_eq!(out, run("b"), "byte-identical reruns");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

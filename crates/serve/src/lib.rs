@@ -7,9 +7,16 @@
 //! full resilient [`DesignSession`](cliffguard_core::DesignSession) on a
 //! shared worker pool:
 //!
-//! * **Protocol** ([`protocol`]): five verbs (`design`, `status`,
-//!   `metrics`, `drain`, `shutdown`), total parsing (malformed frames get
-//!   `error` responses, never a panic), bit-exact float transport.
+//! * **Protocol** ([`protocol`]): six verbs (`design`, `status`,
+//!   `metrics`, `dump`, `drain`, `shutdown`), total parsing (malformed
+//!   frames get `error` responses, never a panic), bit-exact float
+//!   transport. `metrics` takes `"format":"prometheus"` for text
+//!   exposition, and a fresh TCP connection may scrape with a raw
+//!   `GET /metrics` request line.
+//! * **Flight recorder**: each session tees its trace events into a
+//!   bounded ring; degraded and panicked sessions leave a
+//!   `flight-<tenant>-<seq>.jsonl` black box in the state directory,
+//!   served by the `dump` verb.
 //! * **Admission control** ([`daemon`]): a bounded in-flight queue;
 //!   overflow is rejected with a reason, deterministically — queue slots
 //!   change only at admissions and drain barriers, both tape-driven.
@@ -41,8 +48,8 @@ pub mod testdata;
 pub use daemon::{Daemon, ServeConfig};
 pub use harness::{design_line, HarnessError, ServeHarness};
 pub use protocol::{
-    parse_request, BudgetSpec, DesignReport, DesignRequest, DesignStatus, GammaSpec, ProtocolError,
-    Request, Response,
+    parse_request, BudgetSpec, DesignReport, DesignRequest, DesignStatus, FlightInfo, GammaSpec,
+    MetricsFormat, ProtocolError, Request, Response,
 };
 pub use runner::{run_design, RunOutcome, RunnerOptions};
 pub use scheduler::WorkerPool;

@@ -8,6 +8,8 @@
 //! {"op":"design","tenant":"acme","catalog":{...},"log":"<tsv>","gamma":"auto"}
 //! {"op":"status"}
 //! {"op":"metrics"}
+//! {"op":"metrics","format":"prometheus"}
+//! {"op":"dump"}
 //! {"op":"drain"}
 //! {"op":"shutdown"}
 //! ```
@@ -131,11 +133,28 @@ pub enum Request {
     /// Drain in-flight work, then report daemon + per-tenant state.
     Status,
     /// Drain in-flight work, then report the metrics registry snapshot.
-    Metrics,
+    Metrics {
+        /// Wire format of the answer (JSON snapshot or Prometheus text).
+        format: MetricsFormat,
+    },
+    /// Drain in-flight work, then report the most recent flight-recorder
+    /// dump (a worker panic or session degradation black box).
+    Dump,
     /// Drain in-flight work (an explicit flow-control sync point).
     Drain,
     /// Drain, respond, and stop the daemon.
     Shutdown,
+}
+
+/// Output format of the `metrics` verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsFormat {
+    /// The structured registry snapshot inside a JSON frame (default).
+    #[default]
+    Json,
+    /// Prometheus text exposition (v0.0.4), carried as a string field of
+    /// a JSON frame mid-stream or as raw text on the scrape fast path.
+    Prometheus,
 }
 
 /// Is `t` a valid tenant id (non-empty, bounded, path- and label-safe)?
@@ -167,13 +186,33 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
     };
     match op {
         "status" => Ok(Request::Status),
-        "metrics" => Ok(Request::Metrics),
+        "metrics" => Ok(Request::Metrics {
+            format: parse_metrics_format(m)?,
+        }),
+        "dump" => Ok(Request::Dump),
         "drain" => Ok(Request::Drain),
         "shutdown" => Ok(Request::Shutdown),
         "design" => Ok(Request::Design(Box::new(parse_design(m)?))),
         other => Err(err(format!(
-            "unknown op `{other}` (want design|status|metrics|drain|shutdown)"
+            "unknown op `{other}` (want design|status|metrics|dump|drain|shutdown)"
         ))),
+    }
+}
+
+/// Parses the optional `"format"` key of a `metrics` frame. Total like
+/// everything else here: an unknown or non-string format is an `Err`
+/// (wired back as an `error` frame), never a panic.
+fn parse_metrics_format(m: &[(String, Value)]) -> Result<MetricsFormat, ProtocolError> {
+    match map_get(m, "format") {
+        Value::Null => Ok(MetricsFormat::Json),
+        Value::Str(s) => match s.as_str() {
+            "json" => Ok(MetricsFormat::Json),
+            "prometheus" => Ok(MetricsFormat::Prometheus),
+            other => Err(err(format!(
+                "metrics: unknown format `{other}` (want json|prometheus)"
+            ))),
+        },
+        _ => Err(err("metrics: \"format\" must be a string")),
     }
 }
 
@@ -280,7 +319,16 @@ impl Serialize for Request {
     fn to_value(&self) -> Value {
         match self {
             Request::Status => Value::Map(vec![("op".into(), Value::Str("status".into()))]),
-            Request::Metrics => Value::Map(vec![("op".into(), Value::Str("metrics".into()))]),
+            Request::Metrics { format } => {
+                let mut m = vec![("op".into(), Value::Str("metrics".into()))];
+                // The format key travels only when non-default, keeping
+                // persisted PR-5-era envelopes and this serializer aligned.
+                if *format == MetricsFormat::Prometheus {
+                    m.push(("format".into(), Value::Str("prometheus".into())));
+                }
+                Value::Map(m)
+            }
+            Request::Dump => Value::Map(vec![("op".into(), Value::Str("dump".into()))]),
             Request::Drain => Value::Map(vec![("op".into(), Value::Str("drain".into()))]),
             Request::Shutdown => Value::Map(vec![("op".into(), Value::Str("shutdown".into()))]),
             Request::Design(d) => {
@@ -436,7 +484,9 @@ impl Serialize for DesignReport {
             ("ddl".into(), Value::Str(self.ddl.clone())),
         ]);
         if self.replicas > 1 {
-            let Value::Map(m) = &mut v else { unreachable!() };
+            let Value::Map(m) = &mut v else {
+                unreachable!()
+            };
             m.push(("replicas".into(), Value::U64(self.replicas)));
             m.push((
                 "replica_set_fingerprint".into(),
@@ -487,6 +537,20 @@ impl Deserialize for DesignReport {
     }
 }
 
+/// One flight-recorder dump as the `dump` verb reports it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightInfo {
+    /// Tenant whose session produced the dump.
+    pub tenant: String,
+    /// The session's daemon sequence number (matches the `seq` of its
+    /// `design` response).
+    pub session_seq: u64,
+    /// Why the dump was taken: the degradation reason or panic message.
+    pub reason: String,
+    /// The retained trace lines as JSONL (newline-terminated).
+    pub flight: String,
+}
+
 /// A protocol response, rendered as one NDJSON line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -523,6 +587,23 @@ pub enum Response {
         /// The metrics-registry snapshot, when telemetry metrics are
         /// installed (`null` otherwise).
         registry: Option<Value>,
+    },
+    /// Answer to `metrics` with `"format":"prometheus"`: the exposition
+    /// text carried inside an NDJSON frame.
+    MetricsText {
+        /// Sequence number of the request this answers.
+        seq: u64,
+        /// Prometheus text exposition (v0.0.4) of the registry snapshot
+        /// (empty when no metrics registry is installed).
+        body: String,
+    },
+    /// Answer to `dump`: the most recent flight-recorder dump, if any
+    /// session has degraded or panicked since the daemon started.
+    Dump {
+        /// Sequence number of the request this answers.
+        seq: u64,
+        /// The dump, absent while no failure has been recorded.
+        dump: Option<FlightInfo>,
     },
     /// Answer to `drain`: all previously admitted sessions have completed
     /// and their responses were emitted before this line.
@@ -587,6 +668,26 @@ impl Serialize for Response {
                 ("tenants".into(), tenants.clone()),
                 ("registry".into(), registry.clone().unwrap_or(Value::Null)),
             ]),
+            Response::MetricsText { seq, body } => Value::Map(vec![
+                ("seq".into(), Value::U64(*seq)),
+                ("op".into(), Value::Str("metrics".into())),
+                ("format".into(), Value::Str("prometheus".into())),
+                ("body".into(), Value::Str(body.clone())),
+            ]),
+            Response::Dump { seq, dump } => {
+                let mut m = vec![
+                    ("seq".into(), Value::U64(*seq)),
+                    ("op".into(), Value::Str("dump".into())),
+                    ("available".into(), Value::Bool(dump.is_some())),
+                ];
+                if let Some(d) = dump {
+                    m.push(("tenant".into(), Value::Str(d.tenant.clone())));
+                    m.push(("session".into(), Value::U64(d.session_seq)));
+                    m.push(("reason".into(), Value::Str(d.reason.clone())));
+                    m.push(("flight".into(), Value::Str(d.flight.clone())));
+                }
+                Value::Map(m)
+            }
             Response::Drained { seq, completed } => Value::Map(vec![
                 ("seq".into(), Value::U64(*seq)),
                 ("op".into(), Value::Str("drain".into())),
@@ -623,9 +724,30 @@ mod tests {
     #[test]
     fn verbs_parse() {
         assert_eq!(parse_request(r#"{"op":"status"}"#), Ok(Request::Status));
-        assert_eq!(parse_request(r#"{"op":"metrics"}"#), Ok(Request::Metrics));
+        assert_eq!(
+            parse_request(r#"{"op":"metrics"}"#),
+            Ok(Request::Metrics {
+                format: MetricsFormat::Json
+            })
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"metrics","format":"prometheus"}"#),
+            Ok(Request::Metrics {
+                format: MetricsFormat::Prometheus
+            })
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"metrics","format":"json"}"#),
+            Ok(Request::Metrics {
+                format: MetricsFormat::Json
+            })
+        );
+        assert_eq!(parse_request(r#"{"op":"dump"}"#), Ok(Request::Dump));
         assert_eq!(parse_request(r#"{"op":"drain"}"#), Ok(Request::Drain));
         assert_eq!(parse_request(r#"{"op":"shutdown"}"#), Ok(Request::Shutdown));
+        // Malformed formats are protocol errors, never panics.
+        assert!(parse_request(r#"{"op":"metrics","format":"xml"}"#).is_err());
+        assert!(parse_request(r#"{"op":"metrics","format":7}"#).is_err());
     }
 
     #[test]

@@ -48,6 +48,11 @@ pub struct RunnerOptions {
     /// Fault-plan spec applied when the request carries none (the
     /// daemon's `CLIFFGUARD_FAULTS`, resolved once at startup).
     pub default_faults: Option<String>,
+    /// The session's flight recorder: installed on the running thread
+    /// for the duration of the session and bound to the session's clock,
+    /// so its retained lines are byte-identical across reruns and worker
+    /// counts in virtual-time mode. `None` skips recording entirely.
+    pub recorder: Option<Arc<cliffguard_telemetry::FlightRecorder>>,
 }
 
 /// How one request's session ended.
@@ -146,6 +151,14 @@ pub fn run_design(
     } else {
         SessionClock::system()
     };
+    // The recorder rides the session's own clock (virtual in the daemon's
+    // deterministic mode) and captures every event this thread emits from
+    // here to the end of the run — the session's black box.
+    let _flight_guard = opts.recorder.as_ref().map(|rec| {
+        let c = clock.clone();
+        rec.set_clock(Arc::new(move || c.now_ms()));
+        cliffguard_telemetry::record_on_thread(rec)
+    });
     let options = SessionOptions {
         retry,
         clock: clock.clone(),

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! <state-dir>/seq                                     highest seq ever assigned
+//! <state-dir>/flight-<tenant>-<seq>.jsonl             flight-recorder dump (panic/degradation)
 //! <state-dir>/tenants/<tenant>/<seq>/request.json     the admitted request
 //! <state-dir>/tenants/<tenant>/<seq>/checkpoint.json  latest descent checkpoint
 //! <state-dir>/tenants/<tenant>/<seq>/result.json      the emitted response
@@ -102,6 +103,24 @@ impl CheckpointStore {
     /// The persisted checkpoint of (`tenant`, `seq`), if any.
     pub fn load_checkpoint(&self, tenant: &str, seq: u64) -> Option<String> {
         fs::read_to_string(self.session_dir(tenant, seq).join("checkpoint.json")).ok()
+    }
+
+    /// The flight-dump file name for (`tenant`, `seq`). Dumps live at
+    /// the state-dir root — they are operator-facing post-mortems, not
+    /// session state, so `pending()` never confuses one for a session.
+    fn flight_path(&self, tenant: &str, seq: u64) -> PathBuf {
+        self.root.join(format!("flight-{tenant}-{seq}.jsonl"))
+    }
+
+    /// Persists a flight-recorder dump for (`tenant`, `seq`) as
+    /// `flight-<tenant>-<seq>.jsonl` in the state-dir root.
+    pub fn save_flight(&self, tenant: &str, seq: u64, jsonl: &str) -> io::Result<()> {
+        Self::write_atomic(&self.flight_path(tenant, seq), jsonl)
+    }
+
+    /// The persisted flight dump of (`tenant`, `seq`), if any.
+    pub fn load_flight(&self, tenant: &str, seq: u64) -> Option<String> {
+        fs::read_to_string(self.flight_path(tenant, seq)).ok()
     }
 
     /// All pending sessions (request persisted, no result), in admission
@@ -264,6 +283,21 @@ mod tests {
         assert_eq!(store.max_seq().unwrap(), 5, "high-water mark counts");
         store.save_request("t", 7, "req-7").unwrap();
         assert_eq!(store.max_seq().unwrap(), 7, "session dirs still count");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn flight_dumps_round_trip_outside_the_session_tree() {
+        let store = tmp_store("flight");
+        assert_eq!(store.load_flight("t", 3), None);
+        store.save_flight("t", 3, "{\"t\":1}\n{\"t\":2}\n").unwrap();
+        assert_eq!(
+            store.load_flight("t", 3).as_deref(),
+            Some("{\"t\":1}\n{\"t\":2}\n")
+        );
+        assert!(store.root().join("flight-t-3.jsonl").is_file());
+        // A dump never makes a session look pending.
+        assert!(store.pending().unwrap().is_empty());
         let _ = fs::remove_dir_all(store.root());
     }
 

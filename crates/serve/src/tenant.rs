@@ -26,6 +26,9 @@ pub struct TenantStats {
     /// Sessions interrupted by a daemon stop (checkpointed, not yet
     /// completed).
     pub interrupted: u64,
+    /// Flight-recorder dumps captured for this tenant (one per degraded
+    /// or panicked session).
+    pub flights: u64,
     /// Fingerprint of the tenant's most recent completed design.
     pub last_fingerprint: Option<u64>,
 }
@@ -104,6 +107,7 @@ impl TenantRegistry {
                             ("rejected".into(), Value::U64(s.rejected)),
                             ("resumed".into(), Value::U64(s.resumed)),
                             ("interrupted".into(), Value::U64(s.interrupted)),
+                            ("flights".into(), Value::U64(s.flights)),
                             (
                                 "last_fingerprint".into(),
                                 match s.last_fingerprint {

@@ -25,9 +25,9 @@
 //!   inflation factor models the capacity squeeze on survivors. A factor
 //!   of exactly `1.0` skips the multiplication, preserving bit-identity.
 
+use crate::engine::WorkloadCost;
 use crate::kernel::DesignEpoch;
 use cliffguard_workload::{InternedWorkload, QueryId};
-use crate::engine::WorkloadCost;
 use std::sync::Arc;
 
 /// Routes interned queries to their argmin replica over per-replica

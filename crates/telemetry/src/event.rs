@@ -24,19 +24,31 @@ use std::sync::Arc;
 /// returns an inert builder: every method is a no-op and nothing
 /// allocates. The name should follow the workspace convention
 /// `cliffguard.<crate>.<name>`.
+///
+/// A thread-installed [`FlightRecorder`](crate::FlightRecorder) widens
+/// the gate: while one is active on the calling thread, the record is
+/// built even when the subscriber would filter the level (or there is
+/// no subscriber at all), and the rendered line is teed into the
+/// recorder's ring. The subscriber's own output is unaffected either
+/// way — the recorder adds no trace events.
 pub fn event(level: Level, name: &'static str) -> EventBuilder {
-    if !crate::enabled(level) {
-        return EventBuilder { inner: None };
-    }
-    let Some(shared) = crate::current_subscriber() else {
-        return EventBuilder { inner: None };
+    let recorder = if crate::flight::recorders_active() {
+        crate::flight::current_recorder()
+    } else {
+        None
     };
-    if (level as u8) > (shared.level as u8) {
+    let shared = if crate::enabled(level) {
+        crate::current_subscriber().filter(|s| (level as u8) <= (s.level as u8))
+    } else {
+        None
+    };
+    if shared.is_none() && recorder.is_none() {
         return EventBuilder { inner: None };
     }
     EventBuilder {
         inner: Some(Box::new(Record {
             shared,
+            recorder,
             level,
             name,
             fields: String::new(),
@@ -45,7 +57,8 @@ pub fn event(level: Level, name: &'static str) -> EventBuilder {
 }
 
 struct Record {
-    shared: Arc<Shared>,
+    shared: Option<Arc<Shared>>,
+    recorder: Option<Arc<crate::flight::FlightRecorder>>,
     level: Level,
     name: &'static str,
     /// The body of the `fields` object, without braces: `"k":v,"k2":v2`.
@@ -59,6 +72,17 @@ impl Record {
         }
         push_str_literal(&mut self.fields, key);
         self.fields.push(':');
+    }
+
+    /// The record's timestamp source: the subscriber clock when one is
+    /// attached, else the recorder's clock (the session's virtual clock
+    /// in the serve daemon), else 0.
+    fn now_ms(&self) -> u64 {
+        match (&self.shared, &self.recorder) {
+            (Some(s), _) => s.now_ms(),
+            (None, Some(r)) => r.now_ms(),
+            (None, None) => 0,
+        }
     }
 
     fn emit(&self, t_ms: u64, dur_ms: Option<u64>) {
@@ -82,7 +106,12 @@ impl Record {
         line.push_str(",\"fields\":{");
         line.push_str(&self.fields);
         line.push_str("}}");
-        self.shared.write_line(&line);
+        if let Some(shared) = &self.shared {
+            shared.write_line(&line);
+        }
+        if let Some(recorder) = &self.recorder {
+            recorder.append(&line);
+        }
     }
 }
 
@@ -142,7 +171,7 @@ impl EventBuilder {
     /// Writes the event now (`kind = "event"`).
     pub fn emit(self) {
         if let Some(r) = &self.inner {
-            r.emit(r.shared.now_ms(), None);
+            r.emit(r.now_ms(), None);
         }
     }
 
@@ -150,7 +179,7 @@ impl EventBuilder {
     /// the returned guard drops, with `dur_ms` measured on the
     /// subscriber clock and `t` set to the enter time.
     pub fn entered(self) -> SpanGuard {
-        let start_ms = self.inner.as_ref().map(|r| r.shared.now_ms());
+        let start_ms = self.inner.as_ref().map(|r| r.now_ms());
         SpanGuard {
             inner: self.inner,
             start_ms: start_ms.unwrap_or(0),
@@ -202,7 +231,7 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(r) = &self.inner {
-            let end = r.shared.now_ms();
+            let end = r.now_ms();
             r.emit(self.start_ms, Some(end.saturating_sub(self.start_ms)));
         }
     }
@@ -252,6 +281,63 @@ mod tests {
             lines,
             vec![
                 r#"{"t":100,"kind":"span","level":"info","name":"cliffguard.test.span","dur_ms":40,"fields":{"iter":3,"worst":2.5,"accepted":true}}"#
+            ]
+        );
+    }
+
+    #[test]
+    fn recorder_tees_without_touching_the_subscriber() {
+        let _lock = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+        let guard = install(TelemetryConfig {
+            trace: Some(TraceSink::Memory),
+            level: Level::Info,
+            clock: TraceClock::shared_ms(|| 7),
+            metrics: false,
+        })
+        .unwrap();
+        let rec = Arc::new(crate::flight::FlightRecorder::new(8));
+        {
+            let _g = crate::flight::record_on_thread(&rec);
+            // Info passes the subscriber: both sinks see identical bytes.
+            event(Level::Info, "cliffguard.test.both")
+                .u64("a", 1)
+                .emit();
+            // Debug is filtered by the subscriber but retained by the
+            // recorder — the black box keeps everything.
+            event(Level::Debug, "cliffguard.test.only_recorder").emit();
+        }
+        // After the guard drops, nothing reaches the recorder.
+        event(Level::Info, "cliffguard.test.after").emit();
+        let trace = guard.memory().unwrap().lines();
+        assert_eq!(trace.len(), 2);
+        assert!(trace[0].contains("cliffguard.test.both"));
+        assert!(trace[1].contains("cliffguard.test.after"));
+        let recorded = rec.lines();
+        assert_eq!(recorded.len(), 2);
+        assert_eq!(recorded[0], trace[0]);
+        assert!(recorded[1].contains("\"name\":\"cliffguard.test.only_recorder\""));
+    }
+
+    #[test]
+    fn recorder_works_with_no_subscriber_on_its_own_clock() {
+        let _lock = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+        let rec = Arc::new(crate::flight::FlightRecorder::new(8));
+        let ticks = Arc::new(AtomicU64::new(30));
+        let t2 = Arc::clone(&ticks);
+        rec.set_clock(Arc::new(move || t2.load(Ordering::Relaxed)));
+        let _g = crate::flight::record_on_thread(&rec);
+        event(Level::Trace, "cliffguard.test.blackbox")
+            .str("s", "x")
+            .emit();
+        let mut span = event(Level::Debug, "cliffguard.test.blackbox_span").entered();
+        ticks.store(45, Ordering::Relaxed);
+        span.record_bool("ok", true);
+        drop(span);
+        assert_eq!(
+            rec.lines(),
+            vec![
+                r#"{"t":30,"kind":"event","level":"trace","name":"cliffguard.test.blackbox","fields":{"s":"x"}}"#,
+                r#"{"t":30,"kind":"span","level":"debug","name":"cliffguard.test.blackbox_span","dur_ms":15,"fields":{"ok":true}}"#,
             ]
         );
     }

@@ -15,10 +15,15 @@
 //!   keeps this crate dependency-free).
 //! * **Metrics** ([`metrics`]): counters, gauges, and log-linear-bucket
 //!   histograms with p50/p95/p99 export and mergeable snapshots,
-//!   registered by name (`cliffguard.<crate>.<name>`).
+//!   registered by name (`cliffguard.<crate>.<name>`), renderable as
+//!   Prometheus exposition text via [`render_prometheus`].
+//! * **Flight recorder** ([`flight`]): a bounded per-session ring of the
+//!   most recent trace lines — all levels, subscriber or not — dumped
+//!   on degradation or a worker panic as the session's black box.
 //! * **A disabled-by-default fast path**: when nothing is installed,
-//!   every instrumentation site costs one relaxed atomic load and
-//!   nothing else — no allocation, no formatting, no locks.
+//!   every instrumentation site costs two relaxed atomic loads (level
+//!   gate + flight-recorder gate) and nothing else — no allocation, no
+//!   formatting, no locks.
 //!
 //! # Usage
 //!
@@ -55,14 +60,21 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod flight;
 mod json;
 mod level;
 pub mod metrics;
+mod prometheus;
 mod subscriber;
 
 pub use event::{event, EventBuilder, SpanGuard};
+pub use flight::{
+    freeze_current, record_on_thread, FlightDump, FlightRecorder, RecorderGuard,
+    DEFAULT_FLIGHT_CAPACITY,
+};
 pub use level::Level;
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use prometheus::render_prometheus;
 pub use subscriber::{
     install, MemoryTrace, TelemetryConfig, TelemetryGuard, TraceClock, TraceSink,
 };

@@ -120,6 +120,21 @@ fn bucket_index(v: f64) -> usize {
     1 + ((exp - EXP_MIN) as usize) * SUBS + sub
 }
 
+/// The *upper* edge of bucket `idx` — the `le` bound Prometheus
+/// exposition publishes for it. The underflow bucket's edge is the
+/// bottom of the dense range; the overflow bucket's is `+inf`.
+pub(crate) fn bucket_upper(idx: usize) -> f64 {
+    if idx == 0 {
+        return ((EXP_MIN) as f64).exp2();
+    }
+    if idx >= N_BUCKETS - 1 {
+        return f64::INFINITY;
+    }
+    let exp = EXP_MIN + ((idx - 1) / SUBS) as i64;
+    let sub = (idx - 1) % SUBS;
+    (1.0 + (sub as f64 + 1.0) / SUBS as f64) * (exp as f64).exp2()
+}
+
 /// The middle of bucket `idx` — the value a quantile reports for any
 /// observation that landed there.
 fn bucket_mid(idx: usize) -> f64 {

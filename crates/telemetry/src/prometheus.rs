@@ -1,0 +1,339 @@
+//! Prometheus text exposition (format v0.0.4) for metrics snapshots.
+//!
+//! [`render_prometheus`] turns a [`MetricsSnapshot`] into the plain-text
+//! format every Prometheus-compatible scraper understands. The mapping
+//! from the registry's flat names:
+//!
+//! * dots in metric names become underscores
+//!   (`cliffguard.core.sessions` → `cliffguard_core_sessions`);
+//! * a flat key produced by [`labeled`](crate::labeled) —
+//!   `name{key="value"}` — is split back into a family plus one label,
+//!   so every tenant series of one name shares a single `# TYPE` line;
+//! * histograms publish cumulative `_bucket{le="…"}` samples on the
+//!   log-linear bucket *upper* edges, then `_sum` and `_count`.
+//!
+//! Output is deterministic: families are sorted (counters, then gauges,
+//! then histograms), series within a family are sorted by label, and
+//! float formatting is fixed — so two snapshots with equal contents
+//! render byte-identical text regardless of registration order.
+
+use crate::metrics::{bucket_upper, HistogramSnapshot, MetricsSnapshot};
+use std::collections::BTreeMap;
+
+/// Renders `snap` in the Prometheus text exposition format. See the
+/// [module docs](self) for the name/label mapping and ordering.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    render_section(&mut out, "counter", &snap.counters, |out, _, labels, v| {
+        push_sample(out, labels, &v.to_string());
+    });
+    render_section(&mut out, "gauge", &snap.gauges, |out, _, labels, v| {
+        push_sample(out, labels, &fmt_f64(*v));
+    });
+    render_section(&mut out, "histogram", &snap.histograms, render_histogram);
+    out
+}
+
+/// One family: the samples under a shared `# TYPE` line, keyed and
+/// sorted by rendered label set.
+type Family<'v, V> = BTreeMap<String, &'v V>;
+
+fn render_section<V>(
+    out: &mut String,
+    kind: &str,
+    series: &BTreeMap<String, V>,
+    mut sample: impl FnMut(&mut String, &str, &str, &V),
+) {
+    let mut families: BTreeMap<String, Family<'_, V>> = BTreeMap::new();
+    for (flat, value) in series {
+        let (family, labels) = split_flat_key(flat);
+        families.entry(family).or_default().insert(labels, value);
+    }
+    for (family, entries) in &families {
+        out.push_str("# TYPE ");
+        out.push_str(family);
+        out.push(' ');
+        out.push_str(kind);
+        out.push('\n');
+        for (labels, value) in entries {
+            sample(out, family, labels, value);
+        }
+    }
+}
+
+fn push_sample(out: &mut String, sample_name: &str, value: &str) {
+    out.push_str(sample_name);
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+fn render_histogram(out: &mut String, family: &str, labels: &str, h: &HistogramSnapshot) {
+    // `labels` here is the *full sample name* (family + rendered label
+    // block); split it so `le` can be appended inside the braces.
+    let (bare, label_body) = match labels.find('{') {
+        Some(i) => (&labels[..i], Some(&labels[i + 1..labels.len() - 1])),
+        None => (labels, None),
+    };
+    debug_assert!(bare.starts_with(family));
+    let with_le = |le: &str| -> String {
+        match label_body {
+            Some(body) => format!("{bare}_bucket{{{body},le=\"{le}\"}}"),
+            None => format!("{bare}_bucket{{le=\"{le}\"}}"),
+        }
+    };
+    let mut cumulative = 0u64;
+    for &(idx, count) in &h.buckets {
+        cumulative += count;
+        let upper = bucket_upper(idx as usize);
+        if upper.is_infinite() {
+            // The overflow bucket folds into the +Inf sample below.
+            continue;
+        }
+        out.push_str(&with_le(&fmt_f64(upper)));
+        out.push(' ');
+        out.push_str(&cumulative.to_string());
+        out.push('\n');
+    }
+    out.push_str(&with_le("+Inf"));
+    out.push(' ');
+    out.push_str(&h.count.to_string());
+    out.push('\n');
+    let suffixed = |suffix: &str| -> String {
+        match label_body {
+            Some(body) => format!("{bare}{suffix}{{{body}}}"),
+            None => format!("{bare}{suffix}"),
+        }
+    };
+    out.push_str(&suffixed("_sum"));
+    out.push(' ');
+    out.push_str(&fmt_f64(if h.count == 0 { 0.0 } else { h.sum }));
+    out.push('\n');
+    out.push_str(&suffixed("_count"));
+    out.push(' ');
+    out.push_str(&h.count.to_string());
+    out.push('\n');
+}
+
+/// Splits a registry flat key into `(family, full sample name)`.
+///
+/// The family is the sanitized metric name; the sample name is the
+/// family plus the re-escaped label block (or just the family for an
+/// unlabeled series). [`labeled`](crate::labeled) emits exactly one
+/// `key="value"` pair, which is what this parses; a flat key whose
+/// label block does not have that shape is sanitized wholesale into a
+/// bare family name rather than emitting malformed exposition.
+fn split_flat_key(flat: &str) -> (String, String) {
+    let Some(brace) = flat.find('{') else {
+        let family = sanitize_name(flat);
+        return (family.clone(), family);
+    };
+    let parsed = (|| {
+        let body = flat[brace..].strip_prefix('{')?.strip_suffix('}')?;
+        let eq = body.find("=\"")?;
+        let value = body[eq + 2..].strip_suffix('"')?;
+        Some((sanitize_label_name(&body[..eq]), value))
+    })();
+    match parsed {
+        Some((key, value)) => {
+            let family = sanitize_name(&flat[..brace]);
+            let sample = format!("{family}{{{key}=\"{}\"}}", escape_label_value(value));
+            (family, sample)
+        }
+        None => {
+            let family = sanitize_name(flat);
+            (family.clone(), family)
+        }
+    }
+}
+
+/// Maps a registry name onto the Prometheus metric-name alphabet
+/// `[a-zA-Z0-9_:]` (leading digits get an underscore prefix).
+fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '_' | ':' => out.push(c),
+            '0'..='9' if i > 0 => out.push(c),
+            '0'..='9' => {
+                out.push('_');
+                out.push(c);
+            }
+            _ => out.push('_'),
+        }
+    }
+    out
+}
+
+/// Label names allow `[a-zA-Z0-9_]` (no colon).
+fn sanitize_label_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '_' => out.push(c),
+            '0'..='9' if i > 0 => out.push(c),
+            _ => out.push('_'),
+        }
+    }
+    out
+}
+
+/// Escapes a label value per the text format: `\` → `\\`, `"` → `\"`,
+/// newline → `\n`.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Deterministic float spelling: Rust's shortest round-trip form with a
+/// forced decimal point, and the Prometheus spellings for non-finite
+/// values.
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        return "NaN".to_string();
+    }
+    if v == f64::INFINITY {
+        return "+Inf".to_string();
+    }
+    if v == f64::NEG_INFINITY {
+        return "-Inf".to_string();
+    }
+    let s = v.to_string();
+    if s.contains('.') || s.contains('e') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labeled;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn families_merge_and_sort_with_type_lines() {
+        let reg = MetricsRegistry::default();
+        reg.counter(&labeled("cliffguard.serve.sessions", "tenant", "beta"))
+            .incr(2);
+        reg.counter(&labeled("cliffguard.serve.sessions", "tenant", "acme"))
+            .incr(5);
+        reg.counter("cliffguard.core.sessions").incr(1);
+        reg.gauge("cliffguard.core.gamma").set(0.25);
+        let text = render_prometheus(&reg.snapshot());
+        assert_eq!(
+            text,
+            "# TYPE cliffguard_core_sessions counter\n\
+             cliffguard_core_sessions 1\n\
+             # TYPE cliffguard_serve_sessions counter\n\
+             cliffguard_serve_sessions{tenant=\"acme\"} 5\n\
+             cliffguard_serve_sessions{tenant=\"beta\"} 2\n\
+             # TYPE cliffguard_core_gamma gauge\n\
+             cliffguard_core_gamma 0.25\n"
+        );
+    }
+
+    #[test]
+    fn output_is_byte_identical_across_insertion_orders_and_reruns() {
+        let names = [
+            "cliffguard.a.one",
+            "cliffguard.b.two",
+            &labeled("cliffguard.c.three", "tenant", "t1"),
+            &labeled("cliffguard.c.three", "tenant", "t0"),
+        ];
+        let forward = MetricsRegistry::default();
+        for n in &names {
+            forward.counter(n).incr(7);
+        }
+        let reverse = MetricsRegistry::default();
+        for n in names.iter().rev() {
+            reverse.counter(n).incr(7);
+        }
+        let a = render_prometheus(&forward.snapshot());
+        let b = render_prometheus(&reverse.snapshot());
+        assert_eq!(a, b);
+        // Rerunning the renderer on the same snapshot is also stable.
+        assert_eq!(a, render_prometheus(&forward.snapshot()));
+    }
+
+    #[test]
+    fn label_values_are_escaped_per_the_text_format() {
+        let mut snap = MetricsSnapshot::default();
+        // `labeled` lets backslashes through, and a hand-built flat key
+        // can carry quotes and newlines in the value slot; all three
+        // must come out escaped, on a single exposition line each.
+        snap.counters.insert(r#"m{t="a\b"}"#.to_string(), 1);
+        snap.counters.insert("m{t=\"line1\nline2\"}".to_string(), 2);
+        snap.counters.insert(r#"m{t="say "hi""}"#.to_string(), 3);
+        let text = render_prometheus(&snap);
+        assert!(text.contains(r#"m{t="a\\b"} 1"#), "{text}");
+        assert!(text.contains(r#"m{t="line1\nline2"} 2"#), "{text}");
+        assert!(text.contains(r#"m{t="say \"hi\""} 3"#), "{text}");
+        for line in text.lines() {
+            assert!(line.starts_with("# TYPE") || line.ends_with(|c: char| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_monotone() {
+        let reg = MetricsRegistry::default();
+        let h = reg.histogram("cliffguard.test.latency");
+        for v in [0.5, 0.5, 2.0, 8.0, 100.0] {
+            h.record(v);
+        }
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.starts_with("# TYPE cliffguard_test_latency histogram\n"));
+        let mut last = 0u64;
+        let mut bucket_lines = 0;
+        for line in text.lines().filter(|l| l.contains("_bucket{")) {
+            let count: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(count >= last, "buckets must be cumulative: {text}");
+            last = count;
+            bucket_lines += 1;
+        }
+        // 4 distinct finite buckets + the +Inf sample.
+        assert_eq!(bucket_lines, 5);
+        assert_eq!(last, 5, "the +Inf bucket carries the total count");
+        assert!(text.contains("cliffguard_test_latency_count 5\n"));
+        assert!(text.contains("cliffguard_test_latency_sum 111.0\n"));
+        // `le` edges bound the recorded values from above.
+        let les: Vec<f64> = text
+            .lines()
+            .filter(|l| l.contains("le=\"") && !l.contains("+Inf"))
+            .map(|l| {
+                let start = l.find("le=\"").unwrap() + 4;
+                let end = l[start..].find('"').unwrap() + start;
+                l[start..end].parse().unwrap()
+            })
+            .collect();
+        assert!(les.windows(2).all(|w| w[0] < w[1]), "{les:?}");
+        assert!(les[0] > 0.5 && les[0] <= 0.53125);
+    }
+
+    #[test]
+    fn empty_and_labeled_histograms_render() {
+        let reg = MetricsRegistry::default();
+        reg.histogram("cliffguard.test.empty");
+        reg.histogram(&labeled("cliffguard.test.per_tenant", "tenant", "acme"))
+            .record(3.0);
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("cliffguard_test_empty_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("cliffguard_test_empty_sum 0.0\n"));
+        assert!(text.contains("cliffguard_test_empty_count 0\n"));
+        assert!(
+            text.contains("cliffguard_test_per_tenant_bucket{tenant=\"acme\",le=\"+Inf\"} 1\n"),
+            "{text}"
+        );
+        assert!(text.contains("cliffguard_test_per_tenant_sum{tenant=\"acme\"} 3.0\n"));
+        assert!(text.contains("cliffguard_test_per_tenant_count{tenant=\"acme\"} 1\n"));
+    }
+}

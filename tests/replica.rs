@@ -173,12 +173,19 @@ fn env_injected_crash_faults_never_panic_and_audit_identically_across_threads() 
             audit.to_json()
         );
         let shares = audit.routing_shares();
-        assert_eq!(shares[1].to_bits(), 0.0f64.to_bits(), "crashed replica serves nothing");
+        assert_eq!(
+            shares[1].to_bits(),
+            0.0f64.to_bits(),
+            "crashed replica serves nothing"
+        );
         assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         let json = audit.to_json();
         match &baseline {
             None => baseline = Some(json),
-            Some(b) => assert_eq!(b, &json, "audit must be byte-identical at {threads} threads"),
+            Some(b) => assert_eq!(
+                b, &json,
+                "audit must be byte-identical at {threads} threads"
+            ),
         }
     }
     set_threads(1);

@@ -327,7 +327,9 @@ fn tcp_scrape_connections_get_an_immediate_snapshot_and_a_clean_close() {
         reader.read_line(&mut resp).expect("scrape answered");
         assert!(resp.contains(&format!(r#""op":"{op}""#)), "{resp}");
         let mut rest = String::new();
-        let n = reader.read_line(&mut rest).expect("read until server close");
+        let n = reader
+            .read_line(&mut rest)
+            .expect("read until server close");
         assert_eq!(n, 0, "server must close the scrape connection: {rest}");
     }
 
