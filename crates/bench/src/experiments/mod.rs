@@ -3,6 +3,7 @@
 mod basic;
 mod comparison;
 pub mod costkernel;
+pub mod ingest;
 mod knobs;
 pub mod replica;
 pub mod resilience;
@@ -34,6 +35,7 @@ pub const ALL_IDS: &[&str] = &[
     "resilience",
     "telemetry",
     "costkernel",
+    "ingest",
     "serve",
     "replica",
 ];
@@ -57,6 +59,7 @@ pub fn run_experiment(id: &str, scale: Scale, seed: u64) -> Option<Vec<Table>> {
         "resilience" => Some(resilience::run(scale, seed)),
         "telemetry" => Some(telemetry::run(scale, seed)),
         "costkernel" => Some(costkernel::run(scale, seed)),
+        "ingest" => Some(ingest::run(scale, seed)),
         "serve" => Some(serve::run(scale, seed)),
         "replica" => Some(replica::run(scale, seed)),
         _ => None,

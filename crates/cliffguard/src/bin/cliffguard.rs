@@ -63,6 +63,7 @@ fn main() {
         "generate" => cmd_generate(&opts),
         "stats" => cmd_stats(&opts),
         "design" => cmd_design(&opts, &clock),
+        "ingest" => cmd_ingest(&opts, &clock),
         "serve" => cmd_serve(&opts),
         "evaluate" => cmd_evaluate(&opts),
         "validate-trace" => cmd_validate_trace(&opts),
@@ -93,6 +94,10 @@ fn usage() {
                      [--max-retries N] [--designer-deadline-ms N]\n\
                      [--session-deadline-ms N] [--faults SPEC]\n\
                      [--replicas R] [--max-failures K]\n\
+           ingest    --catalog CATALOG.json --log LOG.tsv|- [--window N]\n\
+                     [--window-secs S] [--gamma auto|G] [--chunk-bytes N]\n\
+                     [--warmup N] [--cooldown N] [--rearm-ratio F]\n\
+                     [--no-design] [--budget auto|BYTES] [--faults SPEC]\n\
            serve     [--listen ADDR:PORT] [--state-dir DIR] [--max-concurrent N]\n\
                      [--max-queue N] [--tenant-deadline-ms N]\n\
                      [--checkpoint-every N] [--faults SPEC]\n\
@@ -128,10 +133,17 @@ fn usage() {
          surviving replica. `replica-crash@N:R` / `replica-slow@N:R` fault\n\
          specs inject mid-design replica loss; the audit records failovers\n\
          \n\
+         ingest streams the log (or stdin with `-`) through the online drift\n\
+         advisor in bounded memory: arrivals fold into sliding windows, every\n\
+         close prints one audit line (delta and gamma as IEEE-754 bit\n\
+         patterns), and a delta > gamma excursion launches a redesign unless\n\
+         --no-design. The audit stream is byte-identical at any --chunk-bytes\n\
+         \n\
          serve runs the multi-tenant advisor daemon: newline-delimited JSON\n\
-         requests (design|status|metrics|drain|shutdown) on stdin/stdout, or\n\
-         on a TCP socket with --listen; --state-dir makes sessions durable\n\
-         (a killed daemon resumes them bit-identically on restart)"
+         requests (design|ingest|status|metrics|drain|shutdown) on\n\
+         stdin/stdout, or on a TCP socket with --listen; --state-dir makes\n\
+         sessions durable (a killed daemon resumes design sessions and\n\
+         streaming ingest tapes bit-identically on restart)"
     );
 }
 
@@ -500,6 +512,244 @@ fn cmd_design(opts: &Flags, clock: &SessionClock) -> Result<(), String> {
     }
 
     print!("{}", ddl::columnar_script(&design, engine.catalog()));
+    Ok(())
+}
+
+// ---------------------------------------------------------------- ingest --
+
+/// Parses the windowing/trigger flags shared by `ingest` into an advisor
+/// configuration.
+fn advisor_config(opts: &Flags, n_columns: usize) -> Result<OnlineAdvisorConfig, String> {
+    let mut config = OnlineAdvisorConfig::new(n_columns);
+    config.window = match (opts.get("window"), opts.get("window-secs")) {
+        (Some(_), Some(_)) => {
+            return Err("--window and --window-secs are mutually exclusive".into());
+        }
+        (Some(n), None) => match n.parse::<usize>() {
+            Ok(n) if n > 0 => WindowPolicy::Count(n),
+            _ => return Err(format!("bad --window `{n}` (want a positive count)")),
+        },
+        (None, Some(s)) => match s.parse::<u64>() {
+            Ok(s) if s > 0 => WindowPolicy::LogTime(s),
+            _ => return Err(format!("bad --window-secs `{s}` (want positive seconds)")),
+        },
+        (None, None) => WindowPolicy::Count(64),
+    };
+    config.gamma = match opts.get("gamma").map(|s| s.as_str()) {
+        None | Some("auto") | Some("") => GammaPolicy::KMaxPastDeltas(1.5),
+        Some(s) => {
+            let g: f64 = s.parse().map_err(|_| format!("bad --gamma `{s}`"))?;
+            if g.is_nan() || g < 0.0 {
+                return Err(format!("bad --gamma `{s}` (want a non-negative number)"));
+            }
+            GammaPolicy::Fixed(g)
+        }
+    };
+    if let Some(n) = opts.get("warmup") {
+        config.warmup = n.parse().map_err(|_| format!("bad --warmup `{n}`"))?;
+    }
+    if let Some(n) = opts.get("cooldown") {
+        config.cooldown = n.parse().map_err(|_| format!("bad --cooldown `{n}`"))?;
+    }
+    if let Some(r) = opts.get("rearm-ratio") {
+        let ratio: f64 = r.parse().map_err(|_| format!("bad --rearm-ratio `{r}`"))?;
+        if ratio.is_nan() || ratio < 0.0 {
+            return Err(format!(
+                "bad --rearm-ratio `{r}` (want a non-negative factor)"
+            ));
+        }
+        config.rearm_ratio = ratio;
+    }
+    Ok(config)
+}
+
+/// Streams a query log through the online drift advisor: chunked reads,
+/// sliding windows, incremental δ, and Γ-triggered redesigns. Every line
+/// this command prints to stdout is deterministic — CI compares runs at
+/// different chunk sizes byte-for-byte.
+fn cmd_ingest(opts: &Flags, clock: &SessionClock) -> Result<(), String> {
+    use std::io::{Read as _, Write as _};
+
+    let catalog = load_catalog(opts)?;
+    let config = advisor_config(opts, catalog.column_count())?;
+    let chunk_bytes: usize = match opts.get("chunk-bytes") {
+        None => 64 << 10,
+        Some(s) => match s.parse() {
+            Ok(n) if n > 0 => n,
+            _ => return Err(format!("bad --chunk-bytes `{s}` (want a positive size)")),
+        },
+    };
+    let run_designs = !opts.contains_key("no-design");
+
+    let engine = ColumnarEngine::new(catalog);
+    let budget = budget(opts, &engine)?;
+    let plan = match opts.get("faults") {
+        Some(spec) => Some(FaultPlan::from_spec(spec).map_err(|e| format!("--faults: {e}"))?),
+        None => FaultPlan::from_env().map_err(|e| format!("{FAULTS_ENV}: {e}"))?,
+    };
+
+    let path = flag(opts, "log")?;
+    let mut reader: Box<dyn std::io::Read> = if path == "-" {
+        Box::new(std::io::stdin().lock())
+    } else {
+        Box::new(std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?)
+    };
+
+    let mut advisor = OnlineAdvisor::new(config, clock.clone());
+    let mut stream = LogStream::new();
+    let mut out = std::io::stdout().lock();
+    // Window audits (plus the redesign inputs captured at trigger time)
+    // are collected inside the sink and flushed after each chunk, keeping
+    // the sink free of I/O and design work.
+    let mut pending: Vec<PendingAudit> = Vec::new();
+    let mut buf = vec![0u8; chunk_bytes];
+    let started = std::time::Instant::now();
+
+    loop {
+        let n = reader
+            .read(&mut buf)
+            .map_err(|e| format!("read {path}: {e}"))?;
+        if n == 0 {
+            break;
+        }
+        {
+            let (advisor, pending) = (&mut advisor, &mut pending);
+            let mut sink = |ts: u64, _id: QueryId, q: &Arc<Query>| {
+                observe_into(advisor, pending, run_designs, ts, q);
+            };
+            stream.feed(&buf[..n], engine.catalog(), &mut sink);
+        }
+        flush_window_audits(&mut out, &mut pending, &engine, budget, &plan, clock)?;
+    }
+    {
+        let (advisor, pending) = (&mut advisor, &mut pending);
+        let mut sink = |ts: u64, _id: QueryId, q: &Arc<Query>| {
+            observe_into(advisor, pending, run_designs, ts, q);
+        };
+        stream.finish(engine.catalog(), &mut sink);
+    }
+    // The partial trailing window closes exactly as a full one would (it
+    // can trigger too), so end-of-stream state is part of the audit.
+    if let Some(audit) = advisor.finish() {
+        push_audit(&mut advisor, &mut pending, run_designs, audit);
+    }
+    flush_window_audits(&mut out, &mut pending, &engine, budget, &plan, clock)?;
+
+    let stats = stream.stats();
+    writeln!(
+        out,
+        "ingest: lines={} parsed={} skipped_sql={} skipped_malformed={} bytes={} windows={} triggers={}",
+        stats.lines,
+        stats.parsed,
+        stats.skipped_sql,
+        stats.skipped_malformed,
+        stats.bytes,
+        advisor.windows_closed(),
+        advisor.triggers().len(),
+    )
+    .map_err(|e| format!("write stdout: {e}"))?;
+
+    let secs = started.elapsed().as_secs_f64();
+    let mb = stats.bytes as f64 / (1 << 20) as f64;
+    if secs > 0.0 {
+        let mb_per_s = mb / secs;
+        if let Some(g) = cliffguard::telemetry::gauge("cliffguard.ingest.mb_per_s") {
+            g.set(mb_per_s);
+        }
+        eprintln!(
+            "ingest: {mb:.2} MB in {secs:.3} s ({mb_per_s:.1} MB/s), {} cache resets",
+            stream.cache_resets()
+        );
+    }
+    Ok(())
+}
+
+/// Queued audit plus the redesign inputs captured at trigger time.
+type PendingAudit = (WindowAudit, Option<(Workload, Vec<Arc<Query>>)>);
+
+/// Folds one parsed arrival into the advisor and queues any closed-window
+/// audits, capturing the redesign inputs (`W0` and the historical pool) at
+/// the moment a trigger fires.
+fn observe_into(
+    advisor: &mut OnlineAdvisor,
+    pending: &mut Vec<PendingAudit>,
+    run_designs: bool,
+    ts: u64,
+    q: &Arc<Query>,
+) {
+    for audit in advisor.observe(ts, q) {
+        push_audit(advisor, pending, run_designs, audit);
+    }
+}
+
+/// Queues one closed-window audit (see [`observe_into`]).
+fn push_audit(
+    advisor: &mut OnlineAdvisor,
+    pending: &mut Vec<PendingAudit>,
+    run_designs: bool,
+    audit: WindowAudit,
+) {
+    let action = (audit.triggered && run_designs).then(|| {
+        (
+            advisor.last_window().cloned().unwrap_or_default(),
+            advisor.design_pool(),
+        )
+    });
+    pending.push((audit, action));
+}
+
+/// Prints the queued window audits and runs the redesign captured at each
+/// trigger (the same resilient session as `cliffguard design`).
+fn flush_window_audits(
+    out: &mut impl std::io::Write,
+    pending: &mut Vec<PendingAudit>,
+    engine: &ColumnarEngine,
+    budget: u64,
+    plan: &Option<FaultPlan>,
+    clock: &SessionClock,
+) -> Result<(), String> {
+    for (audit, action) in pending.drain(..) {
+        writeln!(out, "{}", audit.line()).map_err(|e| format!("write stdout: {e}"))?;
+        let Some((w0, pool)) = action else {
+            continue;
+        };
+        if w0.is_empty() {
+            continue;
+        }
+        let metric = DeltaEuclidean::new(engine.catalog().column_count());
+        let nominal = GreedyDesigner::new(engine, ColumnarCandidates, "DBD");
+        let options = SessionOptions {
+            clock: clock.clone(),
+            ..SessionOptions::default()
+        };
+        let config = CliffGuardConfig::new(audit.gamma.max(0.0));
+        let (design, trace) = match plan {
+            Some(plan) if !plan.is_none() => {
+                let injector: FaultyDesigner<ColumnarEngine, _> =
+                    FaultyDesigner::new(&nominal, plan.clone(), clock.clone());
+                DesignSession::new(engine, injector, metric, config, options)
+                    .map_err(|e| format!("bad configuration: {e}"))?
+                    .run(&w0, budget, &pool)
+                    .into_design()
+            }
+            _ => DesignSession::new(engine, Reliable(&nominal), metric, config, options)
+                .map_err(|e| format!("bad configuration: {e}"))?
+                .run(&w0, budget, &pool)
+                .into_design(),
+        };
+        writeln!(
+            out,
+            "T{} projections={} bytes={} designer_calls={} retries={} faults={} degraded={}",
+            audit.index,
+            design.len(),
+            design.price_bytes(engine.catalog()),
+            trace.designer_calls,
+            trace.retries,
+            trace.faults,
+            u8::from(trace.degraded.is_some()),
+        )
+        .map_err(|e| format!("write stdout: {e}"))?;
+    }
     Ok(())
 }
 

@@ -85,9 +85,10 @@ pub mod prelude {
     pub use cliffguard_core::gamma::{consecutive_deltas, DeltaStats, GammaPolicy};
     pub use cliffguard_core::replica::MAX_REPLICAS;
     pub use cliffguard_core::{
-        design_replicated, move_workload, CliffGuard, CliffGuardConfig, ConfigError,
-        DescentCheckpoint, DesignSession, EngineExt, FailoverEvent, ReplicaAudit, ReplicaError,
-        ReplicaOptions, ReplicaOutcome, ReplicatedDesign, ResumeError, SessionEnd, SessionOptions,
+        design_replicated, move_workload, AdvisorSnapshot, CliffGuard, CliffGuardConfig,
+        ConfigError, DescentCheckpoint, DesignSession, EngineExt, FailoverEvent, OnlineAdvisor,
+        OnlineAdvisorConfig, ReplicaAudit, ReplicaError, ReplicaOptions, ReplicaOutcome,
+        ReplicatedDesign, ResumeError, SessionEnd, SessionOptions, WindowAudit, WindowPolicy,
     };
     pub use cliffguard_designer::{
         BenefitMatrix, CandidateGen, ColumnarCandidates, CompressingDesigner, DesignerFault,
@@ -117,7 +118,8 @@ pub mod prelude {
         DriftingGenerator, GeneratorConfig, SchemaShape, WorkloadProfile,
     };
     pub use cliffguard_workload::{
-        parser::parse_query, ColumnId, ColumnSet, InternedWorkload, PredOp, Query, QueryBuilder,
-        QueryId, QueryLog, TableId, Workload, WorkloadInterner,
+        parser::parse_query, ColumnId, ColumnSet, InternedWorkload, LogStream, LogTape,
+        LogTapeConfig, PredOp, Query, QueryBuilder, QueryId, QueryLog, StreamStats, TableId,
+        Workload, WorkloadInterner,
     };
 }

@@ -9,8 +9,9 @@
 //! * [`parse_trace`] — total parsing with line-attributed errors;
 //! * [`Report`] — span-tree reconstruction, per-name time breakdown,
 //!   the descent iteration table (Γ, worst-case, delta per iteration),
-//!   span-duration histogram summaries, and a worst-case-regret summary
-//!   derived from the descent series;
+//!   the streaming-ingest window table (δ, Γ, trigger decisions per
+//!   closed window), span-duration histogram summaries, and a
+//!   worst-case-regret summary derived from the descent series;
 //! * [`diff`] — a structural + quantitative comparison of two reports
 //!   with configurable thresholds, for CI regression gating.
 //!
@@ -216,6 +217,28 @@ pub struct IterRow {
     pub dur_ms: u64,
 }
 
+/// One row of the streaming-ingest window table (a
+/// `cliffguard.core.ingest.window` span).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestRow {
+    /// 0-based window index.
+    pub window: u64,
+    /// Arrivals folded into the window.
+    pub arrivals: u64,
+    /// Distinct query signatures in the window.
+    pub distinct: u64,
+    /// Inter-window δ (0 for the first window, where none exists).
+    pub delta: f64,
+    /// Γ in effect at the close.
+    pub gamma: f64,
+    /// Whether the close fired a redesign trigger.
+    pub trigger: bool,
+    /// Hysteresis arm state after the close.
+    pub armed: bool,
+    /// Window span duration (ms).
+    pub dur_ms: u64,
+}
+
 /// Worst-case trajectory summary over the descent series.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RegretSummary {
@@ -244,6 +267,9 @@ pub struct Report {
     pub names: Vec<NameRow>,
     /// The descent iteration table, in iteration order.
     pub iterations: Vec<IterRow>,
+    /// The streaming-ingest window table, in window order (empty for
+    /// non-ingest traces).
+    pub ingest: Vec<IngestRow>,
     /// Worst-case-regret summary (absent when no iteration closed).
     pub regret: Option<RegretSummary>,
     /// Faults recorded (`session.fault` events).
@@ -307,6 +333,22 @@ impl Report {
             .collect();
         iterations.sort_by_key(|r| r.iter);
 
+        let mut ingest: Vec<IngestRow> = lines
+            .iter()
+            .filter(|l| l.name.ends_with(".ingest.window") && l.kind == "span")
+            .map(|l| IngestRow {
+                window: l.field_u64("window").unwrap_or(0),
+                arrivals: l.field_u64("arrivals").unwrap_or(0),
+                distinct: l.field_u64("distinct").unwrap_or(0),
+                delta: l.field_f64("delta").unwrap_or(0.0),
+                gamma: l.field_f64("gamma").unwrap_or(0.0),
+                trigger: l.field_bool("trigger").unwrap_or(false),
+                armed: l.field_bool("armed").unwrap_or(false),
+                dur_ms: l.dur_ms.unwrap_or(0),
+            })
+            .collect();
+        ingest.sort_by_key(|r| r.window);
+
         let regret = iterations.first().map(|first| {
             let best = iterations
                 .iter()
@@ -333,6 +375,7 @@ impl Report {
             tree,
             names,
             iterations,
+            ingest,
             regret,
             faults: count(".session.fault"),
             retries: count(".session.retry"),
@@ -414,6 +457,45 @@ impl Report {
                     r.dur_ms
                 );
             }
+        }
+        if !self.ingest.is_empty() {
+            let _ = writeln!(out, "\ningest windows:");
+            let _ = writeln!(
+                out,
+                "  {:>6} {:>8} {:>8} {:>12} {:>12} {:>7} {:>5} {:>6}",
+                "window", "arrivals", "distinct", "delta", "gamma", "trigger", "armed", "ms"
+            );
+            for r in &self.ingest {
+                let _ = writeln!(
+                    out,
+                    "  {:>6} {:>8} {:>8} {:>12.6} {:>12.6} {:>7} {:>5} {:>6}",
+                    r.window,
+                    r.arrivals,
+                    r.distinct,
+                    r.delta,
+                    r.gamma,
+                    if r.trigger { "FIRE" } else { "-" },
+                    if r.armed { "yes" } else { "no" },
+                    r.dur_ms
+                );
+            }
+            let fired: Vec<String> = self
+                .ingest
+                .iter()
+                .filter(|r| r.trigger)
+                .map(|r| r.window.to_string())
+                .collect();
+            let _ = writeln!(
+                out,
+                "  {} window(s), {} trigger(s){}",
+                self.ingest.len(),
+                fired.len(),
+                if fired.is_empty() {
+                    String::new()
+                } else {
+                    format!(" at [{}]", fired.join(", "))
+                }
+            );
         }
         if let Some(s) = &self.regret {
             let _ = writeln!(out, "\nworst-case summary:");
@@ -501,6 +583,23 @@ impl Report {
                 })
                 .collect(),
         );
+        let ingest = Value::Seq(
+            self.ingest
+                .iter()
+                .map(|r| {
+                    Value::Map(vec![
+                        ("window".into(), Value::U64(r.window)),
+                        ("arrivals".into(), Value::U64(r.arrivals)),
+                        ("distinct".into(), Value::U64(r.distinct)),
+                        ("delta".into(), Value::F64(r.delta)),
+                        ("gamma".into(), Value::F64(r.gamma)),
+                        ("trigger".into(), Value::Bool(r.trigger)),
+                        ("armed".into(), Value::Bool(r.armed)),
+                        ("dur_ms".into(), Value::U64(r.dur_ms)),
+                    ])
+                })
+                .collect(),
+        );
         let regret = match &self.regret {
             Some(s) => Value::Map(vec![
                 ("first".into(), Value::F64(s.first)),
@@ -529,6 +628,7 @@ impl Report {
             ),
             ("names".into(), names),
             ("iterations".into(), iterations),
+            ("ingest".into(), ingest),
             ("worst_case".into(), regret),
             ("tree".into(), tree_value(&self.lines, &self.tree)),
         ]);
@@ -784,6 +884,45 @@ mod tests {
         assert_eq!(tree.len(), 1);
         assert_eq!(lines[tree[0].line].name, "cliffguard.outer");
         assert_eq!(tree[0].children.len(), 2);
+    }
+
+    const INGEST_TRACE: &str = concat!(
+        r#"{"t":3600,"kind":"span","level":"info","name":"cliffguard.core.ingest.window","dur_ms":3600,"fields":{"window":0,"arrivals":64,"distinct":6,"delta":0.0,"gamma":0.001,"trigger":false,"armed":true}}"#,
+        "\n",
+        r#"{"t":7200,"kind":"span","level":"info","name":"cliffguard.core.ingest.window","dur_ms":3600,"fields":{"window":1,"arrivals":64,"distinct":6,"delta":0.0,"gamma":0.001,"trigger":false,"armed":true}}"#,
+        "\n",
+        r#"{"t":10800,"kind":"span","level":"info","name":"cliffguard.core.ingest.window","dur_ms":3600,"fields":{"window":2,"arrivals":64,"distinct":12,"delta":0.25,"gamma":0.001,"trigger":true,"armed":false}}"#,
+        "\n",
+        r#"{"t":10800,"kind":"event","level":"warn","name":"cliffguard.core.ingest.trigger","fields":{"window":2,"delta":0.25,"gamma":0.001}}"#,
+        "\n",
+    );
+
+    #[test]
+    fn report_builds_the_ingest_window_table() {
+        let report = Report::build(parse_trace(INGEST_TRACE).unwrap());
+        assert_eq!(report.ingest.len(), 3);
+        assert_eq!(report.ingest[0].window, 0);
+        assert_eq!(report.ingest[2].delta, 0.25);
+        assert!(report.ingest[2].trigger && !report.ingest[2].armed);
+        assert!(report.iterations.is_empty());
+
+        let text = report.render_text("ingest.jsonl");
+        assert!(text.contains("ingest windows:"), "{text}");
+        assert!(text.contains("FIRE"), "{text}");
+        assert!(text.contains("1 trigger(s) at [2]"), "{text}");
+        assert!(!text.contains("descent iterations:"), "{text}");
+
+        let json = report.render_json("ingest.jsonl");
+        let v: Value = serde_json::from_str(&json).expect("report json parses");
+        let m = v.as_map().unwrap();
+        assert!(matches!(map_get(m, "ingest"), Value::Seq(s) if s.len() == 3));
+        assert!(json.contains(r#""trigger":true"#), "{json}");
+
+        // Non-ingest traces keep an (empty) table — the key is always
+        // present so golden diffs stay structural.
+        let design = Report::build(parse_trace(TRACE).unwrap());
+        assert!(design.ingest.is_empty());
+        assert!(design.render_json("t.jsonl").contains(r#""ingest":[]"#));
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   help (≥3× improvable), and average over windows.
 //! * [`gamma`] — the Γ-selection heuristics the paper suggests (average,
 //!   max, or `k×max` of past inter-window distances).
+//! * [`online`] — the streaming drift advisor: sliding workload windows
+//!   over a query-log stream, incremental inter-window δ, and the
+//!   Γ-threshold redesign trigger with hysteresis/cooldown.
 //! * [`session`] — the fault-tolerant design-session runtime: the same
 //!   descent run against a *fallible* designer, with retry/backoff,
 //!   deadlines, output validation, graceful degradation, and
@@ -39,6 +42,7 @@ pub mod adaptive;
 pub mod baselines;
 pub mod evaluate;
 pub mod gamma;
+pub mod online;
 pub mod replica;
 pub mod session;
 
@@ -46,6 +50,7 @@ pub use cliffguard::{CliffGuard, CliffGuardTrace};
 pub use config::{CliffGuardConfig, ConfigError};
 pub use engines::EngineExt;
 pub use move_workload::move_workload;
+pub use online::{AdvisorSnapshot, OnlineAdvisor, OnlineAdvisorConfig, WindowAudit, WindowPolicy};
 pub use replica::{
     design_replicated, FailoverEvent, ReplicaAudit, ReplicaError, ReplicaOptions, ReplicaOutcome,
     ReplicatedDesign,

@@ -1,0 +1,709 @@
+//! The online drift advisor: sliding windows, streaming δ, and the
+//! Γ-threshold redesign trigger.
+//!
+//! The paper's pipeline is offline — materialize the log, window it,
+//! design once. [`OnlineAdvisor`] runs the same drift machinery *while the
+//! log streams in*: each arrival folds into the current window (a
+//! [`Workload`] for the designer plus a [`WindowAccumulator`] for the
+//! metric, both O(1) per arrival); when the window closes, the inter-window
+//! δ against the previous window is evaluated incrementally
+//! ([`window_delta`]) and compared against Γ.
+//!
+//! # Trigger and hysteresis contract
+//!
+//! A closed window with δ vs. its predecessor **triggers** a redesign iff
+//! all of:
+//!
+//! 1. at least `warmup` windows have closed before it (δ needs history);
+//! 2. the advisor is **armed**;
+//! 3. no **cooldown** is pending (each trigger suppresses the next
+//!    `cooldown` window closes);
+//! 4. `δ > Γ` (Γ resolved per close from the retained past-δ history via
+//!    the configured [`GammaPolicy`]).
+//!
+//! A trigger *disarms* the advisor. It re-arms only once a window closes
+//! with `δ ≤ rearm_ratio · Γ` after the cooldown has drained — so drift
+//! that oscillates around Γ produces exactly one redesign per excursion,
+//! not one per oscillation. Each closed window yields a [`WindowAudit`]
+//! whose [`line`](WindowAudit::line) rendering encodes δ and Γ as IEEE-754
+//! bit patterns: two runs are equivalent iff their audit texts are
+//! byte-identical.
+//!
+//! # Determinism
+//!
+//! Window contents and δ are exact functions of the arrival sequence (raw
+//! counts are integers; see `cliffguard_distance::online`), timestamps come
+//! from the log (or from the resilience [`SessionClock`], virtual in
+//! deterministic runs), and Γ resolution sees the same bounded δ-history —
+//! so the audit stream is byte-identical across chunk sizes, thread
+//! counts, and kill/resume from a [`snapshot`](OnlineAdvisor::snapshot).
+
+use crate::gamma::GammaPolicy;
+use cliffguard_distance::{window_delta, ClauseMask, WindowAccumulator, WindowVector};
+use cliffguard_resilience::SessionClock;
+use cliffguard_telemetry::{self as telemetry, Level};
+use cliffguard_workload::{Query, Workload};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// How the arrival stream is cut into windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowPolicy {
+    /// Close after exactly this many parsed arrivals.
+    Count(usize),
+    /// Close when a *log timestamp* (epoch seconds) moves this far past
+    /// the window's start; far-future arrivals close the intervening empty
+    /// windows too. Anchored at the first arrival's timestamp.
+    LogTime(u64),
+    /// Like `LogTime`, but over the advisor's [`SessionClock`] (seconds) —
+    /// wall time in production, virtual time in deterministic runs.
+    ClockTime(u64),
+}
+
+/// Configuration of an [`OnlineAdvisor`].
+#[derive(Debug, Clone)]
+pub struct OnlineAdvisorConfig {
+    /// Windowing policy.
+    pub window: WindowPolicy,
+    /// Γ selection, resolved against the retained past-δ history at every
+    /// window close ([`GammaPolicy::Fixed`] for a constant threshold).
+    pub gamma: GammaPolicy,
+    /// Total database columns (the metric's `n`).
+    pub n_columns: usize,
+    /// Clause mask for the representation vectors.
+    pub mask: ClauseMask,
+    /// Windows that must close before the first trigger may fire (≥ 1; δ
+    /// exists only from the second window on).
+    pub warmup: usize,
+    /// Window closes suppressed after each trigger.
+    pub cooldown: usize,
+    /// Re-arm once a post-cooldown window closes with
+    /// `δ ≤ rearm_ratio · Γ`.
+    pub rearm_ratio: f64,
+    /// Closed windows retained as the historical pool for redesigns.
+    pub history: usize,
+    /// Past δ values retained for Γ resolution (bounds memory on an
+    /// unbounded stream).
+    pub delta_history: usize,
+}
+
+impl OnlineAdvisorConfig {
+    /// Sensible defaults: 64-arrival windows, auto Γ (1.5 × max past δ),
+    /// warmup 1, cooldown 1, re-arm at Γ, 4-window pool.
+    pub fn new(n_columns: usize) -> Self {
+        Self {
+            window: WindowPolicy::Count(64),
+            gamma: GammaPolicy::KMaxPastDeltas(1.5),
+            n_columns,
+            mask: ClauseMask::SWGO,
+            warmup: 1,
+            cooldown: 1,
+            rearm_ratio: 1.0,
+            history: 4,
+            delta_history: 64,
+        }
+    }
+}
+
+/// The record of one closed window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowAudit {
+    /// 0-based index of the closed window.
+    pub index: u64,
+    /// Parsed arrivals in the window.
+    pub arrivals: u64,
+    /// Distinct representation keys in the window.
+    pub distinct: u64,
+    /// δ against the previous window (`None` for the first window).
+    pub delta: Option<f64>,
+    /// Γ as resolved at this close.
+    pub gamma: f64,
+    /// Whether this close fired the redesign trigger.
+    pub triggered: bool,
+    /// Armed state *after* this close.
+    pub armed: bool,
+    /// Cooldown remaining *after* this close.
+    pub cooldown: u64,
+    /// First/last timestamps attributed to the window (log seconds).
+    pub start_ts: u64,
+    /// Exclusive end: the last observed timestamp in the window.
+    pub end_ts: u64,
+}
+
+impl WindowAudit {
+    /// Canonical one-line rendering. δ and Γ are IEEE-754 bit patterns so
+    /// byte-equal audit streams mean bit-equal float histories.
+    pub fn line(&self) -> String {
+        let delta = match self.delta {
+            Some(d) => format!("{:016x}", d.to_bits()),
+            None => "-".into(),
+        };
+        format!(
+            "W{} arrivals={} distinct={} delta_bits={} gamma_bits={:016x} trigger={} armed={} cooldown={} span={}..{}",
+            self.index,
+            self.arrivals,
+            self.distinct,
+            delta,
+            self.gamma.to_bits(),
+            u8::from(self.triggered),
+            u8::from(self.armed),
+            self.cooldown,
+            self.start_ts,
+            self.end_ts,
+        )
+    }
+}
+
+/// Restorable state of an [`OnlineAdvisor`] (everything except the config
+/// and clock, which the owner re-supplies). Two advisors with equal
+/// snapshots produce identical audit streams on identical future input.
+#[derive(Debug, Clone)]
+pub struct AdvisorSnapshot {
+    /// Windows closed so far.
+    pub window_index: u64,
+    /// The open (partial) window's workload.
+    pub current: Workload,
+    /// First timestamp attributed to the open window.
+    pub window_start_ts: Option<u64>,
+    /// Last timestamp observed.
+    pub last_ts: u64,
+    /// The most recently closed window (δ predecessor and redesign `W0`).
+    pub prev: Option<Workload>,
+    /// Older closed windows, oldest first (the redesign pool).
+    pub history: Vec<Workload>,
+    /// Retained past δ values (Γ resolution input).
+    pub past_deltas: Vec<f64>,
+    /// Cooldown remaining.
+    pub cooldown_left: u64,
+    /// Armed state.
+    pub armed: bool,
+    /// Window indices that triggered, in order.
+    pub triggers: Vec<u64>,
+}
+
+/// Streaming drift advisor over one ingest session.
+#[derive(Debug)]
+pub struct OnlineAdvisor {
+    config: OnlineAdvisorConfig,
+    clock: SessionClock,
+    acc: WindowAccumulator,
+    current: Workload,
+    window_start_ts: Option<u64>,
+    /// Clock anchor of the open window (ClockTime policy), ms.
+    window_start_clock_ms: Option<u64>,
+    last_ts: u64,
+    prev: Option<Workload>,
+    prev_vector: Option<WindowVector>,
+    history: VecDeque<Workload>,
+    past_deltas: VecDeque<f64>,
+    window_index: u64,
+    cooldown_left: u64,
+    armed: bool,
+    triggers: Vec<u64>,
+}
+
+impl OnlineAdvisor {
+    /// A fresh advisor.
+    pub fn new(config: OnlineAdvisorConfig, clock: SessionClock) -> Self {
+        let mask = config.mask;
+        Self {
+            config,
+            clock,
+            acc: WindowAccumulator::new(mask),
+            current: Workload::new(),
+            window_start_ts: None,
+            window_start_clock_ms: None,
+            last_ts: 0,
+            prev: None,
+            prev_vector: None,
+            history: VecDeque::new(),
+            past_deltas: VecDeque::new(),
+            window_index: 0,
+            cooldown_left: 0,
+            armed: true,
+            triggers: Vec::new(),
+        }
+    }
+
+    /// Rebuilds an advisor from a [`snapshot`](Self::snapshot). The
+    /// accumulator and δ predecessor vector are reconstructed from the
+    /// persisted workloads; raw counts are exact integers, so the rebuilt
+    /// state is bit-identical to the live one.
+    pub fn restore(config: OnlineAdvisorConfig, clock: SessionClock, s: AdvisorSnapshot) -> Self {
+        let mask = config.mask;
+        Self {
+            acc: WindowAccumulator::from_workload(&s.current, mask),
+            prev_vector: s
+                .prev
+                .as_ref()
+                .map(|w| WindowVector::from_workload(w, mask)),
+            current: s.current,
+            window_start_ts: s.window_start_ts,
+            window_start_clock_ms: None,
+            last_ts: s.last_ts,
+            prev: s.prev,
+            history: s.history.into(),
+            past_deltas: s.past_deltas.into(),
+            window_index: s.window_index,
+            cooldown_left: s.cooldown_left,
+            armed: s.armed,
+            triggers: s.triggers,
+            config,
+            clock,
+        }
+    }
+
+    /// Captures the advisor's restorable state.
+    pub fn snapshot(&self) -> AdvisorSnapshot {
+        AdvisorSnapshot {
+            window_index: self.window_index,
+            current: self.current.clone(),
+            window_start_ts: self.window_start_ts,
+            last_ts: self.last_ts,
+            prev: self.prev.clone(),
+            history: self.history.iter().cloned().collect(),
+            past_deltas: self.past_deltas.iter().copied().collect(),
+            cooldown_left: self.cooldown_left,
+            armed: self.armed,
+            triggers: self.triggers.clone(),
+        }
+    }
+
+    /// Folds one parsed arrival in. Returns the audits of every window
+    /// this arrival closed (empty almost always; time policies can close
+    /// several empty windows at once).
+    pub fn observe(&mut self, timestamp: u64, query: &Arc<Query>) -> Vec<WindowAudit> {
+        let mut audits = Vec::new();
+        // Time-based windows close *before* the arrival that overruns them
+        // is attributed to the new window.
+        match self.config.window {
+            WindowPolicy::LogTime(secs) => {
+                let secs = secs.max(1);
+                while let Some(start) = self.window_start_ts {
+                    if timestamp >= start.saturating_add(secs) {
+                        audits.push(self.close_window());
+                        // Empty interior windows advance the anchor by one
+                        // period each, like `QueryLog::windows`.
+                        self.window_start_ts = Some(start + secs);
+                    } else {
+                        break;
+                    }
+                }
+            }
+            WindowPolicy::ClockTime(secs) => {
+                let ms = secs.max(1) * 1_000;
+                let now = self.clock.now_ms();
+                while let Some(start) = self.window_start_clock_ms {
+                    if now >= start.saturating_add(ms) {
+                        audits.push(self.close_window());
+                        self.window_start_clock_ms = Some(start + ms);
+                    } else {
+                        break;
+                    }
+                }
+            }
+            WindowPolicy::Count(_) => {}
+        }
+        if self.window_start_ts.is_none() {
+            self.window_start_ts = Some(timestamp);
+        }
+        if self.window_start_clock_ms.is_none() {
+            self.window_start_clock_ms = Some(self.clock.now_ms());
+        }
+        self.last_ts = timestamp;
+        self.acc.observe(query);
+        self.current.add(Arc::clone(query), 1.0);
+        if let WindowPolicy::Count(n) = self.config.window {
+            if self.acc.arrivals() >= n.max(1) as f64 {
+                audits.push(self.close_window());
+            }
+        }
+        audits
+    }
+
+    /// Closes the open window if it holds any arrivals (end of stream).
+    pub fn finish(&mut self) -> Option<WindowAudit> {
+        (self.acc.arrivals() > 0.0).then(|| self.close_window())
+    }
+
+    fn close_window(&mut self) -> WindowAudit {
+        let vector = self.acc.take_vector();
+        let closed = std::mem::take(&mut self.current);
+        let index = self.window_index;
+        self.window_index += 1;
+
+        let gamma = self
+            .config
+            .gamma
+            .resolve(self.past_deltas.make_contiguous());
+        let delta = self
+            .prev_vector
+            .as_ref()
+            .map(|prev| window_delta(prev, &vector, self.config.n_columns));
+
+        let mut triggered = false;
+        if let Some(d) = delta {
+            if d > gamma {
+                if index >= self.config.warmup as u64 && self.armed && self.cooldown_left == 0 {
+                    triggered = true;
+                    self.armed = false;
+                    self.cooldown_left = self.config.cooldown as u64;
+                    self.triggers.push(index);
+                }
+            } else if self.cooldown_left == 0 && d <= self.config.rearm_ratio * gamma {
+                self.armed = true;
+            }
+            if !triggered && self.cooldown_left > 0 {
+                self.cooldown_left -= 1;
+            }
+            self.past_deltas.push_back(d);
+            while self.past_deltas.len() > self.config.delta_history.max(1) {
+                self.past_deltas.pop_front();
+            }
+        }
+
+        let start_ts = self.window_start_ts.unwrap_or(self.last_ts);
+        let audit = WindowAudit {
+            index,
+            arrivals: vector.total() as u64,
+            distinct: vector.support().len() as u64,
+            delta,
+            gamma,
+            triggered,
+            armed: self.armed,
+            cooldown: self.cooldown_left,
+            start_ts,
+            end_ts: self.last_ts,
+        };
+
+        // A window closes in one call, so the span is entered and dropped
+        // here; what matters is the `span` kind (the trace report's window
+        // table selects on it) and the field payload.
+        drop(
+            telemetry::event(Level::Info, "cliffguard.core.ingest.window")
+                .u64("window", index)
+                .u64("arrivals", audit.arrivals)
+                .u64("distinct", audit.distinct)
+                .f64("delta", delta.unwrap_or(0.0))
+                .f64("gamma", gamma)
+                .bool("trigger", triggered)
+                .bool("armed", self.armed)
+                .entered(),
+        );
+        if triggered {
+            telemetry::event(Level::Warn, "cliffguard.core.ingest.trigger")
+                .u64("window", index)
+                .f64("delta", delta.unwrap_or(0.0))
+                .f64("gamma", gamma)
+                .emit();
+        }
+        if let Some(c) = telemetry::counter("cliffguard.ingest.windows") {
+            c.incr(1);
+        }
+        if let Some(c) = telemetry::counter("cliffguard.ingest.arrivals") {
+            c.incr(audit.arrivals);
+        }
+        if triggered {
+            if let Some(c) = telemetry::counter("cliffguard.ingest.triggers") {
+                c.incr(1);
+            }
+        }
+        if let (Some(g), Some(d)) = (telemetry::gauge("cliffguard.ingest.delta"), delta) {
+            g.set(d);
+        }
+
+        // Rotate the closed window into the δ predecessor slot and the
+        // redesign pool.
+        if let Some(prev) = self.prev.take() {
+            self.history.push_back(prev);
+            while self.history.len() > self.config.history.max(1) {
+                self.history.pop_front();
+            }
+        }
+        self.prev = Some(closed);
+        self.prev_vector = Some(vector);
+        self.window_start_ts = None;
+        self.window_start_clock_ms = None;
+        audit
+    }
+
+    /// The most recently closed window — the `W0` a triggered redesign
+    /// runs on.
+    pub fn last_window(&self) -> Option<&Workload> {
+        self.prev.as_ref()
+    }
+
+    /// Historical queries for the redesign pool: the retained closed
+    /// windows (newest first), deduplicated by structural signature — the
+    /// same pool policy as the offline CLI.
+    pub fn design_pool(&self) -> Vec<Arc<Query>> {
+        let mut pool = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for w in self.history.iter().rev() {
+            for q in w.queries() {
+                if seen.insert(q.signature()) {
+                    pool.push(Arc::clone(q));
+                }
+            }
+        }
+        pool
+    }
+
+    /// Windows closed so far.
+    pub fn windows_closed(&self) -> u64 {
+        self.window_index
+    }
+
+    /// Window indices that fired the trigger, in order.
+    pub fn triggers(&self) -> &[u64] {
+        &self.triggers
+    }
+
+    /// Whether the trigger is currently armed.
+    pub fn armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Cooldown windows remaining.
+    pub fn cooldown_left(&self) -> u64 {
+        self.cooldown_left
+    }
+
+    /// Arrivals in the open (not yet closed) window.
+    pub fn open_arrivals(&self) -> u64 {
+        self.acc.arrivals() as u64
+    }
+
+    /// Retained past δ values, oldest first.
+    pub fn past_deltas(&self) -> impl Iterator<Item = f64> + '_ {
+        self.past_deltas.iter().copied()
+    }
+
+    /// The advisor's configuration.
+    pub fn config(&self) -> &OnlineAdvisorConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cliffguard_workload::{QueryBuilder, TableId};
+
+    const N: usize = 16;
+
+    fn q(sel: &[u32]) -> Arc<Query> {
+        Arc::new(QueryBuilder::new(TableId(0)).select(sel).build())
+    }
+
+    fn config(window: usize) -> OnlineAdvisorConfig {
+        OnlineAdvisorConfig {
+            window: WindowPolicy::Count(window),
+            gamma: GammaPolicy::Fixed(1e-3),
+            ..OnlineAdvisorConfig::new(N)
+        }
+    }
+
+    /// Feeds 4-arrival windows over `windows`: regime A is {1,2}/{3},
+    /// regime B is {8,9}/{10} — the regime of window `w` is the number of
+    /// episode indices in `eps` that are ≤ `w`, so replays may start at any
+    /// window offset.
+    fn drive(
+        advisor: &mut OnlineAdvisor,
+        windows: std::ops::Range<usize>,
+        eps: &[usize],
+    ) -> Vec<WindowAudit> {
+        let mut audits = Vec::new();
+        for w in windows {
+            let regime = eps.iter().filter(|&&e| e <= w).count();
+            let (a, b) = if regime % 2 == 0 {
+                (q(&[1, 2]), q(&[3]))
+            } else {
+                (q(&[8, 9]), q(&[10]))
+            };
+            for i in 0..4usize {
+                let ts = (w * 100 + i * 10) as u64;
+                let query = if i % 2 == 0 { &a } else { &b };
+                audits.extend(advisor.observe(ts, query));
+            }
+        }
+        audits
+    }
+
+    #[test]
+    fn triggers_exactly_at_episodes() {
+        let mut adv = OnlineAdvisor::new(config(4), SessionClock::virtual_clock());
+        let audits = drive(&mut adv, 0..10, &[4, 8]);
+        assert_eq!(audits.len(), 10);
+        let fired: Vec<u64> = audits
+            .iter()
+            .filter(|a| a.triggered)
+            .map(|a| a.index)
+            .collect();
+        assert_eq!(fired, vec![4, 8]);
+        assert_eq!(adv.triggers(), &[4, 8]);
+        // Same-regime windows have exactly zero δ.
+        for a in &audits {
+            if ![4u64, 8].contains(&a.index) {
+                assert_eq!(a.delta.unwrap_or(0.0), 0.0, "window {}", a.index);
+            }
+        }
+    }
+
+    #[test]
+    fn warmup_suppresses_early_triggers() {
+        let mut cfg = config(4);
+        cfg.warmup = 3;
+        let mut adv = OnlineAdvisor::new(cfg, SessionClock::virtual_clock());
+        // Episode at window 1: inside warmup, must not fire.
+        let audits = drive(&mut adv, 0..4, &[1]);
+        assert!(audits.iter().all(|a| !a.triggered));
+    }
+
+    #[test]
+    fn hysteresis_fires_once_per_excursion() {
+        // Oscillate every window: A B A B … — δ exceeds Γ at every close
+        // after the first. Exactly one trigger; the advisor never re-arms
+        // because δ never settles.
+        let mut cfg = config(4);
+        cfg.cooldown = 0;
+        let mut adv = OnlineAdvisor::new(cfg, SessionClock::virtual_clock());
+        let eps: Vec<usize> = (1..10).collect();
+        let audits = drive(&mut adv, 0..10, &eps);
+        let fired: Vec<u64> = audits
+            .iter()
+            .filter(|a| a.triggered)
+            .map(|a| a.index)
+            .collect();
+        assert_eq!(fired, vec![1], "oscillation must not thrash redesigns");
+        assert!(!adv.armed());
+    }
+
+    #[test]
+    fn cooldown_defers_the_next_trigger() {
+        let mut cfg = config(4);
+        cfg.cooldown = 3;
+        let mut adv = OnlineAdvisor::new(cfg, SessionClock::virtual_clock());
+        // Episodes at 2 and 4: the second falls inside the first's
+        // cooldown (and pre-re-arm), so only window 2 fires.
+        let audits = drive(&mut adv, 0..8, &[2, 4]);
+        let fired: Vec<u64> = audits
+            .iter()
+            .filter(|a| a.triggered)
+            .map(|a| a.index)
+            .collect();
+        assert_eq!(fired, vec![2]);
+    }
+
+    #[test]
+    fn log_time_windows_close_on_timestamp_and_pad_gaps() {
+        let mut cfg = config(0);
+        cfg.window = WindowPolicy::LogTime(100);
+        let mut adv = OnlineAdvisor::new(cfg, SessionClock::virtual_clock());
+        let query = q(&[1]);
+        assert!(adv.observe(10, &query).is_empty());
+        assert!(adv.observe(50, &query).is_empty());
+        // 10 + 100 = 110 ≤ 350: closes [10,110), then two empty windows.
+        let audits = adv.observe(350, &query);
+        assert_eq!(audits.len(), 3);
+        assert_eq!(audits[0].arrivals, 2);
+        assert_eq!(audits[1].arrivals, 0);
+        assert_eq!(audits[2].arrivals, 0);
+        assert_eq!(adv.open_arrivals(), 1);
+    }
+
+    #[test]
+    fn clock_time_windows_use_the_session_clock() {
+        let clock = SessionClock::virtual_clock();
+        let mut cfg = config(0);
+        cfg.window = WindowPolicy::ClockTime(1);
+        let mut adv = OnlineAdvisor::new(cfg, clock.clone());
+        let query = q(&[1]);
+        assert!(adv.observe(1, &query).is_empty());
+        clock.advance_ms(1_500);
+        let audits = adv.observe(2, &query);
+        assert_eq!(audits.len(), 1);
+        assert_eq!(audits[0].arrivals, 1);
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical() {
+        let eps = [4usize, 8];
+        let cfg = config(4);
+        let mut whole = OnlineAdvisor::new(cfg.clone(), SessionClock::virtual_clock());
+        let mut cut = OnlineAdvisor::new(cfg.clone(), SessionClock::virtual_clock());
+        let full: Vec<String> = drive(&mut whole, 0..10, &eps)
+            .iter()
+            .map(|a| a.line())
+            .collect();
+
+        // Drive the second advisor halfway (6 windows + 2 arrivals of
+        // window 6, regime B), then kill and restore mid-window.
+        let mut first_half: Vec<String> = drive(&mut cut, 0..6, &eps)
+            .iter()
+            .map(|a| a.line())
+            .collect();
+        for (i, query) in [q(&[8, 9]), q(&[10])].iter().enumerate() {
+            assert!(cut.observe((600 + i * 10) as u64, query).is_empty());
+        }
+        let snap = cut.snapshot();
+        drop(cut);
+        let mut resumed = OnlineAdvisor::restore(cfg, SessionClock::virtual_clock(), snap);
+        for (i, query) in [q(&[8, 9]), q(&[10])].iter().enumerate() {
+            first_half.extend(
+                resumed
+                    .observe((600 + (i + 2) * 10) as u64, query)
+                    .iter()
+                    .map(|a| a.line()),
+            );
+        }
+        first_half.extend(drive(&mut resumed, 7..10, &eps).iter().map(|a| a.line()));
+        assert_eq!(first_half, full, "kill/resume must replay byte-identically");
+        assert_eq!(resumed.triggers(), &[4, 8]);
+    }
+
+    #[test]
+    fn finish_closes_the_partial_window() {
+        let mut adv = OnlineAdvisor::new(config(100), SessionClock::virtual_clock());
+        assert!(adv.finish().is_none());
+        let _ = adv.observe(5, &q(&[1]));
+        let audit = adv.finish().expect("partial window must close");
+        assert_eq!(audit.arrivals, 1);
+        assert_eq!(adv.open_arrivals(), 0);
+        assert!(adv.finish().is_none(), "finish is idempotent");
+    }
+
+    #[test]
+    fn design_pool_dedupes_history() {
+        let mut adv = OnlineAdvisor::new(config(2), SessionClock::virtual_clock());
+        for w in 0..5u64 {
+            let _ = adv.observe(w * 10, &q(&[1, 2]));
+            let _ = adv.observe(w * 10 + 5, &q(&[3]));
+        }
+        // 5 closed windows: 1 in `prev`, 4 in history — all identical.
+        let pool = adv.design_pool();
+        assert_eq!(pool.len(), 2, "pool must dedupe by signature");
+        assert!(adv.last_window().is_some());
+    }
+
+    #[test]
+    fn audit_lines_are_stable() {
+        let audit = WindowAudit {
+            index: 3,
+            arrivals: 64,
+            distinct: 6,
+            delta: Some(0.015625),
+            gamma: 0.001,
+            triggered: true,
+            armed: false,
+            cooldown: 1,
+            start_ts: 300,
+            end_ts: 390,
+        };
+        assert_eq!(
+            audit.line(),
+            "W3 arrivals=64 distinct=6 delta_bits=3f90000000000000 \
+             gamma_bits=3f50624dd2f1a9fc trigger=1 armed=0 cooldown=1 span=300..390"
+        );
+    }
+}

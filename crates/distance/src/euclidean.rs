@@ -13,7 +13,7 @@ use crate::vector::{diff_support, ReprKey};
 use cliffguard_workload::Workload;
 
 /// Evaluates the quadratic form over a sparse difference support.
-fn quadratic_form(diff: &[(ReprKey, f64)], n_columns: usize) -> f64 {
+pub(crate) fn quadratic_form(diff: &[(ReprKey, f64)], n_columns: usize) -> f64 {
     if diff.is_empty() {
         return 0.0;
     }

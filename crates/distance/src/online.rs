@@ -1,0 +1,299 @@
+//! Incremental per-window workload vectors for streaming δ.
+//!
+//! The batch metric ([`DeltaEuclidean`](crate::DeltaEuclidean)) rescans two
+//! whole workloads per evaluation. A streaming ingester instead folds each
+//! arrival into a [`WindowAccumulator`] in O(1), seals the window into a
+//! [`WindowVector`] (a sorted sparse support of **raw counts**), and
+//! evaluates the inter-window δ with [`window_delta`] — a sorted-merge of
+//! the two supports feeding the same Eq. (9) quadratic form.
+//!
+//! # Determinism
+//!
+//! Raw counts are sums of exactly-representable integers, so the
+//! accumulated support is **bit-identical** for any arrival grouping —
+//! live streaming, chunked replay at any chunk size, or a rebuild from a
+//! persisted [`Workload`] whose entries were pre-aggregated by signature.
+//! Normalization divides each count by the window total once, in the
+//! canonical sorted-key order, so `window_delta` is bit-reproducible
+//! across runs, chunkings, thread counts, and kill/resume.
+//!
+//! `window_delta` agrees with `DeltaEuclidean::distance` on the same pair
+//! of windows up to f64 rounding (it normalizes per representation rather
+//! than per workload entry; the recurrence is tested against the batch
+//! metric at 1e-12).
+
+use crate::euclidean::quadratic_form;
+use crate::metric::ClauseMask;
+use crate::vector::ReprKey;
+use cliffguard_workload::{Query, Workload};
+use std::collections::HashMap;
+
+/// Accumulates one window's sparse representation support, arrival by
+/// arrival.
+#[derive(Debug, Clone)]
+pub struct WindowAccumulator {
+    mask: ClauseMask,
+    counts: HashMap<ReprKey, f64>,
+    arrivals: f64,
+}
+
+impl WindowAccumulator {
+    /// An empty accumulator under the given clause mask.
+    pub fn new(mask: ClauseMask) -> Self {
+        Self {
+            mask,
+            counts: HashMap::new(),
+            arrivals: 0.0,
+        }
+    }
+
+    /// An empty accumulator under the paper's default `SWGO` mask.
+    pub fn swgo() -> Self {
+        Self::new(ClauseMask::SWGO)
+    }
+
+    /// Folds one arrival (weight 1) into the window.
+    pub fn observe(&mut self, query: &Query) {
+        self.observe_weighted(query, 1.0);
+    }
+
+    /// Folds `weight` arrivals of `query` at once — the rebuild path for a
+    /// window persisted as a [`Workload`] (whose entries aggregate repeats
+    /// by signature). Integer weights keep the support exact.
+    pub fn observe_weighted(&mut self, query: &Query, weight: f64) {
+        *self
+            .counts
+            .entry(ReprKey::union_of(query, self.mask))
+            .or_insert(0.0) += weight;
+        self.arrivals += weight;
+    }
+
+    /// Arrivals folded in so far (sum of weights).
+    pub fn arrivals(&self) -> f64 {
+        self.arrivals
+    }
+
+    /// Distinct representation keys so far.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Seals the window into its canonical sorted vector and resets the
+    /// accumulator for the next window (keeping the allocation).
+    pub fn take_vector(&mut self) -> WindowVector {
+        let mut support: Vec<(ReprKey, f64)> = self.counts.drain().collect();
+        support.sort_by(|a, b| a.0.cmp(&b.0));
+        let total = self.arrivals;
+        self.arrivals = 0.0;
+        WindowVector { support, total }
+    }
+
+    /// Rebuilds the accumulator state of a whole window from its persisted
+    /// [`Workload`] form.
+    pub fn from_workload(workload: &Workload, mask: ClauseMask) -> Self {
+        let mut acc = Self::new(mask);
+        for (q, w) in workload.iter() {
+            acc.observe_weighted(q, w);
+        }
+        acc
+    }
+}
+
+/// One sealed window: sorted `(representation, raw count)` support plus the
+/// window total.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowVector {
+    support: Vec<(ReprKey, f64)>,
+    total: f64,
+}
+
+impl WindowVector {
+    /// The sorted raw-count support.
+    pub fn support(&self) -> &[(ReprKey, f64)] {
+        &self.support
+    }
+
+    /// Total arrivals in the window.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Whether the window saw no arrivals.
+    pub fn is_empty(&self) -> bool {
+        self.support.is_empty() || self.total <= 0.0
+    }
+
+    /// Builds the sealed vector of `workload` directly.
+    pub fn from_workload(workload: &Workload, mask: ClauseMask) -> Self {
+        WindowAccumulator::from_workload(workload, mask).take_vector()
+    }
+
+    /// This window's normalized coordinate for `key` (0 when absent).
+    fn normalized(&self, idx: usize) -> f64 {
+        self.support[idx].1 / self.total
+    }
+}
+
+/// Eq. (9) δ between two sealed windows over `n_columns` database columns.
+///
+/// An empty window contributes no coordinates (matching how the batch
+/// metric treats an empty workload). The result is bit-reproducible: both
+/// supports are in canonical key order and every term is an exact function
+/// of the raw counts and totals.
+pub fn window_delta(a: &WindowVector, b: &WindowVector, n_columns: usize) -> f64 {
+    let mut diff: Vec<(ReprKey, f64)> = Vec::with_capacity(a.support.len() + b.support.len());
+    let (mut i, mut j) = (0, 0);
+    let a_empty = a.is_empty();
+    let b_empty = b.is_empty();
+    while i < a.support.len() || j < b.support.len() {
+        let take_a =
+            j >= b.support.len() || (i < a.support.len() && a.support[i].0 <= b.support[j].0);
+        let take_b =
+            i >= a.support.len() || (j < b.support.len() && b.support[j].0 <= a.support[i].0);
+        let (key, d) = match (take_a, take_b) {
+            (true, true) => {
+                let d = if a_empty { 0.0 } else { a.normalized(i) }
+                    - if b_empty { 0.0 } else { b.normalized(j) };
+                let k = a.support[i].0.clone();
+                i += 1;
+                j += 1;
+                (k, d)
+            }
+            (true, false) => {
+                let d = if a_empty { 0.0 } else { a.normalized(i) };
+                let k = a.support[i].0.clone();
+                i += 1;
+                (k, d)
+            }
+            (false, true) => {
+                let d = -if b_empty { 0.0 } else { b.normalized(j) };
+                let k = b.support[j].0.clone();
+                j += 1;
+                (k, d)
+            }
+            (false, false) => unreachable!("merge must advance"),
+        };
+        let abs = d.abs();
+        if abs > 1e-15 {
+            diff.push((key, abs));
+        }
+    }
+    quadratic_form(&diff, n_columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::WorkloadDistance;
+    use crate::DeltaEuclidean;
+    use cliffguard_workload::{QueryBuilder, TableId};
+
+    const N: usize = 16;
+
+    fn q(sel: &[u32]) -> Query {
+        QueryBuilder::new(TableId(0)).select(sel).build()
+    }
+
+    fn vec_of(entries: &[(&[u32], f64)]) -> WindowVector {
+        let mut acc = WindowAccumulator::swgo();
+        for &(sel, w) in entries {
+            acc.observe_weighted(&q(sel), w);
+        }
+        acc.take_vector()
+    }
+
+    #[test]
+    fn identical_windows_have_exactly_zero_delta() {
+        let a = vec_of(&[(&[1, 2], 3.0), (&[3], 1.0)]);
+        let b = vec_of(&[(&[1, 2], 3.0), (&[3], 1.0)]);
+        assert_eq!(window_delta(&a, &b, N), 0.0);
+    }
+
+    #[test]
+    fn accumulation_order_is_invisible() {
+        let mut fwd = WindowAccumulator::swgo();
+        let mut rev = WindowAccumulator::swgo();
+        let queries: Vec<Query> = (0..40).map(|i| q(&[i % 7, (i * 3) % 11])).collect();
+        for query in &queries {
+            fwd.observe(query);
+        }
+        for query in queries.iter().rev() {
+            rev.observe(query);
+        }
+        let (a, b) = (fwd.take_vector(), rev.take_vector());
+        assert_eq!(a, b, "raw-count supports must be bit-identical");
+        let other = vec_of(&[(&[9, 10], 5.0)]);
+        assert_eq!(
+            window_delta(&a, &other, N).to_bits(),
+            window_delta(&b, &other, N).to_bits()
+        );
+    }
+
+    #[test]
+    fn rebuild_from_workload_matches_live_accumulation() {
+        let mut live = WindowAccumulator::swgo();
+        let mut w = Workload::new();
+        for i in 0..30 {
+            let query = q(&[i % 5, (i * 2) % 9]);
+            live.observe(&query);
+            w.add(query.into(), 1.0);
+        }
+        let rebuilt = WindowVector::from_workload(&w, ClauseMask::SWGO);
+        assert_eq!(live.take_vector(), rebuilt);
+    }
+
+    #[test]
+    fn agrees_with_the_batch_metric() {
+        let mut wa = Workload::new();
+        let mut wb = Workload::new();
+        let mut aa = WindowAccumulator::swgo();
+        let mut ab = WindowAccumulator::swgo();
+        for i in 0..25u32 {
+            let qa = q(&[i % 4, 8 + i % 3]);
+            let qb = q(&[i % 6, 4 + i % 5]);
+            aa.observe(&qa);
+            ab.observe(&qb);
+            wa.add(qa.into(), 1.0);
+            wb.add(qb.into(), 1.0);
+        }
+        let online = window_delta(&aa.take_vector(), &ab.take_vector(), N);
+        let batch = DeltaEuclidean::new(N).distance(&wa, &wb);
+        assert!(
+            (online - batch).abs() < 1e-12,
+            "online {online} vs batch {batch}"
+        );
+    }
+
+    #[test]
+    fn empty_windows_match_batch_semantics() {
+        let empty = WindowAccumulator::swgo().take_vector();
+        assert!(empty.is_empty());
+        let single = vec_of(&[(&[1], 2.0)]);
+        let multi = vec_of(&[(&[1], 1.0), (&[2, 3], 1.0)]);
+        // Mirror DeltaEuclidean: single-coordinate diff has no pairs.
+        assert_eq!(window_delta(&empty, &single, N), 0.0);
+        let batch = DeltaEuclidean::new(N).distance(&Workload::new(), &{
+            let mut w = Workload::new();
+            w.add(q(&[1]).into(), 1.0);
+            w.add(q(&[2, 3]).into(), 1.0);
+            w
+        });
+        let online = window_delta(&empty, &multi, N);
+        assert!((online - batch).abs() < 1e-12);
+        assert_eq!(window_delta(&empty, &empty, N), 0.0);
+    }
+
+    #[test]
+    fn take_vector_resets_for_the_next_window() {
+        let mut acc = WindowAccumulator::swgo();
+        acc.observe(&q(&[1]));
+        let first = acc.take_vector();
+        assert_eq!(first.total(), 1.0);
+        assert_eq!(acc.arrivals(), 0.0);
+        assert_eq!(acc.distinct(), 0);
+        acc.observe(&q(&[2]));
+        let second = acc.take_vector();
+        assert_eq!(second.total(), 1.0);
+        assert_ne!(first, second);
+    }
+}

@@ -42,17 +42,21 @@
 //! bit-identical to an uninterrupted run, per the session-layer resume
 //! guarantee.
 
+use crate::ingest::IngestSession;
 use crate::protocol::{
-    parse_request, DesignStatus, FlightInfo, MetricsFormat, Request, Response, MAX_FRAME_BYTES,
+    parse_request, DesignStatus, FlightInfo, IngestRequest, MetricsFormat, Request, Response,
+    MAX_FRAME_BYTES,
 };
 use crate::runner::{run_design, RunOutcome, RunnerOptions};
 use crate::scheduler::WorkerPool;
 use crate::store::CheckpointStore;
 use crate::tenant::TenantRegistry;
+use cliffguard_resilience::SessionClock;
 use cliffguard_telemetry::{
     self as telemetry, render_prometheus, FlightRecorder, Level, DEFAULT_FLIGHT_CAPACITY,
 };
 use serde::Value;
+use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpListener;
 use std::path::PathBuf;
@@ -196,6 +200,11 @@ pub struct Daemon {
     pool: WorkerPool<RunOutcome>,
     tenants: TenantRegistry,
     in_flight: Vec<InFlight>,
+    /// Per-tenant streaming ingest sessions, keyed by tenant. Handled
+    /// synchronously (no pool, no barrier); with a state directory each
+    /// session is persisted after every frame and lazily reloaded, so
+    /// kill/resume replays the trigger history byte-identically.
+    ingests: HashMap<String, IngestSession>,
     next_seq: u64,
     completed: u64,
     /// Most recent flight-recorder dump collected at a drain barrier,
@@ -227,6 +236,7 @@ impl Daemon {
             config,
             tenants: TenantRegistry::new(),
             in_flight: Vec::new(),
+            ingests: HashMap::new(),
             next_seq,
             completed: 0,
             last_flight: None,
@@ -455,6 +465,90 @@ impl Daemon {
         }
     }
 
+    /// The clock handed to ingest sessions: virtual under
+    /// `virtual_time` (deterministic `ClockTime` windows), system
+    /// otherwise.
+    fn ingest_clock(&self) -> SessionClock {
+        if self.config.virtual_time {
+            SessionClock::virtual_clock()
+        } else {
+            SessionClock::system()
+        }
+    }
+
+    /// Handles one `ingest` frame synchronously: find (or lazily reload,
+    /// or create) the tenant's streaming session, feed the chunk, persist
+    /// the snapshot, answer. On `eof` the session is finalized and its
+    /// snapshot removed.
+    fn handle_ingest(&mut self, seq: u64, req: IngestRequest) -> Response {
+        let tenant = req.tenant.clone();
+        if !self.ingests.contains_key(&tenant) {
+            // Lazily reload a snapshot a previous daemon persisted: the
+            // resumed session replays the rest of the tape bit-identically
+            // to an uninterrupted run.
+            let loaded = self
+                .store
+                .as_ref()
+                .and_then(|s| s.load_ingest(&tenant))
+                .map(|json| IngestSession::from_json(&json, self.ingest_clock()));
+            match loaded {
+                Some(Ok(session)) => {
+                    self.tenants.stats_mut(&tenant).resumed += 1;
+                    self.ingests.insert(tenant.clone(), session);
+                }
+                Some(Err(e)) => {
+                    return Response::Error {
+                        seq,
+                        reason: format!("ingest: corrupt snapshot for `{tenant}`: {e}"),
+                    };
+                }
+                None => match IngestSession::create(&req, self.ingest_clock()) {
+                    Ok(session) => {
+                        self.tenants.stats_mut(&tenant).admitted += 1;
+                        self.ingests.insert(tenant.clone(), session);
+                    }
+                    Err(reason) => return Response::Error { seq, reason },
+                },
+            }
+        }
+        let session = self.ingests.get_mut(&tenant).expect("just inserted");
+        let audits = session.feed(&req.chunk, req.eof);
+        for audit in &audits {
+            telemetry::event(Level::Info, "cliffguard.serve.ingest.window")
+                .u64("seq", seq)
+                .str("tenant", &tenant)
+                .u64("window", audit.index)
+                .bool("triggered", audit.triggered)
+                .emit();
+        }
+        let advisor = session.advisor();
+        let stats = session.stats();
+        let response = Response::Ingest {
+            seq,
+            tenant: tenant.clone(),
+            windows: advisor.windows_closed(),
+            audits: audits.iter().map(|a| a.line()).collect(),
+            triggers: advisor.triggers().to_vec(),
+            armed: advisor.armed(),
+            cooldown: advisor.cooldown_left(),
+            parsed: stats.parsed,
+            skipped: stats.skipped_sql + stats.skipped_malformed,
+            closed: req.eof,
+        };
+        if req.eof {
+            self.ingests.remove(&tenant);
+            if let Some(store) = &self.store {
+                let _ = store.remove_ingest(&tenant);
+            }
+        } else if let Some(store) = &self.store {
+            // Snapshot before the answer leaves: a crash after this point
+            // resumes from a state the tenant's next frame expects.
+            let json = self.ingests[&tenant].to_json();
+            let _ = store.save_ingest(&tenant, &json);
+        }
+        response
+    }
+
     fn status_snapshot(&self) -> Value {
         Value::Map(vec![
             (
@@ -605,6 +699,14 @@ impl Daemon {
                         )?;
                     }
                     self.submit(seq, *req, None, false);
+                }
+                Ok(Request::Ingest(req)) => {
+                    // Streaming ingest is synchronous: no pool, no drain
+                    // barrier — the frame is answered (and the session
+                    // snapshot persisted) before the next frame is read.
+                    let resp = self.handle_ingest(seq, *req);
+                    writeln!(out, "{}", resp.to_line())?;
+                    out.flush()?;
                 }
                 Ok(Request::Status) => {
                     let snap = scrape && fresh;

@@ -25,7 +25,7 @@
 //! ```
 
 use crate::daemon::{Daemon, ServeConfig};
-use crate::protocol::{DesignRequest, Request};
+use crate::protocol::{DesignRequest, IngestRequest, Request};
 use std::fmt;
 use std::io::{self, BufReader, Cursor};
 use std::path::PathBuf;
@@ -64,6 +64,11 @@ impl std::error::Error for HarnessError {
 /// Renders a design request as the protocol line a client would send.
 pub fn design_line(req: &DesignRequest) -> String {
     Request::Design(Box::new(req.clone())).to_line()
+}
+
+/// Renders an ingest frame as the protocol line a client would send.
+pub fn ingest_line(req: &IngestRequest) -> String {
+    Request::Ingest(Box::new(req.clone())).to_line()
 }
 
 /// A deterministic, in-process driver for [`Daemon`].

@@ -1,0 +1,418 @@
+//! Per-tenant streaming-ingest sessions behind the `ingest` verb.
+//!
+//! An [`IngestSession`] pairs a [`LogStream`] (chunked statement
+//! splitting + parse cache) with an [`OnlineAdvisor`] (sliding windows,
+//! incremental δ, Γ trigger) for one tenant. The daemon feeds it each
+//! `ingest` frame synchronously — no worker pool, no drain barrier — and
+//! persists [`to_json`](IngestSession::to_json) after every frame, so a
+//! killed daemon restarted on the same state directory resumes the
+//! session mid-stream and replays the remaining chunks to a
+//! byte-identical window-audit and trigger history.
+//!
+//! The persistence surface is exact by construction: window workloads are
+//! integer-weighted (raw counts survive JSON), δ history travels as
+//! IEEE-754 bit patterns, and the stream carry is a byte array (a chunk
+//! may end mid-UTF-8-sequence, so it is *not* a JSON string).
+
+use crate::protocol::{GammaSpec, IngestRequest};
+use cliffguard_core::gamma::GammaPolicy;
+use cliffguard_core::{
+    AdvisorSnapshot, OnlineAdvisor, OnlineAdvisorConfig, WindowAudit, WindowPolicy,
+};
+use cliffguard_resilience::SessionClock;
+use cliffguard_storage::Catalog;
+use cliffguard_workload::{LogStream, Query, StreamStats, Workload};
+use serde::{map_get, Deserialize, Serialize, Value};
+use std::sync::Arc;
+
+/// One tenant's live streaming-ingest state.
+#[derive(Debug)]
+pub struct IngestSession {
+    tenant: String,
+    /// The catalog as received on the wire, persisted verbatim so the
+    /// snapshot re-parses with identical inputs.
+    catalog_value: Value,
+    catalog: Catalog,
+    stream: LogStream,
+    advisor: OnlineAdvisor,
+}
+
+impl IngestSession {
+    /// Opens a session from its first frame. Fails (with a wire-ready
+    /// reason) when the frame carries no catalog, a bad catalog, or
+    /// drift knobs the advisor rejects.
+    pub fn create(req: &IngestRequest, clock: SessionClock) -> Result<Self, String> {
+        let Some(catalog_value) = &req.catalog else {
+            return Err(format!(
+                "ingest: no session for tenant `{}` — the first frame must carry a catalog",
+                req.tenant
+            ));
+        };
+        let mut catalog =
+            Catalog::from_value(catalog_value).map_err(|e| format!("ingest: bad catalog: {e}"))?;
+        catalog.rebuild_index();
+        let config = advisor_config(&catalog, req);
+        Ok(Self {
+            tenant: req.tenant.clone(),
+            catalog_value: catalog_value.clone(),
+            catalog,
+            stream: LogStream::new(),
+            advisor: OnlineAdvisor::new(config, clock),
+        })
+    }
+
+    /// The tenant this session belongs to.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Feeds one chunk (boundaries may fall anywhere); `eof` flushes the
+    /// trailing partial line and closes the open window. Returns the
+    /// audits of every window this frame closed, in close order.
+    pub fn feed(&mut self, chunk: &str, eof: bool) -> Vec<WindowAudit> {
+        let mut audits = Vec::new();
+        let advisor = &mut self.advisor;
+        {
+            let mut sink = |ts: u64, _id, q: &Arc<Query>| audits.extend(advisor.observe(ts, q));
+            self.stream.feed(chunk.as_bytes(), &self.catalog, &mut sink);
+            if eof {
+                self.stream.finish(&self.catalog, &mut sink);
+            }
+        }
+        if eof {
+            audits.extend(advisor.finish());
+        }
+        audits
+    }
+
+    /// The drift advisor (trigger history, armed state, window count).
+    pub fn advisor(&self) -> &OnlineAdvisor {
+        &self.advisor
+    }
+
+    /// The stream's parse counters.
+    pub fn stats(&self) -> &StreamStats {
+        self.stream.stats()
+    }
+
+    /// Serializes the session's restorable state as one JSON document.
+    pub fn to_json(&self) -> String {
+        let cfg = self.advisor.config();
+        let mut m = vec![
+            ("version".into(), Value::U64(1)),
+            ("tenant".into(), Value::Str(self.tenant.clone())),
+            ("catalog".into(), self.catalog_value.clone()),
+        ];
+        match cfg.window {
+            WindowPolicy::Count(n) => m.push(("window_count".into(), Value::U64(n as u64))),
+            WindowPolicy::LogTime(s) => m.push(("window_log_secs".into(), Value::U64(s))),
+            WindowPolicy::ClockTime(s) => m.push(("window_clock_secs".into(), Value::U64(s))),
+        }
+        match cfg.gamma {
+            GammaPolicy::Fixed(g) => m.push(("gamma_bits".into(), Value::U64(g.to_bits()))),
+            // Every non-fixed policy the wire can produce is `auto`.
+            _ => m.push(("gamma".into(), Value::Str("auto".into()))),
+        }
+        m.push(("warmup".into(), Value::U64(cfg.warmup as u64)));
+        m.push(("cooldown".into(), Value::U64(cfg.cooldown as u64)));
+        m.push((
+            "carry".into(),
+            Value::Seq(
+                self.stream
+                    .carry()
+                    .iter()
+                    .map(|&b| Value::U64(b as u64))
+                    .collect(),
+            ),
+        ));
+        let stats = self.stream.stats();
+        m.push((
+            "stats".into(),
+            Value::Map(vec![
+                ("parsed".into(), Value::U64(stats.parsed)),
+                ("skipped_sql".into(), Value::U64(stats.skipped_sql)),
+                (
+                    "skipped_malformed".into(),
+                    Value::U64(stats.skipped_malformed),
+                ),
+                ("lines".into(), Value::U64(stats.lines)),
+                ("bytes".into(), Value::U64(stats.bytes)),
+            ]),
+        ));
+        m.push((
+            "cache_resets".into(),
+            Value::U64(self.stream.cache_resets()),
+        ));
+        m.push((
+            "advisor".into(),
+            snapshot_to_value(&self.advisor.snapshot()),
+        ));
+        serde_json::to_string(&Value::Map(m)).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+    }
+
+    /// Rebuilds a session from [`to_json`](Self::to_json). The restored
+    /// advisor state is bit-identical to the live one (integer window
+    /// counts, bit-pattern δ history), so replaying the remaining chunks
+    /// yields the same audits and triggers as an uninterrupted run.
+    pub fn from_json(json: &str, clock: SessionClock) -> Result<Self, String> {
+        let v: Value = serde_json::from_str(json).map_err(|e| format!("bad JSON: {e}"))?;
+        let m = v.as_map().ok_or("snapshot must be a JSON object")?;
+        let version = u64::from_value(map_get(m, "version")).map_err(|e| e.to_string())?;
+        if version != 1 {
+            return Err(format!("unsupported ingest snapshot version {version}"));
+        }
+        let tenant = String::from_value(map_get(m, "tenant")).map_err(|e| e.to_string())?;
+        let catalog_value = map_get(m, "catalog").clone();
+        let mut catalog =
+            Catalog::from_value(&catalog_value).map_err(|e| format!("bad catalog: {e}"))?;
+        catalog.rebuild_index();
+
+        let mut config = OnlineAdvisorConfig::new(catalog.column_count());
+        config.window = match (
+            map_get(m, "window_count"),
+            map_get(m, "window_log_secs"),
+            map_get(m, "window_clock_secs"),
+        ) {
+            (Value::U64(n), ..) => WindowPolicy::Count(*n as usize),
+            (_, Value::U64(s), _) => WindowPolicy::LogTime(*s),
+            (_, _, Value::U64(s)) => WindowPolicy::ClockTime(*s),
+            _ => return Err("snapshot carries no window policy".into()),
+        };
+        config.gamma = match map_get(m, "gamma_bits") {
+            Value::U64(bits) => GammaPolicy::Fixed(f64::from_bits(*bits)),
+            _ => GammaPolicy::KMaxPastDeltas(1.5),
+        };
+        config.warmup = u64::from_value(map_get(m, "warmup")).map_err(|e| e.to_string())? as usize;
+        config.cooldown =
+            u64::from_value(map_get(m, "cooldown")).map_err(|e| e.to_string())? as usize;
+
+        let carry: Vec<u64> = Vec::from_value(map_get(m, "carry")).map_err(|e| e.to_string())?;
+        let carry: Vec<u8> = carry.into_iter().map(|b| b as u8).collect();
+        let sm = map_get(m, "stats")
+            .as_map()
+            .ok_or("snapshot stats must be an object")?;
+        let stat = |key: &str| u64::from_value(map_get(sm, key)).map_err(|e| e.to_string());
+        let stats = StreamStats {
+            parsed: stat("parsed")?,
+            skipped_sql: stat("skipped_sql")?,
+            skipped_malformed: stat("skipped_malformed")?,
+            lines: stat("lines")?,
+            bytes: stat("bytes")?,
+        };
+        let cache_resets =
+            u64::from_value(map_get(m, "cache_resets")).map_err(|e| e.to_string())?;
+        let snapshot = snapshot_from_value(map_get(m, "advisor"))?;
+        Ok(Self {
+            tenant,
+            catalog_value,
+            catalog,
+            stream: LogStream::restore(carry, stats, cache_resets),
+            advisor: OnlineAdvisor::restore(config, clock, snapshot),
+        })
+    }
+}
+
+/// Maps the wire knobs onto an advisor config over `catalog`'s columns.
+fn advisor_config(catalog: &Catalog, req: &IngestRequest) -> OnlineAdvisorConfig {
+    let mut config = OnlineAdvisorConfig::new(catalog.column_count());
+    config.window = match (req.window, req.window_secs) {
+        (Some(n), _) => WindowPolicy::Count(n as usize),
+        (None, Some(s)) => WindowPolicy::LogTime(s),
+        (None, None) => WindowPolicy::Count(64),
+    };
+    config.gamma = match req.gamma {
+        GammaSpec::Auto => GammaPolicy::KMaxPastDeltas(1.5),
+        GammaSpec::Fixed(g) => GammaPolicy::Fixed(g),
+    };
+    config.warmup = req.warmup as usize;
+    config.cooldown = req.cooldown as usize;
+    config
+}
+
+fn workload_to_value(w: &Workload) -> Value {
+    w.to_value()
+}
+
+fn workload_from_value(v: &Value) -> Result<Workload, String> {
+    let mut w = Workload::from_value(v).map_err(|e| e.to_string())?;
+    // The signature index is `#[serde(skip)]`; rebuild it so later
+    // arrivals still accumulate instead of duplicating entries.
+    w.rebuild_index();
+    Ok(w)
+}
+
+fn snapshot_to_value(s: &AdvisorSnapshot) -> Value {
+    Value::Map(vec![
+        ("window_index".into(), Value::U64(s.window_index)),
+        ("current".into(), workload_to_value(&s.current)),
+        (
+            "window_start_ts".into(),
+            match s.window_start_ts {
+                Some(ts) => Value::U64(ts),
+                None => Value::Null,
+            },
+        ),
+        ("last_ts".into(), Value::U64(s.last_ts)),
+        (
+            "prev".into(),
+            match &s.prev {
+                Some(w) => workload_to_value(w),
+                None => Value::Null,
+            },
+        ),
+        (
+            "history".into(),
+            Value::Seq(s.history.iter().map(workload_to_value).collect()),
+        ),
+        (
+            // δ values as bit patterns: the Γ resolution a resumed run
+            // performs must see the exact floats the live run retained.
+            "past_delta_bits".into(),
+            Value::Seq(
+                s.past_deltas
+                    .iter()
+                    .map(|d| Value::U64(d.to_bits()))
+                    .collect(),
+            ),
+        ),
+        ("cooldown_left".into(), Value::U64(s.cooldown_left)),
+        ("armed".into(), Value::Bool(s.armed)),
+        (
+            "triggers".into(),
+            Value::Seq(s.triggers.iter().map(|&t| Value::U64(t)).collect()),
+        ),
+    ])
+}
+
+fn snapshot_from_value(v: &Value) -> Result<AdvisorSnapshot, String> {
+    let m = v.as_map().ok_or("advisor snapshot must be an object")?;
+    let u = |key: &str| u64::from_value(map_get(m, key)).map_err(|e| e.to_string());
+    let prev = match map_get(m, "prev") {
+        Value::Null => None,
+        v => Some(workload_from_value(v)?),
+    };
+    let history = match map_get(m, "history") {
+        Value::Seq(items) => items
+            .iter()
+            .map(workload_from_value)
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err("advisor history must be a sequence".into()),
+    };
+    let delta_bits: Vec<u64> =
+        Vec::from_value(map_get(m, "past_delta_bits")).map_err(|e| e.to_string())?;
+    Ok(AdvisorSnapshot {
+        window_index: u("window_index")?,
+        current: workload_from_value(map_get(m, "current"))?,
+        window_start_ts: match map_get(m, "window_start_ts") {
+            Value::Null => None,
+            v => Some(u64::from_value(v).map_err(|e| e.to_string())?),
+        },
+        last_ts: u("last_ts")?,
+        prev,
+        history,
+        past_deltas: delta_bits.into_iter().map(f64::from_bits).collect(),
+        cooldown_left: u("cooldown_left")?,
+        armed: bool::from_value(map_get(m, "armed")).map_err(|e| e.to_string())?,
+        triggers: Vec::from_value(map_get(m, "triggers")).map_err(|e| e.to_string())?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdata;
+    use cliffguard_workload::{LogTape, LogTapeConfig};
+
+    fn small_fixture() -> (Value, LogTape) {
+        testdata::ingest_fixture(LogTapeConfig {
+            tables: 2,
+            cols_per_table: 4,
+            windows: 6,
+            window_len: 8,
+            window_secs: 60,
+            episodes: vec![3],
+            statements_per_regime: 3,
+            header_noise: false,
+            ..LogTapeConfig::default()
+        })
+    }
+
+    fn first_frame(tenant: &str, catalog: Value, tape: &LogTape) -> IngestRequest {
+        let mut req = IngestRequest::new(tenant, catalog, "");
+        req.window = Some(tape.config().window_len as u64);
+        req.gamma = GammaSpec::Fixed(tape.suggested_gamma());
+        req
+    }
+
+    #[test]
+    fn create_requires_a_catalog() {
+        let req = IngestRequest::chunk_only("acme", "1\tSELECT c0 FROM t0\n");
+        let err = IngestSession::create(&req, SessionClock::virtual_clock()).unwrap_err();
+        assert!(err.contains("must carry a catalog"), "{err}");
+    }
+
+    #[test]
+    fn feed_windows_and_triggers_on_the_scripted_episode() {
+        let (catalog, tape) = small_fixture();
+        let req = first_frame("acme", catalog, &tape);
+        let mut sess = IngestSession::create(&req, SessionClock::virtual_clock()).unwrap();
+        let audits = sess.feed(tape.text(), true);
+        assert_eq!(audits.len(), tape.config().windows);
+        let fired: Vec<u64> = audits
+            .iter()
+            .filter(|a| a.triggered)
+            .map(|a| a.index)
+            .collect();
+        assert_eq!(fired, vec![3], "exactly the episode window fires");
+        assert_eq!(sess.advisor().triggers(), &[3]);
+        assert_eq!(
+            sess.stats().parsed as usize,
+            tape.config().windows * tape.config().window_len
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trip_replays_byte_identically() {
+        let (catalog, tape) = small_fixture();
+        let text = tape.text();
+        let req = first_frame("acme", catalog, &tape);
+
+        let want: Vec<String> = {
+            let mut s = IngestSession::create(&req, SessionClock::virtual_clock()).unwrap();
+            s.feed(text, true).iter().map(|a| a.line()).collect()
+        };
+
+        // Kill after an awkward split (mid-line; the tape is ASCII, so any
+        // byte offset is a char boundary), resume from JSON, finish.
+        let cut = text.len() / 2 + 3;
+        let mut first = IngestSession::create(&req, SessionClock::virtual_clock()).unwrap();
+        let mut got: Vec<String> = first
+            .feed(&text[..cut], false)
+            .iter()
+            .map(|a| a.line())
+            .collect();
+        let json = first.to_json();
+        drop(first);
+        let mut resumed = IngestSession::from_json(&json, SessionClock::virtual_clock()).unwrap();
+        assert_eq!(resumed.tenant(), "acme");
+        got.extend(resumed.feed(&text[cut..], true).iter().map(|a| a.line()));
+        assert_eq!(got, want, "kill/resume must replay byte-identically");
+        assert_eq!(resumed.advisor().triggers(), &[3]);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage_without_panicking() {
+        for bad in [
+            "",
+            "not json",
+            "[]",
+            r#"{"version":2}"#,
+            r#"{"version":1,"tenant":"t"}"#,
+        ] {
+            assert!(
+                IngestSession::from_json(bad, SessionClock::virtual_clock()).is_err(),
+                "must reject: {bad}"
+            );
+        }
+    }
+}

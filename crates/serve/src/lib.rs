@@ -7,12 +7,19 @@
 //! full resilient [`DesignSession`](cliffguard_core::DesignSession) on a
 //! shared worker pool:
 //!
-//! * **Protocol** ([`protocol`]): six verbs (`design`, `status`,
-//!   `metrics`, `dump`, `drain`, `shutdown`), total parsing (malformed
-//!   frames get `error` responses, never a panic), bit-exact float
-//!   transport. `metrics` takes `"format":"prometheus"` for text
+//! * **Protocol** ([`protocol`]): seven verbs (`design`, `ingest`,
+//!   `status`, `metrics`, `dump`, `drain`, `shutdown`), total parsing
+//!   (malformed frames get `error` responses, never a panic), bit-exact
+//!   float transport. `metrics` takes `"format":"prometheus"` for text
 //!   exposition, and a fresh TCP connection may scrape with a raw
 //!   `GET /metrics` request line.
+//! * **Streaming ingest** ([`ingest`]): per-tenant `ingest` frames feed
+//!   raw query-log bytes through a chunk-boundary-oblivious
+//!   [`LogStream`](cliffguard_workload::LogStream) into an online
+//!   drift-triggered advisor; each frame is answered synchronously with
+//!   the windows it closed, and with a state directory the session
+//!   snapshot persists after every frame, so a killed daemon resumes the
+//!   stream with a **byte-identical** trigger history.
 //! * **Flight recorder**: each session tees its trace events into a
 //!   bounded ring; degraded and panicked sessions leave a
 //!   `flight-<tenant>-<seq>.jsonl` black box in the state directory,
@@ -38,6 +45,7 @@
 
 pub mod daemon;
 pub mod harness;
+pub mod ingest;
 pub mod protocol;
 pub mod runner;
 pub mod scheduler;
@@ -47,9 +55,10 @@ pub mod testdata;
 
 pub use daemon::{Daemon, ServeConfig};
 pub use harness::{design_line, HarnessError, ServeHarness};
+pub use ingest::IngestSession;
 pub use protocol::{
     parse_request, BudgetSpec, DesignReport, DesignRequest, DesignStatus, FlightInfo, GammaSpec,
-    MetricsFormat, ProtocolError, Request, Response,
+    IngestRequest, MetricsFormat, ProtocolError, Request, Response,
 };
 pub use runner::{run_design, RunOutcome, RunnerOptions};
 pub use scheduler::WorkerPool;

@@ -1,11 +1,14 @@
 //! The newline-delimited JSON protocol of `cliffguard serve`.
 //!
 //! One request per line in, one response per line out. The grammar is
-//! deliberately tiny — five verbs — and every frame is a single JSON
-//! object, so any language with a JSON library is a client:
+//! deliberately tiny — a handful of verbs — and every frame is a single
+//! JSON object, so any language with a JSON library is a client:
 //!
 //! ```text
 //! {"op":"design","tenant":"acme","catalog":{...},"log":"<tsv>","gamma":"auto"}
+//! {"op":"ingest","tenant":"acme","catalog":{...},"chunk":"<tsv bytes>","gamma":0.001}
+//! {"op":"ingest","tenant":"acme","chunk":"<more bytes>"}
+//! {"op":"ingest","tenant":"acme","chunk":"","eof":true}
 //! {"op":"status"}
 //! {"op":"metrics"}
 //! {"op":"metrics","format":"prometheus"}
@@ -13,6 +16,14 @@
 //! {"op":"drain"}
 //! {"op":"shutdown"}
 //! ```
+//!
+//! `ingest` streams a query log chunk-at-a-time through a per-tenant
+//! [`OnlineAdvisor`](cliffguard_core::OnlineAdvisor): the first frame
+//! carries the catalog and the advisor knobs; later frames carry only
+//! bytes (split anywhere, even mid-UTF-8); `"eof":true` flushes the
+//! trailing partial line and closes the open window. Each frame is
+//! answered immediately (no drain barrier) with the window audits it
+//! closed and the session's trigger history.
 //!
 //! Parsing is total: a malformed frame yields a [`ProtocolError`], never a
 //! panic, and the daemon answers it with an `error` response instead of
@@ -125,11 +136,75 @@ impl DesignRequest {
     }
 }
 
+/// An `ingest` frame: one chunk of a tenant's streaming query log.
+///
+/// The advisor knobs (`window`/`window_secs`, `gamma`, `warmup`,
+/// `cooldown`) and the catalog are read when the tenant's ingest session
+/// is created (its first frame, or never for a session recovered from the
+/// state directory); later frames carry only bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestRequest {
+    /// Tenant id: `[A-Za-z0-9_.-]{1,64}` (it names a state directory).
+    pub tenant: String,
+    /// The catalog (required on the session's first frame).
+    pub catalog: Option<Value>,
+    /// Log bytes. Chunk boundaries may fall anywhere — mid-line and even
+    /// mid-UTF-8-sequence (JSON strings are UTF-8, but the *carry* across
+    /// frames still re-splits at byte granularity downstream).
+    pub chunk: String,
+    /// Flush the trailing partial line and close the open window.
+    pub eof: bool,
+    /// Count-based window length (arrivals per window).
+    pub window: Option<u64>,
+    /// Log-time window length (seconds); exclusive with `window`.
+    pub window_secs: Option<u64>,
+    /// Trigger threshold Γ (`auto` = 1.5 × max past inter-window δ).
+    pub gamma: GammaSpec,
+    /// Windows that must close before the first trigger may fire.
+    pub warmup: u64,
+    /// Window closes suppressed after each trigger.
+    pub cooldown: u64,
+}
+
+impl IngestRequest {
+    /// A first-frame request with the protocol defaults.
+    pub fn new(tenant: impl Into<String>, catalog: Value, chunk: impl Into<String>) -> Self {
+        Self {
+            tenant: tenant.into(),
+            catalog: Some(catalog),
+            chunk: chunk.into(),
+            eof: false,
+            window: None,
+            window_secs: None,
+            gamma: GammaSpec::Auto,
+            warmup: 1,
+            cooldown: 1,
+        }
+    }
+
+    /// A follow-up frame carrying only bytes.
+    pub fn chunk_only(tenant: impl Into<String>, chunk: impl Into<String>) -> Self {
+        Self {
+            tenant: tenant.into(),
+            catalog: None,
+            chunk: chunk.into(),
+            eof: false,
+            window: None,
+            window_secs: None,
+            gamma: GammaSpec::Auto,
+            warmup: 1,
+            cooldown: 1,
+        }
+    }
+}
+
 /// A parsed protocol request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Run a design session for one tenant.
     Design(Box<DesignRequest>),
+    /// Feed one chunk of a tenant's streaming query log.
+    Ingest(Box<IngestRequest>),
     /// Drain in-flight work, then report daemon + per-tenant state.
     Status,
     /// Drain in-flight work, then report the metrics registry snapshot.
@@ -193,8 +268,9 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         "drain" => Ok(Request::Drain),
         "shutdown" => Ok(Request::Shutdown),
         "design" => Ok(Request::Design(Box::new(parse_design(m)?))),
+        "ingest" => Ok(Request::Ingest(Box::new(parse_ingest(m)?))),
         other => Err(err(format!(
-            "unknown op `{other}` (want design|status|metrics|dump|drain|shutdown)"
+            "unknown op `{other}` (want design|ingest|status|metrics|dump|drain|shutdown)"
         ))),
     }
 }
@@ -235,36 +311,7 @@ fn parse_design(m: &[(String, Value)]) -> Result<DesignRequest, ProtocolError> {
         Value::Str(s) => s.clone(),
         _ => return Err(err("design: missing string \"log\"")),
     };
-    let gamma = match (map_get(m, "gamma_bits"), map_get(m, "gamma")) {
-        // Bit-exact transport: a persisted envelope must re-run with the
-        // exact Γ the original request carried.
-        (Value::U64(bits), Value::Null) => GammaSpec::Fixed(f64::from_bits(*bits)),
-        (Value::U64(_), _) => {
-            return Err(err(
-                "design: give gamma or gamma_bits, not both (they could disagree)",
-            ))
-        }
-        (Value::Null, Value::Null) => GammaSpec::Auto,
-        (Value::Null, Value::Str(s)) if s == "auto" => GammaSpec::Auto,
-        // A plain number is the numeric Γ, whether the client spelled it
-        // as an integer or a float: {"gamma":2} == {"gamma":2.0} == 2.0.
-        (Value::Null, Value::U64(g)) => GammaSpec::Fixed(*g as f64),
-        (Value::Null, Value::F64(g)) if *g >= 0.0 => GammaSpec::Fixed(*g),
-        (Value::Null, Value::I64(_) | Value::F64(_)) => {
-            return Err(err("design: gamma must be >= 0"))
-        }
-        (Value::Null, _) => return Err(err("design: gamma must be \"auto\" or a number")),
-        (_, _) => {
-            return Err(err(
-                "design: gamma_bits must be a non-negative integer (an f64 bit pattern)",
-            ))
-        }
-    };
-    if let GammaSpec::Fixed(g) = gamma {
-        if !g.is_finite() || g < 0.0 {
-            return Err(err("design: gamma must be a finite number >= 0"));
-        }
-    }
+    let gamma = parse_gamma(m, "design")?;
     let budget = match map_get(m, "budget") {
         Value::Null => BudgetSpec::Auto,
         Value::Str(s) if s == "auto" => BudgetSpec::Auto,
@@ -312,6 +359,95 @@ fn parse_design(m: &[(String, Value)]) -> Result<DesignRequest, ProtocolError> {
         faults,
         replicas,
         max_failures: u64_field("max_failures", 0)?,
+    })
+}
+
+/// Parses the shared `gamma`/`gamma_bits` pair (`verb` prefixes errors).
+fn parse_gamma(m: &[(String, Value)], verb: &str) -> Result<GammaSpec, ProtocolError> {
+    let gamma = match (map_get(m, "gamma_bits"), map_get(m, "gamma")) {
+        // Bit-exact transport: a persisted envelope must re-run with the
+        // exact Γ the original request carried.
+        (Value::U64(bits), Value::Null) => GammaSpec::Fixed(f64::from_bits(*bits)),
+        (Value::U64(_), _) => {
+            return Err(err(format!(
+                "{verb}: give gamma or gamma_bits, not both (they could disagree)"
+            )))
+        }
+        (Value::Null, Value::Null) => GammaSpec::Auto,
+        (Value::Null, Value::Str(s)) if s == "auto" => GammaSpec::Auto,
+        // A plain number is the numeric Γ, whether the client spelled it
+        // as an integer or a float: {"gamma":2} == {"gamma":2.0} == 2.0.
+        (Value::Null, Value::U64(g)) => GammaSpec::Fixed(*g as f64),
+        (Value::Null, Value::F64(g)) if *g >= 0.0 => GammaSpec::Fixed(*g),
+        (Value::Null, Value::I64(_) | Value::F64(_)) => {
+            return Err(err(format!("{verb}: gamma must be >= 0")))
+        }
+        (Value::Null, _) => return Err(err(format!("{verb}: gamma must be \"auto\" or a number"))),
+        (_, _) => {
+            return Err(err(format!(
+                "{verb}: gamma_bits must be a non-negative integer (an f64 bit pattern)"
+            )))
+        }
+    };
+    if let GammaSpec::Fixed(g) = gamma {
+        if !g.is_finite() || g < 0.0 {
+            return Err(err(format!("{verb}: gamma must be a finite number >= 0")));
+        }
+    }
+    Ok(gamma)
+}
+
+fn parse_ingest(m: &[(String, Value)]) -> Result<IngestRequest, ProtocolError> {
+    let tenant = match map_get(m, "tenant") {
+        Value::Str(s) => s.clone(),
+        _ => return Err(err("ingest: missing string \"tenant\"")),
+    };
+    if !valid_tenant(&tenant) {
+        return Err(err(format!(
+            "ingest: tenant `{tenant}` is not [A-Za-z0-9_.-]{{1,{MAX_TENANT_LEN}}} \
+             (and must not start with '.')"
+        )));
+    }
+    let catalog = match map_get(m, "catalog") {
+        Value::Null => None,
+        Value::Map(_) => Some(map_get(m, "catalog").clone()),
+        _ => return Err(err("ingest: \"catalog\" must be an object")),
+    };
+    let chunk = match map_get(m, "chunk") {
+        Value::Str(s) => s.clone(),
+        Value::Null => return Err(err("ingest: missing string \"chunk\"")),
+        _ => return Err(err("ingest: \"chunk\" must be a string")),
+    };
+    let eof = match map_get(m, "eof") {
+        Value::Null => false,
+        Value::Bool(b) => *b,
+        _ => return Err(err("ingest: \"eof\" must be a boolean")),
+    };
+    let opt_u64 = |key: &str| -> Result<Option<u64>, ProtocolError> {
+        match map_get(m, key) {
+            Value::Null => Ok(None),
+            Value::U64(n) => Ok(Some(*n)),
+            _ => Err(err(format!("ingest: {key} must be a non-negative integer"))),
+        }
+    };
+    let window = opt_u64("window")?;
+    let window_secs = opt_u64("window_secs")?;
+    if window.is_some() && window_secs.is_some() {
+        return Err(err("ingest: give window or window_secs, not both"));
+    }
+    if window == Some(0) || window_secs == Some(0) {
+        return Err(err("ingest: window lengths must be >= 1"));
+    }
+    Ok(IngestRequest {
+        tenant,
+        catalog,
+        chunk,
+        eof,
+        window,
+        window_secs,
+        gamma: parse_gamma(m, "ingest")?,
+        warmup: opt_u64("warmup")?.unwrap_or(1),
+        cooldown: opt_u64("cooldown")?.unwrap_or(1),
     })
 }
 
@@ -372,6 +508,36 @@ impl Serialize for Request {
                 }
                 if d.max_failures != 0 {
                     m.push(("max_failures".into(), Value::U64(d.max_failures)));
+                }
+                Value::Map(m)
+            }
+            Request::Ingest(i) => {
+                let mut m = vec![
+                    ("op".into(), Value::Str("ingest".into())),
+                    ("tenant".into(), Value::Str(i.tenant.clone())),
+                ];
+                if let Some(c) = &i.catalog {
+                    m.push(("catalog".into(), c.clone()));
+                }
+                m.push(("chunk".into(), Value::Str(i.chunk.clone())));
+                if i.eof {
+                    m.push(("eof".into(), Value::Bool(true)));
+                }
+                if let Some(n) = i.window {
+                    m.push(("window".into(), Value::U64(n)));
+                }
+                if let Some(n) = i.window_secs {
+                    m.push(("window_secs".into(), Value::U64(n)));
+                }
+                match i.gamma {
+                    GammaSpec::Auto => {}
+                    GammaSpec::Fixed(g) => m.push(("gamma_bits".into(), Value::U64(g.to_bits()))),
+                }
+                if i.warmup != 1 {
+                    m.push(("warmup".into(), Value::U64(i.warmup)));
+                }
+                if i.cooldown != 1 {
+                    m.push(("cooldown".into(), Value::U64(i.cooldown)));
                 }
                 Value::Map(m)
             }
@@ -571,6 +737,30 @@ pub enum Response {
         /// after a daemon restart.
         resumed: bool,
     },
+    /// Answer to one `ingest` frame (emitted immediately, no barrier).
+    Ingest {
+        /// Sequence number of the frame this answers.
+        seq: u64,
+        /// The tenant.
+        tenant: String,
+        /// Windows closed over the whole session so far.
+        windows: u64,
+        /// Audit lines ([`WindowAudit::line`](cliffguard_core::WindowAudit::line))
+        /// of the windows closed by *this* frame, in close order.
+        audits: Vec<String>,
+        /// Full trigger history: indices of every window that fired.
+        triggers: Vec<u64>,
+        /// Whether the trigger is armed after this frame.
+        armed: bool,
+        /// Cooldown windows remaining after this frame.
+        cooldown: u64,
+        /// Records parsed over the whole session so far.
+        parsed: u64,
+        /// Records skipped (bad SQL + malformed lines) so far.
+        skipped: u64,
+        /// Whether this frame closed the session (`"eof":true`).
+        closed: bool,
+    },
     /// Answer to `status`.
     Status {
         /// Sequence number of the request this answers.
@@ -653,6 +843,36 @@ impl Serialize for Response {
                 m.push(("resumed".into(), Value::Bool(*resumed)));
                 Value::Map(m)
             }
+            Response::Ingest {
+                seq,
+                tenant,
+                windows,
+                audits,
+                triggers,
+                armed,
+                cooldown,
+                parsed,
+                skipped,
+                closed,
+            } => Value::Map(vec![
+                ("seq".into(), Value::U64(*seq)),
+                ("op".into(), Value::Str("ingest".into())),
+                ("tenant".into(), Value::Str(tenant.clone())),
+                ("windows".into(), Value::U64(*windows)),
+                (
+                    "audits".into(),
+                    Value::Seq(audits.iter().map(|a| Value::Str(a.clone())).collect()),
+                ),
+                (
+                    "triggers".into(),
+                    Value::Seq(triggers.iter().map(|&t| Value::U64(t)).collect()),
+                ),
+                ("armed".into(), Value::Bool(*armed)),
+                ("cooldown".into(), Value::U64(*cooldown)),
+                ("parsed".into(), Value::U64(*parsed)),
+                ("skipped".into(), Value::U64(*skipped)),
+                ("closed".into(), Value::Bool(*closed)),
+            ]),
             Response::Status { seq, snapshot } => Value::Map(vec![
                 ("seq".into(), Value::U64(*seq)),
                 ("op".into(), Value::Str("status".into())),
@@ -854,6 +1074,75 @@ mod tests {
         assert_eq!(map_get(v.as_map().unwrap(), "replicas"), &Value::Null);
         // ...and still round-trips via the absence defaults.
         assert_eq!(DesignReport::from_value(&v).unwrap(), uni);
+    }
+
+    #[test]
+    fn ingest_frames_parse_round_trip_and_reject_bad_shapes() {
+        // First frame: catalog + knobs.
+        let mut req = IngestRequest::new("acme", tiny_catalog_value(), "1\tSELECT a FROM t\n");
+        req.window = Some(8);
+        req.gamma = GammaSpec::Fixed(0.1 + 0.2);
+        req.warmup = 2;
+        let line = Request::Ingest(Box::new(req.clone())).to_line();
+        assert!(!line.contains('\n'), "{line}");
+        assert_eq!(parse_request(&line), Ok(Request::Ingest(Box::new(req))));
+        // Follow-up frame: bytes only; defaults fill in.
+        let follow = r#"{"op":"ingest","tenant":"acme","chunk":"2\tSELECT b FROM t\n"}"#;
+        let Ok(Request::Ingest(req)) = parse_request(follow) else {
+            panic!("must parse: {follow}");
+        };
+        assert_eq!(req.catalog, None);
+        assert_eq!((req.window, req.window_secs), (None, None));
+        assert_eq!(req.gamma, GammaSpec::Auto);
+        assert_eq!((req.warmup, req.cooldown), (1, 1));
+        assert!(!req.eof);
+        let back = Request::Ingest(req.clone()).to_line();
+        assert_eq!(parse_request(&back), Ok(Request::Ingest(req)));
+        // eof frames round-trip.
+        let eof = r#"{"op":"ingest","tenant":"acme","chunk":"","eof":true}"#;
+        let Ok(Request::Ingest(req)) = parse_request(eof) else {
+            panic!("must parse: {eof}");
+        };
+        assert!(req.eof);
+        // Malformed frames are protocol errors, never panics.
+        for bad in [
+            r#"{"op":"ingest"}"#,
+            r#"{"op":"ingest","tenant":""}"#,
+            r#"{"op":"ingest","tenant":"../x","chunk":""}"#,
+            r#"{"op":"ingest","tenant":"t"}"#,
+            r#"{"op":"ingest","tenant":"t","chunk":7}"#,
+            r#"{"op":"ingest","tenant":"t","chunk":"","eof":"yes"}"#,
+            r#"{"op":"ingest","tenant":"t","chunk":"","catalog":[]}"#,
+            r#"{"op":"ingest","tenant":"t","chunk":"","window":0}"#,
+            r#"{"op":"ingest","tenant":"t","chunk":"","window":4,"window_secs":60}"#,
+            r#"{"op":"ingest","tenant":"t","chunk":"","gamma":-0.5}"#,
+            r#"{"op":"ingest","tenant":"t","chunk":"","gamma":1.0,"gamma_bits":7}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "must reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn ingest_responses_are_single_lines_with_bit_pattern_audits() {
+        let r = Response::Ingest {
+            seq: 4,
+            tenant: "acme".into(),
+            windows: 3,
+            audits: vec!["W2 arrivals=4 distinct=2 delta_bits=0000000000000000 \
+                 gamma_bits=3f50624dd2f1a9fc trigger=0 armed=1 cooldown=0 span=200..230"
+                .into()],
+            triggers: vec![1],
+            armed: true,
+            cooldown: 0,
+            parsed: 12,
+            skipped: 1,
+            closed: false,
+        };
+        let line = r.to_line();
+        assert!(!line.contains('\n'), "{line}");
+        assert!(line.starts_with(r#"{"seq":4,"op":"ingest""#), "{line}");
+        assert!(line.contains(r#""triggers":[1]"#), "{line}");
+        assert!(line.contains("delta_bits=0000000000000000"), "{line}");
     }
 
     #[test]

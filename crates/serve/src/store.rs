@@ -105,6 +105,29 @@ impl CheckpointStore {
         fs::read_to_string(self.session_dir(tenant, seq).join("checkpoint.json")).ok()
     }
 
+    /// Persists a tenant's ingest-session snapshot as
+    /// `tenants/<tenant>/ingest.json`. The file name is non-numeric, so
+    /// [`pending`](Self::pending) and [`max_seq`](Self::max_seq) never
+    /// mistake it for a design-session directory.
+    pub fn save_ingest(&self, tenant: &str, json: &str) -> io::Result<()> {
+        let dir = self.root.join("tenants").join(tenant);
+        fs::create_dir_all(&dir)?;
+        Self::write_atomic(&dir.join("ingest.json"), json)
+    }
+
+    /// The persisted ingest snapshot of `tenant`, if any.
+    pub fn load_ingest(&self, tenant: &str) -> Option<String> {
+        fs::read_to_string(self.root.join("tenants").join(tenant).join("ingest.json")).ok()
+    }
+
+    /// Removes a tenant's ingest snapshot (the session closed cleanly).
+    pub fn remove_ingest(&self, tenant: &str) -> io::Result<()> {
+        match fs::remove_file(self.root.join("tenants").join(tenant).join("ingest.json")) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
+    }
+
     /// The flight-dump file name for (`tenant`, `seq`). Dumps live at
     /// the state-dir root — they are operator-facing post-mortems, not
     /// session state, so `pending()` never confuses one for a session.
@@ -298,6 +321,22 @@ mod tests {
         assert!(store.root().join("flight-t-3.jsonl").is_file());
         // A dump never makes a session look pending.
         assert!(store.pending().unwrap().is_empty());
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn ingest_snapshots_round_trip_and_never_look_pending() {
+        let store = tmp_store("ingest");
+        assert_eq!(store.load_ingest("t"), None);
+        store.save_ingest("t", r#"{"windows":3}"#).unwrap();
+        assert_eq!(store.load_ingest("t").as_deref(), Some(r#"{"windows":3}"#));
+        // The snapshot must not register as a pending design session, nor
+        // perturb the seq high-water mark.
+        assert!(store.pending().unwrap().is_empty());
+        assert_eq!(store.max_seq().unwrap(), 0);
+        store.remove_ingest("t").unwrap();
+        assert_eq!(store.load_ingest("t"), None);
+        store.remove_ingest("t").unwrap(); // idempotent
         let _ = fs::remove_dir_all(store.root());
     }
 

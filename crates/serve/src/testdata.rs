@@ -9,7 +9,8 @@
 
 use crate::protocol::DesignRequest;
 use cliffguard_storage::CatalogGenerator;
-use cliffguard_workload::generator::{DriftingGenerator, WorkloadProfile};
+use cliffguard_workload::generator::{DriftingGenerator, SchemaShape, WorkloadProfile};
+use cliffguard_workload::{LogTape, LogTapeConfig};
 use serde::{Serialize, Value};
 
 /// A seeded small catalog (as the JSON value the protocol carries) and
@@ -35,4 +36,19 @@ pub fn design_request(tenant: &str, seed: u64) -> DesignRequest {
     let mut req = DesignRequest::new(tenant, catalog, log);
     req.seed = seed;
     req
+}
+
+/// A drift-scripted [`LogTape`] plus a catalog (as the protocol's JSON
+/// value) whose `t{i}`/`c{j}` names match the tape's schema — the canned
+/// input of the ingest tests and benches.
+pub fn ingest_fixture(config: LogTapeConfig) -> (Value, LogTape) {
+    let tape = LogTape::generate(config);
+    let cfg = tape.config();
+    let shape = SchemaShape::new(vec![cfg.cols_per_table as u32; cfg.tables]);
+    let catalog = CatalogGenerator {
+        seed: cfg.seed,
+        ..CatalogGenerator::default()
+    }
+    .generate(&shape);
+    (catalog.to_value(), tape)
 }

@@ -138,6 +138,37 @@ impl WorkloadInterner {
         self.raw_entries
     }
 
+    /// Rebuilds the table keeping only queries for which `keep` returns
+    /// true, reassigning dense ids in the surviving order. Returns the
+    /// old→new id map (`map[old.index()]` is `None` for evicted queries).
+    ///
+    /// This is the streaming-ingest eviction hook: an unbounded log keeps
+    /// interning fresh statements, and without compaction the table (and
+    /// every per-design latency vector indexed by it) grows without limit.
+    /// Callers holding pre-compaction ids — interned workloads, cost-kernel
+    /// epochs, statement caches — must remap through the returned map or
+    /// drop those ids. `raw_entries` is cumulative and is preserved.
+    pub fn compact<F>(&mut self, mut keep: F) -> Vec<Option<QueryId>>
+    where
+        F: FnMut(QueryId, &Arc<Query>) -> bool,
+    {
+        let old = std::mem::take(&mut self.queries);
+        self.by_sig.clear();
+        let mut map = Vec::with_capacity(old.len());
+        for (i, q) in old.into_iter().enumerate() {
+            let old_id = QueryId(i as u32);
+            if keep(old_id, &q) {
+                let id = self.queries.len() as u32;
+                self.by_sig.insert(q.signature(), id);
+                self.queries.push(q);
+                map.push(Some(QueryId(id)));
+            } else {
+                map.push(None);
+            }
+        }
+        map
+    }
+
     /// `raw_entries / distinct` — how much work interning saves. 1.0 means
     /// no cross-workload sharing; Γ-neighborhoods typically sit well above.
     pub fn dedup_ratio(&self) -> f64 {
@@ -197,6 +228,23 @@ mod tests {
         let _ = interner.intern(&w);
         assert!(interner.id_of(&q(&[1])).is_some());
         assert!(interner.id_of(&q(&[9])).is_none());
+    }
+
+    #[test]
+    fn compact_reassigns_dense_ids_and_reports_the_map() {
+        let mut interner = WorkloadInterner::new();
+        let w = Workload::from_queries([(q(&[1]), 1.0), (q(&[2]), 1.0), (q(&[3]), 1.0)]);
+        let _ = interner.intern(&w);
+        let map = interner.compact(|id, _| id != QueryId(1));
+        assert_eq!(map, vec![Some(QueryId(0)), None, Some(QueryId(1))]);
+        assert_eq!(interner.len(), 2);
+        assert_eq!(interner.raw_entries(), 3, "cumulative counter survives");
+        // Survivors keep their identity: old id 2 is now id 1.
+        assert_eq!(interner.query(QueryId(1)).signature(), q(&[3]).signature());
+        assert_eq!(interner.id_of(&q(&[3])), Some(QueryId(1)));
+        // Evicted queries are unknown again and re-intern densely.
+        assert_eq!(interner.id_of(&q(&[2])), None);
+        assert_eq!(interner.intern_query(&Arc::new(q(&[2]))), QueryId(2));
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //!   Γ-neighborhood samples), turning cost evaluation into dot products.
 //! * [`QueryLog`] — a timestamped query trace, split into the fixed-size
 //!   windows (7/14/21/28 days) the evaluation section uses.
+//! * [`LogStream`] — chunked streaming ingest of the same text-log format,
+//!   chunking-invariant and allocation-amortized, feeding the online
+//!   drift advisor in `cliffguard-core`.
+//! * [`LogTape`] — seeded log fixtures with scripted drift episodes, the
+//!   ground truth the streaming test harness replays.
 //! * [`generator`] — seeded generative models for the paper's three
 //!   workloads: the drifting real-world trace **R1** (simulated; the
 //!   original Vertica customer trace is proprietary), the near-static
@@ -42,6 +47,8 @@ mod workload;
 pub mod generator;
 pub mod logio;
 pub mod parser;
+pub mod stream;
+pub mod tape;
 
 pub use colset::ColumnSet;
 pub use ids::{ColumnId, TableId};
@@ -49,5 +56,7 @@ pub use interner::{InternedWorkload, QueryId, WorkloadInterner};
 pub use log::{LogEntry, QueryLog, SECS_PER_DAY};
 pub use query::{PredOp, Predicate, Query, QueryBuilder, QuerySignature};
 pub use resolve::{NameResolver, SimpleResolver};
+pub use stream::{LogStream, StreamStats};
+pub use tape::{LogTape, LogTapeConfig};
 pub use template::{Template, TemplateId};
 pub use workload::{WeightedQuery, Workload};

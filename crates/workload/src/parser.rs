@@ -50,6 +50,7 @@ pub fn parse_query(sql: &str, resolver: &dyn NameResolver) -> Result<Query, Pars
         pos: 0,
         resolver,
         sql,
+        depth: 0,
     };
     let mut q = p.parse_select()?;
     q.raw_sql = Some(sql.to_string());
@@ -163,7 +164,10 @@ fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
                 });
             }
             _ => {
-                let two = if i + 1 < b.len() {
+                // The two-byte probe must respect UTF-8 boundaries: `i + 2`
+                // can land inside a multi-byte character, and slicing there
+                // would panic instead of reporting a lex error.
+                let two = if i + 1 < b.len() && input.is_char_boundary(i + 2) {
                     &input[i..i + 2]
                 } else {
                     ""
@@ -210,11 +214,17 @@ fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
 
 const AGG_FUNCS: &[&str] = &["sum", "count", "avg", "min", "max", "stddev", "variance"];
 
+/// Expression/condition nesting bound. The parser is recursive-descent, so
+/// pathological inputs (`((((…`) would otherwise exhaust the stack — fatal
+/// for a streaming ingester that must be total over arbitrary log lines.
+const MAX_EXPR_DEPTH: usize = 128;
+
 struct Parser<'a> {
     toks: &'a [Spanned],
     pos: usize,
     resolver: &'a dyn NameResolver,
     sql: &'a str,
+    depth: usize,
 }
 
 /// A column reference gathered while walking expressions.
@@ -539,6 +549,20 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_primary(&mut self, refs: &mut Vec<ColRef>, agg: &mut bool) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            return Err(self.err("expression nesting too deep"));
+        }
+        let out = self.parse_primary_inner(refs, agg);
+        self.depth -= 1;
+        out
+    }
+
+    fn parse_primary_inner(
+        &mut self,
+        refs: &mut Vec<ColRef>,
+        agg: &mut bool,
+    ) -> Result<(), ParseError> {
         match self.peek().cloned() {
             Some(Tok::Number(_)) | Some(Tok::Str(_)) => {
                 self.pos += 1;
@@ -630,6 +654,20 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_predicate(
+        &mut self,
+        refs: &mut Vec<ColRef>,
+        preds: &mut Vec<(ColRef, PredOp)>,
+    ) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            return Err(self.err("condition nesting too deep"));
+        }
+        let out = self.parse_predicate_inner(refs, preds);
+        self.depth -= 1;
+        out
+    }
+
+    fn parse_predicate_inner(
         &mut self,
         refs: &mut Vec<ColRef>,
         preds: &mut Vec<(ColRef, PredOp)>,
@@ -903,6 +941,28 @@ mod tests {
         assert!(parse_query("SELECT 'unterminated FROM sales", &r).is_err());
         let e = parse_query("SELECT zzz FROM sales", &r).unwrap_err();
         assert!(e.to_string().contains("zzz"));
+    }
+
+    #[test]
+    fn total_over_hostile_inputs() {
+        let r = resolver();
+        // Multi-byte UTF-8 where a two-byte symbol probe would slice
+        // mid-character: must error, not panic.
+        assert!(parse_query("SELECT id FROM sales WHERE id €", &r).is_err());
+        assert!(parse_query("€", &r).is_err());
+        // Deep nesting must hit the depth bound, not the thread stack.
+        let deep = format!("SELECT id FROM sales WHERE {}id = 1", "(".repeat(100_000));
+        let e = parse_query(&deep, &r).unwrap_err();
+        assert!(e.message.contains("nesting"), "{e}");
+        let deep_expr = format!("SELECT {}id FROM sales", "(".repeat(100_000));
+        assert!(parse_query(&deep_expr, &r).is_err());
+        // Nesting below the bound still parses.
+        let ok = format!(
+            "SELECT id FROM sales WHERE {}id = 1{}",
+            "(".repeat(64),
+            ")".repeat(64)
+        );
+        assert!(parse_query(&ok, &r).is_ok());
     }
 
     #[test]

@@ -1,0 +1,301 @@
+//! Deterministic log-tape fixtures: seeded SQL logs with scripted drift.
+//!
+//! The streaming-ingest test harness needs a log whose *ground truth* is
+//! known in advance: exactly which windows exhibit drift, and by how much.
+//! A [`LogTape`] is such a log, rendered as `epoch_seconds<TAB>SQL` text:
+//!
+//! * The tape is divided into `windows` windows of exactly `window_len`
+//!   arrivals spanning `window_secs` of log time each, so count-based and
+//!   time-based windowing agree on the boundaries.
+//! * Arrivals are drawn from a per-**regime** statement list; every window
+//!   in a regime replays the same statement cycle from the same offset, so
+//!   consecutive same-regime windows are *identical multisets* and their
+//!   workload distance is exactly `0.0` — no accidental drift, ever.
+//! * At each scripted **episode** (a window index) the tape switches to the
+//!   next regime, anchored on a different table with disjoint columns, so
+//!   the inter-window δ jumps far above any reasonable Γ.
+//!
+//! A drift trigger run over the tape must therefore fire exactly at the
+//! episode windows and nowhere else — the acceptance criterion the
+//! integration suite, the proptests, and the bench all check. Generation is
+//! pure (seeded [`ChaCha8Rng`], no ambient clock), so the same config
+//! yields byte-identical text on every platform, chunk size, and thread
+//! count.
+
+use crate::resolve::SimpleResolver;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Write as _;
+
+/// Shape of a [`LogTape`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogTapeConfig {
+    /// Seed for the statement generator.
+    pub seed: u64,
+    /// Number of tables in the schema (one per regime is used).
+    pub tables: usize,
+    /// Columns per table.
+    pub cols_per_table: usize,
+    /// Total windows on the tape.
+    pub windows: usize,
+    /// Arrivals per window.
+    pub window_len: usize,
+    /// Log-time span of one window, in seconds.
+    pub window_secs: u64,
+    /// Window indices at which the regime switches (strictly increasing,
+    /// each in `1..windows`).
+    pub episodes: Vec<usize>,
+    /// Distinct statements per regime's cycle.
+    pub statements_per_regime: usize,
+    /// Prepend a comment line and a malformed line (stats fodder that must
+    /// not perturb windows or triggers).
+    pub header_noise: bool,
+}
+
+impl Default for LogTapeConfig {
+    fn default() -> Self {
+        Self {
+            seed: 7,
+            tables: 4,
+            cols_per_table: 8,
+            windows: 12,
+            window_len: 64,
+            window_secs: 3_600,
+            episodes: vec![4, 8],
+            statements_per_regime: 6,
+            header_noise: true,
+        }
+    }
+}
+
+/// A generated drift-scripted SQL log plus the schema it parses against.
+#[derive(Debug, Clone)]
+pub struct LogTape {
+    config: LogTapeConfig,
+    resolver: SimpleResolver,
+    schema: Vec<(String, Vec<String>)>,
+    text: String,
+}
+
+impl LogTape {
+    /// Generates the tape for `config`.
+    ///
+    /// # Panics
+    /// If the config is degenerate (zero tables/columns/windows/arrivals,
+    /// episodes out of range or not strictly increasing, or more regimes
+    /// than tables).
+    pub fn generate(config: LogTapeConfig) -> Self {
+        assert!(config.tables > 0 && config.cols_per_table > 0);
+        assert!(config.windows > 0 && config.window_len > 0 && config.window_secs > 0);
+        assert!(config.statements_per_regime > 0);
+        assert!(
+            config.episodes.windows(2).all(|w| w[0] < w[1])
+                && config
+                    .episodes
+                    .iter()
+                    .all(|&e| (1..config.windows).contains(&e)),
+            "episodes must be strictly increasing window indices in 1..windows"
+        );
+        let regimes = config.episodes.len() + 1;
+        assert!(
+            regimes <= config.tables,
+            "need one table per regime for disjoint column support"
+        );
+
+        let mut resolver = SimpleResolver::new();
+        let mut schema = Vec::with_capacity(config.tables);
+        for t in 0..config.tables {
+            let table = format!("t{t}");
+            let cols: Vec<String> = (0..config.cols_per_table)
+                .map(|c| format!("c{c}"))
+                .collect();
+            let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+            resolver.add_table(&table, &refs);
+            schema.push((table, cols));
+        }
+
+        // One statement cycle per regime, each anchored on its own table.
+        let statements: Vec<Vec<String>> = (0..regimes)
+            .map(|r| regime_statements(&config, r))
+            .collect();
+
+        let mut text = String::new();
+        if config.header_noise {
+            text.push_str("# cliffguard log-tape fixture\n");
+            text.push_str("this line has no tab and is counted malformed\n");
+        }
+        let mut regime = 0usize;
+        for w in 0..config.windows {
+            if config.episodes.contains(&w) {
+                regime += 1;
+            }
+            let cycle = &statements[regime];
+            for i in 0..config.window_len {
+                let ts = w as u64 * config.window_secs
+                    + (i as u64 * config.window_secs) / config.window_len as u64;
+                let _ = writeln!(text, "{ts}\t{}", cycle[i % cycle.len()]);
+            }
+        }
+
+        Self {
+            config,
+            resolver,
+            schema,
+            text,
+        }
+    }
+
+    /// The rendered `epoch_seconds<TAB>SQL` log text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// A resolver for the tape's schema.
+    pub fn resolver(&self) -> &SimpleResolver {
+        &self.resolver
+    }
+
+    /// `(table, columns)` names, for building catalogs elsewhere.
+    pub fn schema(&self) -> &[(String, Vec<String>)] {
+        &self.schema
+    }
+
+    /// The generating config.
+    pub fn config(&self) -> &LogTapeConfig {
+        &self.config
+    }
+
+    /// Window indices at which drift is scripted (and a trigger expected).
+    pub fn episodes(&self) -> &[usize] {
+        &self.config.episodes
+    }
+
+    /// Total columns in the schema.
+    pub fn n_columns(&self) -> usize {
+        self.resolver.column_count()
+    }
+
+    /// A Γ that every scripted episode clears and no same-regime window
+    /// approaches: intra-regime δ is exactly 0.0 by construction, while
+    /// regime switches move the entire support to disjoint columns.
+    pub fn suggested_gamma(&self) -> f64 {
+        1e-3
+    }
+}
+
+/// Renders regime `r`'s statement cycle: analytical SELECTs over table
+/// `t{r}` only, with filters, grouping, and ordering drawn from that
+/// table's columns so all four clause masks get support.
+fn regime_statements(config: &LogTapeConfig, r: usize) -> Vec<String> {
+    let mut rng =
+        ChaCha8Rng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(r as u64));
+    let ncols = config.cols_per_table;
+    let col = |i: usize| format!("c{}", i % ncols);
+    (0..config.statements_per_regime)
+        .map(|_| {
+            let s0 = rng.random_range(0..ncols);
+            let s1 = rng.random_range(0..ncols);
+            let f = rng.random_range(0..ncols);
+            let mut sql = format!(
+                "SELECT {}, SUM({}) FROM t{r} WHERE {} ",
+                col(s0),
+                col(s1),
+                col(f)
+            );
+            match rng.random_range(0..3) {
+                0 => {
+                    let _ = write!(sql, "= {}", rng.random_range(0..100));
+                }
+                1 => {
+                    let _ = write!(sql, "> {}", rng.random_range(0..100));
+                }
+                _ => {
+                    let lo = rng.random_range(0..50);
+                    let _ = write!(sql, "BETWEEN {lo} AND {}", lo + rng.random_range(1..50));
+                }
+            }
+            let _ = write!(sql, " GROUP BY {}", col(s0));
+            if rng.random::<f64>() < 0.5 {
+                let _ = write!(sql, " ORDER BY {}", col(rng.random_range(0..ncols)));
+            }
+            sql
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logio::import_log;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = LogTape::generate(LogTapeConfig::default());
+        let b = LogTape::generate(LogTapeConfig::default());
+        assert_eq!(a.text(), b.text());
+        let c = LogTape::generate(LogTapeConfig {
+            seed: 8,
+            ..LogTapeConfig::default()
+        });
+        assert_ne!(a.text(), c.text(), "seed must matter");
+    }
+
+    #[test]
+    fn every_arrival_parses_and_counts_line_up() {
+        let tape = LogTape::generate(LogTapeConfig::default());
+        let (log, report) = import_log(tape.text(), tape.resolver());
+        let cfg = tape.config();
+        assert_eq!(report.parsed, cfg.windows * cfg.window_len);
+        assert_eq!(report.skipped_sql, 0, "tape SQL must always parse");
+        assert_eq!(report.skipped_malformed, 1, "exactly the header noise");
+        assert_eq!(log.len(), cfg.windows * cfg.window_len);
+    }
+
+    #[test]
+    fn windows_are_aligned_in_time_and_count() {
+        let cfg = LogTapeConfig::default();
+        let tape = LogTape::generate(cfg.clone());
+        let (log, _) = import_log(tape.text(), tape.resolver());
+        for (i, e) in log.entries().iter().enumerate() {
+            let w = i / cfg.window_len;
+            let lo = w as u64 * cfg.window_secs;
+            assert!(
+                (lo..lo + cfg.window_secs).contains(&e.timestamp),
+                "arrival {i} ts {} outside window {w}",
+                e.timestamp
+            );
+        }
+    }
+
+    #[test]
+    fn same_regime_windows_are_identical_multisets() {
+        let cfg = LogTapeConfig::default();
+        let tape = LogTape::generate(cfg.clone());
+        let (log, _) = import_log(tape.text(), tape.resolver());
+        let sigs_of = |w: usize| {
+            let mut v: Vec<u64> = log.entries()[w * cfg.window_len..(w + 1) * cfg.window_len]
+                .iter()
+                .map(|e| e.query.signature().0)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        // Windows 0..4 share regime 0; 4..8 regime 1; 8..12 regime 2.
+        assert_eq!(sigs_of(0), sigs_of(3));
+        assert_eq!(sigs_of(4), sigs_of(7));
+        assert_eq!(sigs_of(8), sigs_of(11));
+        // Episodes actually change the workload.
+        assert_ne!(sigs_of(3), sigs_of(4));
+        assert_ne!(sigs_of(7), sigs_of(8));
+    }
+
+    #[test]
+    fn regimes_touch_disjoint_tables() {
+        let cfg = LogTapeConfig::default();
+        let tape = LogTape::generate(cfg.clone());
+        let (log, _) = import_log(tape.text(), tape.resolver());
+        let anchor_of = |w: usize| log.entries()[w * cfg.window_len].query.anchor;
+        assert_ne!(anchor_of(0), anchor_of(4));
+        assert_ne!(anchor_of(4), anchor_of(8));
+    }
+}

@@ -393,3 +393,150 @@ fn tcp_listener_serves_the_same_protocol() {
     );
     server.join().expect("server thread exits after shutdown");
 }
+
+// ------------------------------------------------------- streaming ingest --
+
+use cliffguard_serve::harness::ingest_line;
+use cliffguard_serve::{GammaSpec, IngestRequest};
+use cliffguard_workload::{LogTape, LogTapeConfig};
+
+/// Renders `tape` as `n_frames` ingest protocol lines for `tenant`,
+/// cutting the text at deliberately awkward offsets (mid-line). The
+/// first frame carries the catalog and the window/Γ knobs; the last
+/// carries `eof`.
+fn ingest_frames(tenant: &str, catalog: &Value, tape: &LogTape, n_frames: usize) -> Vec<String> {
+    let text = tape.text();
+    let step = text.len() / n_frames;
+    let mut cuts: Vec<usize> = (1..n_frames)
+        .map(|i| (i * step + 3).min(text.len()))
+        .collect();
+    cuts.push(text.len());
+    let mut frames = Vec::new();
+    let mut prev = 0usize;
+    for (i, &cut) in cuts.iter().enumerate() {
+        let chunk = &text[prev..cut];
+        let mut req = if i == 0 {
+            let mut r = IngestRequest::new(tenant, catalog.clone(), chunk);
+            r.window = Some(tape.config().window_len as u64);
+            r.gamma = GammaSpec::Fixed(tape.suggested_gamma());
+            r
+        } else {
+            IngestRequest::chunk_only(tenant, chunk)
+        };
+        req.eof = i == cuts.len() - 1;
+        frames.push(ingest_line(&req));
+        prev = cut;
+    }
+    frames
+}
+
+/// Concatenates the `audits` arrays of every ingest response, in order.
+fn ingest_audits(out: &str) -> Vec<String> {
+    parse_output(out)
+        .iter()
+        .filter(|v| str_field(v, "op") == "ingest")
+        .flat_map(|v| match field(v, "audits") {
+            Value::Seq(items) => items
+                .iter()
+                .map(|a| match a {
+                    Value::Str(s) => s.clone(),
+                    other => panic!("audit line: expected string, got {other:?}"),
+                })
+                .collect::<Vec<_>>(),
+            other => panic!("audits: expected array, got {other:?}"),
+        })
+        .collect()
+}
+
+#[test]
+fn ingest_frames_close_windows_and_fire_exactly_on_the_scripted_episodes() {
+    let (catalog, tape) = testdata::ingest_fixture(LogTapeConfig::default());
+    let episodes: Vec<u64> = tape.episodes().iter().map(|&e| e as u64).collect();
+
+    let harness = ServeHarness::new();
+    let coarse = harness.run_tape(&ingest_frames("acme", &catalog, &tape, 3));
+    let audits = ingest_audits(&coarse);
+    assert_eq!(
+        audits.len(),
+        tape.config().windows,
+        "every scripted window must close: {coarse}"
+    );
+
+    // The last response carries the cumulative trigger history.
+    let responses = parse_output(&coarse);
+    let last = responses.last().unwrap();
+    assert_eq!(field(last, "closed"), &Value::Bool(true));
+    let triggers: Vec<u64> = match field(last, "triggers") {
+        Value::Seq(items) => items
+            .iter()
+            .map(|v| match v {
+                Value::U64(n) => *n,
+                other => panic!("trigger index: {other:?}"),
+            })
+            .collect(),
+        other => panic!("triggers: {other:?}"),
+    };
+    assert_eq!(triggers, episodes, "zero false triggers: {coarse}");
+
+    // Frame boundaries are unobservable: 17 awkward frames replay the
+    // identical audit stream.
+    let fine = harness.run_tape(&ingest_frames("acme", &catalog, &tape, 17));
+    assert_eq!(ingest_audits(&fine), audits, "frame count must not matter");
+}
+
+#[test]
+fn killed_daemon_resumes_ingest_with_an_identical_trigger_history() {
+    let (catalog, tape) = testdata::ingest_fixture(LogTapeConfig::default());
+    let frames = ingest_frames("acme", &catalog, &tape, 6);
+
+    // Ground truth: one daemon sees the whole tape.
+    let clean = ServeHarness::new().run_tape(&frames);
+    let want = ingest_audits(&clean);
+    assert_eq!(want.len(), tape.config().windows);
+
+    // Kill mid-stream: daemon #1 ingests half the frames (no eof) and
+    // dies at end of input; the session snapshot is on disk.
+    let dir = tmpdir("ingest-resume");
+    let first_out = ServeHarness::new()
+        .with_state_dir(&dir)
+        .run_tape(&frames[..3]);
+    let mut got = ingest_audits(&first_out);
+
+    // Daemon #2 on the same state directory: the next chunk-only frame
+    // lazily reloads the snapshot and the stream continues byte-exactly.
+    let second_out = ServeHarness::new()
+        .with_state_dir(&dir)
+        .run_tape(&frames[3..]);
+    got.extend(ingest_audits(&second_out));
+    assert_eq!(
+        got, want,
+        "kill/resume must replay the audit and trigger history byte-identically"
+    );
+    let last = parse_output(&second_out);
+    let last = last.last().unwrap();
+    let episodes: Vec<u64> = tape.episodes().iter().map(|&e| e as u64).collect();
+    let triggers: Vec<u64> = match field(last, "triggers") {
+        Value::Seq(items) => items
+            .iter()
+            .map(|v| match v {
+                Value::U64(n) => *n,
+                other => panic!("trigger index: {other:?}"),
+            })
+            .collect(),
+        other => panic!("triggers: {other:?}"),
+    };
+    assert_eq!(triggers, episodes);
+
+    // eof tore the snapshot down: a fresh chunk-only frame for the same
+    // tenant now needs a catalog again.
+    let probe = ServeHarness::new()
+        .with_state_dir(&dir)
+        .run_tape(&[ingest_line(&IngestRequest::chunk_only(
+            "acme",
+            "1\tSELECT c0 FROM t0\n",
+        ))]);
+    let probe_resp = parse_output(&probe);
+    assert_eq!(str_field(&probe_resp[0], "op"), "error", "{probe}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
