@@ -619,6 +619,11 @@ fn cmd_ingest(opts: &Flags, clock: &SessionClock) -> Result<(), String> {
             };
             stream.feed(&buf[..n], engine.catalog(), &mut sink);
         }
+        // Keep the intern table bounded on an unbounded log: compaction
+        // drops statements outside the advisor's retained windows and is
+        // invisible to the audit stream (dropped statements re-parse on
+        // their next arrival).
+        advisor.compact_stream(&mut stream, DEFAULT_INTERN_CAPACITY);
         flush_window_audits(&mut out, &mut pending, &engine, budget, &plan, clock)?;
     }
     {

@@ -89,6 +89,7 @@ pub mod prelude {
         ConfigError, DescentCheckpoint, DesignSession, EngineExt, FailoverEvent, OnlineAdvisor,
         OnlineAdvisorConfig, ReplicaAudit, ReplicaError, ReplicaOptions, ReplicaOutcome,
         ReplicatedDesign, ResumeError, SessionEnd, SessionOptions, WindowAudit, WindowPolicy,
+        DEFAULT_INTERN_CAPACITY,
     };
     pub use cliffguard_designer::{
         BenefitMatrix, CandidateGen, ColumnarCandidates, CompressingDesigner, DesignerFault,

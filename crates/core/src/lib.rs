@@ -50,7 +50,10 @@ pub use cliffguard::{CliffGuard, CliffGuardTrace};
 pub use config::{CliffGuardConfig, ConfigError};
 pub use engines::EngineExt;
 pub use move_workload::move_workload;
-pub use online::{AdvisorSnapshot, OnlineAdvisor, OnlineAdvisorConfig, WindowAudit, WindowPolicy};
+pub use online::{
+    AdvisorSnapshot, OnlineAdvisor, OnlineAdvisorConfig, WindowAudit, WindowPolicy,
+    DEFAULT_INTERN_CAPACITY, MAX_WINDOW_CLOSES_PER_ARRIVAL,
+};
 pub use replica::{
     design_replicated, FailoverEvent, ReplicaAudit, ReplicaError, ReplicaOptions, ReplicaOutcome,
     ReplicatedDesign,

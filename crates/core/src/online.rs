@@ -42,9 +42,25 @@ use crate::gamma::GammaPolicy;
 use cliffguard_distance::{window_delta, ClauseMask, WindowAccumulator, WindowVector};
 use cliffguard_resilience::SessionClock;
 use cliffguard_telemetry::{self as telemetry, Level};
-use cliffguard_workload::{Query, Workload};
-use std::collections::VecDeque;
+use cliffguard_workload::{LogStream, Query, QuerySignature, Workload};
+use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
+
+/// Hard cap on how many windows a single arrival may close under a time
+/// policy. Log timestamps are untrusted input: without a cap, one
+/// far-future timestamp (say `u64::MAX` seconds against a 1 s window)
+/// would pad one empty [`WindowAudit`] per elapsed period — ~2^64
+/// iterations on the daemon's synchronous request loop. After this many
+/// closes the anchor skips straight to the period containing the arrival.
+/// The cap is a pure function of the arrival sequence, so the audit
+/// stream stays deterministic across chunk sizes and kill/resume.
+pub const MAX_WINDOW_CLOSES_PER_ARRIVAL: u64 = 64;
+
+/// Default interner-compaction threshold for production ingest paths
+/// (the CLI and the serve daemon): once a stream's intern table exceeds
+/// this many distinct queries, [`OnlineAdvisor::compact_stream`] drops
+/// everything outside the advisor's retained windows.
+pub const DEFAULT_INTERN_CAPACITY: usize = 1 << 16;
 
 /// How the arrival stream is cut into windows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,7 +69,9 @@ pub enum WindowPolicy {
     Count(usize),
     /// Close when a *log timestamp* (epoch seconds) moves this far past
     /// the window's start; far-future arrivals close the intervening empty
-    /// windows too. Anchored at the first arrival's timestamp.
+    /// windows too, up to [`MAX_WINDOW_CLOSES_PER_ARRIVAL`] closes per
+    /// arrival (beyond that the anchor skips to the arrival's own window).
+    /// Anchored at the first arrival's timestamp.
     LogTime(u64),
     /// Like `LogTime`, but over the advisor's [`SessionClock`] (seconds) —
     /// wall time in production, virtual time in deterministic runs.
@@ -165,6 +183,11 @@ pub struct AdvisorSnapshot {
     pub current: Workload,
     /// First timestamp attributed to the open window.
     pub window_start_ts: Option<u64>,
+    /// Milliseconds already elapsed in the open window on the session
+    /// clock (`None` when no window is open). Only meaningful under
+    /// [`WindowPolicy::ClockTime`]; [`restore`](OnlineAdvisor::restore)
+    /// re-anchors the window this far into its span on the new clock.
+    pub window_elapsed_clock_ms: Option<u64>,
     /// Last timestamp observed.
     pub last_ts: u64,
     /// The most recently closed window (δ predecessor and redesign `W0`).
@@ -189,8 +212,12 @@ pub struct OnlineAdvisor {
     acc: WindowAccumulator,
     current: Workload,
     window_start_ts: Option<u64>,
-    /// Clock anchor of the open window (ClockTime policy), ms.
-    window_start_clock_ms: Option<u64>,
+    /// ClockTime anchor of the open window: the clock reading when it was
+    /// (re-)anchored plus the ms already elapsed at that reading (negative
+    /// after a gap skip credits future periods). Elapsed time in the open
+    /// window is `(now − reading) + offset`, so a restored advisor carries
+    /// the window's consumed span across clock restarts.
+    clock_anchor: Option<(u64, i128)>,
     last_ts: u64,
     prev: Option<Workload>,
     prev_vector: Option<WindowVector>,
@@ -212,7 +239,7 @@ impl OnlineAdvisor {
             acc: WindowAccumulator::new(mask),
             current: Workload::new(),
             window_start_ts: None,
-            window_start_clock_ms: None,
+            clock_anchor: None,
             last_ts: 0,
             prev: None,
             prev_vector: None,
@@ -228,9 +255,15 @@ impl OnlineAdvisor {
     /// Rebuilds an advisor from a [`snapshot`](Self::snapshot). The
     /// accumulator and δ predecessor vector are reconstructed from the
     /// persisted workloads; raw counts are exact integers, so the rebuilt
-    /// state is bit-identical to the live one.
+    /// state is bit-identical to the live one. The open window's consumed
+    /// clock span ([`AdvisorSnapshot::window_elapsed_clock_ms`]) is
+    /// re-anchored against `clock`, so ClockTime windows keep their
+    /// configured span across a restart rather than restarting it.
     pub fn restore(config: OnlineAdvisorConfig, clock: SessionClock, s: AdvisorSnapshot) -> Self {
         let mask = config.mask;
+        let clock_anchor = s
+            .window_elapsed_clock_ms
+            .map(|elapsed| (clock.now_ms(), i128::from(elapsed)));
         Self {
             acc: WindowAccumulator::from_workload(&s.current, mask),
             prev_vector: s
@@ -239,7 +272,7 @@ impl OnlineAdvisor {
                 .map(|w| WindowVector::from_workload(w, mask)),
             current: s.current,
             window_start_ts: s.window_start_ts,
-            window_start_clock_ms: None,
+            clock_anchor,
             last_ts: s.last_ts,
             prev: s.prev,
             history: s.history.into(),
@@ -259,6 +292,10 @@ impl OnlineAdvisor {
             window_index: self.window_index,
             current: self.current.clone(),
             window_start_ts: self.window_start_ts,
+            window_elapsed_clock_ms: self.clock_anchor.map(|(reading, offset)| {
+                let elapsed = i128::from(self.clock.now_ms().saturating_sub(reading)) + offset;
+                u64::try_from(elapsed.max(0)).unwrap_or(u64::MAX)
+            }),
             last_ts: self.last_ts,
             prev: self.prev.clone(),
             history: self.history.iter().cloned().collect(),
@@ -279,27 +316,50 @@ impl OnlineAdvisor {
         match self.config.window {
             WindowPolicy::LogTime(secs) => {
                 let secs = secs.max(1);
+                let mut closed = 0u64;
                 while let Some(start) = self.window_start_ts {
-                    if timestamp >= start.saturating_add(secs) {
-                        audits.push(self.close_window());
-                        // Empty interior windows advance the anchor by one
-                        // period each, like `QueryLog::windows`.
-                        self.window_start_ts = Some(start + secs);
-                    } else {
+                    // Checked: an anchor within `secs` of u64::MAX has its
+                    // window end past the representable range, so no
+                    // timestamp can overrun it.
+                    let Some(end) = start.checked_add(secs) else {
+                        break;
+                    };
+                    if timestamp < end {
                         break;
                     }
+                    audits.push(self.close_window());
+                    closed += 1;
+                    if closed > MAX_WINDOW_CLOSES_PER_ARRIVAL {
+                        // Implausibly far jump: skip the anchor straight to
+                        // the arrival's own window (≤ timestamp, so this
+                        // cannot overflow) instead of padding one empty
+                        // audit per elapsed period.
+                        self.window_start_ts = Some(end + (timestamp - end) / secs * secs);
+                        break;
+                    }
+                    // Empty interior windows advance the anchor by one
+                    // period each, like `QueryLog::windows`.
+                    self.window_start_ts = Some(end);
                 }
             }
             WindowPolicy::ClockTime(secs) => {
-                let ms = secs.max(1) * 1_000;
+                let ms = i128::from(secs.max(1)) * 1_000;
                 let now = self.clock.now_ms();
-                while let Some(start) = self.window_start_clock_ms {
-                    if now >= start.saturating_add(ms) {
-                        audits.push(self.close_window());
-                        self.window_start_clock_ms = Some(start + ms);
-                    } else {
+                let mut closed = 0u64;
+                while let Some((reading, offset)) = self.clock_anchor {
+                    let elapsed = i128::from(now.saturating_sub(reading)) + offset;
+                    if elapsed < ms {
                         break;
                     }
+                    audits.push(self.close_window());
+                    closed += 1;
+                    if closed > MAX_WINDOW_CLOSES_PER_ARRIVAL {
+                        // A huge clock jump (e.g. a long-suspended host):
+                        // skip to the period containing `now`.
+                        self.clock_anchor = Some((reading, offset - elapsed / ms * ms));
+                        break;
+                    }
+                    self.clock_anchor = Some((reading, offset - ms));
                 }
             }
             WindowPolicy::Count(_) => {}
@@ -307,8 +367,8 @@ impl OnlineAdvisor {
         if self.window_start_ts.is_none() {
             self.window_start_ts = Some(timestamp);
         }
-        if self.window_start_clock_ms.is_none() {
-            self.window_start_clock_ms = Some(self.clock.now_ms());
+        if self.clock_anchor.is_none() {
+            self.clock_anchor = Some((self.clock.now_ms(), 0));
         }
         self.last_ts = timestamp;
         self.acc.observe(query);
@@ -423,8 +483,48 @@ impl OnlineAdvisor {
         self.prev = Some(closed);
         self.prev_vector = Some(vector);
         self.window_start_ts = None;
-        self.window_start_clock_ms = None;
+        self.clock_anchor = None;
         audit
+    }
+
+    /// Structural signatures of every query the advisor still retains:
+    /// the open window, the δ predecessor, and the redesign pool — the
+    /// keep-set for [`compact_stream`](Self::compact_stream).
+    pub fn retained_signatures(&self) -> HashSet<QuerySignature> {
+        let mut keep = HashSet::new();
+        for w in std::iter::once(&self.current)
+            .chain(self.prev.iter())
+            .chain(self.history.iter())
+        {
+            for q in w.queries() {
+                keep.insert(q.signature());
+            }
+        }
+        keep
+    }
+
+    /// Bounds `stream`'s intern table: once it holds more than `capacity`
+    /// distinct queries, compacts it down to the advisor's retained
+    /// working set (the statement cache is cleared with it, see
+    /// [`LogStream::compact`]). Invisible to the audit stream — a dropped
+    /// statement simply re-parses and re-interns on its next arrival, and
+    /// nothing in the ingest paths keys on the renumbered ids — so
+    /// callers invoke it after every chunk. Returns whether a compaction
+    /// ran.
+    pub fn compact_stream(&self, stream: &mut LogStream, capacity: usize) -> bool {
+        let before = stream.interner().len();
+        if before <= capacity.max(1) {
+            return false;
+        }
+        let keep = self.retained_signatures();
+        stream.compact(|_, q| keep.contains(&q.signature()));
+        if let Some(c) = telemetry::counter("cliffguard.ingest.compactions") {
+            c.incr(1);
+        }
+        if let Some(g) = telemetry::gauge("cliffguard.ingest.interned") {
+            g.set(stream.interner().len() as f64);
+        }
+        true
     }
 
     /// The most recently closed window — the `W0` a triggered redesign
@@ -613,6 +713,52 @@ mod tests {
     }
 
     #[test]
+    fn far_future_timestamp_closes_a_bounded_number_of_windows() {
+        // An untrusted log line can claim any timestamp: the gap padding
+        // must stay bounded instead of iterating once per elapsed period.
+        let mut cfg = config(0);
+        cfg.window = WindowPolicy::LogTime(1);
+        let mut adv = OnlineAdvisor::new(cfg, SessionClock::virtual_clock());
+        let query = q(&[1]);
+        assert!(adv.observe(0, &query).is_empty());
+        let audits = adv.observe(u64::MAX, &query);
+        assert_eq!(audits.len() as u64, MAX_WINDOW_CLOSES_PER_ARRIVAL + 1);
+        assert_eq!(audits[0].arrivals, 1);
+        assert!(audits[1..].iter().all(|a| a.arrivals == 0));
+        // The anchor skipped to the arrival's own window: a same-window
+        // arrival joins it without closing anything.
+        assert!(adv.observe(u64::MAX, &query).is_empty());
+        assert_eq!(adv.open_arrivals(), 2);
+    }
+
+    #[test]
+    fn anchor_near_u64_max_does_not_overflow() {
+        let mut cfg = config(0);
+        cfg.window = WindowPolicy::LogTime(100);
+        let mut adv = OnlineAdvisor::new(cfg, SessionClock::virtual_clock());
+        let query = q(&[1]);
+        assert!(adv.observe(u64::MAX - 5, &query).is_empty());
+        // The window's end lies past u64::MAX: no representable timestamp
+        // can overrun it, so nothing closes and nothing wraps.
+        assert!(adv.observe(u64::MAX, &query).is_empty());
+        assert_eq!(adv.open_arrivals(), 2);
+    }
+
+    #[test]
+    fn clock_jump_closes_a_bounded_number_of_windows() {
+        let clock = SessionClock::virtual_clock();
+        let mut cfg = config(0);
+        cfg.window = WindowPolicy::ClockTime(1);
+        let mut adv = OnlineAdvisor::new(cfg, clock.clone());
+        let query = q(&[1]);
+        assert!(adv.observe(1, &query).is_empty());
+        clock.advance_ms(u64::MAX / 4);
+        let audits = adv.observe(2, &query);
+        assert_eq!(audits.len() as u64, MAX_WINDOW_CLOSES_PER_ARRIVAL + 1);
+        assert!(adv.observe(3, &query).is_empty());
+    }
+
+    #[test]
     fn clock_time_windows_use_the_session_clock() {
         let clock = SessionClock::virtual_clock();
         let mut cfg = config(0);
@@ -624,6 +770,66 @@ mod tests {
         let audits = adv.observe(2, &query);
         assert_eq!(audits.len(), 1);
         assert_eq!(audits[0].arrivals, 1);
+    }
+
+    #[test]
+    fn clock_time_anchor_survives_snapshot_restore() {
+        let clock_a = SessionClock::virtual_clock();
+        let mut cfg = config(0);
+        cfg.window = WindowPolicy::ClockTime(1);
+        let mut live = OnlineAdvisor::new(cfg.clone(), clock_a.clone());
+        let query = q(&[1]);
+        assert!(live.observe(1, &query).is_empty());
+        clock_a.advance_ms(700);
+        // Snapshot 700 ms into a 1 s window; restore on a *fresh* clock.
+        let snap = live.snapshot();
+        assert_eq!(snap.window_elapsed_clock_ms, Some(700));
+        let clock_b = SessionClock::virtual_clock();
+        let mut resumed = OnlineAdvisor::restore(cfg, clock_b.clone(), snap);
+        // 200 ms more keeps the window open (900 ms consumed in total)…
+        clock_b.advance_ms(200);
+        assert!(resumed.observe(2, &query).is_empty());
+        // …and another 150 ms closes it at the configured 1 s span, not
+        // 1 s past the restore point.
+        clock_b.advance_ms(150);
+        let audits = resumed.observe(3, &query);
+        assert_eq!(audits.len(), 1);
+        assert_eq!(audits[0].arrivals, 2);
+    }
+
+    #[test]
+    fn compact_stream_keeps_only_retained_queries() {
+        use cliffguard_workload::{LogStream, SimpleResolver};
+        let cols: Vec<String> = (0..32).map(|i| format!("c{i}")).collect();
+        let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+        let mut r = SimpleResolver::new();
+        r.add_table("t", &col_refs);
+        let mut cfg = config(2);
+        cfg.history = 2;
+        let mut adv = OnlineAdvisor::new(cfg, SessionClock::virtual_clock());
+        let mut stream = LogStream::new();
+        for i in 0..32u64 {
+            let line = format!("{i}\tSELECT c{i} FROM t\n");
+            let adv = &mut adv;
+            let mut sink = |ts: u64, _id, q: &Arc<Query>| {
+                let _ = adv.observe(ts, q);
+            };
+            stream.feed(line.as_bytes(), &r, &mut sink);
+        }
+        assert_eq!(stream.interner().len(), 32);
+        // Under the bound: no-op.
+        assert!(!adv.compact_stream(&mut stream, 64));
+        assert_eq!(stream.interner().len(), 32);
+        // Over the bound: the table shrinks to the retained working set.
+        assert!(adv.compact_stream(&mut stream, 8));
+        let retained = adv.retained_signatures();
+        assert_eq!(stream.interner().len(), retained.len());
+        assert!(stream.interner().len() < 32);
+        // A dropped statement re-parses and re-interns on its next
+        // arrival — the stream keeps working.
+        let mut n = 0usize;
+        stream.feed(b"99\tSELECT c0 FROM t\n", &r, &mut |_, _, _| n += 1);
+        assert_eq!(n, 1);
     }
 
     #[test]

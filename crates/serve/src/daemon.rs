@@ -478,11 +478,28 @@ impl Daemon {
 
     /// Handles one `ingest` frame synchronously: find (or lazily reload,
     /// or create) the tenant's streaming session, feed the chunk, persist
-    /// the snapshot, answer. On `eof` the session is finalized and its
-    /// snapshot removed.
+    /// the snapshot, answer. A catalog-bearing frame always starts a
+    /// *fresh* session — any live session or persisted snapshot for the
+    /// tenant (e.g. from a tape abandoned without `eof`) is discarded
+    /// rather than silently continuing with the old window/Γ knobs. On
+    /// `eof` the session is finalized and its snapshot removed.
     fn handle_ingest(&mut self, seq: u64, req: IngestRequest) -> Response {
         let tenant = req.tenant.clone();
-        if !self.ingests.contains_key(&tenant) {
+        if req.catalog.is_some() {
+            // Session reset: the frame's catalog and knobs win over any
+            // stale state for this tenant.
+            self.ingests.remove(&tenant);
+            if let Some(store) = &self.store {
+                let _ = store.remove_ingest(&tenant);
+            }
+            match IngestSession::create(&req, self.ingest_clock()) {
+                Ok(session) => {
+                    self.tenants.stats_mut(&tenant).admitted += 1;
+                    self.ingests.insert(tenant.clone(), session);
+                }
+                Err(reason) => return Response::Error { seq, reason },
+            }
+        } else if !self.ingests.contains_key(&tenant) {
             // Lazily reload a snapshot a previous daemon persisted: the
             // resumed session replays the rest of the tape bit-identically
             // to an uninterrupted run.
@@ -502,6 +519,8 @@ impl Daemon {
                         reason: format!("ingest: corrupt snapshot for `{tenant}`: {e}"),
                     };
                 }
+                // `create` without a catalog yields the canonical
+                // "first frame must carry a catalog" error.
                 None => match IngestSession::create(&req, self.ingest_clock()) {
                     Ok(session) => {
                         self.tenants.stats_mut(&tenant).admitted += 1;

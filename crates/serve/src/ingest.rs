@@ -18,6 +18,7 @@ use crate::protocol::{GammaSpec, IngestRequest};
 use cliffguard_core::gamma::GammaPolicy;
 use cliffguard_core::{
     AdvisorSnapshot, OnlineAdvisor, OnlineAdvisorConfig, WindowAudit, WindowPolicy,
+    DEFAULT_INTERN_CAPACITY,
 };
 use cliffguard_resilience::SessionClock;
 use cliffguard_storage::Catalog;
@@ -35,6 +36,11 @@ pub struct IngestSession {
     catalog: Catalog,
     stream: LogStream,
     advisor: OnlineAdvisor,
+    /// Interner-compaction threshold (distinct queries); once the
+    /// stream's intern table exceeds it after a frame, the table is
+    /// compacted down to the advisor's retained windows so an unbounded
+    /// tape cannot grow memory without limit.
+    intern_capacity: usize,
 }
 
 impl IngestSession {
@@ -58,6 +64,7 @@ impl IngestSession {
             catalog,
             stream: LogStream::new(),
             advisor: OnlineAdvisor::new(config, clock),
+            intern_capacity: DEFAULT_INTERN_CAPACITY,
         })
     }
 
@@ -82,7 +89,24 @@ impl IngestSession {
         if eof {
             audits.extend(advisor.finish());
         }
+        // Bound the intern table across an unbounded tape: compaction is
+        // invisible to the audit stream (dropped statements re-parse and
+        // re-intern on their next arrival), so running it per frame keeps
+        // memory flat without perturbing determinism.
+        self.advisor
+            .compact_stream(&mut self.stream, self.intern_capacity);
         audits
+    }
+
+    /// Overrides the interner-compaction threshold (tests use a tiny
+    /// bound to exercise compaction on small tapes).
+    pub fn set_intern_capacity(&mut self, capacity: usize) {
+        self.intern_capacity = capacity.max(1);
+    }
+
+    /// Distinct queries currently held by the stream's intern table.
+    pub fn interned_queries(&self) -> usize {
+        self.stream.interner().len()
     }
 
     /// The drift advisor (trigger history, armed state, window count).
@@ -208,6 +232,7 @@ impl IngestSession {
             catalog,
             stream: LogStream::restore(carry, stats, cache_resets),
             advisor: OnlineAdvisor::restore(config, clock, snapshot),
+            intern_capacity: DEFAULT_INTERN_CAPACITY,
         })
     }
 }
@@ -249,6 +274,15 @@ fn snapshot_to_value(s: &AdvisorSnapshot) -> Value {
             "window_start_ts".into(),
             match s.window_start_ts {
                 Some(ts) => Value::U64(ts),
+                None => Value::Null,
+            },
+        ),
+        (
+            // ClockTime policy only: ms already consumed by the open
+            // window, re-anchored against the restoring daemon's clock.
+            "window_elapsed_clock_ms".into(),
+            match s.window_elapsed_clock_ms {
+                Some(ms) => Value::U64(ms),
                 None => Value::Null,
             },
         ),
@@ -304,6 +338,10 @@ fn snapshot_from_value(v: &Value) -> Result<AdvisorSnapshot, String> {
         window_index: u("window_index")?,
         current: workload_from_value(map_get(m, "current"))?,
         window_start_ts: match map_get(m, "window_start_ts") {
+            Value::Null => None,
+            v => Some(u64::from_value(v).map_err(|e| e.to_string())?),
+        },
+        window_elapsed_clock_ms: match map_get(m, "window_elapsed_clock_ms") {
             Value::Null => None,
             v => Some(u64::from_value(v).map_err(|e| e.to_string())?),
         },
@@ -398,6 +436,49 @@ mod tests {
         got.extend(resumed.feed(&text[cut..], true).iter().map(|a| a.line()));
         assert_eq!(got, want, "kill/resume must replay byte-identically");
         assert_eq!(resumed.advisor().triggers(), &[3]);
+    }
+
+    #[test]
+    fn feed_compacts_the_interner_without_perturbing_audits() {
+        // Four one-way regimes: statements of regimes the advisor's
+        // window history has forgotten are *gone*, so a bounded interner
+        // must end up strictly smaller than an unbounded one.
+        let (catalog, tape) = testdata::ingest_fixture(LogTapeConfig {
+            tables: 4,
+            cols_per_table: 4,
+            windows: 12,
+            window_len: 8,
+            window_secs: 60,
+            episodes: vec![3, 6, 9],
+            statements_per_regime: 3,
+            header_noise: false,
+            ..LogTapeConfig::default()
+        });
+        let text = tape.text();
+        let req = first_frame("acme", catalog, &tape);
+
+        let mut plain = IngestSession::create(&req, SessionClock::virtual_clock()).unwrap();
+        let want: Vec<String> = plain.feed(text, true).iter().map(|a| a.line()).collect();
+
+        // A tiny compaction bound, fed in small frames so the bound is
+        // crossed mid-stream: the intern table stays below the plain
+        // run's and the audit stream is byte-identical.
+        let mut tight = IngestSession::create(&req, SessionClock::virtual_clock()).unwrap();
+        tight.set_intern_capacity(2);
+        let mut got: Vec<String> = Vec::new();
+        for chunk in text.as_bytes().chunks(64) {
+            let chunk = std::str::from_utf8(chunk).unwrap();
+            got.extend(tight.feed(chunk, false).iter().map(|a| a.line()));
+        }
+        got.extend(tight.feed("", true).iter().map(|a| a.line()));
+        assert_eq!(got, want, "compaction must be invisible to the audits");
+        assert!(
+            tight.interned_queries() < plain.interned_queries(),
+            "tight={} plain={}",
+            tight.interned_queries(),
+            plain.interned_queries()
+        );
+        assert!(tight.interned_queries() <= tight.advisor().retained_signatures().len());
     }
 
     #[test]

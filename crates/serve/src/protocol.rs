@@ -141,7 +141,10 @@ impl DesignRequest {
 /// The advisor knobs (`window`/`window_secs`, `gamma`, `warmup`,
 /// `cooldown`) and the catalog are read when the tenant's ingest session
 /// is created (its first frame, or never for a session recovered from the
-/// state directory); later frames carry only bytes.
+/// state directory); later frames carry only bytes. A catalog-bearing
+/// frame always starts a *fresh* session, discarding any live session or
+/// stale persisted snapshot for the tenant — so a client starting over
+/// never silently continues an abandoned tape.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IngestRequest {
     /// Tenant id: `[A-Za-z0-9_.-]{1,64}` (it names a state directory).

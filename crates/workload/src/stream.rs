@@ -22,7 +22,11 @@
 //! Distinct queries are deduplicated into the stream's own
 //! [`WorkloadInterner`]; [`LogStream::compact`] rebuilds it (and clears the
 //! statement cache, whose entries hold interner ids) so an unbounded log
-//! cannot grow the intern table without limit.
+//! cannot grow the intern table without limit. The production ingest
+//! paths — the `cliffguard ingest` CLI and the serve daemon's per-tenant
+//! sessions — call it after every chunk via the online advisor's
+//! `compact_stream`, which drops everything outside the advisor's
+//! retained windows once the table exceeds its capacity bound.
 
 use crate::interner::{QueryId, WorkloadInterner};
 use crate::parser::parse_query;

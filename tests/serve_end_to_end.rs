@@ -540,3 +540,29 @@ fn killed_daemon_resumes_ingest_with_an_identical_trigger_history() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn a_catalog_frame_resets_a_stale_abandoned_session() {
+    let (catalog, tape) = testdata::ingest_fixture(LogTapeConfig::default());
+    let frames = ingest_frames("acme", &catalog, &tape, 6);
+    let want = ingest_audits(&ServeHarness::new().run_tape(&frames));
+
+    // Abandon a session mid-tape (no eof): its snapshot stays on disk.
+    let dir = tmpdir("ingest-reset");
+    let _ = ServeHarness::new()
+        .with_state_dir(&dir)
+        .run_tape(&frames[..3]);
+
+    // A client starting over sends a fresh catalog-bearing first frame:
+    // the stale snapshot must not shadow it — the whole tape replays
+    // from window 0 exactly as on a clean daemon, with the new frame's
+    // knobs in effect.
+    let out = ServeHarness::new().with_state_dir(&dir).run_tape(&frames);
+    assert_eq!(
+        ingest_audits(&out),
+        want,
+        "a catalog frame must discard the abandoned session"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
