@@ -87,15 +87,27 @@ impl<S: Clone> BenefitMatrix<S> {
             .map(|c| E::Design::structure_price(c, engine.catalog()))
             .collect();
         // The designer's hot loop: one plan evaluation per
-        // (candidate, query) pair. Candidates are independent, so each
-        // row of the matrix is built on a worker thread; rows come back
-        // in candidate order, so the matrix — and everything greedy
-        // selection derives from it — is identical at any thread count.
+        // (candidate, query) pair — minus the pairs the dependency
+        // predicate rules out. `{c}` and `{}` differ only in `c`, so for a
+        // plan that does not depend on `c` the standalone latency *is* the
+        // base latency, bit-for-bit (the `plan_depends_on` soundness
+        // contract); copying `base[q]` skips the evaluation without moving
+        // a bit. Candidates are independent, so each row of the matrix is
+        // built on a worker thread; rows come back in candidate order, so
+        // the matrix — and everything greedy selection derives from it —
+        // is identical at any thread count.
         let lat: Vec<Vec<f64>> = cliffguard_parallel::par_map(&candidates, |c| {
             let d = E::Design::from_structures(vec![c.clone()]);
             plans
                 .iter()
-                .map(|p| engine.plan_latency_ms(p, &d))
+                .zip(&base)
+                .map(|(p, &b)| {
+                    if engine.plan_depends_on(p, c) {
+                        engine.plan_latency_ms(p, &d)
+                    } else {
+                        b
+                    }
+                })
                 .collect()
         });
         Self {

@@ -464,6 +464,32 @@ impl PlanningEngine for ColumnarEngine {
         total += self.post_processing_ms(plan, anchor_survived, anchor_chosen);
         total
     }
+
+    fn plan_depends_on(&self, plan: &ColumnarPlan, p: &Projection) -> bool {
+        // A projection competes in `table_access_ms` only for same-table
+        // slices it covers; post-processing reads nothing but the anchor's
+        // chosen projection, which that same competition determines. Tables
+        // the evaluation skips (`referenced.is_empty() && i > 0`) have
+        // `covers(∅) == true`, so this stays a sound over-approximation.
+        plan.tables
+            .iter()
+            .any(|pt| pt.table == p.table && p.covers(&pt.referenced))
+    }
+
+    fn engine_version_tag(&self) -> &'static str {
+        "columnar-v1"
+    }
+
+    fn plan_tables_mask(&self, plan: &ColumnarPlan) -> u64 {
+        plan.tables
+            .iter()
+            .fold(0, |m, pt| m | crate::engine::table_mask_bit(pt.table))
+    }
+
+    fn structure_tables_mask(&self, p: &Projection) -> u64 {
+        // `plan_depends_on` matches same-table slices only.
+        crate::engine::table_mask_bit(p.table)
+    }
 }
 
 #[cfg(test)]

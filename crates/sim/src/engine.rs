@@ -82,7 +82,7 @@ pub(crate) fn combine_structure_hashes(hashes: impl Iterator<Item = u64>) -> u64
 }
 
 /// SplitMix64 finalizer — a cheap, high-quality 64-bit bit mixer.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -181,6 +181,65 @@ pub trait PlanningEngine: Engine {
     /// Latency (ms) of a compiled query under a design; bit-identical to
     /// [`Engine::query_latency_ms`] on the query the plan was compiled from.
     fn plan_latency_ms(&self, plan: &Self::Plan, d: &Self::Design) -> f64;
+
+    /// Whether structure `s` can influence `plan`'s latency at all — the
+    /// dependency predicate behind delta epochs.
+    ///
+    /// **Contract (soundness):** if this returns `false`, then for every
+    /// pair of designs `d` and `d ∪ {s}` (and `d \ {s}`),
+    /// `plan_latency_ms(plan, ·)` must be **bit-identical** on both. A
+    /// conservative over-approximation (returning `true` for a structure
+    /// that turns out not to matter) only wastes re-costing work; an
+    /// under-approximation silently serves stale latencies — a cost bug.
+    /// The default is the maximally conservative `true`, which disables
+    /// delta savings but can never be wrong.
+    fn plan_depends_on(
+        &self,
+        plan: &Self::Plan,
+        s: &<Self::Design as PhysicalDesign>::Structure,
+    ) -> bool {
+        let _ = (plan, s);
+        true
+    }
+
+    /// A stable tag naming this engine's cost-model version, used to key
+    /// persistent epoch-cache entries. Bump it whenever the latency
+    /// arithmetic changes in any bit-observable way, so stale snapshots
+    /// are rejected instead of trusted.
+    fn engine_version_tag(&self) -> &'static str {
+        "engine-v0"
+    }
+
+    /// A 64-bit over-approximating mask of the tables `plan` reads: bit
+    /// [`table_mask_bit`] set for every referenced table. The delta
+    /// builder stores one word per plan and ANDs it against the touched
+    /// structures' masks as a branch-cheap prefilter before the full
+    /// [`plan_depends_on`](Self::plan_depends_on) predicate.
+    ///
+    /// **Contract (soundness):** a cleared bit asserts `plan_depends_on`
+    /// is `false` for every structure whose mask has only that bit —
+    /// i.e. the mask must cover every table the predicate can match on.
+    /// Wraparound collisions (`table % 64`) and the all-ones default only
+    /// over-approximate, which is always safe.
+    fn plan_tables_mask(&self, plan: &Self::Plan) -> u64 {
+        let _ = plan;
+        !0
+    }
+
+    /// The matching mask for the tables structure `s` can influence. The
+    /// all-ones default disables pruning but can never be wrong.
+    fn structure_tables_mask(&self, s: &<Self::Design as PhysicalDesign>::Structure) -> u64 {
+        let _ = s;
+        !0
+    }
+}
+
+/// The bit [`PlanningEngine::plan_tables_mask`] assigns to a table:
+/// `1 << (t % 64)`. Dense schemas below 64 tables get exact masks;
+/// larger ones alias mod 64, which only over-approximates.
+#[inline]
+pub fn table_mask_bit(t: cliffguard_workload::TableId) -> u64 {
+    1u64 << (t.0 % 64)
 }
 
 #[cfg(test)]

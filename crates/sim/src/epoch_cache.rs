@@ -1,0 +1,290 @@
+//! Persistent epoch snapshots for warm starts.
+//!
+//! An [`EpochCacheStore`] keeps per-design latency vectors on disk so that
+//! repeated runs — a re-issued CLI design, a drift-triggered online
+//! redesign, a restarted serve daemon — start from the previous run's
+//! epochs instead of a cold full rebuild. Entries are keyed by the triple
+//!
+//! ```text
+//! (engine version tag, interner fingerprint, design fingerprint)
+//! ```
+//!
+//! so a snapshot is only ever served back to the *exact* cost model,
+//! query set, and design that produced it; any component changing (a cost
+//! arithmetic bump, a different neighborhood, another design) simply
+//! misses. Latencies are stored as IEEE-754 **bit patterns** (`u64`), so a
+//! loaded epoch is bit-identical to the one that was stored — no float
+//! formatting round-trip.
+//!
+//! # Durability and trust
+//!
+//! Writes go through the tmp-file → `write_all` → `sync_all` → `rename`
+//! idiom (plus a best-effort parent-directory sync), so a crash mid-store
+//! leaves either the old entry or the new one, never a torn file. Reads
+//! **never trust** the snapshot: version, engine tag, both fingerprints,
+//! the vector length, and a splitmix checksum over the latency bits are
+//! all verified, and any mismatch — truncation, a flipped bit, a stale
+//! engine — rejects the entry (the kernel then rebuilds and overwrites
+//! it). A cache directory can be deleted at any time; it only costs the
+//! next run a cold start.
+
+use serde::{map_get, Deserialize, Value};
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Snapshot format version; bump on any layout change.
+const FORMAT_VERSION: u64 = 1;
+
+/// An on-disk store of design-epoch latency vectors.
+#[derive(Debug, Clone)]
+pub struct EpochCacheStore {
+    root: PathBuf,
+}
+
+impl EpochCacheStore {
+    /// Opens (creating if needed) the store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The snapshot path for one key triple.
+    fn entry_path(&self, tag: &str, interner_fp: u64, design_fp: u64) -> PathBuf {
+        // The tag is a short static identifier ("columnar-v1"); sanitize
+        // anyway so a hostile tag cannot escape the root.
+        let safe: String = tag
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '_' })
+            .collect();
+        self.root
+            .join(format!("epoch-{safe}-{interner_fp:016x}-{design_fp:016x}.json"))
+    }
+
+    /// Loads a snapshot, returning the latency vector only if every
+    /// integrity check passes: parseable JSON, format version, engine tag,
+    /// both fingerprints, `expected_len`, and the checksum over the
+    /// latency bits. Any failure returns `None` (the caller rebuilds and
+    /// overwrites).
+    pub fn load(
+        &self,
+        tag: &str,
+        interner_fp: u64,
+        design_fp: u64,
+        expected_len: usize,
+    ) -> Option<Vec<f64>> {
+        let path = self.entry_path(tag, interner_fp, design_fp);
+        let text = fs::read_to_string(path).ok()?;
+        let value: Value = serde_json::from_str(&text).ok()?;
+        let map = value.as_map()?;
+        if u64::from_value(map_get(map, "version")).ok()? != FORMAT_VERSION {
+            return None;
+        }
+        if String::from_value(map_get(map, "engine")).ok()? != tag {
+            return None;
+        }
+        if u64::from_value(map_get(map, "interner")).ok()? != interner_fp {
+            return None;
+        }
+        if u64::from_value(map_get(map, "design")).ok()? != design_fp {
+            return None;
+        }
+        let checksum = u64::from_value(map_get(map, "checksum")).ok()?;
+        let bits = Vec::<u64>::from_value(map_get(map, "lat_bits")).ok()?;
+        if bits.len() != expected_len || latency_checksum(&bits) != checksum {
+            return None;
+        }
+        Some(bits.into_iter().map(f64::from_bits).collect())
+    }
+
+    /// Persists one snapshot atomically. Best effort: I/O failures are
+    /// swallowed (a missing snapshot only costs the next cold start a
+    /// rebuild), surfacing nothing to the costing hot path.
+    pub fn store(&self, tag: &str, interner_fp: u64, design_fp: u64, lat: &[f64]) {
+        let path = self.entry_path(tag, interner_fp, design_fp);
+        let _ = write_atomic(&path, &render_snapshot(tag, interner_fp, design_fp, lat));
+    }
+}
+
+/// Renders a snapshot as single-line JSON with a fixed key order and
+/// latencies as `u64` bit patterns.
+fn render_snapshot(tag: &str, interner_fp: u64, design_fp: u64, lat: &[f64]) -> String {
+    let bits: Vec<u64> = lat.iter().map(|l| l.to_bits()).collect();
+    let mut out = String::with_capacity(64 + bits.len() * 21);
+    out.push_str("{\"version\":");
+    out.push_str(&FORMAT_VERSION.to_string());
+    out.push_str(",\"engine\":\"");
+    // Tags are static ASCII identifiers; escape defensively anyway.
+    for c in tag.chars() {
+        match c {
+            '"' | '\\' => {
+                out.push('\\');
+                out.push(c);
+            }
+            _ => out.push(c),
+        }
+    }
+    out.push_str("\",\"interner\":");
+    out.push_str(&interner_fp.to_string());
+    out.push_str(",\"design\":");
+    out.push_str(&design_fp.to_string());
+    out.push_str(",\"checksum\":");
+    out.push_str(&latency_checksum(&bits).to_string());
+    out.push_str(",\"lat_bits\":[");
+    for (i, b) in bits.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&b.to_string());
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Order-sensitive splitmix fold over the latency bit patterns: any
+/// flipped bit, dropped element, or reorder changes the checksum.
+fn latency_checksum(bits: &[u64]) -> u64 {
+    let mut acc: u64 = 0x9e37_79b9_7f4a_7c15;
+    for &b in bits {
+        acc = crate::engine::splitmix64(acc ^ b);
+    }
+    crate::engine::splitmix64(acc ^ bits.len() as u64)
+}
+
+/// Atomic file replace: tmp file (unique per process, so concurrent
+/// writers of the same — deterministic, hence identical — entry cannot
+/// interleave), fsync, rename over the target, best-effort directory
+/// sync. The same durability idiom as the serve layer's checkpoint store.
+fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+    let mut file = fs::File::create(&tmp)?;
+    file.write_all(contents.as_bytes())?;
+    file.sync_all()?;
+    drop(file);
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A unique scratch directory, removed on drop.
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(label: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "cliffguard-epoch-cache-{label}-{}",
+                std::process::id()
+            ));
+            let _ = fs::remove_dir_all(&dir);
+            Self(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    const LAT: [f64; 4] = [1.5, 0.25, 3.75e-3, 1.0e9];
+
+    #[test]
+    fn roundtrip_preserves_bits() {
+        let scratch = Scratch::new("roundtrip");
+        let store = EpochCacheStore::open(&scratch.0).unwrap();
+        store.store("columnar-v1", 11, 22, &LAT);
+        let loaded = store.load("columnar-v1", 11, 22, LAT.len()).unwrap();
+        for (a, b) in loaded.iter().zip(&LAT) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn mismatched_keys_miss() {
+        let scratch = Scratch::new("keys");
+        let store = EpochCacheStore::open(&scratch.0).unwrap();
+        store.store("columnar-v1", 11, 22, &LAT);
+        assert!(store.load("columnar-v2", 11, 22, LAT.len()).is_none());
+        assert!(store.load("columnar-v1", 12, 22, LAT.len()).is_none());
+        assert!(store.load("columnar-v1", 11, 23, LAT.len()).is_none());
+        assert!(store.load("columnar-v1", 11, 22, LAT.len() + 1).is_none());
+    }
+
+    #[test]
+    fn wrong_engine_tag_in_file_is_rejected() {
+        let scratch = Scratch::new("tag");
+        let store = EpochCacheStore::open(&scratch.0).unwrap();
+        // A file stored under one tag but renamed to another tag's key
+        // (or written by a buggy producer) must fail the embedded-tag
+        // check even though the path matches.
+        store.store("columnar-v1", 11, 22, &LAT);
+        let from = store.entry_path("columnar-v1", 11, 22);
+        let to = store.entry_path("columnar-v9", 11, 22);
+        fs::rename(from, to).unwrap();
+        assert!(store.load("columnar-v9", 11, 22, LAT.len()).is_none());
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let scratch = Scratch::new("trunc");
+        let store = EpochCacheStore::open(&scratch.0).unwrap();
+        store.store("columnar-v1", 11, 22, &LAT);
+        let path = store.entry_path("columnar-v1", 11, 22);
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(store.load("columnar-v1", 11, 22, LAT.len()).is_none());
+    }
+
+    #[test]
+    fn bit_flipped_latency_is_rejected_by_checksum() {
+        let scratch = Scratch::new("flip");
+        let store = EpochCacheStore::open(&scratch.0).unwrap();
+        store.store("columnar-v1", 11, 22, &LAT);
+        let path = store.entry_path("columnar-v1", 11, 22);
+        let text = fs::read_to_string(&path).unwrap();
+        // Flip one bit of the first latency by rewriting its decimal bits.
+        let original = LAT[0].to_bits();
+        let flipped = original ^ 1;
+        let poisoned = text.replace(&original.to_string(), &flipped.to_string());
+        assert_ne!(poisoned, text, "fixture must actually flip a latency");
+        fs::write(&path, poisoned).unwrap();
+        assert!(store.load("columnar-v1", 11, 22, LAT.len()).is_none());
+    }
+
+    #[test]
+    fn store_overwrites_poisoned_entries() {
+        let scratch = Scratch::new("overwrite");
+        let store = EpochCacheStore::open(&scratch.0).unwrap();
+        store.store("columnar-v1", 11, 22, &LAT);
+        let path = store.entry_path("columnar-v1", 11, 22);
+        fs::write(&path, "not json at all").unwrap();
+        assert!(store.load("columnar-v1", 11, 22, LAT.len()).is_none());
+        store.store("columnar-v1", 11, 22, &LAT);
+        assert!(store.load("columnar-v1", 11, 22, LAT.len()).is_some());
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let scratch = Scratch::new("version");
+        let store = EpochCacheStore::open(&scratch.0).unwrap();
+        store.store("columnar-v1", 11, 22, &LAT);
+        let path = store.entry_path("columnar-v1", 11, 22);
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, text.replace("\"version\":1", "\"version\":999")).unwrap();
+        assert!(store.load("columnar-v1", 11, 22, LAT.len()).is_none());
+    }
+}

@@ -18,6 +18,31 @@
 //!    after which every cost is an array read and `cost(w, d)` a weighted
 //!    dot product.
 //!
+//! # Delta epochs
+//!
+//! The descent's candidates differ from the incumbent by ~one structure,
+//! so rebuilding the whole latency vector per design re-derives mostly
+//! unchanged numbers. On a memo miss with any memoized epoch available,
+//! [`epoch`](CostKernel::epoch) instead **delta-builds**: it picks the
+//! memoized base whose structure multiset is closest to the target's,
+//! clones its latency vector, and re-costs only the queries whose plans
+//! depend on a *touched* structure (the symmetric difference), per the
+//! engine's [`PlanningEngine::plan_depends_on`] predicate. Because that
+//! predicate is a sound over-approximation — `false` guarantees the
+//! structure cannot move the plan's latency by a single bit — a delta
+//! build is bit-identical to a full rebuild by construction. The explicit
+//! [`epoch_from`](CostKernel::epoch_from) exposes the same machinery for
+//! tests and benches.
+//!
+//! # Warm starts
+//!
+//! With an [`EpochCacheStore`] configured ([`KernelOptions::epoch_cache`]),
+//! every built epoch is persisted to disk keyed by
+//! `(engine version tag, interner fingerprint, design fingerprint)`, and a
+//! cold kernel (no memoized base to delta from) consults the store before
+//! paying a full build. Corrupt, truncated, or version-mismatched entries
+//! are rejected and overwritten — never trusted.
+//!
 //! One-off queries that were never interned (none arise in the descent
 //! loop, but callers may ask) fall back to a plain [`CostCache`].
 //!
@@ -34,15 +59,38 @@
 
 use crate::cache::{CacheStats, CostCache};
 use crate::engine::{PhysicalDesign, PlanningEngine, WorkloadCost};
+use crate::epoch_cache::EpochCacheStore;
 use cliffguard_workload::{InternedWorkload, Query, QueryId, Workload, WorkloadInterner};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Epochs kept in the kernel's internal memo. The descent loop only ever
-/// alternates between the incumbent design and one candidate, so a handful
-/// of slots suffices.
+/// Default epochs kept in the kernel's internal memo. The descent loop only
+/// ever alternates between the incumbent design and one candidate, so a
+/// handful of slots suffices; replica fleets override this via
+/// [`KernelOptions::memo_capacity`] (R live epochs + a candidate).
 const EPOCH_MEMO_CAPACITY: usize = 4;
+
+/// Build-time knobs for [`CostKernel::build_with`].
+#[derive(Debug, Clone)]
+pub struct KernelOptions {
+    /// Epochs kept in the in-memory memo (clamped to ≥ 1). Replica fleets
+    /// should size this `max(4, R + 2)` so every live replica epoch plus a
+    /// candidate fits without thrashing.
+    pub memo_capacity: usize,
+    /// Persistent epoch store for warm starts; `None` disables disk
+    /// snapshots entirely.
+    pub epoch_cache: Option<EpochCacheStore>,
+}
+
+impl Default for KernelOptions {
+    fn default() -> Self {
+        Self {
+            memo_capacity: EPOCH_MEMO_CAPACITY,
+            epoch_cache: None,
+        }
+    }
+}
 
 /// The latency vector of one design: `lat[QueryId]` for every interned
 /// query, filled once by [`CostKernel::epoch`].
@@ -75,6 +123,36 @@ impl DesignEpoch {
     pub fn latencies(&self) -> &[f64] {
         &self.lat
     }
+
+    /// Aggregate cost of an interned workload under this epoch: a
+    /// branch-free pass over the workload's flat id/weight slices and this
+    /// epoch's flat latency vector — no per-entry hash, no `Option`, no
+    /// tuple striding. The fold performs the same operations in the same
+    /// entry order as [`Engine::workload_cost`](crate::Engine::workload_cost),
+    /// so results are bit-identical to costing the source workload
+    /// directly.
+    pub fn workload_cost(&self, w: &InternedWorkload) -> WorkloadCost {
+        if w.is_empty() {
+            return WorkloadCost::zero();
+        }
+        let lat: &[f64] = &self.lat;
+        let ids: &[u32] = w.ids();
+        let wts: &[f64] = w.weights();
+        let mut total = 0.0;
+        let mut max: f64 = 0.0;
+        let mut weight = 0.0;
+        for (&id, &wt) in ids.iter().zip(wts) {
+            let l = lat[id as usize];
+            total += l * wt;
+            weight += wt;
+            max = max.max(l);
+        }
+        WorkloadCost {
+            avg_ms: total / weight,
+            max_ms: max,
+            total_ms: total,
+        }
+    }
 }
 
 /// Counter snapshot of a [`CostKernel`].
@@ -86,12 +164,29 @@ pub struct KernelStats {
     pub raw_entries: u64,
     /// `raw_entries / interned_queries`.
     pub dedup_ratio: f64,
-    /// Epochs materialized (full latency-vector fills).
+    /// Epochs materialized from scratch (full latency-vector fills).
     pub epoch_builds: u64,
+    /// Epochs materialized incrementally from a memoized base (only
+    /// dependent queries re-costed).
+    pub delta_builds: u64,
+    /// Queries re-costed across all delta builds (the dependent sets).
+    pub recosted_queries: u64,
     /// Epoch requests answered from the memo.
     pub epoch_reuses: u64,
+    /// Memo entries displaced by capacity pressure.
+    pub epoch_evictions: u64,
+    /// Epochs loaded intact from the persistent store.
+    pub disk_hits: u64,
     /// Fallback cache counters (un-interned one-off queries).
     pub fallback: CacheStats,
+}
+
+/// One memoized epoch plus the structure multiset it was built for — the
+/// delta path needs the structures to compute touched sets against new
+/// targets.
+struct MemoEntry<E: PlanningEngine> {
+    epoch: Arc<DesignEpoch>,
+    structures: Vec<<E::Design as PhysicalDesign>::Structure>,
 }
 
 /// The dense cost kernel: interned queries, compiled plans, and per-design
@@ -99,11 +194,25 @@ pub struct KernelStats {
 pub struct CostKernel<'e, E: PlanningEngine> {
     engine: &'e E,
     interner: WorkloadInterner,
+    /// Fingerprint of the interned query set (signature-mixed in id
+    /// order) — half of the persistent cache key.
+    interner_fingerprint: u64,
     plans: Vec<E::Plan>,
+    /// One word per plan: the engine's over-approximating table mask,
+    /// hoisted to a flat slice so the delta builder's dependency scan
+    /// prunes unrelated plans with a single AND instead of chasing into
+    /// the (much larger) compiled-plan structs.
+    plan_masks: Vec<u64>,
     fallback: CostCache,
-    memo: Mutex<Vec<Arc<DesignEpoch>>>,
+    memo: Mutex<Vec<MemoEntry<E>>>,
+    memo_capacity: usize,
+    cache: Option<EpochCacheStore>,
     epoch_builds: AtomicU64,
+    delta_builds: AtomicU64,
+    recosted_queries: AtomicU64,
     epoch_reuses: AtomicU64,
+    epoch_evictions: AtomicU64,
+    disk_hits: AtomicU64,
 }
 
 impl<'e, E: PlanningEngine> CostKernel<'e, E> {
@@ -111,6 +220,16 @@ impl<'e, E: PlanningEngine> CostKernel<'e, E> {
     /// every distinct query once. Returns the kernel plus the interned
     /// workloads, aligned with the input slice.
     pub fn build(engine: &'e E, workloads: &[Workload]) -> (Self, Vec<InternedWorkload>) {
+        Self::build_with(engine, workloads, KernelOptions::default())
+    }
+
+    /// [`build`](Self::build) with explicit [`KernelOptions`] (memo
+    /// capacity, persistent epoch cache).
+    pub fn build_with(
+        engine: &'e E,
+        workloads: &[Workload],
+        options: KernelOptions,
+    ) -> (Self, Vec<InternedWorkload>) {
         let mut interner = WorkloadInterner::new();
         let interned: Vec<InternedWorkload> =
             workloads.iter().map(|w| interner.intern(w)).collect();
@@ -119,14 +238,25 @@ impl<'e, E: PlanningEngine> CostKernel<'e, E> {
             .iter()
             .map(|q| engine.compile_plan(q))
             .collect();
+        let interner_fingerprint = interner_fingerprint(&interner);
+        let memo_capacity = options.memo_capacity.max(1);
+        let plan_masks: Vec<u64> = plans.iter().map(|p| engine.plan_tables_mask(p)).collect();
         let kernel = Self {
             engine,
             interner,
+            interner_fingerprint,
             plans,
+            plan_masks,
             fallback: CostCache::default(),
-            memo: Mutex::new(Vec::with_capacity(EPOCH_MEMO_CAPACITY)),
+            memo: Mutex::new(Vec::with_capacity(memo_capacity)),
+            memo_capacity,
+            cache: options.epoch_cache,
             epoch_builds: AtomicU64::new(0),
+            delta_builds: AtomicU64::new(0),
+            recosted_queries: AtomicU64::new(0),
             epoch_reuses: AtomicU64::new(0),
+            epoch_evictions: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
         };
         (kernel, interned)
     }
@@ -141,67 +271,237 @@ impl<'e, E: PlanningEngine> CostKernel<'e, E> {
         &self.interner
     }
 
-    /// The latency epoch for `d`: memoized by design fingerprint, built by
-    /// filling the full latency vector through the chunked parallel map on
-    /// a miss. Results are input-ordered, so the vector — and everything
-    /// derived from it — is identical at any thread count.
+    /// Fingerprint of the interned query set — with the engine's version
+    /// tag and a design fingerprint, the persistent cache key.
+    pub fn interner_fingerprint(&self) -> u64 {
+        self.interner_fingerprint
+    }
+
+    /// The latency epoch for `d`, cheapest source first:
+    ///
+    /// 1. **memo** — fingerprint hit returns the shared epoch;
+    /// 2. **delta** — any memoized base: clone its vector, re-cost only
+    ///    the queries depending on a touched structure;
+    /// 3. **disk** — a cold kernel consults the persistent store;
+    /// 4. **full** — fill the whole vector through the parallel map.
+    ///
+    /// All four sources yield bit-identical vectors (delta by the
+    /// dependency-predicate contract, disk by checksum-verified bits from
+    /// an identical earlier build), so callers never observe which one
+    /// answered.
     pub fn epoch(&self, d: &E::Design) -> Arc<DesignEpoch> {
         let fingerprint = d.fingerprint();
-        {
+        let base = {
             let mut memo = self.memo.lock();
-            if let Some(i) = memo.iter().position(|e| e.fingerprint == fingerprint) {
+            if let Some(i) = memo
+                .iter()
+                .position(|e| e.epoch.fingerprint == fingerprint)
+            {
                 let hit = memo.remove(i);
-                memo.push(Arc::clone(&hit)); // most-recently-used last
+                let epoch = Arc::clone(&hit.epoch);
+                memo.push(hit); // most-recently-used last
                 self.epoch_reuses.fetch_add(1, Ordering::Relaxed);
-                return hit;
+                return epoch;
             }
-        }
+            self.pick_delta_base(&memo, d)
+        };
         // Build outside the lock: epoch fills are the kernel's one heavy
         // step and must not serialize against memo probes. The descent
         // loop is sequential at this level, so duplicate concurrent fills
         // do not arise in practice (and would be harmless — pure).
-        let epoch = Arc::new(self.build_epoch(fingerprint, d));
-        let mut memo = self.memo.lock();
-        if memo.len() >= EPOCH_MEMO_CAPACITY {
-            memo.remove(0); // least-recently-used first
-        }
-        memo.push(Arc::clone(&epoch));
+        let structures = d.structures();
+        let epoch = match base {
+            Some((base_epoch, base_structures)) => Arc::new(self.delta_epoch(
+                fingerprint,
+                d,
+                &base_epoch,
+                &base_structures,
+                &structures,
+            )),
+            None => match self.load_from_disk(fingerprint) {
+                Some(epoch) => epoch,
+                None => Arc::new(self.build_epoch(fingerprint, d)),
+            },
+        };
+        self.insert_memo(Arc::clone(&epoch), structures);
         epoch
     }
 
+    /// Delta-builds the epoch for `d` from `base`'s epoch explicitly: the
+    /// touched set is the symmetric difference of the two structure
+    /// multisets, and only queries whose plans depend on a touched
+    /// structure are re-costed. Bit-identical to [`epoch`](Self::epoch)
+    /// on `d` by the [`PlanningEngine::plan_depends_on`] contract; the
+    /// result is memoized like any other epoch.
+    pub fn epoch_from(&self, base: &E::Design, d: &E::Design) -> Arc<DesignEpoch> {
+        let base_epoch = self.epoch(base);
+        let structures = d.structures();
+        let epoch = Arc::new(self.delta_epoch(
+            d.fingerprint(),
+            d,
+            &base_epoch,
+            &base.structures(),
+            &structures,
+        ));
+        self.insert_memo(Arc::clone(&epoch), structures);
+        epoch
+    }
+
+    /// The memoized base closest to `d` (smallest touched set), cloned out
+    /// of the lock. Ties break to the earliest (least recently used)
+    /// entry — deterministic because memo order is.
+    #[allow(clippy::type_complexity)]
+    fn pick_delta_base(
+        &self,
+        memo: &[MemoEntry<E>],
+        d: &E::Design,
+    ) -> Option<(
+        Arc<DesignEpoch>,
+        Vec<<E::Design as PhysicalDesign>::Structure>,
+    )> {
+        let target = d.structures();
+        let mut best: Option<(usize, usize)> = None; // (touched count, index)
+        for (i, entry) in memo.iter().enumerate() {
+            let touched = symmetric_difference::<E>(&entry.structures, &target).len();
+            let better = match best {
+                None => true,
+                Some((b, _)) => touched < b,
+            };
+            if better {
+                best = Some((touched, i));
+            }
+        }
+        best.map(|(_, i)| (Arc::clone(&memo[i].epoch), memo[i].structures.clone()))
+    }
+
+    /// Memoizes an epoch, evicting the least recently used entry under
+    /// capacity pressure.
+    fn insert_memo(
+        &self,
+        epoch: Arc<DesignEpoch>,
+        structures: Vec<<E::Design as PhysicalDesign>::Structure>,
+    ) {
+        let mut memo = self.memo.lock();
+        if memo
+            .iter()
+            .any(|e| e.epoch.fingerprint == epoch.fingerprint)
+        {
+            return;
+        }
+        if memo.len() >= self.memo_capacity {
+            memo.remove(0); // least-recently-used first
+            self.epoch_evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        memo.push(MemoEntry { epoch, structures });
+    }
+
+    /// Consults the persistent store; `None` on miss or any rejected
+    /// (corrupt / mismatched) entry.
+    fn load_from_disk(&self, fingerprint: u64) -> Option<Arc<DesignEpoch>> {
+        let cache = self.cache.as_ref()?;
+        let lat = cache.load(
+            self.engine.engine_version_tag(),
+            self.interner_fingerprint,
+            fingerprint,
+            self.plans.len(),
+        )?;
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        Some(Arc::new(DesignEpoch { fingerprint, lat }))
+    }
+
+    /// Persists a freshly built vector (best effort — I/O errors only cost
+    /// the next cold start a rebuild).
+    fn store_to_disk(&self, fingerprint: u64, lat: &[f64]) {
+        if let Some(cache) = &self.cache {
+            cache.store(
+                self.engine.engine_version_tag(),
+                self.interner_fingerprint,
+                fingerprint,
+                lat,
+            );
+        }
+    }
+
     fn build_epoch(&self, fingerprint: u64, d: &E::Design) -> DesignEpoch {
-        let t0 = std::time::Instant::now();
+        let t0 = cliffguard_telemetry::metrics_enabled().then(std::time::Instant::now);
         let lat = cliffguard_parallel::par_map(&self.plans, |p| self.engine.plan_latency_ms(p, d));
         self.epoch_builds.fetch_add(1, Ordering::Relaxed);
-        if cliffguard_telemetry::metrics_enabled() {
+        if let Some(t0) = t0 {
             if let Some(h) = cliffguard_telemetry::histogram("cliffguard.sim.kernel.build_ms") {
                 h.record(cliffguard_telemetry::elapsed_ms(t0));
             }
         }
+        self.store_to_disk(fingerprint, &lat);
+        DesignEpoch { fingerprint, lat }
+    }
+
+    /// Clones the base vector and re-costs only the queries whose plans
+    /// depend on a touched structure. `par_map` over the ascending
+    /// dependent-index list keeps results input-ordered, so the spliced
+    /// vector is identical at any thread count.
+    fn delta_epoch(
+        &self,
+        fingerprint: u64,
+        d: &E::Design,
+        base_epoch: &DesignEpoch,
+        base_structures: &[<E::Design as PhysicalDesign>::Structure],
+        target_structures: &[<E::Design as PhysicalDesign>::Structure],
+    ) -> DesignEpoch {
+        let t0 = cliffguard_telemetry::metrics_enabled().then(std::time::Instant::now);
+        let touched = symmetric_difference::<E>(base_structures, target_structures);
+        let mut lat = base_epoch.lat.clone();
+        let dependent: Vec<usize> = if touched.is_empty() {
+            Vec::new()
+        } else {
+            // Flat mask prefilter first: one AND per plan rules out every
+            // plan on unrelated tables before the per-structure predicate
+            // walks the compiled plan. Both layers over-approximate, so
+            // the surviving set is exactly the predicate's.
+            let touched_mask = touched
+                .iter()
+                .fold(0u64, |m, s| m | self.engine.structure_tables_mask(s));
+            (0..self.plans.len())
+                .filter(|&i| {
+                    self.plan_masks[i] & touched_mask != 0
+                        && touched
+                            .iter()
+                            .any(|s| self.engine.plan_depends_on(&self.plans[i], s))
+                })
+                .collect()
+        };
+        let recosted =
+            cliffguard_parallel::par_map(&dependent, |&i| self.engine.plan_latency_ms(&self.plans[i], d));
+        for (&i, v) in dependent.iter().zip(recosted) {
+            lat[i] = v;
+        }
+        self.delta_builds.fetch_add(1, Ordering::Relaxed);
+        self.recosted_queries
+            .fetch_add(dependent.len() as u64, Ordering::Relaxed);
+        if let Some(t0) = t0 {
+            if let Some(ct) = cliffguard_telemetry::counter("cliffguard.sim.kernel.delta_builds") {
+                ct.incr(1);
+            }
+            if let Some(ct) =
+                cliffguard_telemetry::counter("cliffguard.sim.kernel.recosted_queries")
+            {
+                ct.incr(dependent.len() as u64);
+            }
+            if let Some(h) =
+                cliffguard_telemetry::histogram("cliffguard.sim.kernel.delta_build_ms")
+            {
+                h.record(cliffguard_telemetry::elapsed_ms(t0));
+            }
+        }
+        self.store_to_disk(fingerprint, &lat);
         DesignEpoch { fingerprint, lat }
     }
 
     /// Aggregate cost of an interned workload under an epoch. Same fold,
     /// in the same entry order, as [`Engine::workload_cost`] — results are
-    /// bit-identical to costing the source workload directly.
+    /// bit-identical to costing the source workload directly. Delegates to
+    /// the flat-slice fold on [`DesignEpoch::workload_cost`].
     pub fn workload_cost(&self, w: &InternedWorkload, epoch: &DesignEpoch) -> WorkloadCost {
-        if w.is_empty() {
-            return WorkloadCost::zero();
-        }
-        let mut total = 0.0;
-        let mut max: f64 = 0.0;
-        let mut weight = 0.0;
-        for &(id, wt) in w.entries() {
-            let l = epoch.latency_ms(id);
-            total += l * wt;
-            weight += wt;
-            max = max.max(l);
-        }
-        WorkloadCost {
-            avg_ms: total / weight,
-            max_ms: max,
-            total_ms: total,
-        }
+        epoch.workload_cost(w)
     }
 
     /// Latency of one query under the epoch's design: a dense array read
@@ -226,32 +526,81 @@ impl<'e, E: PlanningEngine> CostKernel<'e, E> {
             raw_entries: self.interner.raw_entries(),
             dedup_ratio: self.interner.dedup_ratio(),
             epoch_builds: self.epoch_builds.load(Ordering::Relaxed),
+            delta_builds: self.delta_builds.load(Ordering::Relaxed),
+            recosted_queries: self.recosted_queries.load(Ordering::Relaxed),
             epoch_reuses: self.epoch_reuses.load(Ordering::Relaxed),
+            epoch_evictions: self.epoch_evictions.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
             fallback: self.fallback.stats(),
         }
     }
 
-    /// Publishes interner gauges (`cliffguard.sim.kernel.interned_queries`,
-    /// `cliffguard.sim.kernel.dedup_ratio`) into the installed telemetry
-    /// registry. Metrics only — the kernel never writes trace events. A
+    /// Publishes interner and delta-path gauges
+    /// (`cliffguard.sim.kernel.interned_queries`, `dedup_ratio`,
+    /// `delta_fraction`) into the installed telemetry registry; the
+    /// `delta_builds` / `recosted_queries` counters increment live at each
+    /// delta build. Metrics only — the kernel never writes trace events. A
     /// no-op when metrics are off.
     pub fn publish_metrics(&self) {
         if !cliffguard_telemetry::metrics_enabled() {
             return;
         }
         let stats = self.stats();
+        let constructions = stats.epoch_builds + stats.delta_builds;
+        let delta_fraction = if constructions == 0 {
+            0.0
+        } else {
+            stats.delta_builds as f64 / constructions as f64
+        };
         for (name, v) in [
             (
                 "cliffguard.sim.kernel.interned_queries",
                 stats.interned_queries as f64,
             ),
             ("cliffguard.sim.kernel.dedup_ratio", stats.dedup_ratio),
+            ("cliffguard.sim.kernel.delta_fraction", delta_fraction),
         ] {
             if let Some(g) = cliffguard_telemetry::gauge(name) {
                 g.set(v);
             }
         }
     }
+}
+
+/// Fingerprint of an interner's query set: per-query structural signatures
+/// mixed in dense-id order, count folded in last — the same splitmix
+/// scheme as the design fingerprint, so collision behavior matches.
+fn interner_fingerprint(interner: &WorkloadInterner) -> u64 {
+    let mut acc: u64 = 0x9e37_79b9_7f4a_7c15;
+    for q in interner.queries() {
+        acc = crate::engine::splitmix64(acc ^ q.signature().0);
+    }
+    crate::engine::splitmix64(acc ^ interner.len() as u64)
+}
+
+/// The structures whose multiset count differs between `a` and `b` — the
+/// touched set of a delta build. First-occurrence order over `a` then `b`
+/// (deterministic, though the dependency filter is an order-insensitive
+/// `any` regardless).
+///
+/// Quadratic equality scans instead of a hash map: designs hold at most a
+/// few dozen structures, and structure `Eq` (a couple of word compares) is
+/// far cheaper than hashing every column id on the delta hot path.
+fn symmetric_difference<E: PlanningEngine>(
+    a: &[<E::Design as PhysicalDesign>::Structure],
+    b: &[<E::Design as PhysicalDesign>::Structure],
+) -> Vec<<E::Design as PhysicalDesign>::Structure> {
+    let count = |xs: &[<E::Design as PhysicalDesign>::Structure],
+                 s: &<E::Design as PhysicalDesign>::Structure| {
+        xs.iter().filter(|x| *x == s).count()
+    };
+    let mut touched: Vec<<E::Design as PhysicalDesign>::Structure> = Vec::new();
+    for s in a.iter().chain(b) {
+        if count(a, s) != count(b, s) && !touched.contains(s) {
+            touched.push(s.clone());
+        }
+    }
+    touched
 }
 
 #[cfg(test)]
@@ -350,10 +699,73 @@ mod tests {
         for d in &designs {
             let _ = kernel.epoch(d);
         }
-        // First design was evicted; asking again rebuilds.
-        let builds_before = kernel.stats().epoch_builds;
+        let s = kernel.stats();
+        assert!(s.epoch_evictions >= 1, "cycling past capacity must evict");
+        // First design was evicted; asking again reconstructs it (via the
+        // delta path, since the memo holds usable bases).
+        let before = s.epoch_builds + s.delta_builds;
         let _ = kernel.epoch(&designs[0]);
-        assert_eq!(kernel.stats().epoch_builds, builds_before + 1);
+        let after = kernel.stats();
+        assert_eq!(after.epoch_builds + after.delta_builds, before + 1);
+        assert!(after.delta_builds >= 1, "rebuild should take the delta path");
+    }
+
+    #[test]
+    fn custom_memo_capacity_avoids_eviction() {
+        let engine = ColumnarEngine::new(catalog());
+        let ws = workloads();
+        let (kernel, _) = CostKernel::build_with(
+            &engine,
+            &ws,
+            KernelOptions {
+                memo_capacity: EPOCH_MEMO_CAPACITY + 4,
+                ..KernelOptions::default()
+            },
+        );
+        let designs: Vec<ColumnarDesign> = (0..=EPOCH_MEMO_CAPACITY as u32)
+            .map(|i| design(&[1, 2 + i % 5], &[]))
+            .collect();
+        for d in &designs {
+            let _ = kernel.epoch(d);
+        }
+        // Everything still fits: re-asking the first design is a memo hit.
+        let constructions = {
+            let s = kernel.stats();
+            s.epoch_builds + s.delta_builds
+        };
+        let _ = kernel.epoch(&designs[0]);
+        let s = kernel.stats();
+        assert_eq!(s.epoch_builds + s.delta_builds, constructions);
+        assert_eq!(s.epoch_evictions, 0);
+        assert!(s.epoch_reuses >= 1);
+    }
+
+    #[test]
+    fn delta_epoch_matches_full_build_bitwise() {
+        let engine = ColumnarEngine::new(catalog());
+        let ws = workloads();
+        let base = ColumnarDesign::from_structures(vec![
+            Projection::new(TableId(0), ColumnSet::from_ids(&[1, 2]), vec![]),
+            Projection::new(TableId(0), ColumnSet::from_ids(&[3, 4]), vec![]),
+        ]);
+        let target = ColumnarDesign::from_structures(vec![
+            Projection::new(TableId(0), ColumnSet::from_ids(&[1, 2]), vec![]),
+            Projection::new(TableId(0), ColumnSet::from_ids(&[2, 3]), vec![]),
+        ]);
+        // Delta path.
+        let (kernel, _) = CostKernel::build(&engine, &ws);
+        let delta = kernel.epoch_from(&base, &target);
+        assert!(kernel.stats().delta_builds >= 1);
+        // Full reference on a fresh kernel (cold memo → full build).
+        let (fresh, _) = CostKernel::build(&engine, &ws);
+        let full = fresh.epoch(&target);
+        assert_eq!(delta.fingerprint(), full.fingerprint());
+        for (a, b) in delta.latencies().iter().zip(full.latencies()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "delta epoch diverged from full");
+        }
+        // The touched set was one projection swap, so the delta re-costed
+        // at most everything, typically less.
+        assert!(kernel.stats().recosted_queries <= kernel.interner().len() as u64);
     }
 
     #[test]
@@ -389,5 +801,20 @@ mod tests {
         assert_eq!(s.interned_queries, 3, "three distinct queries");
         assert_eq!(s.raw_entries, 5, "five entries across the workloads");
         assert!((s.dedup_ratio - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interner_fingerprint_tracks_query_set() {
+        let engine = ColumnarEngine::new(catalog());
+        let ws = workloads();
+        let (a, _) = CostKernel::build(&engine, &ws);
+        let (b, _) = CostKernel::build(&engine, &ws);
+        assert_eq!(
+            a.interner_fingerprint(),
+            b.interner_fingerprint(),
+            "same workloads → same fingerprint"
+        );
+        let (c, _) = CostKernel::build(&engine, &ws[..1]);
+        assert_ne!(a.interner_fingerprint(), c.interner_fingerprint());
     }
 }

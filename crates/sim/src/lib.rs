@@ -30,6 +30,7 @@
 mod cache;
 mod columnar;
 mod engine;
+mod epoch_cache;
 mod kernel;
 mod replica;
 mod row;
@@ -40,7 +41,8 @@ pub use cache::{CacheStats, CachedEngine, CostCache};
 pub use columnar::{
     ColumnarDesign, ColumnarEngine, ColumnarExplain, ColumnarPlan, Projection, TableAccess,
 };
-pub use engine::{Engine, PhysicalDesign, PlanningEngine, WorkloadCost};
-pub use kernel::{CostKernel, DesignEpoch, KernelStats};
+pub use engine::{table_mask_bit, Engine, PhysicalDesign, PlanningEngine, WorkloadCost};
+pub use epoch_cache::EpochCacheStore;
+pub use kernel::{CostKernel, DesignEpoch, KernelOptions, KernelStats};
 pub use replica::{combine_fingerprints, QueryRouter};
 pub use row::{Index, MatView, RowDesign, RowEngine, RowPath, RowPlan, RowStructure};

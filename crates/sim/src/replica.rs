@@ -171,11 +171,27 @@ impl QueryRouter {
         let mut total = 0.0;
         let mut max: f64 = 0.0;
         let mut weight = 0.0;
-        for &(id, wt) in w.entries() {
-            let l = self.routed_latency_ms(id, mask, inflation)?;
-            total += l * wt;
-            weight += wt;
-            max = max.max(l);
+        let ids = w.ids();
+        let wts = w.weights();
+        if mask == 0 && inflation == 1.0 {
+            // Healthy-fleet fast path: a branch-free pass over the flat
+            // id/weight slices and the precomputed route table — same
+            // operations in the same entry order as the general path, so
+            // the numbers are bit-identical.
+            for (&id, &wt) in ids.iter().zip(wts) {
+                let q = id as usize;
+                let l = self.scaled(self.routes[q] as usize, q);
+                total += l * wt;
+                weight += wt;
+                max = max.max(l);
+            }
+        } else {
+            for (&id, &wt) in ids.iter().zip(wts) {
+                let l = self.routed_latency_ms(QueryId(id), mask, inflation)?;
+                total += l * wt;
+                weight += wt;
+                max = max.max(l);
+            }
         }
         Some(WorkloadCost {
             avg_ms: total / weight,

@@ -527,6 +527,44 @@ impl PlanningEngine for RowEngine {
         }
         total
     }
+
+    fn plan_depends_on(&self, plan: &RowPlan, s: &RowStructure) -> bool {
+        match s {
+            // An index enters the access-path competition for a table slice
+            // only when it matches the table and some predicate prefix
+            // (`prefix_selectivity < 1.0` — the exact skip condition in
+            // `table_access`).
+            RowStructure::Index(i) => plan.tables.iter().any(|pt| {
+                pt.table == i.table && Self::prefix_selectivity(&i.key, &pt.preds) < 1.0
+            }),
+            // MVs are matched at the anchor only, and only for grouped
+            // aggregates over the view's table.
+            RowStructure::MatView(v) => {
+                plan.aggregates
+                    && !plan.group_by.is_empty()
+                    && plan.tables.first().is_some_and(|pt| pt.table == v.table)
+            }
+        }
+    }
+
+    fn engine_version_tag(&self) -> &'static str {
+        "row-v1"
+    }
+
+    fn plan_tables_mask(&self, plan: &RowPlan) -> u64 {
+        plan.tables
+            .iter()
+            .fold(0, |m, pt| m | crate::engine::table_mask_bit(pt.table))
+    }
+
+    fn structure_tables_mask(&self, s: &RowStructure) -> u64 {
+        // Both arms of `plan_depends_on` require a same-table slice
+        // (indexes at any slice, MVs at the anchor).
+        crate::engine::table_mask_bit(match s {
+            RowStructure::Index(i) => i.table,
+            RowStructure::MatView(v) => v.table,
+        })
+    }
 }
 
 #[cfg(test)]

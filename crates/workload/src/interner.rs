@@ -33,15 +33,49 @@ impl QueryId {
 
 /// A workload re-expressed as `(QueryId, weight)` pairs, preserving the
 /// source workload's entry order.
+///
+/// Alongside the pair view it keeps the same data as two flat parallel
+/// slices ([`ids`](Self::ids) / [`weights`](Self::weights)), so cost folds
+/// can run branch-free passes over plain `u32`/`f64` arrays — no tuple
+/// striding, no hash probe, no `Option` — while visiting entries in the
+/// identical order (bit-identical f64 reductions).
 #[derive(Debug, Clone, Default)]
 pub struct InternedWorkload {
     entries: Vec<(QueryId, f64)>,
+    ids: Vec<u32>,
+    weights: Vec<f64>,
 }
 
 impl InternedWorkload {
+    /// Builds directly from `(id, weight)` pairs (entry order is kept).
+    ///
+    /// Primarily for benches and tests that synthesize workloads without
+    /// an interner; production workloads come from
+    /// [`WorkloadInterner::intern`].
+    pub fn from_entries(entries: Vec<(QueryId, f64)>) -> Self {
+        let ids = entries.iter().map(|&(id, _)| id.0).collect();
+        let weights = entries.iter().map(|&(_, w)| w).collect();
+        Self {
+            entries,
+            ids,
+            weights,
+        }
+    }
+
     /// Iterates `(id, raw_weight)` in the source workload's entry order.
     pub fn entries(&self) -> &[(QueryId, f64)] {
         &self.entries
+    }
+
+    /// The raw query ids, in entry order (parallel to
+    /// [`weights`](Self::weights)).
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// The raw weights, in entry order (parallel to [`ids`](Self::ids)).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
     }
 
     /// Number of distinct queries in the source workload.
@@ -104,7 +138,7 @@ impl WorkloadInterner {
                 (self.intern_query(q), wt)
             })
             .collect();
-        InternedWorkload { entries }
+        InternedWorkload::from_entries(entries)
     }
 
     /// Looks up the id of an already-interned query (`None` if unseen).
@@ -219,6 +253,21 @@ mod tests {
             );
         }
         assert_eq!(iw.total_weight(), w.total_weight());
+    }
+
+    #[test]
+    fn flat_slices_mirror_the_entry_pairs() {
+        let w = Workload::from_queries([(q(&[3]), 1.5), (q(&[1]), 2.5), (q(&[2]), 0.5)]);
+        let mut interner = WorkloadInterner::new();
+        let iw = interner.intern(&w);
+        assert_eq!(iw.ids().len(), iw.len());
+        assert_eq!(iw.weights().len(), iw.len());
+        for (i, &(id, wt)) in iw.entries().iter().enumerate() {
+            assert_eq!(iw.ids()[i], id.0);
+            assert_eq!(iw.weights()[i].to_bits(), wt.to_bits());
+        }
+        let direct = InternedWorkload::from_entries(iw.entries().to_vec());
+        assert_eq!(direct.ids(), iw.ids());
     }
 
     #[test]

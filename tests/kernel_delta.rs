@@ -1,0 +1,257 @@
+//! Delta epochs and the persistent warm-start cache: bit-identity and
+//! fallback properties.
+//!
+//! Three contracts pinned here:
+//!
+//! 1. **Delta == full, bit-for-bit.** [`CostKernel::epoch_from`] re-costs
+//!    only the queries whose plans depend on a touched structure and
+//!    splices them into a clone of the base epoch. For any base/target
+//!    design pair and any thread count, the result must carry the exact
+//!    bits a from-scratch build produces (property-tested at 1 and 8
+//!    threads).
+//! 2. **Warm starts change nothing but time.** Two identical design
+//!    sessions — one on a cold epoch cache, one warm-started from the
+//!    first's persisted snapshots — must emit byte-identical audits and
+//!    designs.
+//! 3. **Poisoned caches degrade to rebuilds.** A cache entry with a wrong
+//!    engine tag, a truncated body, or a flipped latency bit is rejected
+//!    and rebuilt from scratch; the rebuild overwrites the bad entry.
+
+use cliffguard::prelude::*;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+static THREAD_KNOB: Mutex<()> = Mutex::new(());
+
+/// Thread counts the identity must hold at (1 = fully inline baseline).
+const THREAD_COUNTS: [usize; 2] = [1, 8];
+
+/// A self-cleaning scratch directory (no tempfile dependency).
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(label: &str) -> Self {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "cliffguard-delta-{label}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Small drifting-workload fixture (same shape as `kernel_identity.rs`).
+fn fixture(seed: u64) -> (ColumnarEngine, Vec<Workload>) {
+    let mut config = WorkloadProfile::R1.config(seed).scaled(0.15);
+    config.n_windows = 3;
+    let mut generator = DriftingGenerator::new(config.clone());
+    let shape = generator.shape().clone();
+    let windows = generator.generate().windows_days(config.window_days);
+    let catalog = CatalogGenerator::default().generate(&shape);
+    (ColumnarEngine::new(catalog), windows)
+}
+
+/// A design assembled from candidate structures picked by two free indices.
+fn design_from(engine: &ColumnarEngine, w: &Workload, a: usize, b: usize) -> ColumnarDesign {
+    let candidates = ColumnarCandidates.candidates(engine, w);
+    assert!(!candidates.is_empty(), "fixture must yield candidates");
+    ColumnarDesign::from_structures(vec![
+        candidates[a % candidates.len()].clone(),
+        candidates[b % candidates.len()].clone(),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `epoch_from(base, target)` carries the exact bits of a from-scratch
+    /// `epoch(target)` for single-structure touches, at 1 and 8 threads.
+    #[test]
+    fn delta_epoch_equals_full_build_bit_identically(
+        seed in 0u64..10_000,
+        a in 0usize..64,
+        b in 0usize..64,
+        c in 0usize..64,
+    ) {
+        let _guard = THREAD_KNOB.lock().unwrap();
+        let (engine, windows) = fixture(seed);
+        // Base and target share structure `a`; `b` → `c` is the touch.
+        let base = design_from(&engine, &windows[0], a, b);
+        let target = design_from(&engine, &windows[0], a, c);
+
+        for threads in THREAD_COUNTS {
+            set_threads(threads);
+            // Delta path: base epoch first, then the incremental rebuild.
+            let (kernel, interned) = CostKernel::build(&engine, &windows);
+            let _ = kernel.epoch(&base);
+            let delta = kernel.epoch_from(&base, &target);
+
+            // Reference: an untouched kernel that can only build fully.
+            let (fresh, _) = CostKernel::build(&engine, &windows);
+            let full = fresh.epoch(&target);
+            prop_assert_eq!(fresh.stats().delta_builds, 0);
+
+            prop_assert_eq!(delta.fingerprint(), full.fingerprint());
+            for (i, (d, f)) in delta.latencies().iter().zip(full.latencies()).enumerate() {
+                prop_assert_eq!(
+                    d.to_bits(), f.to_bits(),
+                    "delta diverged from full build at query {} with {} threads",
+                    i, threads
+                );
+            }
+            // The folds downstream of the epoch agree too.
+            for iw in &interned {
+                let dc = kernel.workload_cost(iw, &delta);
+                let fc = fresh.workload_cost(iw, &full);
+                prop_assert_eq!(dc.avg_ms.to_bits(), fc.avg_ms.to_bits());
+                prop_assert_eq!(dc.max_ms.to_bits(), fc.max_ms.to_bits());
+                prop_assert_eq!(dc.total_ms.to_bits(), fc.total_ms.to_bits());
+            }
+            // Identical designs are a no-touch delta: nothing re-costed.
+            let before = kernel.stats().recosted_queries;
+            let same = kernel.epoch_from(&base, &base);
+            prop_assert_eq!(same.fingerprint(), base.fingerprint());
+            prop_assert_eq!(kernel.stats().recosted_queries, before);
+        }
+        set_threads(1);
+    }
+}
+
+/// Runs one deterministic robust design session against `cache_dir` and
+/// renders its audit (design fingerprint, DDL, worst-case trace bits) as
+/// one comparable string.
+fn session_audit(cache_dir: &std::path::Path) -> String {
+    let (engine, windows) = fixture(77);
+    let (w0, history) = windows.split_last().expect("fixture has windows");
+    let metric = DeltaEuclidean::new(engine.catalog().column_count());
+    let nominal = GreedyDesigner::new(&engine, ColumnarCandidates, "DBD");
+    let pool: Vec<Arc<Query>> = history
+        .iter()
+        .flat_map(|w| w.queries())
+        .cloned()
+        .collect();
+    let options = SessionOptions {
+        epoch_cache: Some(EpochCacheStore::open(cache_dir).expect("open epoch cache")),
+        ..SessionOptions::default()
+    };
+    let session = DesignSession::new(
+        &engine,
+        Reliable(&nominal),
+        metric,
+        CliffGuardConfig::new(0.08),
+        options,
+    )
+    .expect("valid session config");
+    let (design, trace) = session.run(w0, 512 << 20, &pool).into_design();
+    let worst_bits: Vec<String> = trace
+        .worst_case_per_iter
+        .iter()
+        .map(|x| format!("{:016x}", x.to_bits()))
+        .collect();
+    format!(
+        "fp={:016x} calls={} worst=[{}]\n{}",
+        design.fingerprint(),
+        trace.designer_calls,
+        worst_bits.join(","),
+        cliffguard::sim::ddl::columnar_script(&design, engine.catalog()),
+    )
+}
+
+/// A warm-started session (second run over a shared cache directory) is
+/// byte-identical to the cold run that populated the cache.
+#[test]
+fn warm_start_session_audit_is_byte_identical() {
+    let _guard = THREAD_KNOB.lock().unwrap();
+    set_threads(1);
+    let scratch = Scratch::new("warm");
+    let cold = session_audit(scratch.path());
+    let snapshots = std::fs::read_dir(scratch.path())
+        .expect("read cache dir")
+        .count();
+    assert!(snapshots > 0, "cold run must persist epoch snapshots");
+    let warm = session_audit(scratch.path());
+    assert_eq!(cold, warm, "warm start must not change a single byte");
+}
+
+/// Every poisoning mode — wrong engine tag, truncation, a flipped latency
+/// bit — is rejected on load; the kernel rebuilds from scratch and the
+/// rebuilt bits match an uncached kernel exactly.
+#[test]
+fn poisoned_cache_entries_fall_back_to_clean_rebuilds() {
+    let _guard = THREAD_KNOB.lock().unwrap();
+    set_threads(1);
+    let (engine, windows) = fixture(11);
+    let design = design_from(&engine, &windows[0], 3, 19);
+    let (reference, _) = CostKernel::build(&engine, &windows);
+    let want = reference.epoch(&design);
+
+    let poisons: [(&str, fn(&str) -> String); 3] = [
+        ("wrong-tag", |text| text.replacen("columnar-v1", "columnar-v0", 1)),
+        ("truncated", |text| text[..text.len() / 2].to_string()),
+        ("bit-flip", |text| {
+            // Flip the low bit of the first persisted latency word.
+            let start = text.find("\"lat_bits\":[").expect("lat_bits field") + 12;
+            let end = start
+                + text[start..]
+                    .find([',', ']'])
+                    .expect("list delimiter");
+            let bits: u64 = text[start..end].parse().expect("latency bits");
+            format!("{}{}{}", &text[..start], bits ^ 1, &text[end..])
+        }),
+    ];
+    for (label, poison) in poisons {
+        let scratch = Scratch::new(label);
+        let store = EpochCacheStore::open(scratch.path()).expect("open epoch cache");
+        // Populate, then corrupt every snapshot in place.
+        let (writer, _) = CostKernel::build_with(
+            &engine,
+            &windows,
+            KernelOptions {
+                epoch_cache: Some(store.clone()),
+                ..KernelOptions::default()
+            },
+        );
+        let _ = writer.epoch(&design);
+        let mut corrupted = 0;
+        for entry in std::fs::read_dir(scratch.path()).expect("read cache dir") {
+            let path = entry.expect("dir entry").path();
+            let text = std::fs::read_to_string(&path).expect("read snapshot");
+            std::fs::write(&path, poison(&text)).expect("write poisoned snapshot");
+            corrupted += 1;
+        }
+        assert!(corrupted > 0, "{label}: no snapshots to poison");
+
+        // A cold kernel over the poisoned store: the load must miss and
+        // the full rebuild must reproduce the reference bits.
+        let (kernel, _) = CostKernel::build_with(
+            &engine,
+            &windows,
+            KernelOptions {
+                epoch_cache: Some(store),
+                ..KernelOptions::default()
+            },
+        );
+        let got = kernel.epoch(&design);
+        let stats = kernel.stats();
+        assert_eq!(stats.disk_hits, 0, "{label}: poisoned entry must not load");
+        assert_eq!(stats.epoch_builds, 1, "{label}: expected a full rebuild");
+        assert_eq!(got.fingerprint(), want.fingerprint());
+        for (g, w) in got.latencies().iter().zip(want.latencies()) {
+            assert_eq!(g.to_bits(), w.to_bits(), "{label}: rebuild diverged");
+        }
+    }
+}
